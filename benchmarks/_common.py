@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment records its claim-versus-measured table both to stdout
+(visible with ``pytest -s``) and to ``benchmarks/results/<exp>.txt`` so
+EXPERIMENTS.md can cite stable artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(experiment: str, text: str) -> None:
+    """Print and persist one experiment's output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{experiment}] -> {path}")
+    print(text)

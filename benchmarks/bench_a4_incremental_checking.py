@@ -1,0 +1,75 @@
+"""A4 (ablation) — incremental checking inside the search engine.
+
+The search engine evaluates thousands of candidate tuples differing in
+one model; a directional check only reads the models of its direction
+(plus invoked relations' domains), so verdicts can be cached. Measured:
+search-engine wall time and cache hit rate, with and without the cache.
+"""
+
+import time
+
+from repro.check.engine import Checker
+from repro.check.incremental import IncrementalChecker
+from repro.enforce import TargetSelection
+from repro.enforce.search import enforce_search
+from repro.featuremodels import configuration, feature_model, paper_transformation
+from repro.solver.bounded import Scope
+from repro.util.text import render_table
+
+from benchmarks._common import record
+
+
+def problem(n_optional: int):
+    t = paper_transformation(2)
+    features = {f"ft{i}": False for i in range(n_optional)}
+    features["secure"] = True
+    models = {
+        "fm": feature_model(features),
+        "cf1": configuration([f"ft{i}" for i in range(n_optional)], name="cf1"),
+        "cf2": configuration([], name="cf2"),
+    }
+    return t, models
+
+
+def run(checker, t, models):
+    start = time.perf_counter()
+    _, cost, stats = enforce_search(
+        checker,
+        models,
+        TargetSelection(["cf1", "cf2"]),
+        scope=Scope(extra_objects=1),
+    )
+    elapsed = time.perf_counter() - start
+    return cost, elapsed, stats
+
+
+def test_a4_incremental_checking(benchmark):
+    rows = []
+    for n in (2, 3, 4):
+        t, models = problem(n)
+        plain_cost, plain_time, _ = run(Checker(t), t, models)
+        cached = IncrementalChecker(t)
+        cached_cost, cached_time, _ = run(cached, t, models)
+        assert plain_cost == cached_cost
+        hit_rate = cached.hits / max(1, cached.hits + cached.misses)
+        rows.append(
+            [
+                n,
+                plain_cost,
+                f"{plain_time * 1e3:.0f} ms",
+                f"{cached_time * 1e3:.0f} ms",
+                f"{plain_time / max(cached_time, 1e-9):.2f}x",
+                f"{100 * hit_rate:.0f}%",
+            ]
+        )
+    table = render_table(
+        ["optional features", "distance", "plain", "cached", "speedup", "hit rate"],
+        rows,
+        title="A4: directional-verdict caching in the search engine",
+    )
+    record("a4_incremental_checking", table)
+
+    t, models = problem(3)
+    benchmark.pedantic(
+        lambda: run(IncrementalChecker(t), t, models), rounds=2, iterations=1
+    )

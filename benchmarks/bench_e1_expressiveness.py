@@ -1,0 +1,144 @@
+"""E1 — section 2.1: the standard checking semantics cannot express MF.
+
+Claims reproduced:
+
+* the paper's counterexample — ``MF_CF1`` is vacuously true when another
+  configuration is empty, so the standard semantics reports "consistent"
+  on violated environments (false accepts);
+* measured here additionally: the same relation bodies under standard
+  semantics also reject valid optional selections (false rejects), and
+  both binary decompositions of section 1 fail in one direction each;
+* only the extended semantics with the paper's dependency set matches
+  the intended relation ``F = MF ∩ OF`` exactly.
+
+Output: a verdict table on the paper's scenarios, error rates on
+randomised instances (sweep over feature count), and timing of one
+extended check.
+"""
+
+import pytest
+
+from repro.baselines.pairwise import (
+    check_pairwise,
+    ground_truth,
+    pairwise_over_transformations,
+    pairwise_under_transformations,
+)
+from repro.baselines.standard_qvtr import compare_semantics
+from repro.check.engine import CheckConfig, Checker, EXTENDED, STANDARD
+from repro.featuremodels import (
+    configuration,
+    feature_model,
+    paper_transformation,
+    random_instance,
+)
+from repro.util.text import render_table
+
+from benchmarks._common import record
+
+
+def env(fm, cf1, cf2):
+    return {
+        "fm": feature_model(fm),
+        "cf1": configuration(cf1, name="cf1"),
+        "cf2": configuration(cf2, name="cf2"),
+    }
+
+
+SCENARIOS = [
+    ("consistent, no optional selected", env({"core": True}, ["core"], ["core"])),
+    (
+        "consistent, optional in cf1 only",
+        env({"core": True, "log": False}, ["core", "log"], ["core"]),
+    ),
+    ("mandatory unselected, cf2 empty (paper 2.1)", env({"core": True}, ["core"], [])),
+    ("mandatory unselected, both empty (vacuity)", env({"core": True}, [], [])),
+    (
+        "optional selected everywhere (must be mandatory)",
+        env({"core": True, "log": False}, ["core", "log"], ["core", "log"]),
+    ),
+    ("unknown feature selected", env({"core": True}, ["core", "rogue"], ["core"])),
+]
+
+
+def _verdicts():
+    standard = Checker(
+        paper_transformation(2, annotated=False),
+        config=CheckConfig(semantics=STANDARD),
+    )
+    extended = Checker(paper_transformation(2))
+    under = pairwise_under_transformations(2)
+    over = pairwise_over_transformations(2)
+    rows = []
+    for label, models in SCENARIOS:
+        rows.append(
+            [
+                label,
+                ground_truth(models),
+                standard.is_consistent(models),
+                extended.is_consistent(models),
+                check_pairwise(under, models),
+                check_pairwise(over, models),
+            ]
+        )
+    return rows
+
+
+def test_e1_verdict_table(benchmark):
+    rows = _verdicts()
+    table = render_table(
+        ["scenario", "truth", "standard", "extended", "pair-under", "pair-over"],
+        rows,
+        title="E1: checking verdicts (paper section 2.1 scenarios)",
+    )
+
+    # Randomised error rates over a feature-count sweep.
+    sweep_rows = []
+    for n in (2, 4, 8, 16):
+        instances = [
+            random_instance(n, 2, seed=n * 100 + i, consistent=bool(i % 2))
+            for i in range(20)
+        ]
+        comparison = compare_semantics(
+            paper_transformation(2),
+            paper_transformation(2, annotated=False),
+            instances,
+            ground_truth,
+        )
+        sweep_rows.append(
+            [
+                n,
+                comparison.total,
+                comparison.standard_false_accepts,
+                comparison.standard_false_rejects,
+                comparison.extended_errors,
+            ]
+        )
+    table += "\n" + render_table(
+        ["features", "instances", "std false-accepts", "std false-rejects", "ext errors"],
+        sweep_rows,
+        title="randomised instances (k = 2)",
+    )
+    record("e1_expressiveness", table)
+
+    # Claim assertions: extended is exact, standard errs both ways.
+    verdicts = {row[0]: row[1:] for row in rows}
+    truth, std, ext, _, _ = verdicts["mandatory unselected, both empty (vacuity)"]
+    assert not truth and std and not ext
+    assert all(row[4] == 0 for row in sweep_rows)  # extended never errs
+
+    extended = Checker(paper_transformation(2))
+    models = random_instance(16, 2, seed=5, consistent=True)
+    benchmark(lambda: extended.is_consistent(models))
+
+
+@pytest.mark.parametrize("semantics", [STANDARD, EXTENDED])
+def test_e1_checking_cost(benchmark, semantics):
+    """Timing: standard vs extended semantics on the same instance."""
+    annotated = semantics == EXTENDED
+    checker = Checker(
+        paper_transformation(2, annotated=annotated),
+        config=CheckConfig(semantics=semantics),
+    )
+    models = random_instance(12, 2, seed=3, consistent=True)
+    assert benchmark(lambda: checker.is_consistent(models)) in (True, False)

@@ -1,0 +1,93 @@
+"""E3 — sections 2.2/2.3: dependency entailment.
+
+Claims reproduced:
+
+* the two compound-dependency derivations hold:
+  ``{M1->M2, M1->M3} ⊢ M1 -> M2 M3`` and
+  ``{M1->M3, M2->M3} ⊢ M1 | M2 -> M3``;
+* dependencies are Horn clauses, so entailment *"can be done in linear
+  time"* — measured as runtime per clause over a size sweep (the ratio
+  should be flat, i.e. growth is linear).
+"""
+
+import time
+
+import pytest
+
+from repro.deps.dependency import Dependency
+from repro.deps.horn import entails, entails_query, query_multi_target, query_union_source
+from repro.util.text import render_table
+
+from benchmarks._common import record
+
+
+def chain(n: int) -> list[Dependency]:
+    """A chain d0 -> d1 -> ... -> dn with two-premise steps."""
+    deps = []
+    for i in range(n):
+        sources = (f"d{i}",) if i % 2 == 0 else (f"d{i}", f"d{max(0, i - 1)}")
+        deps.append(Dependency(sources, f"d{i + 1}"))
+    return deps
+
+
+def test_e3_paper_derivations(benchmark):
+    rows = [
+        [
+            "{M1->M2, M1->M3} |- M1 -> M2 M3",
+            entails_query(
+                [Dependency(("m1",), "m2"), Dependency(("m1",), "m3")],
+                query_multi_target(["m1"], ["m2", "m3"]),
+            ),
+        ],
+        [
+            "{M1->M3, M2->M3} |- M1 | M2 -> M3",
+            entails_query(
+                [Dependency(("m1",), "m3"), Dependency(("m2",), "m3")],
+                query_union_source([["m1"], ["m2"]], "m3"),
+            ),
+        ],
+        [
+            "{M1->M2, M2->M3} |- M1 -> M3 (call typing)",
+            entails(
+                [Dependency(("m1",), "m2"), Dependency(("m2",), "m3")],
+                Dependency(("m1",), "m3"),
+            ),
+        ],
+        [
+            "{M1->M2} |- M2 -> M1 (must be false)",
+            entails([Dependency(("m1",), "m2")], Dependency(("m2",), "m1")),
+        ],
+    ]
+    table = render_table(
+        ["entailment", "holds"], rows, title="E3: paper derivations (2.2/2.3)"
+    )
+
+    # Linear-time sweep: microseconds per clause should stay flat.
+    sweep = []
+    for n in (100, 300, 1000, 3000, 10000):
+        deps = chain(n)
+        query = Dependency(("d0",), f"d{n}")
+        start = time.perf_counter()
+        reps = 5
+        for _ in range(reps):
+            assert entails(deps, query)
+        elapsed = (time.perf_counter() - start) / reps
+        sweep.append([n, f"{elapsed * 1e3:.3f} ms", f"{elapsed * 1e6 / n:.3f} us"])
+    table += "\n" + render_table(
+        ["clauses", "entailment time", "time per clause"],
+        sweep,
+        title="linear-time claim: per-clause cost should be ~flat",
+    )
+    record("e3_entailment", table)
+    assert rows[0][1] and rows[1][1] and rows[2][1] and not rows[3][1]
+
+    deps = chain(1000)
+    query = Dependency(("d0",), "d1000")
+    benchmark(lambda: entails(deps, query))
+
+
+@pytest.mark.parametrize("n", [100, 1000, 10000])
+def test_e3_entailment_scaling(benchmark, n):
+    deps = chain(n)
+    query = Dependency(("d0",), f"d{n}")
+    assert benchmark(lambda: entails(deps, query))

@@ -1,0 +1,81 @@
+"""E4 — section 2.3: static typing of relation invocations.
+
+Claims reproduced:
+
+* a relation ``R ≡ {M1->M2}`` calling ``S ≡ {M2->M1}`` is *"flagged as a
+  typing error at static time"*;
+* a call in direction ``R_{M1->M3}`` is legal when
+  ``R ≡ {M1->M2, M2->M3}`` because the dependency set entails it;
+* a relation with no domain over the target model cannot be invoked in
+  that direction (the paper's ``S ⊆ CF^k`` example);
+* whole-transformation invocation checking scales linearly in the number
+  of call sites.
+"""
+
+from repro.deps.dependency import Dependency
+from repro.deps.typecheck import (
+    CallSite,
+    check_invocation,
+    check_transformation_invocations,
+)
+from repro.util.text import render_table
+
+from benchmarks._common import record
+
+
+def test_e4_paper_cases(benchmark):
+    rows = []
+    reason = check_invocation(
+        Dependency(("m1",), "m2"), ["m1", "m2"], [Dependency(("m2",), "m1")]
+    )
+    rows.append(["R={M1->M2} calls S={M2->M1}", "error" if reason else "ok"])
+    reason = check_invocation(
+        Dependency(("m1",), "m3"),
+        ["m1", "m2", "m3"],
+        [Dependency(("m1",), "m2"), Dependency(("m2",), "m3")],
+    )
+    rows.append(["call R_{M1->M3}, R={M1->M2,M2->M3}", "error" if reason else "ok"])
+    reason = check_invocation(
+        Dependency(("cf1", "cf2"), "fm"),
+        ["cf1", "cf2"],  # callee has no fm domain
+        [Dependency(("cf1",), "cf2")],
+    )
+    rows.append(["R towards FM calls S over CF^k only", "error" if reason else "ok"])
+    table = render_table(
+        ["invocation", "verdict"], rows, title="E4: invocation typing (paper 2.3)"
+    )
+    record("e4_invocation_typing", table)
+    assert [r[1] for r in rows] == ["error", "ok", "error"]
+
+    # Scaling target: a synthetic transformation with many call sites.
+    n = 200
+    domains = {f"R{i}": ["m1", "m2", "m3"] for i in range(n)}
+    deps = {
+        f"R{i}": [Dependency(("m1",), "m2"), Dependency(("m2",), "m3")]
+        for i in range(n)
+    }
+    sites = [CallSite(f"R{i}", f"R{(i + 1) % n}") for i in range(n)]
+    issues = benchmark(
+        lambda: check_transformation_invocations(domains, deps, sites)
+    )
+    assert issues == []
+
+
+def test_e4_linear_scaling():
+    import time
+
+    rows = []
+    for n in (100, 400, 1600):
+        domains = {f"R{i}": ["m1", "m2"] for i in range(n)}
+        deps = {f"R{i}": [Dependency(("m1",), "m2")] for i in range(n)}
+        sites = [CallSite(f"R{i}", f"R{(i + 1) % n}") for i in range(n)]
+        start = time.perf_counter()
+        check_transformation_invocations(domains, deps, sites)
+        elapsed = time.perf_counter() - start
+        rows.append([n, f"{elapsed * 1e3:.2f} ms", f"{elapsed * 1e6 / n:.2f} us"])
+    table = render_table(
+        ["call sites", "total", "per site"],
+        rows,
+        title="E4: invocation checking scales linearly",
+    )
+    record("e4_invocation_scaling", table)

@@ -1,0 +1,112 @@
+"""E5 — section 3: least-change enforcement across the k-ary environment.
+
+Claims reproduced (the paper's closing example):
+
+* after a new mandatory feature appears in the feature model, the
+  standard's single-configuration transformation ``→F^i_CF`` *"will
+  clearly not be able to restore consistency"* — measured: NoRepairFound
+  for every single-configuration target, at every k;
+* the multidirectional ``→F_CF^k`` restores consistency; the minimal
+  distance grows as ``2k`` (one fresh feature object plus its name atom
+  per configuration);
+* repairs are distance-minimal (cross-checked against the exact search
+  oracle for small k).
+"""
+
+import pytest
+
+from repro.check.engine import Checker
+from repro.enforce import TargetSelection, enforce
+from repro.enforce.laws import least_change_optimum
+from repro.errors import NoRepairFound
+from repro.featuremodels import scenario_new_mandatory_feature
+from repro.featuremodels.relations import config_params
+from repro.solver.bounded import Scope
+from repro.util.text import render_table
+
+from benchmarks._common import record
+
+SCOPE = Scope(extra_objects=1)
+
+
+def run_for_k(k: int, oracle: bool):
+    scenario = scenario_new_mandatory_feature(k)
+    cfs = config_params(k)
+    single_ok = True
+    try:
+        enforce(
+            scenario.transformation,
+            scenario.after_update,
+            TargetSelection([cfs[0]]),
+            scope=SCOPE,
+        )
+    except NoRepairFound:
+        single_ok = False
+    repair = enforce(
+        scenario.transformation,
+        scenario.after_update,
+        TargetSelection(cfs),
+        scope=SCOPE,
+    )
+    optimum = None
+    if oracle:
+        optimum = least_change_optimum(
+            Checker(scenario.transformation),
+            scenario.after_update,
+            TargetSelection(cfs),
+            scope=SCOPE,
+        )
+    return single_ok, repair, optimum
+
+
+def test_e5_scenario_sweep(benchmark):
+    rows = []
+    for k in (2, 3, 4, 5):
+        single_ok, repair, optimum = run_for_k(k, oracle=k <= 3)
+        rows.append(
+            [
+                k,
+                "repairs" if single_ok else "NoRepairFound",
+                repair.distance,
+                2 * k,
+                "n/a" if optimum is None else ("yes" if optimum == repair.distance else "NO"),
+            ]
+        )
+    table = render_table(
+        ["k", "single-target ->F^1_CF", "->F_CF^k distance", "predicted 2k", "oracle-minimal"],
+        rows,
+        title="E5: new mandatory feature — who can repair, and how far (paper 3)",
+    )
+    record("e5_enforcement", table)
+    for row in rows:
+        assert row[1] == "NoRepairFound"  # single target always fails here
+        assert row[2] == row[3]  # distance 2k
+        assert row[4] in ("yes", "n/a")
+
+    scenario = scenario_new_mandatory_feature(3)
+    benchmark.pedantic(
+        lambda: enforce(
+            scenario.transformation,
+            scenario.after_update,
+            TargetSelection(config_params(3)),
+            scope=SCOPE,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_e5_multi_target_repair(benchmark, k):
+    scenario = scenario_new_mandatory_feature(k)
+    repair = benchmark.pedantic(
+        lambda: enforce(
+            scenario.transformation,
+            scenario.after_update,
+            TargetSelection(config_params(k)),
+            scope=SCOPE,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert repair.distance == 2 * k

@@ -1,0 +1,79 @@
+"""E6 — section 3: the transformation space derived from one specification.
+
+The paper lists four shapes derivable from the single relation ``F``:
+``→F_FM``, ``→F^i_CF``, ``→F_CF^k`` and ``→F^i_{FM×CF^{k-1}}``. This
+bench instantiates all four on the paper's two update scenarios and
+reports, per shape: repairability, minimal distance, and which models
+changed — reproducing the section's qualitative predictions.
+"""
+
+from repro.enforce import TargetSelection, all_but, enforce, only
+from repro.errors import NoRepairFound
+from repro.featuremodels import scenario_mandatory_flip, scenario_rename
+from repro.featuremodels.relations import config_params
+from repro.solver.bounded import Scope
+from repro.util.text import render_table
+
+from benchmarks._common import record
+
+SCOPE = Scope(extra_objects=1)
+
+
+def shapes_for(transformation, k):
+    cfs = config_params(k)
+    return {
+        "->F_FM": only("fm"),
+        "->F^1_CF": only("cf1"),
+        "->F_CF^k": TargetSelection(cfs),
+        "->F^1_{FMxCF^(k-1)}": all_but(transformation, "cf1"),
+    }
+
+
+def run_scenario(scenario):
+    rows = []
+    for label, targets in shapes_for(scenario.transformation, scenario.k).items():
+        try:
+            repair = enforce(
+                scenario.transformation, scenario.after_update, targets, scope=SCOPE
+            )
+            changed = ", ".join(sorted(repair.changed)) or "nothing"
+            rows.append([label, "yes", repair.distance, changed])
+        except NoRepairFound:
+            rows.append([label, "no", "-", "-"])
+    return rows
+
+
+def test_e6_mandatory_flip(benchmark):
+    scenario = scenario_mandatory_flip(3)
+    rows = run_scenario(scenario)
+    table = render_table(
+        ["shape", "repairs?", "distance", "changed"],
+        rows,
+        title=f"E6a: {scenario.description} (k=3)",
+    )
+    record("e6_transformation_space_flip", table)
+    verdicts = {row[0]: row[1] for row in rows}
+    # Paper: single-CF targets cannot handle a mandatory flip; F_CF^k can.
+    assert verdicts["->F^1_CF"] == "no"
+    assert verdicts["->F_CF^k"] == "yes"
+    assert verdicts["->F_FM"] == "yes"  # reverting the flip is also legal
+
+    benchmark.pedantic(lambda: run_scenario(scenario), rounds=2, iterations=1)
+
+
+def test_e6_rename(benchmark):
+    scenario = scenario_rename(3)
+    rows = run_scenario(scenario)
+    table = render_table(
+        ["shape", "repairs?", "distance", "changed"],
+        rows,
+        title=f"E6b: {scenario.description} (k=3)",
+    )
+    record("e6_transformation_space_rename", table)
+    verdicts = {row[0]: (row[1], row[3]) for row in rows}
+    # Paper: the natural recovery updates the FM and the remaining CFs.
+    ok, changed = verdicts["->F^1_{FMxCF^(k-1)}"]
+    assert ok == "yes"
+    assert "cf1" not in changed
+
+    benchmark.pedantic(lambda: run_scenario(scenario), rounds=2, iterations=1)

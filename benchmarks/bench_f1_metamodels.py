@@ -1,0 +1,51 @@
+"""F1 — Figure 1: the CF and FM metamodels.
+
+The paper's only figure defines the two metamodels of the running
+example. This bench reproduces the figure as a structure table,
+validates sample instances against both metamodels, and measures
+conformance-checking throughput.
+"""
+
+from repro.featuremodels import (
+    configuration,
+    configuration_metamodel,
+    feature_metamodel,
+    random_feature_model,
+)
+from repro.metamodel.conformance import check_conformance, is_conformant
+from repro.metamodel.types import type_name
+from repro.util.text import render_table
+
+from benchmarks._common import record
+
+
+def _structure_rows():
+    rows = []
+    for mm in (configuration_metamodel(), feature_metamodel()):
+        for cls in mm.classes:
+            for attr in cls.attributes:
+                rows.append([mm.name, cls.name, attr.name, type_name(attr.type)])
+    return rows
+
+
+def test_f1_metamodel_structure(benchmark):
+    rows = _structure_rows()
+    table = render_table(
+        ["metamodel", "class", "attribute", "type"],
+        rows,
+        title="F1: Figure 1 metamodels (CF left, FM right)",
+    )
+    checks = [
+        ["FM instance {core+, log}", is_conformant(
+            random_feature_model(4, seed=1)
+        )],
+        ["CF instance {core, log}", is_conformant(configuration(["core", "log"]))],
+    ]
+    table += "\n" + render_table(
+        ["sample instance", "conformant"], checks, title="instance checks"
+    )
+    record("f1_metamodels", table)
+
+    model = random_feature_model(64, seed=7)
+    result = benchmark(lambda: check_conformance(model))
+    assert result == []

@@ -1,0 +1,84 @@
+"""Feature-model co-evolution with hierarchy and cross-tree constraints.
+
+The paper's future-work section names *"more realistic examples of
+feature model synchronization and co-evolution"*; this example runs one:
+an extended feature model (parents, requires, excludes) evolves, and the
+configurations co-evolve around it via guided enforcement.
+
+Run:  python examples/coevolution.py
+"""
+
+from repro.check import Checker
+from repro.enforce import TargetSelection, enforce
+from repro.featuremodels import configuration
+from repro.featuremodels.extended import (
+    extended_feature_model,
+    extended_transformation,
+    valid_configurations,
+)
+
+
+def show(label, models):
+    print(label)
+    for param in sorted(models):
+        if param == "fm":
+            rows = {
+                str(o.attr("name")): (
+                    "mandatory" if o.attr("mandatory") else "optional"
+                )
+                for o in models[param].objects
+            }
+        else:
+            rows = sorted(str(o.attr("name")) for o in models[param].objects)
+        print(f"  {param}: {rows}")
+
+
+def main() -> None:
+    # Version 1 of the product line.
+    fm_v1 = extended_feature_model(
+        {
+            "app": (True, None, (), ()),
+            "db": (False, "app", ("log",), ()),
+            "log": (False, "app", (), ()),
+            "mock": (False, "app", (), ("db",)),
+        }
+    )
+    transformation = extended_transformation(k=2)
+    checker = Checker(transformation)
+
+    sel = valid_configurations(fm_v1, [["db"], ["mock"]])
+    env = {
+        "fm": fm_v1,
+        "cf1": configuration(sel[0], name="cf1"),
+        "cf2": configuration(sel[1], name="cf2"),
+    }
+    show("== v1 environment (consistent) ==", env)
+    print("consistent:", checker.is_consistent(env))
+
+    # The architect evolves the feature model: 'db' now also requires a
+    # new 'net' feature.
+    fm_v2 = extended_feature_model(
+        {
+            "app": (True, None, (), ()),
+            "db": (False, "app", ("log", "net"), ()),
+            "log": (False, "app", (), ()),
+            "mock": (False, "app", (), ("db",)),
+            "net": (False, "app", (), ()),
+        }
+    )
+    env["fm"] = fm_v2
+    print("\n== after evolving the feature model ==")
+    report = checker.check(env)
+    for result in report.failed():
+        for violation in result.violations[:1]:
+            print("  violated:", violation)
+
+    # Co-evolve cf1 (the configuration that uses 'db').
+    repair = enforce(transformation, env, TargetSelection(["cf1"]), engine="guided")
+    print("\n==", repair.summary(), "==")
+    show("co-evolved environment:", repair.models)
+    print("consistent:", checker.is_consistent(repair.models))
+
+
+if __name__ == "__main__":
+    main()

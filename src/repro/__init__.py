@@ -1,0 +1,31 @@
+"""repro — multidirectional QVT-R model transformations.
+
+A from-scratch reproduction of *"Towards a Framework for Multidirectional
+Model Transformations"* (Macedo, Cunha & Pacheco, EDBT/ICDT 2014 workshop
+proceedings): QVT-R checking semantics over an EMF-like object-model
+kernel, the paper's checking-dependency extension with linear-time Horn
+entailment, and Echo-style least-change enforcement over arbitrary target
+subsets, backed by an explicit search engine and a CDCL SAT / MaxSAT
+model finder.
+
+Quickstart::
+
+    from repro.featuremodels import paper_transformation, feature_model, configuration
+    from repro.check import Checker
+
+    t = paper_transformation(k=2)
+    models = {
+        "fm": feature_model({"core": True, "log": False}),
+        "cf1": configuration(["core"], name="cf1"),
+        "cf2": configuration(["core"], name="cf2"),
+    }
+    assert Checker(t).check(models).consistent
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,26 @@
+"""Baselines the paper argues against.
+
+* :mod:`repro.baselines.standard_qvtr` — the QVT-R standard's checking
+  semantics (every domain universally depends on all the others); the
+  paper's section 2.1 shows it cannot express the running example.
+* :mod:`repro.baselines.pairwise` — decomposing the k-ary consistency
+  relation into k binary FM↔CF relations; section 1 argues ``MF``
+  *"cannot be decomposed into k bidirectional relations"*, and this
+  module exhibits the two best binary approximations (one too weak, one
+  too strong) that the benches quantify.
+"""
+
+from repro.baselines.pairwise import (
+    classify_instance,
+    pairwise_over_transformations,
+    pairwise_under_transformations,
+)
+from repro.baselines.standard_qvtr import SemanticsComparison, compare_semantics
+
+__all__ = [
+    "compare_semantics",
+    "SemanticsComparison",
+    "pairwise_under_transformations",
+    "pairwise_over_transformations",
+    "classify_instance",
+]

@@ -1,0 +1,159 @@
+"""The binary-decomposition baseline.
+
+Section 1 of the paper: *"due to the intention of having features
+present in all CFs set as mandatory in the FM, relation MF cannot be
+decomposed into k bidirectional relations between the FM and each CF."*
+
+The two best binary approximations are provided so benches can quantify
+*how* the decomposition fails:
+
+* **under-approximation** — each binary pair only states "mandatory in
+  FM ⇒ selected in CF_i" (plus OF). It accepts every truly consistent
+  environment but also accepts environments where a feature selected in
+  *every* configuration is not mandatory (false accepts).
+* **over-approximation** — additionally states "selected in CF_i ⇒
+  mandatory in FM". It rejects every truly inconsistent environment but
+  also rejects consistent ones that select any *optional* feature
+  (false rejects).
+
+Both are honest QVT-R transformations over two models; their failure
+against the k-ary ground truth is exactly the paper's argument for
+multidirectional relations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.check.engine import CheckConfig, Checker, EXTENDED
+from repro.deps.dependency import Dependency
+from repro.expr.ast import Lit, Var
+from repro.featuremodels.instances import mandatory_names, selected_names
+from repro.featuremodels.relations import config_params, paper_transformation
+from repro.metamodel.model import Model
+from repro.qvtr.ast import (
+    Domain,
+    ModelParam,
+    ObjectTemplate,
+    PropertyConstraint,
+    Relation,
+    Transformation,
+    VarDecl,
+)
+
+
+def _binary_mf_relation(cf_param: str, over: bool) -> Relation:
+    """The binary MF approximation between ``fm`` and one configuration."""
+    deps = {Dependency(("fm",), cf_param)}
+    if over:
+        deps.add(Dependency((cf_param,), "fm"))
+    return Relation(
+        name="MFbin",
+        domains=(
+            Domain(
+                cf_param,
+                ObjectTemplate(
+                    "s", "Feature", (PropertyConstraint("name", Var("n")),)
+                ),
+            ),
+            Domain(
+                "fm",
+                ObjectTemplate(
+                    "f",
+                    "Feature",
+                    (
+                        PropertyConstraint("name", Var("n")),
+                        PropertyConstraint("mandatory", Lit(True)),
+                    ),
+                ),
+            ),
+        ),
+        variables=(VarDecl("n", "String"),),
+        dependencies=frozenset(deps),
+    )
+
+
+def _binary_of_relation(cf_param: str) -> Relation:
+    return Relation(
+        name="OFbin",
+        domains=(
+            Domain(
+                cf_param,
+                ObjectTemplate(
+                    "s", "Feature", (PropertyConstraint("name", Var("n")),)
+                ),
+            ),
+            Domain(
+                "fm",
+                ObjectTemplate(
+                    "f", "Feature", (PropertyConstraint("name", Var("n")),)
+                ),
+            ),
+        ),
+        variables=(VarDecl("n", "String"),),
+        dependencies=frozenset({Dependency((cf_param,), "fm")}),
+    )
+
+
+def _binary_transformation(cf_param: str, over: bool) -> Transformation:
+    return Transformation(
+        name=f"Fbin_{cf_param}",
+        model_params=(ModelParam(cf_param, "CF"), ModelParam("fm", "FM")),
+        relations=(_binary_mf_relation(cf_param, over), _binary_of_relation(cf_param)),
+    )
+
+
+def pairwise_under_transformations(k: int = 2) -> list[Transformation]:
+    """One under-approximating binary transformation per configuration."""
+    return [_binary_transformation(cf, over=False) for cf in config_params(k)]
+
+
+def pairwise_over_transformations(k: int = 2) -> list[Transformation]:
+    """One over-approximating binary transformation per configuration."""
+    return [_binary_transformation(cf, over=True) for cf in config_params(k)]
+
+
+def check_pairwise(
+    transformations: list[Transformation], models: Mapping[str, Model]
+) -> bool:
+    """Whether every binary transformation accepts its model pair."""
+    for transformation in transformations:
+        cf_param = transformation.param_names()[0]
+        checker = Checker(transformation, config=CheckConfig(semantics=EXTENDED))
+        pair = {cf_param: models[cf_param], "fm": models["fm"]}
+        if not checker.is_consistent(pair):
+            return False
+    return True
+
+
+def ground_truth(models: Mapping[str, Model]) -> bool:
+    """The intended k-ary consistency, computed set-theoretically.
+
+    ``F = MF ∩ OF``: mandatory features are exactly the features selected
+    in every configuration, and the feature model contains at least the
+    union of all selected features. Used as the oracle the checkers are
+    scored against (it is independent of the QVT-R machinery).
+    """
+    cf_names = sorted(p for p in models if p != "fm")
+    fm = models["fm"]
+    mandatory = mandatory_names(fm)
+    available = selected_names(fm)
+    selections = [selected_names(models[cf]) for cf in cf_names]
+    in_all = set.intersection(*(set(s) for s in selections)) if selections else set()
+    union = set().union(*(set(s) for s in selections)) if selections else set()
+    if frozenset(in_all) != mandatory:
+        return False
+    return union <= available
+
+
+def classify_instance(models: Mapping[str, Model], k: int) -> dict[str, bool]:
+    """Verdicts of every approach on one instance (bench E1's row)."""
+    kary = Checker(
+        paper_transformation(k), config=CheckConfig(semantics=EXTENDED)
+    )
+    return {
+        "ground_truth": ground_truth(models),
+        "kary_extended": kary.is_consistent(dict(models)),
+        "pairwise_under": check_pairwise(pairwise_under_transformations(k), models),
+        "pairwise_over": check_pairwise(pairwise_over_transformations(k), models),
+    }

@@ -1,0 +1,36 @@
+"""Checking semantics: executable consistency tests for QVT-R relations.
+
+``checkonly`` mode in two flavours:
+
+* **standard** — the QVT-R standard's semantics: one directional test per
+  domain, universally quantified over all the *other* domains (the
+  semantics the paper shows inadequate in section 2.1);
+* **extended** — the paper's proposal: one directional test per declared
+  checking dependency ``S -> T``, universally quantified over the domains
+  in ``S`` only (section 2.2).
+
+Relations without a ``depends`` annotation behave identically under both
+(the conservativity property, validated by experiment E2).
+"""
+
+from repro.check.engine import (
+    EXTENDED,
+    STANDARD,
+    CheckConfig,
+    Checker,
+    CheckReport,
+    DirectionResult,
+)
+from repro.check.semantics import DirectionViolation, check_direction, holds_for_roots
+
+__all__ = [
+    "Checker",
+    "CheckConfig",
+    "CheckReport",
+    "DirectionResult",
+    "DirectionViolation",
+    "check_direction",
+    "holds_for_roots",
+    "STANDARD",
+    "EXTENDED",
+]

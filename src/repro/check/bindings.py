@@ -1,0 +1,203 @@
+"""Pattern-directed binding enumeration.
+
+The paper's directional semantics quantifies over the free variables of
+the source patterns; executably, those variables are *bound by pattern
+matching*: a template property ``name = n`` with ``n`` unbound binds
+``n`` to the object's value, while a property whose value is a compound
+expression is an equality *check*, deferred until its free variables are
+bound (possibly by another domain's pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator, Sequence
+
+from repro.errors import EvalError, UnsafeRelationError
+from repro.expr import ast as e
+from repro.expr.eval import EvalContext, RuntimeValue, evaluate
+from repro.expr.free_vars import free_vars
+from repro.qvtr.ast import Domain
+
+#: A variable environment produced by matching.
+Env = dict[str, RuntimeValue]
+
+
+class _Missing:
+    """Sentinel: a feature slot with no value (pattern simply fails)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+MISSING = _Missing()
+
+
+@dataclass(frozen=True)
+class DeferredCheck:
+    """An equality check postponed until its free variables are bound."""
+
+    domain: str
+    root_var: str
+    feature: str
+    expr: e.Expr
+
+
+def template_candidates(
+    domain: Domain,
+    ctx: EvalContext,
+    env: Env,
+    fixed_root: e.ObjRef | None = None,
+) -> Iterator[tuple[Env, list[DeferredCheck]]]:
+    """Yield ``(extended env, deferred checks)`` per matching object.
+
+    Enumerates objects of the template's class in the domain's model (or
+    just ``fixed_root`` when given), binds the root variable and every
+    *bare-variable* property, checks already-decidable properties, and
+    defers the rest.
+    """
+    model = ctx.model(domain.model_param)
+    template = domain.template
+    if fixed_root is not None:
+        obj = model.get_or_none(fixed_root.oid)
+        if obj is None or not model.metamodel.is_subclass(obj.cls, template.class_name):
+            return
+        candidates = [obj]
+    else:
+        root_binding = env.get(template.var)
+        if isinstance(root_binding, e.ObjRef):
+            # Root already bound (e.g. by a when-clause caller): narrow to it.
+            obj = model.get_or_none(root_binding.oid)
+            if obj is None or not model.metamodel.is_subclass(
+                obj.cls, template.class_name
+            ):
+                return
+            candidates = [obj]
+        else:
+            candidates = model.objects_of(template.class_name)
+    for obj in candidates:
+        extended = dict(env)
+        extended[template.var] = e.ObjRef(domain.model_param, obj.oid)
+        deferred: list[DeferredCheck] = []
+        if _bind_properties(domain, obj, ctx, extended, deferred):
+            yield extended, deferred
+
+
+def _bind_properties(
+    domain: Domain,
+    obj,
+    ctx: EvalContext,
+    env: Env,
+    deferred: list[DeferredCheck],
+) -> bool:
+    """Process the template's properties against ``obj`` in place.
+
+    Returns ``False`` as soon as a decidable property fails; undecidable
+    properties are appended to ``deferred``. Iterates to a fixpoint so a
+    property bound early can unlock a later one in the same template.
+    """
+    template = domain.template
+    pending = list(template.properties)
+    while pending:
+        progressed = False
+        still_pending = []
+        for prop in pending:
+            slot_value = _feature_value(domain, obj, prop.feature, ctx)
+            if slot_value is MISSING:
+                return False
+            if isinstance(prop.expr, e.Var) and prop.expr.name not in env:
+                env[prop.expr.name] = slot_value
+                progressed = True
+                continue
+            if free_vars(prop.expr) <= env.keys():
+                expected = evaluate(
+                    prop.expr, EvalContext(ctx.models, env, ctx.call_relation)
+                )
+                if not values_equal(slot_value, expected):
+                    return False
+                progressed = True
+                continue
+            still_pending.append(prop)
+        pending = still_pending
+        if not progressed:
+            break
+    for prop in pending:
+        deferred.append(
+            DeferredCheck(domain.model_param, template.var, prop.feature, prop.expr)
+        )
+    return True
+
+
+def _feature_value(domain: Domain, obj, feature: str, ctx: EvalContext):
+    """The runtime value of ``obj.feature``, or :data:`MISSING`.
+
+    Attributes yield their value (or :data:`MISSING` when unset, which
+    makes the pattern fail rather than error — an object without the
+    slot simply does not match). Single-valued references (``upper == 1``)
+    yield the target object directly so patterns like ``owner = c`` bind
+    ``c`` to an object usable as a relation-call argument; multi-valued
+    references yield the target set.
+    """
+    model = ctx.model(domain.model_param)
+    metamodel = model.metamodel
+    attrs = metamodel.all_attributes(obj.cls)
+    if feature in attrs:
+        value = obj.attr_or(feature)
+        return MISSING if value is None else value
+    refs = metamodel.all_references(obj.cls)
+    if feature in refs:
+        targets = obj.targets(feature)
+        if refs[feature].upper == 1:
+            if not targets:
+                return MISSING
+            return e.ObjRef(domain.model_param, targets[0])
+        return frozenset(e.ObjRef(domain.model_param, t) for t in targets)
+    raise EvalError(
+        f"class {obj.cls!r} has no feature {feature!r} "
+        f"(domain {domain.model_param!r})"
+    )
+
+
+def resolve_deferred(
+    deferred: Sequence[DeferredCheck], ctx: EvalContext, env: Env, relation_name: str
+) -> bool:
+    """Evaluate postponed equality checks once all domains are matched.
+
+    Raises :class:`UnsafeRelationError` when a check still has unbound
+    variables — the specification quantifies over a variable no pattern
+    can bind.
+    """
+    scoped = EvalContext(ctx.models, env, ctx.call_relation)
+    for check in deferred:
+        unbound = free_vars(check.expr) - env.keys()
+        if unbound:
+            raise UnsafeRelationError(
+                f"relation {relation_name!r}: property {check.root_var}."
+                f"{check.feature} compares against unbound variables {sorted(unbound)}"
+            )
+        root = env[check.root_var]
+        assert isinstance(root, e.ObjRef)
+        model = ctx.model(check.domain)
+        obj = model.get(root.oid)
+        domain_stub = _DomainStub(check.domain)
+        slot_value = _feature_value(domain_stub, obj, check.feature, ctx)
+        if slot_value is MISSING:
+            return False
+        expected = evaluate(check.expr, scoped)
+        if not values_equal(slot_value, expected):
+            return False
+    return True
+
+
+class _DomainStub:
+    """Adapter giving :func:`_feature_value` the one field it reads."""
+
+    def __init__(self, model_param: str) -> None:
+        self.model_param = model_param
+
+
+def values_equal(left: RuntimeValue, right: RuntimeValue) -> bool:
+    """Equality with the ``True != 1`` guard used across the engine."""
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    return left == right

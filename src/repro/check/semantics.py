@@ -1,0 +1,301 @@
+"""The directional checking semantics ``R_{S->T}`` (paper, section 2.2).
+
+For a relation ``R`` and a dependency ``S -> T``::
+
+    R_{S->T}  ≡  ∀ xs | ψ ∧ ⋀_{j∈S} π_j  ⇒  (∃ ys | π_T ∧ φ)
+
+where ``xs`` are the variables bound by the source patterns and ``ys``
+the extra variables bound by the target pattern. Domains outside
+``S ∪ {T}`` are ignored — exactly the control over quantification extent
+whose absence makes the standard semantics unable to express the paper's
+``MF`` relation.
+
+The standard semantics is the special case ``S = dom R \\ {T}``.
+
+Relation invocations in ``when``/``where`` may mention *unbound*
+variables as direct call arguments (the idiomatic QVT-R
+``when { ClassTable(c, t) }`` with ``t`` otherwise free). Such variables
+are enumerated over the extent of the callee's corresponding domain
+class: universally on the ``when`` side (they extend ``xs``),
+existentially on the ``where`` side (they extend ``ys``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from collections.abc import Iterator, Mapping
+
+from repro.check.bindings import (
+    DeferredCheck,
+    Env,
+    resolve_deferred,
+    template_candidates,
+)
+from repro.deps.dependency import Dependency
+from repro.errors import CheckError
+from repro.expr import ast as e
+from repro.expr.eval import EvalContext, RuntimeValue, evaluate
+from repro.expr.free_vars import free_vars
+from repro.expr.walk import relation_calls
+from repro.qvtr.ast import Relation, Transformation
+
+
+@dataclass(frozen=True)
+class DirectionViolation:
+    """A source binding for which no target element exists.
+
+    ``witness`` is the human-readable rendering; ``bindings`` carries the
+    raw runtime values (used by the guided repair engine to synthesise
+    candidate edits).
+    """
+
+    relation: str
+    dependency: Dependency
+    witness: tuple[tuple[str, str], ...]  # variable -> rendered value
+    bindings: tuple[tuple[str, RuntimeValue], ...] = ()
+
+    def env(self) -> dict[str, RuntimeValue]:
+        """The witness environment as a fresh dict."""
+        return dict(self.bindings)
+
+    def __str__(self) -> str:
+        bound = ", ".join(f"{k}={v}" for k, v in self.witness)
+        return f"{self.relation} [{self.dependency}] fails for {{{bound}}}"
+
+
+def check_direction(
+    relation: Relation,
+    dependency: Dependency,
+    ctx: EvalContext,
+    max_violations: int = 0,
+    transformation: Transformation | None = None,
+) -> list[DirectionViolation]:
+    """All violations of ``R_{S->T}`` on the models in ``ctx``.
+
+    ``max_violations`` bounds the number collected (0 = unbounded).
+    An empty result means the directional check holds. ``transformation``
+    enables call-argument binding for invocations (see module docstring).
+    """
+    violations: list[DirectionViolation] = []
+    target_param = dependency.target
+    relation.domain_for(target_param)  # raises if the dependency is foreign
+    for env, deferred in _source_bindings(relation, dependency.sources, ctx):
+        if not resolve_deferred(deferred, ctx, env, relation.name):
+            continue
+        for extended in _when_extensions(relation, ctx, env, transformation):
+            if not _when_holds(relation, ctx, extended):
+                continue
+            if _target_exists(relation, target_param, ctx, extended, transformation):
+                continue
+            violations.append(
+                DirectionViolation(
+                    relation.name,
+                    dependency,
+                    _render_env(extended),
+                    tuple(sorted(extended.items(), key=lambda kv: kv[0])),
+                )
+            )
+            if max_violations and len(violations) >= max_violations:
+                return violations
+    return violations
+
+
+def holds_for_roots(
+    relation: Relation,
+    dependency: Dependency,
+    ctx: EvalContext,
+    roots: Mapping[str, e.ObjRef | RuntimeValue],
+    transformation: Transformation | None = None,
+) -> bool:
+    """Truth of an *invocation* ``R(a1, ..., an)`` in direction ``S -> T``.
+
+    All domain roots are fixed by the caller's arguments; the universal
+    quantification is over the remaining source-pattern variables, and
+    the target existential collapses onto the given target root (its
+    non-root variables stay existential).
+    """
+    base_env: Env = {}
+    for param, value in roots.items():
+        base_env[relation.domain_for(param).root_var] = value
+    for env, deferred in _source_bindings(
+        relation, dependency.sources, ctx, base_env=base_env
+    ):
+        if not resolve_deferred(deferred, ctx, env, relation.name):
+            continue
+        for extended in _when_extensions(relation, ctx, env, transformation):
+            if not _when_holds(relation, ctx, extended):
+                continue
+            target_root = base_env.get(
+                relation.domain_for(dependency.target).root_var
+            )
+            if not _target_exists(
+                relation,
+                dependency.target,
+                ctx,
+                extended,
+                transformation,
+                fixed_root=target_root if isinstance(target_root, e.ObjRef) else None,
+            ):
+                return False
+    return True
+
+
+def _source_bindings(
+    relation: Relation,
+    sources: frozenset[str],
+    ctx: EvalContext,
+    base_env: Env | None = None,
+) -> Iterator[tuple[Env, list[DeferredCheck]]]:
+    """Cartesian enumeration of pattern matches across the source domains."""
+    ordered = [d for d in relation.domains if d.model_param in sources]
+    states: list[tuple[Env, list[DeferredCheck]]] = [(dict(base_env or {}), [])]
+    for domain in ordered:
+        next_states: list[tuple[Env, list[DeferredCheck]]] = []
+        for env, deferred in states:
+            fixed = env.get(domain.root_var)
+            for extended, extra in template_candidates(
+                domain,
+                ctx,
+                env,
+                fixed_root=fixed if isinstance(fixed, e.ObjRef) else None,
+            ):
+                next_states.append((extended, deferred + extra))
+        states = next_states
+        if not states:
+            return
+    yield from states
+
+
+def _call_arg_candidates(
+    expr: e.Expr | None,
+    ctx: EvalContext,
+    env: Env,
+    transformation: Transformation | None,
+) -> dict[str, list[RuntimeValue]]:
+    """Extent-based candidates for unbound direct call-argument variables."""
+    candidates: dict[str, list[RuntimeValue]] = {}
+    if expr is None or transformation is None:
+        return candidates
+    for call in relation_calls(expr):
+        if not transformation.has_relation(call.relation):
+            continue
+        callee = transformation.relation(call.relation)
+        if len(call.args) != len(callee.domains):
+            continue
+        for arg, domain in zip(call.args, callee.domains):
+            if (
+                isinstance(arg, e.Var)
+                and arg.name not in env
+                and arg.name not in candidates
+            ):
+                model = ctx.model(domain.model_param)
+                candidates[arg.name] = [
+                    e.ObjRef(domain.model_param, o.oid)
+                    for o in model.objects_of(domain.template.class_name)
+                ]
+    return candidates
+
+
+def _extensions(
+    env: Env, candidates: Mapping[str, list[RuntimeValue]]
+) -> Iterator[Env]:
+    """All environments extending ``env`` with one candidate per variable."""
+    if not candidates:
+        yield env
+        return
+    names = sorted(candidates)
+    for values in itertools.product(*(candidates[n] for n in names)):
+        extended = dict(env)
+        extended.update(zip(names, values))
+        yield extended
+
+
+def _when_extensions(
+    relation: Relation,
+    ctx: EvalContext,
+    env: Env,
+    transformation: Transformation | None,
+) -> Iterator[Env]:
+    candidates = _call_arg_candidates(relation.when, ctx, env, transformation)
+    yield from _extensions(env, candidates)
+
+
+def _when_holds(relation: Relation, ctx: EvalContext, env: Env) -> bool:
+    if relation.when is None:
+        return True
+    unbound = free_vars(relation.when) - env.keys()
+    if unbound:
+        raise CheckError(
+            f"relation {relation.name!r}: when-clause has unbound variables "
+            f"{sorted(unbound)} (bind them in a source pattern or a call argument)"
+        )
+    result = evaluate(relation.when, EvalContext(ctx.models, env, ctx.call_relation))
+    if not isinstance(result, bool):
+        raise CheckError(f"relation {relation.name!r}: when-clause is not boolean")
+    return result
+
+
+def _target_exists(
+    relation: Relation,
+    target_param: str,
+    ctx: EvalContext,
+    env: Env,
+    transformation: Transformation | None,
+    fixed_root: e.ObjRef | None = None,
+) -> bool:
+    domain = relation.domain_for(target_param)
+    if fixed_root is None:
+        bound = env.get(domain.root_var)
+        if isinstance(bound, e.ObjRef):
+            fixed_root = bound
+    for candidate_env, deferred in template_candidates(
+        domain, ctx, env, fixed_root=fixed_root
+    ):
+        if not resolve_deferred(deferred, ctx, candidate_env, relation.name):
+            continue
+        if _where_holds(relation, ctx, candidate_env, transformation):
+            return True
+    return False
+
+
+def _where_holds(
+    relation: Relation,
+    ctx: EvalContext,
+    env: Env,
+    transformation: Transformation | None,
+) -> bool:
+    if relation.where is None:
+        return True
+    candidates = _call_arg_candidates(relation.where, ctx, env, transformation)
+    for extended in _extensions(env, candidates):
+        unbound = free_vars(relation.where) - extended.keys()
+        if unbound:
+            raise CheckError(
+                f"relation {relation.name!r}: where-clause has unbound variables "
+                f"{sorted(unbound)}"
+            )
+        result = evaluate(
+            relation.where, EvalContext(ctx.models, extended, ctx.call_relation)
+        )
+        if not isinstance(result, bool):
+            raise CheckError(
+                f"relation {relation.name!r}: where-clause is not boolean"
+            )
+        if result:
+            return True
+    return False
+
+
+def _render_env(env: Env) -> tuple[tuple[str, str], ...]:
+    rendered = []
+    for name in sorted(env):
+        value = env[name]
+        if isinstance(value, e.ObjRef):
+            rendered.append((name, str(value)))
+        elif isinstance(value, frozenset):
+            inner = ", ".join(sorted(str(v) for v in value))
+            rendered.append((name, "{" + inner + "}"))
+        else:
+            rendered.append((name, repr(value)))
+    return tuple(rendered)

@@ -1,0 +1,58 @@
+"""Checking dependencies: the paper's extension to QVT-R (sections 2.2-2.3).
+
+A *checking dependency* ``S -> T`` states that the model conforming to
+domain ``T`` depends on the models conforming to the domains in ``S``.
+Attached to a relation, dependencies select which directional checks make
+up its consistency semantics, replacing the standard's inflexible
+"every other domain implies this one" scheme.
+
+Dependencies are Horn clauses over domain identifiers, so entailment —
+which governs both compound-dependency derivation and the static typing
+of relation invocations — is decidable in linear time.
+"""
+
+from repro.deps.dependency import (
+    Dependency,
+    dependency,
+    format_dependencies,
+    parse_dependencies,
+    parse_dependency,
+    standard_dependencies,
+)
+from repro.deps.horn import (
+    Query,
+    closure,
+    entails,
+    entails_all,
+    entails_query,
+    query_multi_target,
+    query_union_source,
+)
+from repro.deps.typecheck import (
+    CallSite,
+    InvocationIssue,
+    check_invocation,
+    check_transformation_invocations,
+    restrict_direction,
+)
+
+__all__ = [
+    "Dependency",
+    "dependency",
+    "parse_dependency",
+    "parse_dependencies",
+    "format_dependencies",
+    "standard_dependencies",
+    "Query",
+    "entails",
+    "entails_all",
+    "entails_query",
+    "query_multi_target",
+    "query_union_source",
+    "closure",
+    "CallSite",
+    "InvocationIssue",
+    "check_invocation",
+    "check_transformation_invocations",
+    "restrict_direction",
+]

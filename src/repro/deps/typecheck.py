@@ -1,0 +1,131 @@
+"""Static typing of relation invocations (paper, section 2.3).
+
+A relation running in direction ``d`` may invoke another relation only
+if the callee can be run in the direction induced by ``d`` on the
+callee's (possibly smaller) set of domains. Concretely, for caller
+direction ``S -> T`` and callee ``Q``:
+
+* ``T`` must be one of ``Q``'s domains — the paper's first example of an
+  omission in the standard (``R ⊆ CF^k × FM`` running towards ``FM``
+  calling ``S ⊆ CF^k``, which has no ``FM`` direction) is flagged here;
+* the induced direction is ``(S ∩ dom Q) -> T``;
+* the callee's dependency set must Horn-entail the induced direction —
+  e.g. ``R ≡ {M1→M2, M2→M3}`` *can* be called as ``R_{M1→M3}`` because
+  ``{M1→M2, M2→M3} ⊢ M1→M3``, while ``R ≡ {M1→M2}`` must not call
+  ``S ≡ {M2→M1}``.
+
+All violations are reported as :class:`InvocationIssue` values; the
+QVT-R front end turns them into :class:`~repro.errors.QvtStaticError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Collection, Mapping, Sequence
+
+from repro.deps.dependency import Dependency
+from repro.deps.horn import entails
+from repro.errors import DependencyError
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One syntactic invocation: ``caller`` calls ``callee`` somewhere."""
+
+    caller: str
+    callee: str
+    clause: str = "where"  # "when" or "where"; informational
+
+
+@dataclass(frozen=True)
+class InvocationIssue:
+    """A direction-typing violation at a call site."""
+
+    caller: str
+    callee: str
+    direction: Dependency
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.caller} running as [{self.direction}] cannot call "
+            f"{self.callee}: {self.reason}"
+        )
+
+
+def restrict_direction(
+    direction: Dependency, callee_domains: Collection[str]
+) -> Dependency:
+    """The direction induced on a callee by the caller's ``direction``.
+
+    Raises :class:`DependencyError` when the target domain is absent
+    from the callee — the situation the paper says should be rejected.
+    """
+    callee_domains = set(callee_domains)
+    if direction.target not in callee_domains:
+        raise DependencyError(
+            f"callee has no {direction.target!r} domain, so it cannot be run "
+            f"in the {direction.target!r} direction"
+        )
+    return Dependency(direction.sources & callee_domains, direction.target)
+
+
+def check_invocation(
+    direction: Dependency,
+    callee_domains: Collection[str],
+    callee_dependencies: Collection[Dependency],
+) -> str | None:
+    """Check one call; return a reason string when illegal, else ``None``."""
+    try:
+        induced = restrict_direction(direction, callee_domains)
+    except DependencyError as exc:
+        return str(exc)
+    if not entails(callee_dependencies, induced):
+        return (
+            f"callee dependencies do not entail the induced direction [{induced}]"
+        )
+    return None
+
+
+def check_transformation_invocations(
+    relation_domains: Mapping[str, Sequence[str]],
+    relation_dependencies: Mapping[str, Collection[Dependency]],
+    call_sites: Collection[CallSite],
+) -> list[InvocationIssue]:
+    """Type-check every call site under every direction of its caller.
+
+    ``relation_domains`` maps relation name to its domain identifiers,
+    ``relation_dependencies`` to its dependency set (already defaulted to
+    the standard set when the relation declares none).
+    """
+    issues: list[InvocationIssue] = []
+    for site in sorted(call_sites, key=lambda s: (s.caller, s.callee, s.clause)):
+        if site.caller not in relation_domains:
+            issues.append(
+                InvocationIssue(
+                    site.caller,
+                    site.callee,
+                    Dependency((), "?"),
+                    f"unknown caller relation {site.caller!r}",
+                )
+            )
+            continue
+        if site.callee not in relation_domains:
+            issues.append(
+                InvocationIssue(
+                    site.caller,
+                    site.callee,
+                    Dependency((), "?"),
+                    f"unknown callee relation {site.callee!r}",
+                )
+            )
+            continue
+        callee_domains = relation_domains[site.callee]
+        callee_deps = relation_dependencies[site.callee]
+        for direction in sorted(relation_dependencies[site.caller]):
+            reason = check_invocation(direction, callee_domains, callee_deps)
+            if reason is not None:
+                issues.append(
+                    InvocationIssue(site.caller, site.callee, direction, reason)
+                )
+    return issues

@@ -1,0 +1,15 @@
+"""Echo: the user-facing model-repair tool (paper, sections 3-4).
+
+The original Echo is an Eclipse plug-in; this package is its
+reproduction as a Python façade (:class:`~repro.echo.tool.Echo`) plus a
+command line (``repro-echo``) over file-based workspaces. The workflow
+matches section 4's sketch of the planned multidirectional version:
+*"users write multidirectional relations between models and, when
+inconsistencies are found, select which models are to be updated,
+establishing the shape of the consistency-repairing transformation."*
+"""
+
+from repro.echo.tool import Echo
+from repro.echo.workspace import Workspace
+
+__all__ = ["Echo", "Workspace"]

@@ -1,0 +1,207 @@
+"""The ``repro-echo`` command line.
+
+Three subcommands over a file workspace (see
+:mod:`repro.echo.workspace` for the layout):
+
+* ``validate`` — static analysis of every transformation (well-formedness,
+  safety, invocation direction typing);
+* ``check`` — consistency of a model binding, standard or extended
+  semantics; exit code 1 signals inconsistency;
+* ``enforce`` — least-change repair towards ``--target`` models, with
+  ``--write`` to persist the repaired models back into the workspace.
+
+Examples::
+
+    repro-echo validate --workspace ws
+    repro-echo check --workspace ws -t F --bind fm=fm cf1=alpha cf2=beta
+    repro-echo enforce --workspace ws -t F --bind fm=fm cf1=alpha cf2=beta \\
+        --target cf1 --target cf2 --engine sat --write
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.echo.tool import Echo
+from repro.echo.workspace import Workspace
+from repro.enforce.metrics import TupleMetric
+from repro.errors import ReproError
+from repro.qvtr.analysis import analyse
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-echo",
+        description="Multidirectional QVT-R checking and least-change repair",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser("validate", help="statically analyse transformations")
+    validate.add_argument("--workspace", required=True)
+
+    explain = sub.add_parser(
+        "explain",
+        help="show each relation's dependencies, derived directions and call sites",
+    )
+    explain.add_argument("--workspace", required=True)
+    explain.add_argument("-t", "--transformation", required=True)
+
+    check = sub.add_parser("check", help="test consistency of a model binding")
+    _common_args(check)
+
+    enf = sub.add_parser("enforce", help="repair the selected target models")
+    _common_args(enf)
+    enf.add_argument(
+        "--target",
+        action="append",
+        required=True,
+        help="transformation parameter to repair (repeatable)",
+    )
+    enf.add_argument("--engine", choices=["sat", "search"], default="sat")
+    enf.add_argument("--mode", choices=["increasing", "decreasing"], default="increasing")
+    enf.add_argument("--max-distance", type=int, default=None)
+    enf.add_argument(
+        "--weight",
+        action="append",
+        default=[],
+        metavar="PARAM=N",
+        help="distance weight for a parameter (repeatable)",
+    )
+    enf.add_argument(
+        "--write", action="store_true", help="persist repaired models to the workspace"
+    )
+    return parser
+
+
+def _common_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--workspace", required=True)
+    sub.add_argument("-t", "--transformation", required=True)
+    sub.add_argument(
+        "--bind",
+        nargs="+",
+        required=True,
+        metavar="PARAM=MODEL",
+        help="bind transformation parameters to workspace models",
+    )
+    sub.add_argument(
+        "--semantics", choices=["standard", "extended"], default="extended"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    workspace = Workspace.load(args.workspace)
+    if args.command == "validate":
+        return _validate(workspace)
+    if args.command == "explain":
+        return _explain(workspace, args.transformation)
+    echo = Echo()
+    for metamodel in workspace.metamodels.values():
+        echo.add_metamodel(metamodel)
+    for name, model in workspace.models.items():
+        echo.add_model(name, model)
+    for transformation in workspace.transformations.values():
+        echo.add_transformation(transformation)
+    binding = _parse_binding(args.bind)
+    if args.command == "check":
+        report = echo.check(args.transformation, binding, semantics=args.semantics)
+        print(report.summary())
+        return 0 if report.consistent else 1
+    # enforce
+    weights = {}
+    for item in args.weight:
+        param, _, value = item.partition("=")
+        weights[param] = int(value)
+    repair = echo.enforce(
+        args.transformation,
+        binding,
+        targets=args.target,
+        semantics=args.semantics,
+        engine=args.engine,
+        metric=TupleMetric(weights),
+        mode=args.mode,
+        max_distance=args.max_distance,
+    )
+    print(repair.summary())
+    if args.write:
+        for param in sorted(repair.changed):
+            workspace.models[binding[param]] = repair.models[param]
+            path = workspace.save_model(args.workspace, binding[param])
+            print(f"wrote {path}")
+    return 0
+
+
+def _validate(workspace: Workspace) -> int:
+    ok = True
+    for name, transformation in sorted(workspace.transformations.items()):
+        report = analyse(transformation, workspace.metamodels)
+        if report.ok():
+            print(f"{name}: ok")
+        else:
+            ok = False
+            print(f"{name}: FAILED")
+            for message in report.all_messages():
+                print(f"  {message}")
+    return 0 if ok else 1
+
+
+def _explain(workspace: Workspace, name: str) -> int:
+    """Describe one transformation: dependencies, directions, calls."""
+    from repro.deps.dependency import Dependency, format_dependencies
+    from repro.deps.horn import entails
+    from repro.errors import WorkspaceError
+    from repro.qvtr.analysis import call_sites_of
+
+    transformation = workspace.transformations.get(name)
+    if transformation is None:
+        raise WorkspaceError(f"workspace has no transformation {name!r}")
+    params = transformation.param_names()
+    print(f"transformation {transformation.name} over {', '.join(params)}")
+    for relation in transformation.relations:
+        kind = "top relation" if relation.is_top else "relation"
+        annotated = "declared" if relation.dependencies is not None else "standard (default)"
+        deps = relation.effective_dependencies()
+        print(f"\n{kind} {relation.name}  [{annotated}]")
+        print(f"  domains: {', '.join(relation.domain_params())}")
+        print(f"  depends: {format_dependencies(deps)}")
+        derivable = []
+        domains = relation.domain_params()
+        for target in domains:
+            for source in domains:
+                if source == target:
+                    continue
+                query = Dependency((source,), target)
+                if query not in deps and entails(deps, query):
+                    derivable.append(str(query))
+        if derivable:
+            print(f"  derivable single-source directions: {'; '.join(sorted(derivable))}")
+    sites = call_sites_of(transformation)
+    if sites:
+        print("\ncall sites:")
+        for site in sites:
+            print(f"  {site.caller} -> {site.callee} ({site.clause})")
+    return 0
+
+
+def _parse_binding(items: Sequence[str]) -> dict[str, str]:
+    binding = {}
+    for item in items:
+        param, sep, model = item.partition("=")
+        if not sep or not param or not model:
+            raise SystemExit(f"bad --bind entry {item!r}, expected PARAM=MODEL")
+        binding[param] = model
+    return binding
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""The Echo façade: register artefacts, check, pick targets, repair.
+
+A thin, stateful convenience layer over :mod:`repro.check` and
+:mod:`repro.enforce` mirroring the tool workflow the paper describes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.check.engine import CheckConfig, Checker, CheckReport, EXTENDED
+from repro.enforce.api import Repair, enforce
+from repro.enforce.metrics import TupleMetric
+from repro.enforce.targets import TargetSelection
+from repro.errors import WorkspaceError
+from repro.metamodel.meta import Metamodel
+from repro.metamodel.model import Model
+from repro.qvtr.analysis import analyse
+from repro.qvtr.ast import Transformation
+from repro.qvtr.syntax.parser import parse_transformation
+from repro.solver.bounded import Scope
+
+
+class Echo:
+    """A registry of metamodels, models and transformations with verbs.
+
+    >>> from repro.featuremodels import (
+    ...     feature_metamodel, configuration_metamodel,
+    ...     paper_transformation, feature_model, configuration)
+    >>> echo = Echo()
+    >>> echo.add_metamodel(feature_metamodel())
+    >>> echo.add_metamodel(configuration_metamodel())
+    >>> echo.add_transformation(paper_transformation(k=2))
+    >>> echo.add_model("fm", feature_model({"core": True}))
+    >>> echo.add_model("cf1", configuration(["core"]))
+    >>> echo.add_model("cf2", configuration(["core"]))
+    >>> binding = {"fm": "fm", "cf1": "cf1", "cf2": "cf2"}
+    >>> echo.check("F", binding).consistent
+    True
+    """
+
+    def __init__(self) -> None:
+        self._metamodels: dict[str, Metamodel] = {}
+        self._models: dict[str, Model] = {}
+        self._transformations: dict[str, Transformation] = {}
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def add_metamodel(self, metamodel: Metamodel) -> None:
+        self._metamodels[metamodel.name] = metamodel
+
+    def add_model(self, name: str, model: Model) -> None:
+        if model.metamodel.name not in self._metamodels:
+            self.add_metamodel(model.metamodel)
+        self._models[name] = model.renamed(name)
+
+    def add_transformation(self, transformation: Transformation | str) -> None:
+        if isinstance(transformation, str):
+            transformation = parse_transformation(transformation)
+        report = analyse(transformation, self._metamodels or None)
+        report.raise_if_failed()
+        self._transformations[transformation.name] = transformation
+
+    def model(self, name: str) -> Model:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise WorkspaceError(f"no model named {name!r}") from None
+
+    def transformation(self, name: str) -> Transformation:
+        try:
+            return self._transformations[name]
+        except KeyError:
+            raise WorkspaceError(f"no transformation named {name!r}") from None
+
+    def model_names(self) -> list[str]:
+        return sorted(self._models)
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        transformation_name: str,
+        binding: Mapping[str, str],
+        semantics: str = EXTENDED,
+    ) -> CheckReport:
+        """Checkonly mode over named models.
+
+        ``binding`` maps transformation parameters to registered model
+        names.
+        """
+        transformation = self.transformation(transformation_name)
+        models = self._resolve_binding(transformation, binding)
+        checker = Checker(transformation, config=CheckConfig(semantics=semantics))
+        return checker.check(models)
+
+    def enforce(
+        self,
+        transformation_name: str,
+        binding: Mapping[str, str],
+        targets: Iterable[str],
+        semantics: str = EXTENDED,
+        engine: str = "sat",
+        metric: TupleMetric = TupleMetric(),
+        scope: Scope = Scope(),
+        mode: str = "increasing",
+        max_distance: int | None = None,
+        apply: bool = True,
+    ) -> Repair:
+        """Enforce mode: repair the ``targets`` models, least change first.
+
+        ``targets`` are transformation *parameters*; with ``apply=True``
+        (default) the repaired models replace the registered ones, so a
+        subsequent :meth:`check` sees the repaired environment.
+        """
+        transformation = self.transformation(transformation_name)
+        models = self._resolve_binding(transformation, binding)
+        repair = enforce(
+            transformation,
+            models,
+            TargetSelection(targets),
+            engine=engine,
+            semantics=semantics,
+            metric=metric,
+            scope=scope,
+            mode=mode,
+            max_distance=max_distance,
+        )
+        if apply:
+            for param in repair.changed:
+                self._models[binding[param]] = repair.models[param].renamed(
+                    binding[param]
+                )
+        return repair
+
+    def _resolve_binding(
+        self, transformation: Transformation, binding: Mapping[str, str]
+    ) -> dict[str, Model]:
+        missing = set(transformation.param_names()) - set(binding)
+        if missing:
+            raise WorkspaceError(
+                f"binding misses transformation parameters {sorted(missing)}"
+            )
+        models = {}
+        for param in transformation.param_names():
+            models[param] = self.model(binding[param]).renamed(param)
+        return models

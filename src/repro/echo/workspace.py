@@ -1,0 +1,136 @@
+"""File-based workspaces: metamodels, models and transformations on disk.
+
+Layout (all paths relative to the workspace root)::
+
+    metamodels/*.json      one metamodel per file
+    models/*.json          one model per file (named after the file stem)
+    transformations/*.qvtr QVT-R source text
+
+Files are discovered by extension; the directory names are conventional
+but not mandatory — any ``.json`` whose ``kind`` is ``metamodel`` or
+``model`` is accepted wherever it lives under the root.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import SerializationError, WorkspaceError
+from repro.metamodel.meta import Metamodel
+from repro.metamodel.model import Model
+from repro.metamodel.serialize import (
+    metamodel_from_dict,
+    metamodel_to_dict,
+    model_from_dict,
+    model_to_dict,
+)
+from repro.qvtr.ast import Transformation
+from repro.qvtr.syntax.parser import parse_transformation
+
+
+class Workspace:
+    """An in-memory view of a workspace directory."""
+
+    def __init__(self) -> None:
+        self.metamodels: dict[str, Metamodel] = {}
+        self.models: dict[str, Model] = {}
+        self.transformations: dict[str, Transformation] = {}
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @staticmethod
+    def load(root: str | Path) -> "Workspace":
+        """Load every artefact under ``root``."""
+        root = Path(root)
+        if not root.is_dir():
+            raise WorkspaceError(f"workspace root {root} is not a directory")
+        workspace = Workspace()
+        json_files = sorted(root.rglob("*.json"))
+        # Metamodels first: models reference them by name.
+        pending_models: list[tuple[Path, dict]] = []
+        for path in json_files:
+            data = _read_json(path)
+            kind = data.get("kind")
+            if kind == "metamodel":
+                metamodel = metamodel_from_dict(data)
+                if metamodel.name in workspace.metamodels:
+                    raise WorkspaceError(
+                        f"duplicate metamodel {metamodel.name!r} ({path})"
+                    )
+                workspace.metamodels[metamodel.name] = metamodel
+            elif kind == "model":
+                pending_models.append((path, data))
+            else:
+                raise WorkspaceError(f"{path}: unknown artefact kind {kind!r}")
+        for path, data in pending_models:
+            metamodel_name = data.get("metamodel", "")
+            metamodel = workspace.metamodels.get(metamodel_name)
+            if metamodel is None:
+                raise WorkspaceError(
+                    f"{path}: model needs unknown metamodel {metamodel_name!r}"
+                )
+            model_name = data.get("name") or path.stem
+            data = dict(data)
+            data["name"] = model_name
+            if model_name in workspace.models:
+                raise WorkspaceError(f"duplicate model {model_name!r} ({path})")
+            workspace.models[model_name] = model_from_dict(data, metamodel)
+        for path in sorted(root.rglob("*.qvtr")):
+            transformation = parse_transformation(path.read_text())
+            if transformation.name in workspace.transformations:
+                raise WorkspaceError(
+                    f"duplicate transformation {transformation.name!r} ({path})"
+                )
+            workspace.transformations[transformation.name] = transformation
+        return workspace
+
+    # ------------------------------------------------------------------
+    # Saving
+    # ------------------------------------------------------------------
+    def save(self, root: str | Path) -> None:
+        """Write every artefact under ``root`` using the standard layout."""
+        root = Path(root)
+        (root / "metamodels").mkdir(parents=True, exist_ok=True)
+        (root / "models").mkdir(parents=True, exist_ok=True)
+        (root / "transformations").mkdir(parents=True, exist_ok=True)
+        for name, metamodel in sorted(self.metamodels.items()):
+            _write_json(
+                root / "metamodels" / f"{name}.json", metamodel_to_dict(metamodel)
+            )
+        for name, model in sorted(self.models.items()):
+            payload = model_to_dict(model)
+            payload["name"] = name
+            _write_json(root / "models" / f"{name}.json", payload)
+        from repro.qvtr.pretty import pretty_transformation
+
+        for name, transformation in sorted(self.transformations.items()):
+            path = root / "transformations" / f"{name}.qvtr"
+            path.write_text(pretty_transformation(transformation))
+
+    def save_model(self, root: str | Path, name: str) -> Path:
+        """Write one model back to ``root/models/<name>.json``."""
+        if name not in self.models:
+            raise WorkspaceError(f"workspace has no model {name!r}")
+        root = Path(root)
+        (root / "models").mkdir(parents=True, exist_ok=True)
+        payload = model_to_dict(self.models[name])
+        payload["name"] = name
+        path = root / "models" / f"{name}.json"
+        _write_json(path, payload)
+        return path
+
+
+def _read_json(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise WorkspaceError(f"{path}: invalid JSON ({exc})") from exc
+    if not isinstance(data, dict):
+        raise SerializationError(f"{path}: expected a JSON object")
+    return data
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

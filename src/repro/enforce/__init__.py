@@ -1,0 +1,42 @@
+"""Least-change enforcement over arbitrary target subsets (paper, section 3).
+
+Given a transformation, an (inconsistent) model tuple and a *target
+selection* — the subset of models enforcement may rewrite — produce the
+consistent tuple closest to the original under the (possibly weighted)
+summed graph-edit distance. This generalises the QVT-R standard's two
+transformation shapes to the paper's full space::
+
+    →F_FM               targets = {fm}
+    →F^i_CF             targets = {cfi}
+    →F_CF^k             targets = {cf1, ..., cfk}
+    →F^i_{FM×CF^{k-1}}  targets = everything except cfi
+
+Two engines:
+
+* ``search`` — explicit uniform-cost exploration of the edit space;
+  exactly minimal, language-complete, exponential (the test oracle);
+* ``sat`` — Echo-style bounded grounding to SAT, solved either by the
+  FASE'13 loop (increasing distance bounds) or as PMax-SAT (FASE'14);
+  restricted to the template fragment, scales much further.
+"""
+
+from repro.enforce.api import Repair, enforce
+from repro.enforce.guided import enforce_guided
+from repro.enforce.metrics import TupleMetric
+from repro.enforce.satengine import enforce_sat, enumerate_repairs
+from repro.enforce.search import enforce_search
+from repro.enforce.targets import TargetSelection, all_but, only, paper_shapes
+
+__all__ = [
+    "enforce",
+    "Repair",
+    "TupleMetric",
+    "TargetSelection",
+    "only",
+    "all_but",
+    "paper_shapes",
+    "enforce_search",
+    "enforce_sat",
+    "enforce_guided",
+    "enumerate_repairs",
+]

@@ -1,0 +1,173 @@
+"""The public enforcement API.
+
+:func:`enforce` is the one entry point: pick the models to repair, pick
+an engine, get back a :class:`Repair` that is guaranteed *correct* (the
+result is consistent — verified with the actual checker, not trusted
+from the engine) and *hippocratic* (a consistent input comes back
+untouched at distance 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.check.engine import CheckConfig, Checker, EXTENDED
+from repro.enforce.guided import enforce_guided
+from repro.enforce.metrics import TupleMetric
+from repro.metamodel.conformance import is_conformant
+from repro.enforce.satengine import enforce_sat
+from repro.enforce.search import enforce_search
+from repro.enforce.targets import TargetSelection
+from repro.errors import EnforcementError
+from repro.metamodel.model import Model
+from repro.qvtr.ast import Transformation
+from repro.solver.bounded import Scope
+from repro.solver.maxsat import INCREASING
+
+SEARCH_ENGINE = "search"
+SAT_ENGINE = "sat"
+GUIDED_ENGINE = "guided"
+
+
+@dataclass(frozen=True)
+class Repair:
+    """The outcome of an enforcement run."""
+
+    models: dict[str, Model]
+    distance: int
+    changed: frozenset[str]
+    engine: str
+    targets: frozenset[str]
+
+    def model(self, param: str) -> Model:
+        return self.models[param]
+
+    def summary(self) -> str:
+        changed = ", ".join(sorted(self.changed)) if self.changed else "nothing"
+        return (
+            f"repair via {self.engine}: distance {self.distance}, "
+            f"changed {changed} (targets {{{', '.join(sorted(self.targets))}}})"
+        )
+
+
+def adaptive_scope(models: Mapping[str, Model]) -> Scope:
+    """A scope large enough for any repair that mirrors existing content.
+
+    Fresh-object budget per class equals the largest model in the tuple —
+    enough to clone any one model's population into another (the worst
+    case the paper's scenarios need). Echo inherits the same bounded-scope
+    caveat from Alloy; callers with bigger repairs pass an explicit
+    :class:`Scope`.
+    """
+    largest = max((m.size() for m in models.values()), default=1)
+    return Scope(extra_objects=max(1, largest), extra_strings=1)
+
+
+def enforce(
+    transformation: Transformation,
+    models: Mapping[str, Model],
+    targets: TargetSelection,
+    engine: str = SAT_ENGINE,
+    semantics: str = EXTENDED,
+    metric: TupleMetric = TupleMetric(),
+    scope: Scope | None = None,
+    mode: str = INCREASING,
+    max_distance: int | None = None,
+    max_states: int = 200_000,
+) -> Repair:
+    """Restore consistency by rewriting only the ``targets`` models.
+
+    Parameters mirror the paper's ingredients: the *consistency relation*
+    (``transformation`` + ``semantics``), the *direction* (``targets``),
+    and the *distance* (``metric``). ``engine``/``mode``/``scope`` select
+    and bound the solving machinery. Raises
+    :class:`~repro.errors.NoRepairFound` when the chosen direction cannot
+    restore consistency within bounds — the paper's closing caveat that
+    *"not all update directions are able to restore the consistency of
+    the system"*.
+    """
+    if engine not in (SEARCH_ENGINE, SAT_ENGINE, GUIDED_ENGINE):
+        raise EnforcementError(f"unknown engine {engine!r}")
+    checker = Checker(transformation, config=CheckConfig(semantics=semantics))
+    targets.validate(transformation)
+    missing = set(transformation.param_names()) - set(models)
+    if missing:
+        raise EnforcementError(f"no models bound to parameters {sorted(missing)}")
+
+    original = {param: models[param] for param in transformation.param_names()}
+    if scope is None:
+        scope = adaptive_scope(original)
+    if checker.is_consistent(original):
+        # Hippocraticness: never touch an already-consistent environment.
+        return Repair(
+            models=dict(original),
+            distance=0,
+            changed=frozenset(),
+            engine="none",
+            targets=frozenset(targets.params),
+        )
+
+    if engine == SEARCH_ENGINE:
+        repaired, cost, _stats = enforce_search(
+            checker,
+            original,
+            targets,
+            metric=metric,
+            scope=scope,
+            max_distance=max_distance,
+            max_states=max_states,
+        )
+    elif engine == GUIDED_ENGINE:
+        repaired, cost = enforce_guided(
+            checker,
+            original,
+            targets,
+            metric=metric,
+            scope=scope,
+        )
+    else:
+        repaired, cost = enforce_sat(
+            checker,
+            original,
+            targets,
+            metric=metric,
+            scope=scope,
+            mode=mode,
+            max_distance=max_distance,
+        )
+
+    if not checker.is_consistent(repaired):
+        raise EnforcementError(
+            f"engine {engine!r} returned an inconsistent repair; this is a bug"
+        )
+    for param in sorted(targets.params):
+        if not is_conformant(repaired[param]):
+            raise EnforcementError(
+                f"engine {engine!r} returned a non-conformant {param!r}; "
+                "this is a bug"
+            )
+    recomputed = metric.distance(original, repaired)
+    if recomputed != cost:
+        raise EnforcementError(
+            f"engine {engine!r} reported distance {cost} but the metric "
+            f"measures {recomputed}; this is a bug"
+        )
+    changed = frozenset(
+        param
+        for param in original
+        if original[param].objects != repaired[param].objects
+    )
+    untouchable = changed - targets.params
+    if untouchable:
+        raise EnforcementError(
+            f"engine {engine!r} modified non-target models {sorted(untouchable)}; "
+            "this is a bug"
+        )
+    return Repair(
+        models=repaired,
+        distance=cost,
+        changed=changed,
+        engine=engine,
+        targets=frozenset(targets.params),
+    )

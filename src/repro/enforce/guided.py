@@ -1,0 +1,366 @@
+"""Engine C: guided (witness-driven) repair.
+
+A greedy repair loop in the spirit of model-repair tools: check, take a
+violation witness, propose candidate edit scripts that either *satisfy*
+the missing target element (when the target model is repairable) or
+*break* the premise (when only source models are), apply the candidate
+with the best ``(violations, conformance debt, distance)`` score, repeat.
+
+Compared with the exact engines:
+
+* **language-complete** like the search engine (consistency is decided by
+  the real checker, so when/where clauses and invocations all work);
+* **fast** — each round is one check plus a handful of candidate
+  evaluations, no exponential frontier;
+* **not least-change** — the result is guaranteed *correct* (consistent
+  and conformant, both re-verified) but only heuristically close to the
+  original; ablation bench A1 measures the optimality gap against the
+  exact engines.
+
+The paper's framework is explicitly least-change; this engine exists as
+the pragmatic fallback for specifications outside the SAT fragment whose
+exact search space is too large — and as the baseline demonstrating *why*
+the paper insists on minimality (greedy repairs drift).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.check.bindings import Env
+from repro.check.engine import Checker
+from repro.check.semantics import DirectionViolation, check_direction
+from repro.enforce.metrics import TupleMetric
+from repro.enforce.targets import TargetSelection
+from repro.errors import NoRepairFound
+from repro.expr import ast as e
+from repro.expr.eval import EvalContext, evaluate
+from repro.expr.free_vars import free_vars
+from repro.metamodel.conformance import check_conformance
+from repro.metamodel.edits import (
+    AddObject,
+    AddRef,
+    Edit,
+    RemoveObject,
+    RemoveRef,
+    SetAttr,
+    apply_edits,
+)
+from repro.metamodel.model import Model
+from repro.metamodel.types import default_value
+from repro.qvtr.ast import Domain, Relation
+from repro.solver.bounded import Scope, ValuePools, fresh_oid
+
+#: A candidate repair step: which model to edit, and how.
+Candidate = tuple[str, tuple[Edit, ...]]
+
+
+def enforce_guided(
+    checker: Checker,
+    models: Mapping[str, Model],
+    targets: TargetSelection,
+    metric: TupleMetric = TupleMetric(),
+    scope: Scope = Scope(),
+    max_rounds: int = 200,
+) -> tuple[dict[str, Model], int]:
+    """Repair by guided greedy descent on the violation count.
+
+    Returns ``(repaired tuple, weighted distance)``; raises
+    :class:`NoRepairFound` when no candidate makes progress or the round
+    budget runs out.
+    """
+    targets.validate(checker.transformation)
+    original = dict(models)
+    state = dict(models)
+    pools = ValuePools(original, scope)
+
+    def score(s: Mapping[str, Model]) -> tuple[int, int, int]:
+        return (
+            len(_all_violations(checker, s)),
+            _conformance_debt(s, targets),
+            metric.distance(original, dict(s)),
+        )
+
+    def key(s: Mapping[str, Model]) -> tuple:
+        return tuple(s[p].objects for p in sorted(targets.params))
+
+    # Best-first walk: take the best-scoring unvisited successor each
+    # round. Uphill moves are allowed — the right repair often raises the
+    # violation count transiently (a table rename surfaces stale index
+    # entries before they can be fixed) — and the visited set prevents
+    # cycling.
+    visited = {key(state)}
+    for _ in range(max_rounds):
+        violations = _all_violations(checker, state)
+        debt = _conformance_debt(state, targets)
+        if not violations and debt == 0:
+            return state, metric.distance(original, state)
+        best: tuple[tuple[int, int, int], dict[str, Model]] | None = None
+        seen_candidates: set[Candidate] = set()
+        pending: list[Candidate] = []
+        for relation, violation in violations:
+            pending.extend(
+                _candidates(relation, violation, state, targets, pools, scope)
+            )
+        if debt:
+            pending.extend(_conformance_candidates(state, targets, pools))
+        for candidate in pending:
+            if candidate in seen_candidates:
+                continue
+            seen_candidates.add(candidate)
+            next_state = _apply(state, candidate)
+            if next_state is None or key(next_state) in visited:
+                continue
+            next_score = score(next_state)
+            if best is None or next_score < best[0]:
+                best = (next_score, next_state)
+        if best is None:
+            raise NoRepairFound("guided engine stopped making progress")
+        state = best[1]
+        visited.add(key(state))
+    raise NoRepairFound(f"guided engine exceeded {max_rounds} rounds")
+
+
+def _conformance_debt(state: Mapping[str, Model], targets: TargetSelection) -> int:
+    return sum(len(check_conformance(state[p])) for p in targets.params)
+
+
+def _all_violations(
+    checker: Checker, state: Mapping[str, Model]
+) -> list[tuple[Relation, DirectionViolation]]:
+    out: list[tuple[Relation, DirectionViolation]] = []
+    for relation in checker.transformation.top_relations():
+        for dependency in checker.directions_of(relation):
+            ctx = checker.context(dict(state), dependency)
+            for violation in check_direction(
+                relation,
+                dependency,
+                ctx,
+                max_violations=4,
+                transformation=checker.transformation,
+            ):
+                out.append((relation, violation))
+    return out
+
+
+def _apply(state: Mapping[str, Model], candidate: Candidate):
+    param, edits = candidate
+    try:
+        updated = apply_edits(state[param], edits)
+    except Exception:
+        return None
+    next_state = dict(state)
+    next_state[param] = updated
+    return next_state
+
+
+def _candidates(
+    relation: Relation,
+    violation: DirectionViolation,
+    state: Mapping[str, Model],
+    targets: TargetSelection,
+    pools: ValuePools,
+    scope: Scope,
+) -> Iterator[Candidate]:
+    """Candidate edit scripts for one violation, most promising first."""
+    env = violation.env()
+    target_param = violation.dependency.target
+    if target_param in targets:
+        augmented = _augment_from_where(relation, dict(env), state)
+        yield from _satisfy_target(
+            relation.domain_for(target_param), augmented, state, pools, scope
+        )
+    for source_param in sorted(violation.dependency.sources):
+        if source_param not in targets:
+            continue
+        yield from _break_premise(
+            relation.domain_for(source_param), env, state[source_param]
+        )
+
+
+def _augment_from_where(
+    relation: Relation, env: Env, state: Mapping[str, Model]
+) -> Env:
+    """Derive extra bindings from where-clause equalities.
+
+    ``where { tn = t.name }`` determines the value the target pattern
+    must use for ``tn`` once ``t`` is bound; candidate synthesis would be
+    blind to it otherwise. Conjunctions of equalities are chased to a
+    fixpoint; anything fancier is left to the verify loop.
+    """
+    if relation.where is None:
+        return env
+    conjuncts: list[e.Expr]
+    if isinstance(relation.where, e.And):
+        conjuncts = list(relation.where.operands)
+    else:
+        conjuncts = [relation.where]
+    ctx_models = state
+    changed = True
+    while changed:
+        changed = False
+        for conjunct in conjuncts:
+            if not isinstance(conjunct, e.Eq):
+                continue
+            for var_side, expr_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if not isinstance(var_side, e.Var) or var_side.name in env:
+                    continue
+                if free_vars(expr_side) <= env.keys():
+                    try:
+                        env[var_side.name] = evaluate(
+                            expr_side, EvalContext(ctx_models, env)
+                        )
+                        changed = True
+                    except Exception:
+                        pass
+    return env
+
+
+def _satisfy_target(
+    domain: Domain,
+    env: Env,
+    state: Mapping[str, Model],
+    pools: ValuePools,
+    scope: Scope,
+) -> Iterator[Candidate]:
+    """Scripts making some object of the target model match the template."""
+    model = state[domain.model_param]
+    metamodel = model.metamodel
+    template = domain.template
+    ctx = EvalContext(state, env)
+    declared_attrs = metamodel.all_attributes(template.class_name)
+    wanted_attrs: dict[str, object] = {}
+    wanted_refs: dict[str, str] = {}
+    for prop in template.properties:
+        value = _required_value(prop.expr, ctx, env)
+        if value is None:
+            continue  # unbound existential: any value will do
+        if prop.feature in declared_attrs:
+            if not isinstance(value, (e.ObjRef, frozenset)):
+                wanted_attrs[prop.feature] = value
+        elif isinstance(value, e.ObjRef):
+            wanted_refs[prop.feature] = value.oid
+
+    # Option 1: adjust an existing object of the class.
+    for obj in model.objects_of(template.class_name):
+        edits: list[Edit] = []
+        feasible = True
+        for attr_name, value in wanted_attrs.items():
+            current = obj.attr_or(attr_name)
+            if current != value or isinstance(current, bool) != isinstance(
+                value, bool
+            ):
+                edits.append(SetAttr(obj.oid, attr_name, value))
+        for ref_name, target_oid in wanted_refs.items():
+            if target_oid not in obj.targets(ref_name):
+                if not model.has(target_oid):
+                    feasible = False
+                    break
+                edits.append(AddRef(obj.oid, ref_name, target_oid))
+        if feasible and edits:
+            yield domain.model_param, tuple(edits)
+
+    # Option 2: create a fresh object.
+    taken = set(model.object_ids())
+    oid = None
+    for i in range(1, scope.extra_objects + 16):
+        candidate_oid = fresh_oid(template.class_name, i)
+        if candidate_oid not in taken:
+            oid = candidate_oid
+            break
+    if oid is None:
+        return
+    attrs = dict(wanted_attrs)
+    for attr_name, attr in sorted(declared_attrs.items()):
+        if attr_name not in attrs and not attr.optional:
+            candidates = pools.candidates(attr.type)
+            attrs[attr_name] = candidates[0] if candidates else default_value(attr.type)
+    edits = [AddObject.create(oid, template.class_name, attrs)]
+    for ref_name, target_oid in wanted_refs.items():
+        if not model.has(target_oid):
+            return
+        edits.append(AddRef(oid, ref_name, target_oid))
+    yield domain.model_param, tuple(edits)
+
+
+def _required_value(expr: e.Expr, ctx: EvalContext, env: Env):
+    """The value a template property must carry, if computable now."""
+    if isinstance(expr, e.Lit):
+        return expr.value
+    if isinstance(expr, e.Var):
+        return env.get(expr.name)
+    if free_vars(expr) <= env.keys():
+        try:
+            return evaluate(expr, ctx)
+        except Exception:
+            return None
+    return None
+
+
+def _conformance_candidates(
+    state: Mapping[str, Model],
+    targets: TargetSelection,
+    pools: ValuePools,
+) -> Iterator[Candidate]:
+    """Scripts fixing conformance diagnostics on target models.
+
+    Covers the diagnostics repairs actually produce: unmet reference
+    lower bounds (attach a target or drop the object), exceeded upper
+    bounds and dangling targets (drop the link), unset mandatory
+    attributes (pick a pool value).
+    """
+    for param in sorted(targets.params):
+        model = state[param]
+        mm = model.metamodel
+        for diagnostic in check_conformance(model):
+            obj = model.get_or_none(diagnostic.oid)
+            if obj is None or not mm.has_class(obj.cls):
+                continue
+            feature = diagnostic.feature
+            refs = mm.all_references(obj.cls)
+            attrs = mm.all_attributes(obj.cls)
+            if "lower bound" in diagnostic.message and feature in refs:
+                for target in model.objects_of(refs[feature].target):
+                    if target.oid != obj.oid and target.oid not in obj.targets(feature):
+                        yield param, (AddRef(obj.oid, feature, target.oid),)
+                script: list[Edit] = []
+                for other in model.objects:
+                    for ref, ref_targets in other.refs:
+                        for tgt in ref_targets:
+                            if tgt == obj.oid or other.oid == obj.oid:
+                                script.append(RemoveRef(other.oid, ref, tgt))
+                script.append(RemoveObject(obj.oid))
+                yield param, tuple(script)
+            elif (
+                "upper bound" in diagnostic.message or "dangling" in diagnostic.message
+            ) and feature in refs:
+                for target_oid in obj.targets(feature):
+                    yield param, (RemoveRef(obj.oid, feature, target_oid),)
+            elif "mandatory attribute" in diagnostic.message and feature in attrs:
+                for value in pools.candidates(attrs[feature].type)[:4]:
+                    yield param, (SetAttr(obj.oid, feature, value),)
+
+
+def _break_premise(
+    domain: Domain,
+    env: Env,
+    model: Model,
+) -> Iterator[Candidate]:
+    """Scripts removing the witness's source object."""
+    root = env.get(domain.template.var)
+    if not isinstance(root, e.ObjRef) or root.model != domain.model_param:
+        return
+    obj = model.get_or_none(root.oid)
+    if obj is None:
+        return
+    script: list[Edit] = []
+    for other in model.objects:
+        for ref, ref_targets in other.refs:
+            for target in ref_targets:
+                if target == obj.oid or other.oid == obj.oid:
+                    script.append(RemoveRef(other.oid, ref, target))
+    script.append(RemoveObject(obj.oid))
+    yield domain.model_param, tuple(script)

@@ -1,0 +1,81 @@
+"""Constraint-maintainer laws for enforcement (Meertens [8] via the paper).
+
+The paper inherits Echo's least-change framing of Meertens' constraint
+maintainers; the laws below are what tests and benches verify:
+
+* **correctness** — the repaired tuple is consistent;
+* **hippocraticness** — a consistent tuple is returned unchanged;
+* **least change** — no consistent tuple (with the same frozen models)
+  is strictly closer to the original.
+
+The least-change oracle here is the explicit search engine run without a
+distance cap; it is exact but exponential, so tests apply it to small
+scopes only.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.check.engine import Checker
+from repro.enforce.api import Repair
+from repro.enforce.metrics import TupleMetric
+from repro.enforce.search import enforce_search
+from repro.enforce.targets import TargetSelection
+from repro.errors import NoRepairFound
+from repro.metamodel.model import Model
+from repro.solver.bounded import Scope
+
+
+def is_correct(checker: Checker, repair: Repair) -> bool:
+    """Correctness: the repair's tuple is consistent."""
+    return checker.is_consistent(repair.models)
+
+
+def is_hippocratic(
+    checker: Checker, original: Mapping[str, Model], repair: Repair
+) -> bool:
+    """Hippocraticness: consistent inputs must come back unchanged."""
+    if not checker.is_consistent(dict(original)):
+        return True  # law only constrains consistent inputs
+    return repair.distance == 0 and not repair.changed
+
+
+def least_change_optimum(
+    checker: Checker,
+    original: Mapping[str, Model],
+    targets: TargetSelection,
+    metric: TupleMetric = TupleMetric(),
+    scope: Scope = Scope(),
+    max_states: int = 500_000,
+) -> int | None:
+    """The exact minimal repair distance, or ``None`` when none exists.
+
+    Exponential — small scopes only.
+    """
+    try:
+        _, cost, _ = enforce_search(
+            checker,
+            dict(original),
+            targets,
+            metric=metric,
+            scope=scope,
+            max_states=max_states,
+        )
+    except NoRepairFound:
+        return None
+    return cost
+
+
+def is_least_change(
+    checker: Checker,
+    original: Mapping[str, Model],
+    repair: Repair,
+    metric: TupleMetric = TupleMetric(),
+    scope: Scope = Scope(),
+) -> bool:
+    """Least change: the repair matches the exact optimum."""
+    optimum = least_change_optimum(
+        checker, original, TargetSelection(repair.targets), metric=metric, scope=scope
+    )
+    return optimum is not None and repair.distance == optimum

@@ -1,0 +1,56 @@
+"""Tuple distance metrics for enforcement.
+
+Section 3 combines per-model distances by plain summation
+(``Δ_CF^k ((cf1..), (cf1'..)) = Δ(cf1, cf1') + ... + Δ(cfk, cfk')``) and
+leaves weighted combination — e.g. *"changes to configurations could be
+prioritized over those to feature models"* — as future work. Both live
+here; the weighted form is exercised by experiment E8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+from repro.errors import EnforcementError
+from repro.metamodel.distance import distance
+from repro.metamodel.model import Model
+
+
+@dataclass(frozen=True)
+class TupleMetric:
+    """A per-parameter weighted sum of graph-edit distances.
+
+    Weights default to 1 (the paper's naive summation). A weight of 0
+    makes changes to that model free — useful to express "this model is
+    scratch space" — but targets are the usual way to freeze models.
+    """
+
+    weights: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for param, weight in self.weights.items():
+            if weight < 0:
+                raise EnforcementError(
+                    f"weight for {param!r} must be >= 0, got {weight}"
+                )
+
+    def weight(self, param: str) -> int:
+        return int(self.weights.get(param, 1))
+
+    def distance(
+        self, before: Mapping[str, Model], after: Mapping[str, Model]
+    ) -> int:
+        """Weighted tuple distance; parameters must match exactly."""
+        if set(before) != set(after):
+            raise EnforcementError(
+                "tuple distance needs the same parameters on both sides"
+            )
+        return sum(
+            self.weight(param) * distance(before[param], after[param])
+            for param in sorted(before)
+        )
+
+    def model_distance(self, param: str, before: Model, after: Model) -> int:
+        """Weighted distance contribution of one parameter."""
+        return self.weight(param) * distance(before, after)

@@ -1,0 +1,204 @@
+"""Engine A: explicit least-change search.
+
+Uniform-cost exploration of the edit space: states are model tuples,
+moves are single edits on target models, and states are popped in order
+of *true* (weighted) distance from the original tuple. The first
+consistent state popped is therefore a distance-minimal repair.
+
+Minimality argument: every tuple ``X`` is reachable from the original by
+a monotone edit path — remove surplus references, then remove surplus
+(by now reference-free) objects, then fix attribute slots, then add
+missing objects, then add missing references — in which each edit flips
+atoms of the symmetric difference exactly once. Object removal is only
+offered for reference-free objects precisely to keep paths monotone.
+
+The engine is language-complete (consistency is decided by the real
+checker, so when/where clauses and relation calls all work) but
+exponential; it is the oracle the SAT engine is validated against, and
+the right tool for small scopes only. ``max_states``/``max_distance``
+bound the exploration.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from collections.abc import Iterator, Mapping
+
+from repro.check.engine import Checker
+from repro.enforce.metrics import TupleMetric
+from repro.enforce.targets import TargetSelection
+from repro.errors import EnforcementError, NoRepairFound
+from repro.metamodel.conformance import is_conformant
+from repro.metamodel.distance import distance
+from repro.metamodel.model import Model, ModelObject
+from repro.solver.bounded import Scope, ValuePools, fresh_oid
+
+#: Cap on attribute-combinations when materialising a fresh object.
+_MAX_CREATION_VARIANTS = 1024
+
+
+@dataclass(frozen=True)
+class SearchStats:
+    """Exploration counters (reported by benches)."""
+
+    popped: int
+    pushed: int
+    max_distance_reached: int
+
+
+def enforce_search(
+    checker: Checker,
+    models: Mapping[str, Model],
+    targets: TargetSelection,
+    metric: TupleMetric = TupleMetric(),
+    scope: Scope = Scope(),
+    max_distance: int | None = None,
+    max_states: int = 200_000,
+) -> tuple[dict[str, Model], int, SearchStats]:
+    """Find a distance-minimal consistent tuple; see module docstring.
+
+    Returns ``(repaired tuple, weighted distance, stats)`` or raises
+    :class:`NoRepairFound` when the bounded exploration is exhausted.
+    """
+    transformation = checker.transformation
+    targets.validate(transformation)
+    original = dict(models)
+    pools = ValuePools(original, scope)
+    target_list = sorted(targets.params)
+
+    counter = 0
+    heap: list[tuple[int, int, dict[str, Model]]] = []
+    visited: set[tuple] = set()
+
+    def push(state: dict[str, Model], cost: int) -> None:
+        nonlocal counter
+        key = tuple(state[p].objects for p in target_list)
+        if key in visited:
+            return
+        visited.add(key)
+        counter += 1
+        heapq.heappush(heap, (cost, counter, state))
+
+    push(original, 0)
+    popped = 0
+    max_reached = 0
+    while heap:
+        cost, _, state = heapq.heappop(heap)
+        popped += 1
+        max_reached = max(max_reached, cost)
+        if max_distance is not None and cost > max_distance:
+            raise NoRepairFound(
+                f"no consistent tuple within distance {max_distance}",
+                explored_distance=max_distance,
+            )
+        # Goal: consistent AND conformant — an intermediate state may
+        # break metamodel bounds (e.g. a column temporarily without its
+        # table), but a repair must be a valid instance of every
+        # metamodel, exactly as the SAT engine's structural constraints
+        # guarantee.
+        if all(is_conformant(state[p]) for p in target_list) and (
+            checker.is_consistent(state)
+        ):
+            return state, cost, SearchStats(popped, counter, max_reached)
+        if popped >= max_states:
+            raise NoRepairFound(
+                f"search budget of {max_states} states exhausted "
+                f"(deepest distance reached: {max_reached})",
+                explored_distance=max_reached,
+            )
+        for param in target_list:
+            for successor_model in _successors(state[param], pools, scope):
+                successor = dict(state)
+                successor[param] = successor_model
+                new_cost = cost
+                new_cost -= metric.model_distance(
+                    param, original[param], state[param]
+                )
+                new_cost += metric.model_distance(
+                    param, original[param], successor_model
+                )
+                push(successor, new_cost)
+    raise NoRepairFound(
+        f"edit space exhausted without a consistent tuple "
+        f"(deepest distance reached: {max_reached})",
+        explored_distance=max_reached,
+    )
+
+
+def _successors(model: Model, pools: ValuePools, scope: Scope) -> Iterator[Model]:
+    """All single-edit neighbours of ``model`` within the bounded universe."""
+    mm = model.metamodel
+    # Attribute flips and unsets.
+    for obj in model.objects:
+        for attr_name, attr in sorted(mm.all_attributes(obj.cls).items()):
+            current = obj.attr_or(attr_name)
+            for value in pools.candidates(attr.type):
+                if current is not None and value == current and (
+                    isinstance(value, bool) == isinstance(current, bool)
+                ):
+                    continue
+                yield model.with_object(obj.with_attr(attr_name, value))
+            if attr.optional and current is not None:
+                yield model.with_object(obj.without_attr(attr_name))
+    # Reference additions and removals.
+    for obj in model.objects:
+        for ref_name, ref in sorted(mm.all_references(obj.cls).items()):
+            present = set(obj.targets(ref_name))
+            for target in model.objects_of(ref.target):
+                if target.oid in present:
+                    yield model.with_object(
+                        obj.without_target(ref_name, target.oid)
+                    )
+                else:
+                    yield model.with_object(obj.with_target(ref_name, target.oid))
+    # Object removal — reference-free objects only (keeps paths monotone).
+    referenced: set[str] = set()
+    for obj in model.objects:
+        for _, targets_ in obj.refs:
+            referenced.update(targets_)
+    for obj in model.objects:
+        if obj.refs or obj.oid in referenced:
+            continue
+        yield model.without_object(obj.oid)
+    # Object creation — first unused fresh id per class, all mandatory
+    # attribute combinations.
+    taken = set(model.object_ids())
+    for class_name in mm.concrete_classes():
+        oid = None
+        for i in range(1, scope.extra_objects + 1):
+            candidate = fresh_oid(class_name, i)
+            if candidate not in taken:
+                oid = candidate
+                break
+        if oid is None:
+            continue
+        mandatory = [
+            (name, attr)
+            for name, attr in sorted(mm.all_attributes(class_name).items())
+            if not attr.optional
+        ]
+        variants = 1
+        for _, attr in mandatory:
+            variants *= max(1, len(pools.candidates(attr.type)))
+        if variants > _MAX_CREATION_VARIANTS:
+            raise EnforcementError(
+                f"class {class_name!r} has too many creation variants "
+                f"({variants}); narrow the scope"
+            )
+        for attrs in _attr_combinations(mandatory, pools):
+            yield model.with_object(ModelObject.create(oid, class_name, attrs))
+
+
+def _attr_combinations(
+    mandatory: list[tuple[str, object]], pools: ValuePools
+) -> Iterator[dict[str, object]]:
+    if not mandatory:
+        yield {}
+        return
+    (name, attr), rest = mandatory[0], mandatory[1:]
+    for value in pools.candidates(attr.type):
+        for tail in _attr_combinations(rest, pools):
+            combined = {name: value}
+            combined.update(tail)
+            yield combined

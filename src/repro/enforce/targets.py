@@ -1,0 +1,89 @@
+"""Target selections: which models enforcement may rewrite.
+
+The QVT-R standard only derives transformations with a single target
+domain; the paper argues the user should pick *any* subset of models as
+the repair target depending on context, and section 4 sketches an Echo
+UI where *"users ... select which models are to be updated"*. A
+:class:`TargetSelection` is that choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from repro.errors import EnforcementError
+from repro.qvtr.ast import Transformation
+
+
+@dataclass(frozen=True)
+class TargetSelection:
+    """A validated, non-empty subset of a transformation's parameters."""
+
+    params: frozenset[str]
+
+    def __init__(self, params: Iterable[str]) -> None:
+        frozen = frozenset(params)
+        if not frozen:
+            raise EnforcementError("target selection must name at least one model")
+        object.__setattr__(self, "params", frozen)
+
+    def validate(self, transformation: Transformation) -> None:
+        unknown = self.params - set(transformation.param_names())
+        if unknown:
+            raise EnforcementError(
+                f"target selection names unknown parameters {sorted(unknown)}"
+            )
+
+    def frozen(self, transformation: Transformation) -> frozenset[str]:
+        """The parameters enforcement must *not* touch."""
+        return frozenset(transformation.param_names()) - self.params
+
+    def __contains__(self, param: str) -> bool:
+        return param in self.params
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(sorted(self.params)) + "}"
+
+
+def only(*params: str) -> TargetSelection:
+    """Target exactly the given parameters: ``only("fm")`` is ``→F_FM``."""
+    return TargetSelection(params)
+
+
+def all_but(transformation: Transformation, *excluded: str) -> TargetSelection:
+    """Target everything except ``excluded``.
+
+    ``all_but(t, "cf1")`` is the paper's ``→F^1_{FM×CF^{k-1}}``: the
+    user just edited ``cf1`` and wants everything else updated around it.
+    """
+    params = set(transformation.param_names()) - set(excluded)
+    if not params:
+        raise EnforcementError("all_but() excluded every parameter")
+    unknown = set(excluded) - set(transformation.param_names())
+    if unknown:
+        raise EnforcementError(f"all_but() names unknown parameters {sorted(unknown)}")
+    return TargetSelection(params)
+
+
+def paper_shapes(transformation: Transformation) -> dict[str, TargetSelection]:
+    """The four transformation shapes section 3 derives from one spec.
+
+    Keyed by the paper's notation, instantiated for the feature-model
+    transformation's parameter names (``cf1..cfk``, ``fm``); included for
+    the benches that sweep the whole transformation space.
+    """
+    params = transformation.param_names()
+    cfs = [p for p in params if p != "fm"]
+    if "fm" not in params or not cfs:
+        raise EnforcementError(
+            "paper_shapes() expects the feature-model parameter layout"
+        )
+    shapes: dict[str, TargetSelection] = {
+        "F_FM": only("fm"),
+        "F_CFk": TargetSelection(cfs),
+    }
+    for cf in cfs:
+        shapes[f"F_{cf}"] = only(cf)
+        shapes[f"F_rest_of_{cf}"] = all_but(transformation, cf)
+    return shapes

@@ -1,0 +1,307 @@
+"""Abstract syntax of OCL-lite expressions.
+
+Every node is a frozen dataclass, so expressions are hashable values that
+can be shared, compared and used as dictionary keys (the grounding step
+of the SAT engine caches by sub-expression).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExprError
+
+
+@dataclass(frozen=True)
+class ObjRef:
+    """A runtime reference to object ``oid`` living in model ``model``.
+
+    Expressions never hold whole objects; they hold these light handles
+    and navigate through the evaluation context, so the same expression
+    tree can be evaluated against many candidate models.
+    """
+
+    model: str
+    oid: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.model}::{self.oid}"
+
+
+@dataclass(frozen=True)
+class Lit:
+    """A literal value (string, boolean or integer)."""
+
+    value: str | bool | int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, (str, bool, int)):
+            raise ExprError(f"unsupported literal: {self.value!r}")
+
+
+@dataclass(frozen=True)
+class Var:
+    """A variable occurrence, resolved in the evaluation environment."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExprError("variable needs a non-empty name")
+
+
+@dataclass(frozen=True)
+class Nav:
+    """Feature navigation ``source.feature``.
+
+    When ``feature`` is an attribute the result is its value; when it is
+    a reference the result is the set of target objects. Applied to a
+    *set* of objects it maps over the elements and flattens reference
+    results (OCL ``collect`` shorthand).
+    """
+
+    source: "Expr"
+    feature: str
+
+
+@dataclass(frozen=True)
+class Eq:
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Ne:
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Lt:
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Le:
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Gt:
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Ge:
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class And:
+    """N-ary conjunction (empty conjunction is true)."""
+
+    operands: tuple["Expr", ...]
+
+    def __init__(self, *operands: "Expr") -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+
+@dataclass(frozen=True)
+class Or:
+    """N-ary disjunction (empty disjunction is false)."""
+
+    operands: tuple["Expr", ...]
+
+    def __init__(self, *operands: "Expr") -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Implies:
+    premise: "Expr"
+    conclusion: "Expr"
+
+
+@dataclass(frozen=True)
+class Union:
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Intersect:
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class SetDiff:
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class SetLit:
+    """A set literal built from element expressions."""
+
+    elements: tuple["Expr", ...]
+
+    def __init__(self, *elements: "Expr") -> None:
+        object.__setattr__(self, "elements", tuple(elements))
+
+
+@dataclass(frozen=True)
+class In:
+    """Membership test ``element in collection``."""
+
+    element: "Expr"
+    collection: "Expr"
+
+
+@dataclass(frozen=True)
+class Subset:
+    """Inclusion test ``left ⊆ right``."""
+
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Size:
+    """Cardinality of a set."""
+
+    collection: "Expr"
+
+
+@dataclass(frozen=True)
+class IsEmpty:
+    """Emptiness test of a set."""
+
+    collection: "Expr"
+
+
+@dataclass(frozen=True)
+class Collect:
+    """OCL ``collect``: map ``body`` over ``collection`` binding ``var``."""
+
+    collection: "Expr"
+    var: str
+    body: "Expr"
+
+
+@dataclass(frozen=True)
+class Select:
+    """OCL ``select``: filter ``collection`` by predicate ``body``."""
+
+    collection: "Expr"
+    var: str
+    body: "Expr"
+
+
+@dataclass(frozen=True)
+class AllInstances:
+    """All objects of ``class_name`` (subclasses included) in model ``model``.
+
+    ``model`` is a *model parameter name* (the QVT-R domain identifier,
+    e.g. ``cf1``), resolved by the evaluation context.
+    """
+
+    model: str
+    class_name: str
+
+
+@dataclass(frozen=True)
+class Forall:
+    """Bounded universal quantification over a set expression."""
+
+    var: str
+    domain: "Expr"
+    body: "Expr"
+
+
+@dataclass(frozen=True)
+class Exists:
+    """Bounded existential quantification over a set expression."""
+
+    var: str
+    domain: "Expr"
+    body: "Expr"
+
+
+@dataclass(frozen=True)
+class RelationCall:
+    """Invocation of another QVT-R relation from a when/where clause.
+
+    Arguments bind, in order, to the root variables of the callee's
+    domains. The direction in which the callee is checked is decided by
+    the calling context (section 2.3 of the paper).
+    """
+
+    relation: str
+    args: tuple["Expr", ...]
+
+    def __init__(self, relation: str, *args: "Expr") -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "args", tuple(args))
+
+
+@dataclass(frozen=True)
+class StrConcat:
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class StrLower:
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class StrUpper:
+    operand: "Expr"
+
+
+Expr = (
+    Lit
+    | Var
+    | Nav
+    | Eq
+    | Ne
+    | Lt
+    | Le
+    | Gt
+    | Ge
+    | And
+    | Or
+    | Not
+    | Implies
+    | Union
+    | Intersect
+    | SetDiff
+    | SetLit
+    | In
+    | Subset
+    | Size
+    | IsEmpty
+    | Collect
+    | Select
+    | AllInstances
+    | Forall
+    | Exists
+    | RelationCall
+    | StrConcat
+    | StrLower
+    | StrUpper
+)
+
+TRUE = And()
+FALSE = Or()

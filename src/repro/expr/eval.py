@@ -1,0 +1,223 @@
+"""Evaluation of OCL-lite expressions against a tuple of models.
+
+The evaluator is a plain structural interpreter. Runtime values are:
+
+* primitives — ``str``, ``bool``, ``int``;
+* objects — :class:`~repro.expr.ast.ObjRef` handles;
+* sets — ``frozenset`` of the above.
+
+Relation invocations are delegated to a callback supplied by the checking
+engine, because their meaning depends on the direction of the enclosing
+check (paper, section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from collections.abc import Callable, Mapping
+
+from repro.errors import EvalError
+from repro.expr import ast
+from repro.metamodel.model import Model
+
+#: Runtime value of an expression.
+RuntimeValue = str | bool | int | ast.ObjRef | frozenset
+
+#: Signature of the relation-invocation hook: (relation name, argument
+#: values) -> truth of the invocation in the current checking direction.
+RelationHook = Callable[[str, tuple[RuntimeValue, ...]], bool]
+
+
+@dataclass(frozen=True)
+class EvalContext:
+    """Everything an expression needs: models, bindings, the call hook."""
+
+    models: Mapping[str, Model]
+    env: Mapping[str, RuntimeValue] = field(default_factory=dict)
+    call_relation: RelationHook | None = None
+
+    def bind(self, name: str, value: RuntimeValue) -> "EvalContext":
+        """A context with one extra variable binding."""
+        extended = dict(self.env)
+        extended[name] = value
+        return replace(self, env=extended)
+
+    def bind_all(self, bindings: Mapping[str, RuntimeValue]) -> "EvalContext":
+        """A context with several extra bindings."""
+        extended = dict(self.env)
+        extended.update(bindings)
+        return replace(self, env=extended)
+
+    def lookup(self, name: str) -> RuntimeValue:
+        try:
+            return self.env[name]
+        except KeyError:
+            raise EvalError(f"unbound variable {name!r}") from None
+
+    def model(self, name: str) -> Model:
+        try:
+            return self.models[name]
+        except KeyError:
+            raise EvalError(f"no model bound to parameter {name!r}") from None
+
+
+def evaluate(expr: ast.Expr, ctx: EvalContext) -> RuntimeValue:
+    """Evaluate ``expr`` in ``ctx``.
+
+    Raises :class:`EvalError` on unbound variables, bad navigations and
+    type mismatches (comparing an object to an integer is an error, not
+    ``False`` — except for ``Eq``/``Ne`` which treat cross-type equality
+    as plain inequality, mirroring OCL).
+    """
+    if isinstance(expr, ast.Lit):
+        return expr.value
+    if isinstance(expr, ast.Var):
+        return ctx.lookup(expr.name)
+    if isinstance(expr, ast.Nav):
+        return _navigate(evaluate(expr.source, ctx), expr.feature, ctx)
+    if isinstance(expr, ast.Eq):
+        return _values_equal(evaluate(expr.left, ctx), evaluate(expr.right, ctx))
+    if isinstance(expr, ast.Ne):
+        return not _values_equal(evaluate(expr.left, ctx), evaluate(expr.right, ctx))
+    if isinstance(expr, (ast.Lt, ast.Le, ast.Gt, ast.Ge)):
+        return _compare(expr, ctx)
+    if isinstance(expr, ast.And):
+        return all(_as_bool(evaluate(op, ctx)) for op in expr.operands)
+    if isinstance(expr, ast.Or):
+        return any(_as_bool(evaluate(op, ctx)) for op in expr.operands)
+    if isinstance(expr, ast.Not):
+        return not _as_bool(evaluate(expr.operand, ctx))
+    if isinstance(expr, ast.Implies):
+        if not _as_bool(evaluate(expr.premise, ctx)):
+            return True
+        return _as_bool(evaluate(expr.conclusion, ctx))
+    if isinstance(expr, ast.Union):
+        return _as_set(evaluate(expr.left, ctx)) | _as_set(evaluate(expr.right, ctx))
+    if isinstance(expr, ast.Intersect):
+        return _as_set(evaluate(expr.left, ctx)) & _as_set(evaluate(expr.right, ctx))
+    if isinstance(expr, ast.SetDiff):
+        return _as_set(evaluate(expr.left, ctx)) - _as_set(evaluate(expr.right, ctx))
+    if isinstance(expr, ast.SetLit):
+        return frozenset(evaluate(e, ctx) for e in expr.elements)
+    if isinstance(expr, ast.In):
+        return evaluate(expr.element, ctx) in _as_set(evaluate(expr.collection, ctx))
+    if isinstance(expr, ast.Subset):
+        return _as_set(evaluate(expr.left, ctx)) <= _as_set(evaluate(expr.right, ctx))
+    if isinstance(expr, ast.Size):
+        return len(_as_set(evaluate(expr.collection, ctx)))
+    if isinstance(expr, ast.IsEmpty):
+        return not _as_set(evaluate(expr.collection, ctx))
+    if isinstance(expr, ast.Collect):
+        collected = set()
+        for element in _as_set(evaluate(expr.collection, ctx)):
+            result = evaluate(expr.body, ctx.bind(expr.var, element))
+            if isinstance(result, frozenset):
+                collected |= result
+            else:
+                collected.add(result)
+        return frozenset(collected)
+    if isinstance(expr, ast.Select):
+        kept = set()
+        for element in _as_set(evaluate(expr.collection, ctx)):
+            if _as_bool(evaluate(expr.body, ctx.bind(expr.var, element))):
+                kept.add(element)
+        return frozenset(kept)
+    if isinstance(expr, ast.AllInstances):
+        model = ctx.model(expr.model)
+        return frozenset(
+            ast.ObjRef(expr.model, o.oid) for o in model.objects_of(expr.class_name)
+        )
+    if isinstance(expr, ast.Forall):
+        domain = _as_set(evaluate(expr.domain, ctx))
+        return all(
+            _as_bool(evaluate(expr.body, ctx.bind(expr.var, element)))
+            for element in domain
+        )
+    if isinstance(expr, ast.Exists):
+        domain = _as_set(evaluate(expr.domain, ctx))
+        return any(
+            _as_bool(evaluate(expr.body, ctx.bind(expr.var, element)))
+            for element in domain
+        )
+    if isinstance(expr, ast.RelationCall):
+        if ctx.call_relation is None:
+            raise EvalError(
+                f"relation call {expr.relation!r} outside a checking context"
+            )
+        args = tuple(evaluate(a, ctx) for a in expr.args)
+        return ctx.call_relation(expr.relation, args)
+    if isinstance(expr, ast.StrConcat):
+        return _as_str(evaluate(expr.left, ctx)) + _as_str(evaluate(expr.right, ctx))
+    if isinstance(expr, ast.StrLower):
+        return _as_str(evaluate(expr.operand, ctx)).lower()
+    if isinstance(expr, ast.StrUpper):
+        return _as_str(evaluate(expr.operand, ctx)).upper()
+    raise EvalError(f"unknown expression node: {expr!r}")
+
+
+def _navigate(source: RuntimeValue, feature: str, ctx: EvalContext) -> RuntimeValue:
+    if isinstance(source, frozenset):
+        collected = set()
+        for element in source:
+            result = _navigate(element, feature, ctx)
+            if isinstance(result, frozenset):
+                collected |= result
+            else:
+                collected.add(result)
+        return frozenset(collected)
+    if not isinstance(source, ast.ObjRef):
+        raise EvalError(f"cannot navigate {feature!r} from non-object {source!r}")
+    model = ctx.model(source.model)
+    obj = model.get_or_none(source.oid)
+    if obj is None:
+        raise EvalError(f"dangling object reference {source}")
+    metamodel = model.metamodel
+    attrs = metamodel.all_attributes(obj.cls)
+    if feature in attrs:
+        value = obj.attr_or(feature)
+        if value is None:
+            raise EvalError(f"attribute {source.oid}.{feature} has no value")
+        return value
+    refs = metamodel.all_references(obj.cls)
+    if feature in refs:
+        return frozenset(ast.ObjRef(source.model, t) for t in obj.targets(feature))
+    raise EvalError(f"class {obj.cls!r} has no feature {feature!r}")
+
+
+def _values_equal(left: RuntimeValue, right: RuntimeValue) -> bool:
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False  # keep True != 1
+    return left == right
+
+
+def _compare(expr: ast.Expr, ctx: EvalContext) -> bool:
+    left = evaluate(expr.left, ctx)
+    right = evaluate(expr.right, ctx)
+    for value in (left, right):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise EvalError(f"ordering comparison needs integers, got {value!r}")
+    if isinstance(expr, ast.Lt):
+        return left < right
+    if isinstance(expr, ast.Le):
+        return left <= right
+    if isinstance(expr, ast.Gt):
+        return left > right
+    return left >= right
+
+
+def _as_bool(value: RuntimeValue) -> bool:
+    if not isinstance(value, bool):
+        raise EvalError(f"expected a boolean, got {value!r}")
+    return value
+
+
+def _as_set(value: RuntimeValue) -> frozenset:
+    if not isinstance(value, frozenset):
+        raise EvalError(f"expected a set, got {value!r}")
+    return value
+
+
+def _as_str(value: RuntimeValue) -> str:
+    if not isinstance(value, str):
+        raise EvalError(f"expected a string, got {value!r}")
+    return value

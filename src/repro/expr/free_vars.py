@@ -1,0 +1,63 @@
+"""Free-variable computation for OCL-lite expressions.
+
+The paper's checking semantics partitions variables into the universally
+quantified ``xs = fv(psi ∧ pi_S)`` and the existentially quantified
+``ys = fv(pi_T ∧ phi) − xs``; this module supplies the ``fv`` function
+that drives that partitioning.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExprError
+from repro.expr import ast
+
+
+def free_vars(expr: ast.Expr) -> frozenset[str]:
+    """The free variables of ``expr``.
+
+    Binders (``Forall``, ``Exists``, ``Collect``, ``Select``) remove their
+    bound variable from the body's contribution; their domain expression
+    stays open.
+    """
+    if isinstance(expr, ast.Lit):
+        return frozenset()
+    if isinstance(expr, ast.Var):
+        return frozenset({expr.name})
+    if isinstance(expr, ast.Nav):
+        return free_vars(expr.source)
+    if isinstance(expr, (ast.StrLower, ast.StrUpper, ast.Not)):
+        return free_vars(expr.operand)
+    if isinstance(
+        expr,
+        (ast.Eq, ast.Ne, ast.Lt, ast.Le, ast.Gt, ast.Ge, ast.Union, ast.Intersect,
+         ast.SetDiff, ast.Subset, ast.StrConcat),
+    ):
+        return free_vars(expr.left) | free_vars(expr.right)
+    if isinstance(expr, ast.Implies):
+        return free_vars(expr.premise) | free_vars(expr.conclusion)
+    if isinstance(expr, (ast.And, ast.Or)):
+        out: frozenset[str] = frozenset()
+        for op in expr.operands:
+            out |= free_vars(op)
+        return out
+    if isinstance(expr, ast.SetLit):
+        out = frozenset()
+        for element in expr.elements:
+            out |= free_vars(element)
+        return out
+    if isinstance(expr, ast.In):
+        return free_vars(expr.element) | free_vars(expr.collection)
+    if isinstance(expr, (ast.Size, ast.IsEmpty)):
+        return free_vars(expr.collection)
+    if isinstance(expr, (ast.Collect, ast.Select)):
+        return free_vars(expr.collection) | (free_vars(expr.body) - {expr.var})
+    if isinstance(expr, ast.AllInstances):
+        return frozenset()
+    if isinstance(expr, (ast.Forall, ast.Exists)):
+        return free_vars(expr.domain) | (free_vars(expr.body) - {expr.var})
+    if isinstance(expr, ast.RelationCall):
+        out = frozenset()
+        for arg in expr.args:
+            out |= free_vars(arg)
+        return out
+    raise ExprError(f"unknown expression node: {expr!r}")

@@ -1,0 +1,79 @@
+"""Pretty-printing of OCL-lite expressions (used in diagnostics and tests)."""
+
+from __future__ import annotations
+
+from repro.errors import ExprError
+from repro.expr import ast
+
+
+def pretty(expr: ast.Expr) -> str:
+    """A compact, unambiguous textual form of ``expr``."""
+    if isinstance(expr, ast.Lit):
+        if isinstance(expr.value, bool):
+            return "true" if expr.value else "false"
+        if isinstance(expr.value, str):
+            return f"'{expr.value}'"
+        return str(expr.value)
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Nav):
+        return f"{pretty(expr.source)}.{expr.feature}"
+    if isinstance(expr, ast.Eq):
+        return f"({pretty(expr.left)} = {pretty(expr.right)})"
+    if isinstance(expr, ast.Ne):
+        return f"({pretty(expr.left)} <> {pretty(expr.right)})"
+    if isinstance(expr, ast.Lt):
+        return f"({pretty(expr.left)} < {pretty(expr.right)})"
+    if isinstance(expr, ast.Le):
+        return f"({pretty(expr.left)} <= {pretty(expr.right)})"
+    if isinstance(expr, ast.Gt):
+        return f"({pretty(expr.left)} > {pretty(expr.right)})"
+    if isinstance(expr, ast.Ge):
+        return f"({pretty(expr.left)} >= {pretty(expr.right)})"
+    if isinstance(expr, ast.And):
+        if not expr.operands:
+            return "true"
+        return "(" + " and ".join(pretty(op) for op in expr.operands) + ")"
+    if isinstance(expr, ast.Or):
+        if not expr.operands:
+            return "false"
+        return "(" + " or ".join(pretty(op) for op in expr.operands) + ")"
+    if isinstance(expr, ast.Not):
+        return f"not {pretty(expr.operand)}"
+    if isinstance(expr, ast.Implies):
+        return f"({pretty(expr.premise)} implies {pretty(expr.conclusion)})"
+    if isinstance(expr, ast.Union):
+        return f"({pretty(expr.left)} union {pretty(expr.right)})"
+    if isinstance(expr, ast.Intersect):
+        return f"({pretty(expr.left)} intersect {pretty(expr.right)})"
+    if isinstance(expr, ast.SetDiff):
+        return f"({pretty(expr.left)} minus {pretty(expr.right)})"
+    if isinstance(expr, ast.SetLit):
+        return "{" + ", ".join(pretty(e) for e in expr.elements) + "}"
+    if isinstance(expr, ast.In):
+        return f"({pretty(expr.element)} in {pretty(expr.collection)})"
+    if isinstance(expr, ast.Subset):
+        return f"({pretty(expr.left)} subset {pretty(expr.right)})"
+    if isinstance(expr, ast.Size):
+        return f"size({pretty(expr.collection)})"
+    if isinstance(expr, ast.IsEmpty):
+        return f"isEmpty({pretty(expr.collection)})"
+    if isinstance(expr, ast.Collect):
+        return f"{pretty(expr.collection)}->collect({expr.var} | {pretty(expr.body)})"
+    if isinstance(expr, ast.Select):
+        return f"{pretty(expr.collection)}->select({expr.var} | {pretty(expr.body)})"
+    if isinstance(expr, ast.AllInstances):
+        return f"{expr.model}::{expr.class_name}.allInstances()"
+    if isinstance(expr, ast.Forall):
+        return f"forall {expr.var} in {pretty(expr.domain)} | {pretty(expr.body)}"
+    if isinstance(expr, ast.Exists):
+        return f"exists {expr.var} in {pretty(expr.domain)} | {pretty(expr.body)}"
+    if isinstance(expr, ast.RelationCall):
+        return f"{expr.relation}({', '.join(pretty(a) for a in expr.args)})"
+    if isinstance(expr, ast.StrConcat):
+        return f"({pretty(expr.left)} + {pretty(expr.right)})"
+    if isinstance(expr, ast.StrLower):
+        return f"lower({pretty(expr.operand)})"
+    if isinstance(expr, ast.StrUpper):
+        return f"upper({pretty(expr.operand)})"
+    raise ExprError(f"unknown expression node: {expr!r}")

@@ -1,0 +1,56 @@
+"""Generic traversal over OCL-lite expression trees."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.expr import ast
+
+
+def children(expr: ast.Expr) -> tuple[ast.Expr, ...]:
+    """The direct sub-expressions of ``expr``."""
+    if isinstance(expr, (ast.Lit, ast.Var, ast.AllInstances)):
+        return ()
+    if isinstance(expr, ast.Nav):
+        return (expr.source,)
+    if isinstance(expr, (ast.Not, ast.StrLower, ast.StrUpper)):
+        return (expr.operand,)
+    if isinstance(
+        expr,
+        (ast.Eq, ast.Ne, ast.Lt, ast.Le, ast.Gt, ast.Ge, ast.Union, ast.Intersect,
+         ast.SetDiff, ast.Subset, ast.StrConcat),
+    ):
+        return (expr.left, expr.right)
+    if isinstance(expr, ast.Implies):
+        return (expr.premise, expr.conclusion)
+    if isinstance(expr, (ast.And, ast.Or)):
+        return expr.operands
+    if isinstance(expr, ast.SetLit):
+        return expr.elements
+    if isinstance(expr, ast.In):
+        return (expr.element, expr.collection)
+    if isinstance(expr, (ast.Size, ast.IsEmpty)):
+        return (expr.collection,)
+    if isinstance(expr, (ast.Collect, ast.Select)):
+        return (expr.collection, expr.body)
+    if isinstance(expr, (ast.Forall, ast.Exists)):
+        return (expr.domain, expr.body)
+    if isinstance(expr, ast.RelationCall):
+        return expr.args
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def walk(expr: ast.Expr) -> Iterator[ast.Expr]:
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(children(node)))
+
+
+def relation_calls(expr: ast.Expr | None) -> list[ast.RelationCall]:
+    """All relation invocations syntactically inside ``expr``."""
+    if expr is None:
+        return []
+    return [node for node in walk(expr) if isinstance(node, ast.RelationCall)]

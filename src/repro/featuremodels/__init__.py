@@ -1,0 +1,59 @@
+"""The paper's running example: feature models and configurations.
+
+Figure 1's two metamodels (``FM`` — named, possibly mandatory features;
+``CF`` — selected features), the ``MF`` and ``OF`` relations of sections
+1-2 with their checking dependencies, instance builders and generators,
+and the update scenarios section 3 uses to explore the transformation
+space.
+"""
+
+from repro.featuremodels.instances import (
+    configuration,
+    feature_model,
+    random_configurations,
+    random_feature_model,
+    random_instance,
+)
+from repro.featuremodels.metamodels import configuration_metamodel, feature_metamodel
+from repro.featuremodels.relations import (
+    mf_dependencies,
+    mf_relation,
+    of_dependencies,
+    of_relation,
+    paper_transformation,
+)
+from repro.featuremodels.extended import (
+    extended_feature_metamodel,
+    extended_feature_model,
+    extended_transformation,
+    valid_configurations,
+)
+from repro.featuremodels.scenarios import (
+    Scenario,
+    scenario_mandatory_flip,
+    scenario_new_mandatory_feature,
+    scenario_rename,
+)
+
+__all__ = [
+    "feature_metamodel",
+    "configuration_metamodel",
+    "feature_model",
+    "configuration",
+    "random_feature_model",
+    "random_configurations",
+    "random_instance",
+    "mf_relation",
+    "of_relation",
+    "mf_dependencies",
+    "of_dependencies",
+    "paper_transformation",
+    "Scenario",
+    "scenario_mandatory_flip",
+    "scenario_new_mandatory_feature",
+    "scenario_rename",
+    "extended_feature_metamodel",
+    "extended_feature_model",
+    "extended_transformation",
+    "valid_configurations",
+]

@@ -1,0 +1,231 @@
+"""Extended feature models: hierarchy and cross-tree constraints.
+
+Section 4 of the paper names *"more realistic examples of feature model
+synchronization and co-evolution"* as the next step for the
+multidirectional semantics. This module supplies one: the ``FMX``
+metamodel extends Figure 1's feature with
+
+* ``parent`` — an optional parent feature (the feature tree);
+* ``requires`` / ``excludes`` — cross-tree constraints.
+
+On top of ``MF``/``OF`` (unchanged), three directed relation families
+keep each configuration valid against the richer model:
+
+* **ParentClosure** — a selected feature's parent is selected;
+* **Requires** — a selected feature's required features are selected;
+* **Excludes** — no two mutually exclusive features are both selected.
+
+All three use quantified where-clauses over reference navigation, i.e.
+they live outside the SAT fragment — enforcement uses the guided or
+search engines, which is precisely the division of labour DESIGN.md
+describes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.deps.dependency import Dependency
+from repro.errors import ModelError
+from repro.expr.ast import (
+    AllInstances,
+    Eq,
+    Exists,
+    Forall,
+    Nav,
+    Not,
+    Var,
+)
+from repro.featuremodels.relations import config_params, mf_relation, of_relation
+from repro.metamodel.builder import ModelBuilder
+from repro.metamodel.meta import Attribute, Class, Metamodel, Reference
+from repro.metamodel.model import Model
+from repro.metamodel.types import BOOLEAN, STRING
+from repro.qvtr.ast import (
+    Domain,
+    ModelParam,
+    ObjectTemplate,
+    PropertyConstraint,
+    Relation,
+    Transformation,
+    VarDecl,
+)
+
+
+def extended_feature_metamodel() -> Metamodel:
+    """``FMX``: features with parent, requires and excludes."""
+    return Metamodel(
+        "FMX",
+        (
+            Class(
+                "Feature",
+                attributes=(
+                    Attribute("name", STRING),
+                    Attribute("mandatory", BOOLEAN),
+                ),
+                references=(
+                    Reference("parent", "Feature", lower=0, upper=1),
+                    Reference("requires", "Feature"),
+                    Reference("excludes", "Feature"),
+                ),
+            ),
+        ),
+    )
+
+
+#: Declarative spec of one extended feature:
+#: (mandatory, parent name or None, requires names, excludes names).
+FeatureSpec = tuple[bool, str | None, tuple[str, ...], tuple[str, ...]]
+
+
+def extended_feature_model(
+    features: Mapping[str, FeatureSpec], name: str = "fmx"
+) -> Model:
+    """Build an ``FMX`` instance from a declarative mapping.
+
+    >>> fm = extended_feature_model({
+    ...     "app": (True, None, (), ()),
+    ...     "db": (False, "app", ("log",), ()),
+    ...     "log": (False, "app", (), ()),
+    ... })
+    >>> fm.get("f_db").targets("parent")
+    ('f_app',)
+    """
+    builder = ModelBuilder(extended_feature_metamodel(), name=name)
+    for feature_name in sorted(features):
+        mandatory, _, _, _ = features[feature_name]
+        builder.add(
+            "Feature",
+            oid=f"f_{feature_name}",
+            name=feature_name,
+            mandatory=bool(mandatory),
+        )
+    for feature_name in sorted(features):
+        _, parent, requires, excludes = features[feature_name]
+        oid = f"f_{feature_name}"
+        if parent is not None:
+            if parent not in features:
+                raise ModelError(f"unknown parent feature {parent!r}")
+            builder.link(oid, "parent", f"f_{parent}")
+        for required in requires:
+            if required not in features:
+                raise ModelError(f"unknown required feature {required!r}")
+            builder.link(oid, "requires", f"f_{required}")
+        for excluded in excludes:
+            if excluded not in features:
+                raise ModelError(f"unknown excluded feature {excluded!r}")
+            builder.link(oid, "excludes", f"f_{excluded}")
+    return builder.build()
+
+
+def _selected(cf_param: str, feature_expr) -> Exists:
+    """``∃ q ∈ cf::Feature | q.name = feature_expr.name``."""
+    return Exists(
+        "q",
+        AllInstances(cf_param, "Feature"),
+        Eq(Nav(Var("q"), "name"), Nav(feature_expr, "name")),
+    )
+
+
+def _directed_relation(name: str, cf_param: str, where) -> Relation:
+    """The shared shape: selected feature + its FMX counterpart + where."""
+    return Relation(
+        name=f"{name}_{cf_param}",
+        domains=(
+            Domain(
+                cf_param,
+                ObjectTemplate(
+                    "s", "Feature", (PropertyConstraint("name", Var("n")),)
+                ),
+            ),
+            Domain(
+                "fm",
+                ObjectTemplate(
+                    "f", "Feature", (PropertyConstraint("name", Var("n")),)
+                ),
+            ),
+        ),
+        variables=(VarDecl("n", "String"),),
+        where=where,
+        dependencies=frozenset({Dependency((cf_param,), "fm")}),
+    )
+
+
+def parent_closure_relation(cf_param: str) -> Relation:
+    """Selected features have their parent selected (in the same CF)."""
+    where = Forall("p", Nav(Var("f"), "parent"), _selected(cf_param, Var("p")))
+    return _directed_relation("ParentClosure", cf_param, where)
+
+
+def requires_relation(cf_param: str) -> Relation:
+    """Selected features have all required features selected."""
+    where = Forall("r", Nav(Var("f"), "requires"), _selected(cf_param, Var("r")))
+    return _directed_relation("Requires", cf_param, where)
+
+
+def excludes_relation(cf_param: str) -> Relation:
+    """Selected features have no excluded feature selected."""
+    where = Forall(
+        "x", Nav(Var("f"), "excludes"), Not(_selected(cf_param, Var("x")))
+    )
+    return _directed_relation("Excludes", cf_param, where)
+
+
+def extended_transformation(k: int = 2) -> Transformation:
+    """``F = MF ∧ OF ∧ ParentClosure ∧ Requires ∧ Excludes`` over FMX.
+
+    ``MF``/``OF`` keep the paper's shape and dependencies (the FMX
+    ``Feature`` has the same ``name``/``mandatory`` attributes, so the
+    relations transfer verbatim); the three validity families add one
+    directed relation per configuration.
+    """
+    params = tuple(ModelParam(cf, "CF") for cf in config_params(k)) + (
+        ModelParam("fm", "FMX"),
+    )
+    relations: list[Relation] = [mf_relation(k), of_relation(k)]
+    for cf in config_params(k):
+        relations.append(parent_closure_relation(cf))
+        relations.append(requires_relation(cf))
+        relations.append(excludes_relation(cf))
+    return Transformation(
+        name="FX",
+        model_params=params,
+        relations=tuple(relations),
+    )
+
+
+def valid_configurations(
+    fm: Model, selections: Iterable[Iterable[str]]
+) -> list[set[str]]:
+    """Close each selection under parents, requires and mandatory features.
+
+    A convenience for building consistent environments: returns, per
+    input selection, the smallest superset satisfying the extended
+    validity rules (excludes conflicts are the caller's problem).
+    """
+    by_name = {str(o.attr("name")): o for o in fm.objects_of("Feature")}
+    mandatory = {
+        name for name, o in by_name.items() if o.attr("mandatory") is True
+    }
+    out = []
+    for selection in selections:
+        closed = set(selection) | mandatory
+        changed = True
+        while changed:
+            changed = False
+            for name in sorted(closed):
+                obj = by_name.get(name)
+                if obj is None:
+                    continue
+                for parent_oid in obj.targets("parent"):
+                    parent_name = str(fm.get(parent_oid).attr("name"))
+                    if parent_name not in closed:
+                        closed.add(parent_name)
+                        changed = True
+                for required_oid in obj.targets("requires"):
+                    required_name = str(fm.get(required_oid).attr("name"))
+                    if required_name not in closed:
+                        closed.add(required_name)
+                        changed = True
+        out.append(closed)
+    return out

@@ -1,0 +1,139 @@
+"""Instance builders and generators for the running example.
+
+Object ids are derived deterministically from feature names (``f_log``
+for a feature named ``log``), which keeps diffs readable and repairs
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping
+
+from repro.featuremodels.metamodels import configuration_metamodel, feature_metamodel
+from repro.metamodel.builder import ModelBuilder
+from repro.metamodel.model import Model
+from repro.util.seeding import rng_from_seed
+
+
+def feature_model(features: Mapping[str, bool], name: str = "fm") -> Model:
+    """A feature model from ``{feature name: mandatory?}``.
+
+    >>> fm = feature_model({"core": True, "log": False})
+    >>> sorted(o.attr("name") for o in fm.objects)
+    ['core', 'log']
+    """
+    builder = ModelBuilder(feature_metamodel(), name=name)
+    for feature_name in sorted(features):
+        builder.add(
+            "Feature",
+            oid=f"f_{feature_name}",
+            name=feature_name,
+            mandatory=bool(features[feature_name]),
+        )
+    return builder.build()
+
+
+def configuration(selected: Iterable[str], name: str = "cf") -> Model:
+    """A configuration selecting the given feature names."""
+    builder = ModelBuilder(configuration_metamodel(), name=name)
+    for feature_name in sorted(set(selected)):
+        builder.add("Feature", oid=f"s_{feature_name}", name=feature_name)
+    return builder.build()
+
+
+def selected_names(model: Model) -> frozenset[str]:
+    """The feature names appearing in a CF or FM instance."""
+    return frozenset(str(o.attr("name")) for o in model.objects_of("Feature"))
+
+
+def mandatory_names(fm: Model) -> frozenset[str]:
+    """The mandatory feature names of a feature model."""
+    return frozenset(
+        str(o.attr("name"))
+        for o in fm.objects_of("Feature")
+        if o.attr("mandatory") is True
+    )
+
+
+def random_feature_model(
+    n_features: int,
+    p_mandatory: float = 0.3,
+    seed: int | random.Random | None = None,
+    name: str = "fm",
+) -> Model:
+    """A random feature model with ``n_features`` features ``ft0..``."""
+    rng = rng_from_seed(seed)
+    features = {
+        f"ft{i}": rng.random() < p_mandatory for i in range(n_features)
+    }
+    return feature_model(features, name=name)
+
+
+def random_configurations(
+    fm: Model,
+    k: int,
+    p_optional_selected: float = 0.5,
+    seed: int | random.Random | None = None,
+) -> list[Model]:
+    """``k`` configurations *consistent* with ``fm``.
+
+    Every mandatory feature is selected in every configuration; each
+    optional feature is selected independently with probability
+    ``p_optional_selected``. By construction the result satisfies both
+    ``MF`` and ``OF`` — unless every configuration happens to select an
+    optional feature jointly; those features are deselected from the
+    first configuration to keep ``MF``'s only-mandatory-in-all direction
+    true.
+    """
+    rng = rng_from_seed(seed)
+    mandatory = mandatory_names(fm)
+    optional = selected_names(fm) - mandatory
+    selections = []
+    for i in range(1, k + 1):
+        chosen = set(mandatory)
+        chosen |= {f for f in sorted(optional) if rng.random() < p_optional_selected}
+        selections.append(chosen)
+    if k >= 1 and optional:
+        everywhere = set.intersection(*selections) - mandatory if selections else set()
+        selections[0] -= everywhere
+    return [
+        configuration(chosen, name=f"cf{i}")
+        for i, chosen in enumerate(selections, start=1)
+    ]
+
+
+def random_instance(
+    n_features: int,
+    k: int,
+    seed: int | random.Random | None = None,
+    consistent: bool = True,
+    p_mandatory: float = 0.3,
+) -> dict[str, Model]:
+    """A full model tuple ``{cf1.., fm}`` for the k-ary transformation.
+
+    With ``consistent=False`` a random perturbation is applied: a fresh
+    feature is selected in one configuration only (violating ``OF``
+    towards the feature model) or a mandatory feature is deselected
+    somewhere (violating ``MF``).
+    """
+    rng = rng_from_seed(seed)
+    fm = random_feature_model(n_features, p_mandatory, rng)
+    configs = random_configurations(fm, k, seed=rng)
+    if not consistent:
+        victim = rng.randrange(k)
+        mandatory = sorted(mandatory_names(fm))
+        if mandatory and rng.random() < 0.5:
+            dropped = rng.choice(mandatory)
+            configs[victim] = configuration(
+                selected_names(configs[victim]) - {dropped},
+                name=configs[victim].name,
+            )
+        else:
+            configs[victim] = configuration(
+                selected_names(configs[victim]) | {"rogue"},
+                name=configs[victim].name,
+            )
+    models = {cfg.name: cfg for cfg in configs}
+    models["fm"] = fm
+    return models

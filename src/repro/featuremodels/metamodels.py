@@ -1,0 +1,41 @@
+"""Figure 1 of the paper: the ``CF`` and ``FM`` metamodels.
+
+* ``FM`` — feature models: class ``Feature`` with ``name : String`` and
+  ``mandatory : Boolean``;
+* ``CF`` — configurations: class ``Feature`` with ``name : String``
+  (a configuration is simply the set of its selected features).
+"""
+
+from __future__ import annotations
+
+from repro.metamodel.meta import Attribute, Class, Metamodel
+from repro.metamodel.types import BOOLEAN, STRING
+
+
+def feature_metamodel() -> Metamodel:
+    """The ``FM`` metamodel (left-hand side of Figure 1)."""
+    return Metamodel(
+        "FM",
+        (
+            Class(
+                "Feature",
+                attributes=(
+                    Attribute("name", STRING),
+                    Attribute("mandatory", BOOLEAN),
+                ),
+            ),
+        ),
+    )
+
+
+def configuration_metamodel() -> Metamodel:
+    """The ``CF`` metamodel (right-hand side of Figure 1)."""
+    return Metamodel(
+        "CF",
+        (
+            Class(
+                "Feature",
+                attributes=(Attribute("name", STRING),),
+            ),
+        ),
+    )

@@ -1,0 +1,132 @@
+"""The ``MF`` and ``OF`` relations with their checking dependencies.
+
+Transcribed from the paper's section 2::
+
+    top relation MF { n : String;
+      domain cf1 s1 : Feature { name = n }
+      ...
+      domain cfk sk : Feature { name = n }
+      domain fm  f  : Feature { name = n, mandatory = true } }
+
+with dependencies ``MF ≡ {CF1 ... CFk -> FM} ∪ {FM -> CFi | i ∈ 1..k}``;
+
+    top relation OF { n : String;
+      domain cf1 s1 : Feature { name = n }
+      ...
+      domain fm  f  : Feature { name = n } }
+
+with dependencies ``OF ≡ {CFi -> FM | i ∈ 1..k}``.
+
+``F = MF ∧ OF`` is the full consistency relation between a feature model
+and ``k`` configurations: mandatory features are exactly those selected
+in *every* configuration, and the feature model contains at least the
+union of all selected features.
+"""
+
+from __future__ import annotations
+
+from repro.deps.dependency import Dependency
+from repro.expr.ast import Lit, Var
+from repro.qvtr.ast import (
+    Domain,
+    ModelParam,
+    ObjectTemplate,
+    PropertyConstraint,
+    Relation,
+    Transformation,
+    VarDecl,
+)
+
+
+def config_params(k: int) -> tuple[str, ...]:
+    """The configuration parameter names ``cf1 .. cfk``."""
+    if k < 1:
+        raise ValueError(f"need at least one configuration, got k={k}")
+    return tuple(f"cf{i}" for i in range(1, k + 1))
+
+
+def mf_dependencies(k: int = 2) -> frozenset[Dependency]:
+    """``{CF1 ... CFk -> FM} ∪ {FM -> CFi}`` (paper, end of section 2.2)."""
+    cfs = config_params(k)
+    deps = {Dependency(cfs, "fm")}
+    deps |= {Dependency(("fm",), cf) for cf in cfs}
+    return frozenset(deps)
+
+
+def of_dependencies(k: int = 2) -> frozenset[Dependency]:
+    """``{CFi -> FM | i ∈ 1..k}`` — the union-source dependency, decomposed."""
+    return frozenset(Dependency((cf,), "fm") for cf in config_params(k))
+
+
+def _config_domain(index: int) -> Domain:
+    return Domain(
+        f"cf{index}",
+        ObjectTemplate(
+            f"s{index}",
+            "Feature",
+            (PropertyConstraint("name", Var("n")),),
+        ),
+    )
+
+
+def mf_relation(k: int = 2, annotated: bool = True) -> Relation:
+    """The ``MF`` relation over ``k`` configurations.
+
+    ``annotated=False`` drops the ``depends`` clause, leaving the
+    standard semantics — the configuration section 2.1 shows is unable to
+    express the intended consistency.
+    """
+    domains = tuple(_config_domain(i) for i in range(1, k + 1)) + (
+        Domain(
+            "fm",
+            ObjectTemplate(
+                "f",
+                "Feature",
+                (
+                    PropertyConstraint("name", Var("n")),
+                    PropertyConstraint("mandatory", Lit(True)),
+                ),
+            ),
+        ),
+    )
+    return Relation(
+        name="MF",
+        domains=domains,
+        variables=(VarDecl("n", "String"),),
+        dependencies=mf_dependencies(k) if annotated else None,
+    )
+
+
+def of_relation(k: int = 2, annotated: bool = True) -> Relation:
+    """The ``OF`` relation over ``k`` configurations."""
+    domains = tuple(_config_domain(i) for i in range(1, k + 1)) + (
+        Domain(
+            "fm",
+            ObjectTemplate(
+                "f",
+                "Feature",
+                (PropertyConstraint("name", Var("n")),),
+            ),
+        ),
+    )
+    return Relation(
+        name="OF",
+        domains=domains,
+        variables=(VarDecl("n", "String"),),
+        dependencies=of_dependencies(k) if annotated else None,
+    )
+
+
+def paper_transformation(k: int = 2, annotated: bool = True) -> Transformation:
+    """The full consistency relation ``F = MF ∧ OF`` as a transformation.
+
+    Model parameters are ``cf1 .. cfk : CF`` and ``fm : FM``.
+    """
+    params = tuple(ModelParam(cf, "CF") for cf in config_params(k)) + (
+        ModelParam("fm", "FM"),
+    )
+    return Transformation(
+        name="F",
+        model_params=params,
+        relations=(mf_relation(k, annotated), of_relation(k, annotated)),
+    )

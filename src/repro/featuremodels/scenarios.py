@@ -1,0 +1,143 @@
+"""The paper's update scenarios (sections 1 and 3).
+
+Each scenario starts from a consistent environment, applies the update
+the paper describes, and records which enforcement shape the paper says
+can (or cannot) restore consistency:
+
+* **mandatory flip** — a feature is changed to mandatory in the feature
+  model; it must become selected in *all* configurations, which the
+  standard's single-target transformations cannot do (needs ``→F_CF^k``);
+* **new mandatory feature** — a fresh mandatory feature appears in the
+  feature model; same story, used in section 3's closing example;
+* **rename** — a feature is renamed in one configuration; *"the natural
+  way to recover consistency is to change the name of that feature in
+  all the remaining configurations and in the feature model"*
+  (needs ``→F^i_{FM×CF^{k-1}}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.featuremodels.instances import configuration, feature_model, selected_names
+from repro.featuremodels.relations import config_params, paper_transformation
+from repro.metamodel.model import Model
+from repro.qvtr.ast import Transformation
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One update scenario over the k-ary environment."""
+
+    name: str
+    description: str
+    transformation: Transformation
+    before: dict[str, Model]  # the consistent environment
+    after_update: dict[str, Model]  # after the user's (inconsistency-introducing) edit
+    updated_param: str  # the model the user edited
+    #: target selections the paper predicts can restore consistency
+    repairable_targets: tuple[frozenset[str], ...]
+    #: target selections the paper predicts cannot
+    unrepairable_targets: tuple[frozenset[str], ...]
+
+    @property
+    def k(self) -> int:
+        return len(self.before) - 1
+
+
+def _base_environment(k: int) -> dict[str, Model]:
+    """A small consistent environment shared by all scenarios.
+
+    Features: ``core`` (mandatory, selected everywhere), ``log``
+    (optional, selected in cf1 only when k >= 2), ``ui`` (optional,
+    unselected).
+    """
+    fm = feature_model({"core": True, "log": False, "ui": False})
+    models: dict[str, Model] = {"fm": fm}
+    for i, cf in enumerate(config_params(k), start=1):
+        selected = {"core"}
+        if i == 1 and k >= 2:
+            selected.add("log")
+        models[cf] = configuration(selected, name=cf)
+    return models
+
+
+def scenario_mandatory_flip(k: int = 2) -> Scenario:
+    """Section 1: *"if a feature is changed to mandatory it must be
+    selected in all configurations; this simple update could not be
+    handled by the standard transformations"*."""
+    before = _base_environment(k)
+    after = dict(before)
+    after["fm"] = feature_model({"core": True, "log": True, "ui": False})
+    cfs = sorted(config_params(k))
+    # 'log' is missing from cf2..cfk (cf1 already selects it). A single
+    # target can only restore consistency when it is the *one* deficient
+    # configuration; with k >= 3 several configurations are deficient and
+    # no single target suffices — nor does {cf1}, which is not deficient
+    # at all.
+    deficient = [cf for cf in cfs if cf != "cf1"]
+    if len(deficient) == 1:
+        repairable = (frozenset(cfs), frozenset(deficient))
+        unrepairable = (frozenset({"cf1"}),)
+    else:
+        repairable = (frozenset(cfs),)
+        unrepairable = tuple(frozenset({cf}) for cf in cfs)
+    return Scenario(
+        name="mandatory-flip",
+        description="feature 'log' flipped to mandatory in the feature model",
+        transformation=paper_transformation(k),
+        before=before,
+        after_update=after,
+        updated_param="fm",
+        repairable_targets=repairable if k >= 2 else (frozenset(cfs),),
+        unrepairable_targets=unrepairable if k >= 2 else (),
+    )
+
+
+def scenario_new_mandatory_feature(k: int = 2) -> Scenario:
+    """Section 3's closing example: a new mandatory feature is introduced
+    in the feature model; ``→F^i_CF`` (single configuration) *"will
+    clearly not be able to restore consistency"*; ``→F_CF^k`` can."""
+    before = _base_environment(k)
+    after = dict(before)
+    after["fm"] = feature_model(
+        {"core": True, "log": False, "ui": False, "secure": True}
+    )
+    cfs = frozenset(config_params(k))
+    return Scenario(
+        name="new-mandatory-feature",
+        description="new mandatory feature 'secure' introduced in the feature model",
+        transformation=paper_transformation(k),
+        before=before,
+        after_update=after,
+        updated_param="fm",
+        repairable_targets=(cfs,),
+        unrepairable_targets=tuple(frozenset({cf}) for cf in sorted(cfs))
+        if k >= 2
+        else (),
+    )
+
+
+def scenario_rename(k: int = 2) -> Scenario:
+    """Section 1: *"if name of a feature is changed, the natural way to
+    recover consistency is to change the name of that feature in all the
+    remaining configurations and in the feature model"*.
+
+    The user renames mandatory feature ``core`` to ``kernel`` in ``cf1``;
+    the repair target is everything except ``cf1``.
+    """
+    before = _base_environment(k)
+    after = dict(before)
+    renamed = (selected_names(before["cf1"]) - {"core"}) | {"kernel"}
+    after["cf1"] = configuration(renamed, name="cf1")
+    rest = frozenset({"fm"} | set(config_params(k))) - {"cf1"}
+    return Scenario(
+        name="rename",
+        description="feature 'core' renamed to 'kernel' in configuration cf1",
+        transformation=paper_transformation(k),
+        before=before,
+        after_update=after,
+        updated_param="cf1",
+        repairable_targets=(rest,),
+        unrepairable_targets=(),
+    )

@@ -1,0 +1,77 @@
+"""Object-model kernel: metamodels, models, conformance, edits, distance.
+
+This package is the reproduction's substitute for EMF/Ecore. It provides
+exactly the constructs the paper's Figure 1 and QVT-R domains require:
+classes with typed attributes, references with multiplicity bounds,
+single inheritance chains (actually arbitrary multiple inheritance),
+enumerations, model instances as typed object graphs, a conformance
+checker, elementary edit operations, diffing, and the graph-edit distance
+that underlies least-change enforcement.
+"""
+
+from repro.metamodel.builder import ModelBuilder
+from repro.metamodel.conformance import (
+    Diagnostic,
+    assert_conformant,
+    check_conformance,
+    is_conformant,
+)
+from repro.metamodel.diff import diff
+from repro.metamodel.distance import atoms, distance, tuple_distance, weighted_distance
+from repro.metamodel.edits import (
+    AddObject,
+    AddRef,
+    Edit,
+    RemoveObject,
+    RemoveRef,
+    SetAttr,
+    apply_edit,
+    apply_edits,
+    invert,
+)
+from repro.metamodel.meta import Attribute, Class, Metamodel, Reference
+from repro.metamodel.model import Model, ModelObject
+from repro.metamodel.serialize import (
+    metamodel_from_dict,
+    metamodel_to_dict,
+    model_from_dict,
+    model_to_dict,
+)
+from repro.metamodel.types import BOOLEAN, INTEGER, STRING, EnumType, PrimitiveType
+
+__all__ = [
+    "Attribute",
+    "Class",
+    "Metamodel",
+    "Reference",
+    "Model",
+    "ModelObject",
+    "ModelBuilder",
+    "PrimitiveType",
+    "EnumType",
+    "STRING",
+    "BOOLEAN",
+    "INTEGER",
+    "Diagnostic",
+    "check_conformance",
+    "is_conformant",
+    "assert_conformant",
+    "Edit",
+    "AddObject",
+    "RemoveObject",
+    "SetAttr",
+    "AddRef",
+    "RemoveRef",
+    "apply_edit",
+    "apply_edits",
+    "invert",
+    "diff",
+    "atoms",
+    "distance",
+    "weighted_distance",
+    "tuple_distance",
+    "metamodel_to_dict",
+    "metamodel_from_dict",
+    "model_to_dict",
+    "model_from_dict",
+]

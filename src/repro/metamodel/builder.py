@@ -1,0 +1,108 @@
+"""Fluent construction of models.
+
+The builder is the mutable staging area; :meth:`ModelBuilder.build`
+freezes the result into an immutable :class:`Model`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import ModelError
+from repro.metamodel.meta import Metamodel
+from repro.metamodel.model import Model, ModelObject
+from repro.metamodel.types import Value
+from repro.util.ids import fresh_id
+
+
+class ModelBuilder:
+    """Accumulates objects and links, then freezes them into a model.
+
+    >>> from repro.featuremodels.metamodels import feature_metamodel
+    >>> b = ModelBuilder(feature_metamodel(), name="fm")
+    >>> _ = b.add("Feature", name="logging", mandatory=True)
+    >>> b.build().size()
+    1
+    """
+
+    def __init__(self, metamodel: Metamodel, name: str = "") -> None:
+        self._metamodel = metamodel
+        self._name = name
+        self._objects: dict[str, ModelObject] = {}
+
+    def add(self, cls: str, oid: str | None = None, **attrs: Value) -> str:
+        """Add an object of class ``cls`` and return its id.
+
+        When ``oid`` is omitted a deterministic fresh id derived from the
+        class name is chosen.
+        """
+        self._metamodel.cls(cls)
+        if oid is None:
+            oid = fresh_id(cls.lower(), self._objects)
+        if oid in self._objects:
+            raise ModelError(f"object id {oid!r} already used")
+        declared = self._metamodel.all_attributes(cls)
+        for attr_name in attrs:
+            if attr_name not in declared:
+                raise ModelError(f"class {cls!r} has no attribute {attr_name!r}")
+        self._objects[oid] = ModelObject.create(oid, cls, attrs)
+        return oid
+
+    def set(self, oid: str, **attrs: Value) -> "ModelBuilder":
+        """Set attribute values on an existing object."""
+        obj = self._require(oid)
+        for name, value in attrs.items():
+            obj = obj.with_attr(name, value)
+        self._objects[oid] = obj
+        return self
+
+    def link(self, source: str, ref: str, target: str) -> "ModelBuilder":
+        """Add ``target`` to reference ``ref`` of object ``source``."""
+        obj = self._require(source)
+        self._require(target)
+        self._metamodel.reference(obj.cls, ref)
+        self._objects[source] = obj.with_target(ref, target)
+        return self
+
+    def remove(self, oid: str) -> "ModelBuilder":
+        """Remove an object (incoming references are dropped at build)."""
+        self._require(oid)
+        del self._objects[oid]
+        return self
+
+    def build(self) -> Model:
+        """Freeze into an immutable model, dropping dangling reference targets."""
+        cleaned = []
+        for obj in self._objects.values():
+            for ref, ts in obj.refs:
+                for t in ts:
+                    if t not in self._objects:
+                        obj = obj.without_target(ref, t)
+            cleaned.append(obj)
+        return Model(self._metamodel, tuple(cleaned), self._name)
+
+    def _require(self, oid: str) -> ModelObject:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise ModelError(f"builder has no object {oid!r}") from None
+
+
+def model_from_spec(
+    metamodel: Metamodel,
+    spec: Mapping[str, tuple[str, Mapping[str, Value]]],
+    name: str = "",
+    links: Mapping[tuple[str, str], tuple[str, ...]] | None = None,
+) -> Model:
+    """Build a model from a declarative mapping ``oid -> (class, attrs)``.
+
+    ``links`` maps ``(source_oid, ref_name)`` to target ids. Handy for
+    table-driven tests.
+    """
+    builder = ModelBuilder(metamodel, name)
+    for oid, (cls, attrs) in spec.items():
+        builder.add(cls, oid=oid, **attrs)
+    for (source, ref), targets in (links or {}).items():
+        for target in targets:
+            builder.link(source, ref, target)
+    return builder.build()

@@ -1,0 +1,163 @@
+"""Elementary edit operations on models.
+
+Edits are the operational face of model change: diffing produces edit
+scripts, the search-based enforcement engine enumerates single edits to
+walk the model space, and inverses support undo. The *declarative* face —
+how far apart two models are — lives in :mod:`repro.metamodel.distance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping
+
+from repro.errors import EditError
+from repro.metamodel.model import Model, ModelObject
+from repro.metamodel.types import Value
+
+
+@dataclass(frozen=True)
+class AddObject:
+    """Create object ``oid`` of class ``cls`` with initial attributes."""
+
+    oid: str
+    cls: str
+    attrs: tuple[tuple[str, Value], ...] = ()
+
+    @staticmethod
+    def create(oid: str, cls: str, attrs: Mapping[str, Value] | None = None) -> "AddObject":
+        return AddObject(oid, cls, tuple(sorted((attrs or {}).items())))
+
+
+@dataclass(frozen=True)
+class RemoveObject:
+    """Delete object ``oid`` (incoming references are dropped with it)."""
+
+    oid: str
+
+
+@dataclass(frozen=True)
+class SetAttr:
+    """Set attribute ``name`` of object ``oid`` to ``value``."""
+
+    oid: str
+    name: str
+    value: Value
+
+
+@dataclass(frozen=True)
+class UnsetAttr:
+    """Remove the value of attribute ``name`` of object ``oid``."""
+
+    oid: str
+    name: str
+
+
+@dataclass(frozen=True)
+class AddRef:
+    """Add ``target`` to reference ``ref`` of object ``source``."""
+
+    source: str
+    ref: str
+    target: str
+
+
+@dataclass(frozen=True)
+class RemoveRef:
+    """Remove ``target`` from reference ``ref`` of object ``source``."""
+
+    source: str
+    ref: str
+    target: str
+
+
+Edit = AddObject | RemoveObject | SetAttr | UnsetAttr | AddRef | RemoveRef
+
+
+def apply_edit(model: Model, edit: Edit) -> Model:
+    """Apply one edit, returning the updated model.
+
+    Raises :class:`EditError` when the edit does not apply (missing
+    object, duplicate id, absent reference target...). Edits do not
+    guarantee conformance of the result; that is checked separately.
+    """
+    if isinstance(edit, AddObject):
+        if model.has(edit.oid):
+            raise EditError(f"cannot add {edit.oid!r}: id already in use")
+        return model.with_object(ModelObject(edit.oid, edit.cls, edit.attrs, ()))
+    if isinstance(edit, RemoveObject):
+        if not model.has(edit.oid):
+            raise EditError(f"cannot remove {edit.oid!r}: no such object")
+        return model.without_object(edit.oid)
+    if isinstance(edit, SetAttr):
+        obj = _require(model, edit.oid)
+        return model.with_object(obj.with_attr(edit.name, edit.value))
+    if isinstance(edit, UnsetAttr):
+        obj = _require(model, edit.oid)
+        if not obj.has_attr(edit.name):
+            raise EditError(f"cannot unset {edit.oid}.{edit.name}: attribute has no value")
+        return model.with_object(obj.without_attr(edit.name))
+    if isinstance(edit, AddRef):
+        obj = _require(model, edit.source)
+        if not model.has(edit.target):
+            raise EditError(f"cannot link to {edit.target!r}: no such object")
+        if edit.target in obj.targets(edit.ref):
+            raise EditError(f"{edit.source}.{edit.ref} already contains {edit.target!r}")
+        return model.with_object(obj.with_target(edit.ref, edit.target))
+    if isinstance(edit, RemoveRef):
+        obj = _require(model, edit.source)
+        if edit.target not in obj.targets(edit.ref):
+            raise EditError(f"{edit.source}.{edit.ref} does not contain {edit.target!r}")
+        return model.with_object(obj.without_target(edit.ref, edit.target))
+    raise EditError(f"unknown edit: {edit!r}")
+
+
+def apply_edits(model: Model, edits: Iterable[Edit]) -> Model:
+    """Apply a whole edit script in order."""
+    for edit in edits:
+        model = apply_edit(model, edit)
+    return model
+
+
+def invert(model: Model, edit: Edit) -> tuple[Edit, ...]:
+    """The edits that undo ``edit`` when applied to ``apply_edit(model, edit)``.
+
+    ``RemoveObject`` inverts to the object's full reconstruction (its
+    creation, attribute values and both outgoing *and* incoming links),
+    so the result is a tuple rather than a single edit.
+    """
+    if isinstance(edit, AddObject):
+        return (RemoveObject(edit.oid),)
+    if isinstance(edit, RemoveObject):
+        obj = _require(model, edit.oid)
+        script: list[Edit] = [AddObject(obj.oid, obj.cls, obj.attrs)]
+        for ref, targets in obj.refs:
+            for target in targets:
+                script.append(AddRef(obj.oid, ref, target))
+        for other in model.objects:
+            if other.oid == obj.oid:
+                continue
+            for ref, targets in other.refs:
+                if obj.oid in targets:
+                    script.append(AddRef(other.oid, ref, obj.oid))
+        return tuple(script)
+    if isinstance(edit, SetAttr):
+        obj = _require(model, edit.oid)
+        if obj.has_attr(edit.name):
+            return (SetAttr(edit.oid, edit.name, obj.attr(edit.name)),)
+        return (UnsetAttr(edit.oid, edit.name),)
+    if isinstance(edit, UnsetAttr):
+        obj = _require(model, edit.oid)
+        return (SetAttr(edit.oid, edit.name, obj.attr(edit.name)),)
+    if isinstance(edit, AddRef):
+        return (RemoveRef(edit.source, edit.ref, edit.target),)
+    if isinstance(edit, RemoveRef):
+        return (AddRef(edit.source, edit.ref, edit.target),)
+    raise EditError(f"unknown edit: {edit!r}")
+
+
+def _require(model: Model, oid: str) -> ModelObject:
+    obj = model.get_or_none(oid)
+    if obj is None:
+        raise EditError(f"no such object {oid!r}")
+    return obj

@@ -1,0 +1,160 @@
+"""JSON (de)serialisation of metamodels and models.
+
+The on-disk format plays the role XMI plays for EMF: a plain, stable,
+human-diffable representation. :func:`canonical_text` additionally gives
+a total order on models used for deterministic tie-breaking between
+equally-close repairs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.metamodel.meta import UNBOUNDED, Attribute, Class, Metamodel, Reference
+from repro.metamodel.model import Model, ModelObject
+from repro.metamodel.types import AttrType, EnumType, PrimitiveType
+
+_PRIMITIVES = {p.value: p for p in PrimitiveType}
+
+FORMAT_VERSION = 1
+
+
+def metamodel_to_dict(mm: Metamodel) -> dict[str, Any]:
+    """A JSON-ready dictionary for ``mm``."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "metamodel",
+        "name": mm.name,
+        "enums": [{"name": e.name, "literals": list(e.literals)} for e in mm.enums],
+        "classes": [
+            {
+                "name": c.name,
+                "abstract": c.abstract,
+                "supertypes": list(c.supertypes),
+                "attributes": [
+                    {
+                        "name": a.name,
+                        "type": _type_to_str(a.type),
+                        "optional": a.optional,
+                    }
+                    for a in c.attributes
+                ],
+                "references": [
+                    {
+                        "name": r.name,
+                        "target": r.target,
+                        "lower": r.lower,
+                        "upper": r.upper,
+                        "containment": r.containment,
+                    }
+                    for r in c.references
+                ],
+            }
+            for c in mm.classes
+        ],
+    }
+
+
+def metamodel_from_dict(data: dict[str, Any]) -> Metamodel:
+    """Rebuild a metamodel from :func:`metamodel_to_dict` output."""
+    _expect(data, "metamodel")
+    enums = tuple(
+        EnumType(e["name"], tuple(e["literals"])) for e in data.get("enums", [])
+    )
+    enum_by_name = {e.name: e for e in enums}
+    classes = []
+    for c in data.get("classes", []):
+        attributes = tuple(
+            Attribute(
+                a["name"],
+                _type_from_str(a["type"], enum_by_name),
+                optional=a.get("optional", False),
+            )
+            for a in c.get("attributes", [])
+        )
+        references = tuple(
+            Reference(
+                r["name"],
+                r["target"],
+                lower=r.get("lower", 0),
+                upper=r.get("upper", UNBOUNDED),
+                containment=r.get("containment", False),
+            )
+            for r in c.get("references", [])
+        )
+        classes.append(
+            Class(
+                c["name"],
+                attributes=attributes,
+                references=references,
+                supertypes=tuple(c.get("supertypes", ())),
+                abstract=c.get("abstract", False),
+            )
+        )
+    return Metamodel(data["name"], tuple(classes), enums)
+
+
+def model_to_dict(model: Model) -> dict[str, Any]:
+    """A JSON-ready dictionary for ``model`` (metamodel referenced by name)."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "model",
+        "name": model.name,
+        "metamodel": model.metamodel.name,
+        "objects": [
+            {
+                "id": o.oid,
+                "class": o.cls,
+                "attrs": {n: v for n, v in o.attrs},
+                "refs": {n: list(ts) for n, ts in o.refs},
+            }
+            for o in model.objects
+        ],
+    }
+
+
+def model_from_dict(data: dict[str, Any], metamodel: Metamodel) -> Model:
+    """Rebuild a model from :func:`model_to_dict` output."""
+    _expect(data, "model")
+    declared = data.get("metamodel")
+    if declared and declared != metamodel.name:
+        raise SerializationError(
+            f"model references metamodel {declared!r}, got {metamodel.name!r}"
+        )
+    objects = tuple(
+        ModelObject.create(o["id"], o["class"], o.get("attrs", {}), o.get("refs", {}))
+        for o in data.get("objects", [])
+    )
+    return Model(metamodel, objects, data.get("name", ""))
+
+
+def canonical_text(model: Model) -> str:
+    """A canonical textual form of ``model`` for deterministic ordering."""
+    payload = model_to_dict(model)
+    payload.pop("name", None)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _type_to_str(attr_type: AttrType) -> str:
+    if isinstance(attr_type, EnumType):
+        return attr_type.name
+    return attr_type.value
+
+
+def _type_from_str(name: str, enums: dict[str, EnumType]) -> AttrType:
+    if name in _PRIMITIVES:
+        return _PRIMITIVES[name]
+    if name in enums:
+        return enums[name]
+    raise SerializationError(f"unknown attribute type {name!r}")
+
+
+def _expect(data: dict[str, Any], kind: str) -> None:
+    if not isinstance(data, dict):
+        raise SerializationError(f"expected a JSON object for a {kind}")
+    if data.get("kind") != kind:
+        raise SerializationError(f"expected kind={kind!r}, got {data.get('kind')!r}")
+    if data.get("format", FORMAT_VERSION) != FORMAT_VERSION:
+        raise SerializationError(f"unsupported format version {data.get('format')!r}")

@@ -1,0 +1,98 @@
+"""Attribute types: primitives and enumerations.
+
+The paper's metamodels (Figure 1) use ``String`` and ``bool`` attributes;
+we additionally support integers and user-defined enumerations, which the
+class/schema/index example exercises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import MetamodelError
+
+#: Python carrier for model attribute values.
+Value = str | bool | int
+
+
+class PrimitiveType(enum.Enum):
+    """The built-in attribute types."""
+
+    STRING = "String"
+    BOOLEAN = "Boolean"
+    INTEGER = "Integer"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+STRING = PrimitiveType.STRING
+BOOLEAN = PrimitiveType.BOOLEAN
+INTEGER = PrimitiveType.INTEGER
+
+
+@dataclass(frozen=True)
+class EnumType:
+    """A named enumeration with a fixed set of literals.
+
+    Literals are plain strings at the model level; the type constrains
+    which strings are admissible.
+    """
+
+    name: str
+    literals: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MetamodelError("enum type needs a non-empty name")
+        if not self.literals:
+            raise MetamodelError(f"enum type {self.name!r} needs at least one literal")
+        if len(set(self.literals)) != len(self.literals):
+            raise MetamodelError(f"enum type {self.name!r} has duplicate literals")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+#: Anything an attribute can be declared with.
+AttrType = PrimitiveType | EnumType
+
+
+def value_conforms(value: Value, attr_type: AttrType) -> bool:
+    """Return whether ``value`` inhabits ``attr_type``.
+
+    Note ``bool`` is a subtype of ``int`` in Python, so booleans are
+    checked first to keep ``True`` out of ``Integer`` attributes.
+    """
+    if isinstance(attr_type, EnumType):
+        return isinstance(value, str) and value in attr_type.literals
+    if attr_type is PrimitiveType.BOOLEAN:
+        return isinstance(value, bool)
+    if attr_type is PrimitiveType.INTEGER:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if attr_type is PrimitiveType.STRING:
+        return isinstance(value, str)
+    raise MetamodelError(f"unknown attribute type: {attr_type!r}")
+
+
+def default_value(attr_type: AttrType) -> Value:
+    """A canonical default inhabitant of ``attr_type``.
+
+    Used when enforcement materialises a fresh object before the solver
+    or search decides its real attribute values.
+    """
+    if isinstance(attr_type, EnumType):
+        return attr_type.literals[0]
+    if attr_type is PrimitiveType.BOOLEAN:
+        return False
+    if attr_type is PrimitiveType.INTEGER:
+        return 0
+    return ""
+
+
+def type_name(attr_type: AttrType) -> str:
+    """The declared name of ``attr_type`` (used by serialisation)."""
+    if isinstance(attr_type, EnumType):
+        return attr_type.name
+    return attr_type.value

@@ -1,0 +1,39 @@
+"""A three-model object/relational/index example domain.
+
+The paper's running example stays within feature models; this package
+provides a second, database-flavoured multidirectional environment that
+exercises the *rest* of the implemented QVT-R fragment — references in
+patterns, relation invocation with direction typing (section 2.3) and
+where-clauses:
+
+* **OO** — an object model: classes owning attributes;
+* **DB** — a relational schema: tables owning columns;
+* **IDX** — an index catalog keyed by table/column *names* (think of a
+  DBA tool that only sees identifier strings).
+
+Consistency couples all three: classes ↔ tables by name, attributes ↔
+columns within corresponding tables (via a ``when`` invocation of the
+class/table relation), and every column must be indexed in the catalog.
+Renaming a class in OO therefore ripples into both DB and IDX — the
+paper's ``→F^i_{FM×CF^{k-1}}`` shape on a different domain.
+"""
+
+from repro.objectdb.instances import (
+    consistent_environment,
+    db_model,
+    idx_model,
+    oo_model,
+)
+from repro.objectdb.metamodels import db_metamodel, idx_metamodel, oo_metamodel
+from repro.objectdb.relations import schema_transformation
+
+__all__ = [
+    "oo_metamodel",
+    "db_metamodel",
+    "idx_metamodel",
+    "oo_model",
+    "db_model",
+    "idx_model",
+    "consistent_environment",
+    "schema_transformation",
+]

@@ -1,0 +1,72 @@
+"""Instance builders for the object/relational/index environment."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.metamodel.builder import ModelBuilder
+from repro.metamodel.model import Model
+from repro.objectdb.metamodels import db_metamodel, idx_metamodel, oo_metamodel
+
+
+def oo_model(classes: Mapping[str, Iterable[str]], name: str = "oo") -> Model:
+    """An object model from ``{class name: [attribute names]}``.
+
+    >>> m = oo_model({"Person": ["age"]})
+    >>> sorted(o.cls for o in m.objects)
+    ['Attribute', 'Class']
+    """
+    builder = ModelBuilder(oo_metamodel(), name=name)
+    for class_name in sorted(classes):
+        builder.add("Class", oid=f"c_{class_name}", name=class_name)
+    for class_name in sorted(classes):
+        for attr_name in sorted(set(classes[class_name])):
+            oid = f"a_{class_name}_{attr_name}"
+            builder.add("Attribute", oid=oid, name=attr_name)
+            builder.link(oid, "owner", f"c_{class_name}")
+    return builder.build()
+
+
+def db_model(tables: Mapping[str, Iterable[str]], name: str = "db") -> Model:
+    """A relational schema from ``{table name: [column names]}``."""
+    builder = ModelBuilder(db_metamodel(), name=name)
+    for table_name in sorted(tables):
+        builder.add("Table", oid=f"t_{table_name}", name=table_name)
+    for table_name in sorted(tables):
+        for column_name in sorted(set(tables[table_name])):
+            oid = f"col_{table_name}_{column_name}"
+            builder.add("Column", oid=oid, name=column_name)
+            builder.link(oid, "table", f"t_{table_name}")
+    return builder.build()
+
+
+def idx_model(entries: Iterable[tuple[str, str]], name: str = "idx") -> Model:
+    """An index catalog from ``(table name, column name)`` pairs."""
+    builder = ModelBuilder(idx_metamodel(), name=name)
+    for table_name, column_name in sorted(set(entries)):
+        builder.add(
+            "Index",
+            oid=f"i_{table_name}_{column_name}",
+            table=table_name,
+            column=column_name,
+        )
+    return builder.build()
+
+
+def consistent_environment(
+    classes: Mapping[str, Iterable[str]],
+) -> dict[str, Model]:
+    """A fully consistent ``{oo, db, idx}`` tuple for the given classes.
+
+    Every class gets an identically named table, every attribute its
+    column, and every column an index entry.
+    """
+    return {
+        "oo": oo_model(classes),
+        "db": db_model(classes),
+        "idx": idx_model(
+            (class_name, attr_name)
+            for class_name in classes
+            for attr_name in classes[class_name]
+        ),
+    }

@@ -1,0 +1,52 @@
+"""Metamodels of the object/relational/index environment."""
+
+from __future__ import annotations
+
+from repro.metamodel.meta import Attribute, Class, Metamodel, Reference
+from repro.metamodel.types import STRING
+
+
+def oo_metamodel() -> Metamodel:
+    """``OO``: classes owning named attributes."""
+    return Metamodel(
+        "OO",
+        (
+            Class("Class", attributes=(Attribute("name", STRING),)),
+            Class(
+                "Attribute",
+                attributes=(Attribute("name", STRING),),
+                references=(Reference("owner", "Class", lower=1, upper=1),),
+            ),
+        ),
+    )
+
+
+def db_metamodel() -> Metamodel:
+    """``DB``: tables owning named columns."""
+    return Metamodel(
+        "DB",
+        (
+            Class("Table", attributes=(Attribute("name", STRING),)),
+            Class(
+                "Column",
+                attributes=(Attribute("name", STRING),),
+                references=(Reference("table", "Table", lower=1, upper=1),),
+            ),
+        ),
+    )
+
+
+def idx_metamodel() -> Metamodel:
+    """``IDX``: an index catalog that knows tables and columns by name."""
+    return Metamodel(
+        "IDX",
+        (
+            Class(
+                "Index",
+                attributes=(
+                    Attribute("table", STRING),
+                    Attribute("column", STRING),
+                ),
+            ),
+        ),
+    )

@@ -1,0 +1,141 @@
+"""The three-model schema transformation.
+
+Three top relations over ``Schema(oo : OO, db : DB, idx : IDX)``:
+
+* ``ClassTable`` — classes and tables correspond by name (both ways);
+* ``AttributeColumn`` — an attribute of class ``c`` corresponds to a
+  column of the table matched to ``c`` — the cross-model join is the
+  ``when { ClassTable(c, t) }`` invocation, run in the direction induced
+  by the caller (paper, section 2.3);
+* ``ColumnIndex`` — every column has an entry in the index catalog and
+  vice versa, matching on *names* (``where { tn = t.name }`` bridges the
+  object-valued DB side and the string-keyed IDX side).
+
+All three carry explicit ``depends`` annotations; none needs the ``idx``
+model to constrain ``oo`` directly, which is precisely the kind of
+asymmetry the standard's all-other-domains semantics cannot state.
+"""
+
+from __future__ import annotations
+
+from repro.deps.dependency import Dependency
+from repro.expr.ast import Eq, Nav, RelationCall, Var
+from repro.qvtr.ast import (
+    Domain,
+    ModelParam,
+    ObjectTemplate,
+    PropertyConstraint,
+    Relation,
+    Transformation,
+    VarDecl,
+)
+
+
+def class_table_relation() -> Relation:
+    """``ClassTable``: class names and table names coincide."""
+    return Relation(
+        name="ClassTable",
+        domains=(
+            Domain(
+                "oo",
+                ObjectTemplate("c", "Class", (PropertyConstraint("name", Var("n")),)),
+            ),
+            Domain(
+                "db",
+                ObjectTemplate("t", "Table", (PropertyConstraint("name", Var("n")),)),
+            ),
+        ),
+        variables=(VarDecl("n", "String"),),
+        dependencies=frozenset(
+            {Dependency(("oo",), "db"), Dependency(("db",), "oo")}
+        ),
+    )
+
+
+def attribute_column_relation() -> Relation:
+    """``AttributeColumn``: attributes ↔ columns of the matched table."""
+    return Relation(
+        name="AttributeColumn",
+        domains=(
+            Domain(
+                "oo",
+                ObjectTemplate(
+                    "a",
+                    "Attribute",
+                    (
+                        PropertyConstraint("name", Var("n")),
+                        PropertyConstraint("owner", Var("c")),
+                    ),
+                ),
+            ),
+            Domain(
+                "db",
+                ObjectTemplate(
+                    "col",
+                    "Column",
+                    (
+                        PropertyConstraint("name", Var("n")),
+                        PropertyConstraint("table", Var("t")),
+                    ),
+                ),
+            ),
+        ),
+        variables=(VarDecl("n", "String"),),
+        when=RelationCall("ClassTable", Var("c"), Var("t")),
+        dependencies=frozenset(
+            {Dependency(("oo",), "db"), Dependency(("db",), "oo")}
+        ),
+    )
+
+
+def column_index_relation() -> Relation:
+    """``ColumnIndex``: the catalog indexes exactly the existing columns."""
+    return Relation(
+        name="ColumnIndex",
+        domains=(
+            Domain(
+                "db",
+                ObjectTemplate(
+                    "col",
+                    "Column",
+                    (
+                        PropertyConstraint("name", Var("cn")),
+                        PropertyConstraint("table", Var("t")),
+                    ),
+                ),
+            ),
+            Domain(
+                "idx",
+                ObjectTemplate(
+                    "i",
+                    "Index",
+                    (
+                        PropertyConstraint("table", Var("tn")),
+                        PropertyConstraint("column", Var("cn")),
+                    ),
+                ),
+            ),
+        ),
+        variables=(VarDecl("cn", "String"), VarDecl("tn", "String")),
+        where=Eq(Var("tn"), Nav(Var("t"), "name")),
+        dependencies=frozenset(
+            {Dependency(("db",), "idx"), Dependency(("idx",), "db")}
+        ),
+    )
+
+
+def schema_transformation() -> Transformation:
+    """The full ``Schema(oo : OO, db : DB, idx : IDX)`` transformation."""
+    return Transformation(
+        name="Schema",
+        model_params=(
+            ModelParam("oo", "OO"),
+            ModelParam("db", "DB"),
+            ModelParam("idx", "IDX"),
+        ),
+        relations=(
+            class_table_relation(),
+            attribute_column_relation(),
+            column_index_relation(),
+        ),
+    )

@@ -1,0 +1,36 @@
+"""QVT-R: abstract syntax, concrete syntax and static analysis.
+
+The implemented language is the fragment the paper uses — top and
+non-top relations, variable declarations, flat domain patterns, ``when``
+and ``where`` clauses with relation invocation — extended with the
+paper's checking dependencies via a ``depends`` clause (the concrete
+syntax the paper leaves open, see DESIGN.md).
+"""
+
+from repro.qvtr.analysis import analyse, call_sites_of, AnalysisReport
+from repro.qvtr.ast import (
+    Domain,
+    ModelParam,
+    ObjectTemplate,
+    PropertyConstraint,
+    Relation,
+    Transformation,
+    VarDecl,
+)
+from repro.qvtr.pretty import pretty_transformation
+from repro.qvtr.syntax.parser import parse_transformation
+
+__all__ = [
+    "Transformation",
+    "Relation",
+    "Domain",
+    "ObjectTemplate",
+    "PropertyConstraint",
+    "VarDecl",
+    "ModelParam",
+    "parse_transformation",
+    "pretty_transformation",
+    "analyse",
+    "call_sites_of",
+    "AnalysisReport",
+]

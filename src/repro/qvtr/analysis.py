@@ -1,0 +1,208 @@
+"""Static analysis of QVT-R transformations.
+
+Three families of checks:
+
+* **well-formedness** — domain classes and pattern features exist in the
+  declared metamodels; relation calls have the caller's arity;
+* **safety** — every variable a directional check quantifies universally
+  can be bound by matching a source pattern (otherwise the check would
+  range over an unbounded value domain; see
+  :class:`~repro.errors.UnsafeRelationError`);
+* **invocation direction typing** — the paper's section 2.3: for every
+  call site and every direction the caller can run in, the callee's
+  dependency set must Horn-entail the induced direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+from repro.deps.typecheck import CallSite, InvocationIssue, check_transformation_invocations
+from repro.errors import QvtStaticError
+from repro.expr import ast as e
+from repro.expr.free_vars import free_vars
+from repro.expr.walk import relation_calls
+from repro.metamodel.meta import Metamodel
+from repro.qvtr.ast import Relation, Transformation
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Everything the static analyser found."""
+
+    issues: tuple[str, ...] = ()
+    invocation_issues: tuple[InvocationIssue, ...] = ()
+    safety_issues: tuple[str, ...] = ()
+
+    def ok(self) -> bool:
+        return not (self.issues or self.invocation_issues or self.safety_issues)
+
+    def all_messages(self) -> list[str]:
+        return (
+            list(self.issues)
+            + [str(i) for i in self.invocation_issues]
+            + list(self.safety_issues)
+        )
+
+    def raise_if_failed(self) -> None:
+        if not self.ok():
+            raise QvtStaticError("; ".join(self.all_messages()))
+
+
+def call_sites_of(transformation: Transformation) -> list[CallSite]:
+    """Every syntactic relation invocation in the transformation."""
+    sites: list[CallSite] = []
+    for relation in transformation.relations:
+        for clause, expr in (("when", relation.when), ("where", relation.where)):
+            for call in relation_calls(expr):
+                sites.append(CallSite(relation.name, call.relation, clause))
+    return sites
+
+
+def analyse(
+    transformation: Transformation,
+    metamodels: Mapping[str, Metamodel] | None = None,
+) -> AnalysisReport:
+    """Run all static checks; pass ``metamodels`` keyed by metamodel name
+    to enable well-formedness checking against them."""
+    issues: list[str] = []
+    safety: list[str] = []
+
+    for relation in transformation.relations:
+        issues.extend(_check_arities(transformation, relation))
+        if metamodels is not None:
+            issues.extend(_check_against_metamodels(transformation, relation, metamodels))
+        safety.extend(_check_safety(relation))
+
+    relation_domains = {
+        r.name: list(r.domain_params()) for r in transformation.relations
+    }
+    relation_deps = {
+        r.name: r.effective_dependencies() for r in transformation.relations
+    }
+    invocation_issues = check_transformation_invocations(
+        relation_domains, relation_deps, call_sites_of(transformation)
+    )
+    return AnalysisReport(tuple(issues), tuple(invocation_issues), tuple(safety))
+
+
+def _check_arities(transformation: Transformation, relation: Relation) -> list[str]:
+    issues = []
+    for clause, expr in (("when", relation.when), ("where", relation.where)):
+        for call in relation_calls(expr):
+            if not transformation.has_relation(call.relation):
+                issues.append(
+                    f"{relation.name}/{clause}: call to unknown relation "
+                    f"{call.relation!r}"
+                )
+                continue
+            callee = transformation.relation(call.relation)
+            if len(call.args) != len(callee.domains):
+                issues.append(
+                    f"{relation.name}/{clause}: call to {call.relation!r} has "
+                    f"{len(call.args)} arguments, callee declares "
+                    f"{len(callee.domains)} domains"
+                )
+    return issues
+
+
+def _check_against_metamodels(
+    transformation: Transformation,
+    relation: Relation,
+    metamodels: Mapping[str, Metamodel],
+) -> list[str]:
+    issues = []
+    for domain in relation.domains:
+        param = transformation.param(domain.model_param)
+        metamodel = metamodels.get(param.metamodel)
+        if metamodel is None:
+            issues.append(
+                f"{relation.name}: model parameter {param.name!r} needs unknown "
+                f"metamodel {param.metamodel!r}"
+            )
+            continue
+        template = domain.template
+        if not metamodel.has_class(template.class_name):
+            issues.append(
+                f"{relation.name}: domain {domain.model_param!r} uses unknown "
+                f"class {template.class_name!r}"
+            )
+            continue
+        declared = set(metamodel.all_attributes(template.class_name))
+        declared |= set(metamodel.all_references(template.class_name))
+        for prop in template.properties:
+            if prop.feature not in declared:
+                issues.append(
+                    f"{relation.name}: class {template.class_name!r} has no "
+                    f"feature {prop.feature!r}"
+                )
+    return issues
+
+
+def _call_arg_vars(expr: e.Expr | None) -> set[str]:
+    """Variables appearing as direct relation-call arguments.
+
+    The checking engine enumerates these over the callee's domain-class
+    extent (see :mod:`repro.check.semantics`), so they count as bindable.
+    """
+    if expr is None:
+        return set()
+    out: set[str] = set()
+    for call in relation_calls(expr):
+        for arg in call.args:
+            if isinstance(arg, e.Var):
+                out.add(arg.name)
+    return out
+
+
+def _check_safety(relation: Relation) -> list[str]:
+    """Every direction's universal variables must be pattern-bindable.
+
+    A variable is bindable from a domain when it is the domain's root or
+    occurs as a *bare variable* property value (``name = n`` binds ``n``);
+    a property whose value is a compound expression only checks. Direct
+    call arguments in when/where are bindable by extent enumeration.
+    """
+    issues = []
+    for dep in sorted(relation.effective_dependencies()):
+        bindable: set[str] = set()
+        for param in sorted(dep.sources):
+            domain = relation.domain_for(param)
+            bindable.add(domain.root_var)
+            for prop in domain.template.properties:
+                if isinstance(prop.expr, e.Var):
+                    bindable.add(prop.expr.name)
+        bindable |= _call_arg_vars(relation.when)
+        needed: set[str] = set()
+        for param in sorted(dep.sources):
+            for prop in relation.domain_for(param).template.properties:
+                needed |= free_vars(prop.expr)
+        if relation.when is not None:
+            needed |= free_vars(relation.when)
+        unbound = needed - bindable
+        if unbound:
+            issues.append(
+                f"{relation.name} [{dep}]: universal variables {sorted(unbound)} "
+                "cannot be bound by any source pattern"
+            )
+        # Existential side: the target pattern may bind further variables.
+        target_domain = relation.domain_for(dep.target)
+        bindable_target = set(bindable)
+        bindable_target.add(target_domain.root_var)
+        for prop in target_domain.template.properties:
+            if isinstance(prop.expr, e.Var):
+                bindable_target.add(prop.expr.name)
+        bindable_target |= _call_arg_vars(relation.where)
+        needed_target: set[str] = set()
+        for prop in target_domain.template.properties:
+            needed_target |= free_vars(prop.expr)
+        if relation.where is not None:
+            needed_target |= free_vars(relation.where)
+        unbound_target = needed_target - bindable_target
+        if unbound_target:
+            issues.append(
+                f"{relation.name} [{dep}]: existential variables "
+                f"{sorted(unbound_target)} cannot be bound by the target pattern"
+            )
+    return issues

@@ -1,0 +1,191 @@
+"""Abstract syntax of QVT-R transformations (the paper's fragment).
+
+The shape follows the paper's section 2 verbatim::
+
+    [top] relation R {
+      [variable declarations]
+      domain m1 a1 : A1 { pi1 }
+      ...
+      domain mn an : An { pin }
+      [when { psi }] [where { phi }]
+      [depends S -> T; ...]            -- our section 2.2 extension
+    }
+
+A relation without a ``depends`` clause defaults to the standard
+semantics, i.e. the dependency set ``⋃_i (dom R \\ Mi -> Mi)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.deps.dependency import (
+    Dependency,
+    standard_dependencies,
+    validate_against_domains,
+)
+from repro.errors import QvtStaticError
+from repro.expr import ast as e
+
+
+@dataclass(frozen=True)
+class PropertyConstraint:
+    """One template item ``feature = expr`` inside a domain pattern.
+
+    When ``expr`` is an unbound variable the pattern *binds* it to the
+    feature's value; otherwise the pattern *checks* the equality.
+    """
+
+    feature: str
+    expr: e.Expr
+
+
+@dataclass(frozen=True)
+class ObjectTemplate:
+    """``a : A { p1 = e1, ..., pk = ek }`` — a flat object template."""
+
+    var: str
+    class_name: str
+    properties: tuple[PropertyConstraint, ...] = ()
+
+
+@dataclass(frozen=True)
+class Domain:
+    """``domain m a : A { ... }`` — a typed pattern over model param ``m``."""
+
+    model_param: str
+    template: ObjectTemplate
+
+    @property
+    def root_var(self) -> str:
+        return self.template.var
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """A declared relation variable, e.g. ``n : String``."""
+
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class Relation:
+    """One QVT-R relation with its optional dependency annotation."""
+
+    name: str
+    domains: tuple[Domain, ...]
+    variables: tuple[VarDecl, ...] = ()
+    when: e.Expr | None = None
+    where: e.Expr | None = None
+    is_top: bool = True
+    dependencies: frozenset[Dependency] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QvtStaticError("relation needs a name")
+        if len(self.domains) < 1:
+            raise QvtStaticError(f"relation {self.name!r} needs at least one domain")
+        params = [d.model_param for d in self.domains]
+        if len(set(params)) != len(params):
+            raise QvtStaticError(
+                f"relation {self.name!r} has repeated domain model parameters"
+            )
+        roots = [d.root_var for d in self.domains]
+        if len(set(roots)) != len(roots):
+            raise QvtStaticError(f"relation {self.name!r} has repeated domain root variables")
+        if self.dependencies is not None:
+            validate_against_domains(self.dependencies, params)
+
+    def domain_params(self) -> tuple[str, ...]:
+        """The model parameters this relation constrains, in declaration order."""
+        return tuple(d.model_param for d in self.domains)
+
+    def domain_for(self, model_param: str) -> Domain:
+        """The domain bound to ``model_param``."""
+        for domain in self.domains:
+            if domain.model_param == model_param:
+                return domain
+        raise QvtStaticError(
+            f"relation {self.name!r} has no domain over {model_param!r}"
+        )
+
+    def effective_dependencies(self) -> frozenset[Dependency]:
+        """Declared dependencies, or the standard set when none are declared.
+
+        This is the conservativity hinge: an unannotated relation behaves
+        exactly as the QVT-R standard prescribes.
+        """
+        if self.dependencies is not None:
+            return self.dependencies
+        return standard_dependencies(self.domain_params())
+
+
+@dataclass(frozen=True)
+class ModelParam:
+    """A typed model parameter of the transformation: ``cf1 : CF``."""
+
+    name: str
+    metamodel: str
+
+
+@dataclass(frozen=True)
+class Transformation:
+    """A named set of relations over typed model parameters."""
+
+    name: str
+    model_params: tuple[ModelParam, ...]
+    relations: tuple[Relation, ...]
+    _by_name: dict = field(default_factory=dict, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QvtStaticError("transformation needs a name")
+        param_names = [p.name for p in self.model_params]
+        if len(set(param_names)) != len(param_names):
+            raise QvtStaticError(
+                f"transformation {self.name!r} has repeated model parameters"
+            )
+        params = set(param_names)
+        by_name: dict[str, Relation] = {}
+        for relation in self.relations:
+            if relation.name in by_name:
+                raise QvtStaticError(
+                    f"transformation {self.name!r} declares relation "
+                    f"{relation.name!r} twice"
+                )
+            by_name[relation.name] = relation
+            unknown = set(relation.domain_params()) - params
+            if unknown:
+                raise QvtStaticError(
+                    f"relation {relation.name!r} uses undeclared model "
+                    f"parameters {sorted(unknown)}"
+                )
+        self._by_name.update(by_name)
+
+    def relation(self, name: str) -> Relation:
+        """The relation named ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise QvtStaticError(
+                f"transformation {self.name!r} has no relation {name!r}"
+            ) from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._by_name
+
+    def top_relations(self) -> tuple[Relation, ...]:
+        """The relations whose consistency is checked at the top level."""
+        return tuple(r for r in self.relations if r.is_top)
+
+    def param(self, name: str) -> ModelParam:
+        for p in self.model_params:
+            if p.name == name:
+                return p
+        raise QvtStaticError(
+            f"transformation {self.name!r} has no model parameter {name!r}"
+        )
+
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.model_params)

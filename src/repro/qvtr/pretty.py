@@ -1,0 +1,167 @@
+"""Source-level pretty printer for QVT-R transformations.
+
+Emits text in exactly the grammar :mod:`repro.qvtr.syntax.parser`
+accepts, satisfying the round-trip law
+``parse(pretty(t)) == t`` (property-tested).
+"""
+
+from __future__ import annotations
+
+from repro.deps.dependency import Dependency
+from repro.errors import ExprError
+from repro.expr import ast as e
+from repro.qvtr.ast import Domain, Relation, Transformation
+
+
+def pretty_transformation(transformation: Transformation) -> str:
+    """Render a transformation back to concrete syntax."""
+    params = ", ".join(
+        f"{p.name} : {p.metamodel}" for p in transformation.model_params
+    )
+    lines = [f"transformation {transformation.name} ({params}) {{"]
+    for relation in transformation.relations:
+        lines.append(_relation(relation))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _relation(relation: Relation) -> str:
+    head = "  top relation" if relation.is_top else "  relation"
+    lines = [f"{head} {relation.name} {{"]
+    for var in relation.variables:
+        lines.append(f"    {var.name} : {var.type_name};")
+    for domain in relation.domains:
+        lines.append(_domain(domain))
+    if relation.when is not None:
+        lines.append(f"    when {{ {pretty_expr(relation.when)} }}")
+    if relation.where is not None:
+        lines.append(f"    where {{ {pretty_expr(relation.where)} }}")
+    if relation.dependencies is not None:
+        deps = "; ".join(_dependency(d) for d in sorted(relation.dependencies))
+        lines.append(f"    depends {{ {deps} }}")
+    lines.append("  }")
+    return "\n".join(lines)
+
+
+def _domain(domain: Domain) -> str:
+    template = domain.template
+    props = ", ".join(
+        f"{p.feature} = {pretty_expr(p.expr)}" for p in template.properties
+    )
+    return (
+        f"    domain {domain.model_param} {template.var} : "
+        f"{template.class_name} {{ {props} }}"
+        if props
+        else f"    domain {domain.model_param} {template.var} : "
+        f"{template.class_name} {{ }}"
+    )
+
+
+def _dependency(dep: Dependency) -> str:
+    sources = " ".join(sorted(dep.sources))
+    return f"{sources} -> {dep.target}" if sources else f"-> {dep.target}"
+
+
+def pretty_expr(expr: e.Expr) -> str:
+    """Render an expression in parser-compatible concrete syntax."""
+    if isinstance(expr, e.Lit):
+        if isinstance(expr.value, bool):
+            return "true" if expr.value else "false"
+        if isinstance(expr.value, str):
+            escaped = expr.value.replace("\\", "\\\\").replace("'", "\\'")
+            escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+            return f"'{escaped}'"
+        return str(expr.value)
+    if isinstance(expr, e.Var):
+        return expr.name
+    if isinstance(expr, e.Nav):
+        return f"{_postfix_source(expr.source)}.{expr.feature}"
+    if isinstance(expr, e.Eq):
+        return f"({pretty_expr(expr.left)} = {pretty_expr(expr.right)})"
+    if isinstance(expr, e.Ne):
+        return f"({pretty_expr(expr.left)} <> {pretty_expr(expr.right)})"
+    if isinstance(expr, e.Lt):
+        return f"({pretty_expr(expr.left)} < {pretty_expr(expr.right)})"
+    if isinstance(expr, e.Le):
+        return f"({pretty_expr(expr.left)} <= {pretty_expr(expr.right)})"
+    if isinstance(expr, e.Gt):
+        return f"({pretty_expr(expr.left)} > {pretty_expr(expr.right)})"
+    if isinstance(expr, e.Ge):
+        return f"({pretty_expr(expr.left)} >= {pretty_expr(expr.right)})"
+    if isinstance(expr, e.And):
+        if not expr.operands:
+            return "true"
+        if len(expr.operands) == 1:
+            return pretty_expr(expr.operands[0])
+        return "(" + " and ".join(pretty_expr(op) for op in expr.operands) + ")"
+    if isinstance(expr, e.Or):
+        if not expr.operands:
+            return "false"
+        if len(expr.operands) == 1:
+            return pretty_expr(expr.operands[0])
+        return "(" + " or ".join(pretty_expr(op) for op in expr.operands) + ")"
+    if isinstance(expr, e.Not):
+        return f"not {pretty_expr(expr.operand)}"
+    if isinstance(expr, e.Implies):
+        return f"({pretty_expr(expr.premise)} implies {pretty_expr(expr.conclusion)})"
+    if isinstance(expr, e.Union):
+        return f"({pretty_expr(expr.left)} union {pretty_expr(expr.right)})"
+    if isinstance(expr, e.Intersect):
+        return f"({pretty_expr(expr.left)} intersect {pretty_expr(expr.right)})"
+    if isinstance(expr, e.SetDiff):
+        return f"({pretty_expr(expr.left)} minus {pretty_expr(expr.right)})"
+    if isinstance(expr, e.SetLit):
+        return "{" + ", ".join(pretty_expr(el) for el in expr.elements) + "}"
+    if isinstance(expr, e.In):
+        return f"({pretty_expr(expr.element)} in {pretty_expr(expr.collection)})"
+    if isinstance(expr, e.Subset):
+        return f"({pretty_expr(expr.left)} subset {pretty_expr(expr.right)})"
+    if isinstance(expr, e.Size):
+        return f"{_postfix_source(expr.collection)}->size()"
+    if isinstance(expr, e.IsEmpty):
+        return f"{_postfix_source(expr.collection)}->isEmpty()"
+    if isinstance(expr, e.Collect):
+        return (
+            f"{_postfix_source(expr.collection)}->collect({expr.var} | "
+            f"{pretty_expr(expr.body)})"
+        )
+    if isinstance(expr, e.Select):
+        return (
+            f"{_postfix_source(expr.collection)}->select({expr.var} | "
+            f"{pretty_expr(expr.body)})"
+        )
+    if isinstance(expr, e.AllInstances):
+        return f"{expr.model}::{expr.class_name}.allInstances()"
+    if isinstance(expr, e.Forall):
+        return (
+            f"{_postfix_source(expr.domain)}->forAll({expr.var} | "
+            f"{pretty_expr(expr.body)})"
+        )
+    if isinstance(expr, e.Exists):
+        return (
+            f"{_postfix_source(expr.domain)}->exists({expr.var} | "
+            f"{pretty_expr(expr.body)})"
+        )
+    if isinstance(expr, e.RelationCall):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"{expr.relation}({args})"
+    if isinstance(expr, e.StrConcat):
+        return f"({pretty_expr(expr.left)} + {pretty_expr(expr.right)})"
+    if isinstance(expr, e.StrLower):
+        return f"lower({pretty_expr(expr.operand)})"
+    if isinstance(expr, e.StrUpper):
+        return f"upper({pretty_expr(expr.operand)})"
+    raise ExprError(f"unknown expression node: {expr!r}")
+
+
+def _postfix_source(source: e.Expr) -> str:
+    """Render a postfix operand, parenthesising prefix forms.
+
+    ``not`` is the grammar's only prefix operator; everything else
+    renders either atomically or fully parenthesised, so ``not`` is the
+    only source that would re-associate under ``.`` or ``->``.
+    """
+    rendered = pretty_expr(source)
+    if isinstance(source, e.Not):
+        return f"({rendered})"
+    return rendered

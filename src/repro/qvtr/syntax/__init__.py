@@ -1,0 +1,6 @@
+"""Concrete textual syntax for the QVT-R fragment (lexer + parser)."""
+
+from repro.qvtr.syntax.lexer import Token, tokenize
+from repro.qvtr.syntax.parser import parse_expression, parse_transformation
+
+__all__ = ["Token", "tokenize", "parse_transformation", "parse_expression"]

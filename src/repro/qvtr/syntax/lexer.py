@@ -1,0 +1,137 @@
+"""Tokeniser for the QVT-R textual fragment.
+
+Comments run from ``--`` or ``//`` to end of line. String literals use
+single quotes with ``\\'`` and ``\\\\`` escapes. Multi-character symbols
+(``->``, ``::``, ``<=``, ``>=``, ``<>``) are matched greedily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QvtSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "transformation",
+        "top",
+        "relation",
+        "domain",
+        "when",
+        "where",
+        "depends",
+        "true",
+        "false",
+        "and",
+        "or",
+        "not",
+        "implies",
+        "in",
+        "subset",
+        "union",
+        "intersect",
+        "minus",
+    }
+)
+
+#: Multi-character symbols, longest first.
+_SYMBOLS = ("->", "::", "<=", ">=", "<>", "{", "}", "(", ")", ",", ";", ":",
+            ".", "=", "<", ">", "|", "+")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str  # 'ident' | 'keyword' | 'int' | 'string' | 'symbol' | 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise ``source``; always ends with an ``eof`` token."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("--", i) or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            text, consumed = _scan_string(source, i, line, column)
+            tokens.append(Token("string", text, line, column))
+            column += consumed
+            i += consumed
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            tokens.append(Token("int", source[start:i], line, column))
+            column += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line, column))
+            column += i - start
+            continue
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, i):
+                tokens.append(Token("symbol", symbol, line, column))
+                i += len(symbol)
+                column += len(symbol)
+                break
+        else:
+            raise QvtSyntaxError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+def _scan_string(source: str, start: int, line: int, column: int) -> tuple[str, int]:
+    """Scan a single-quoted string starting at ``start``; return (value, length)."""
+    i = start + 1
+    out: list[str] = []
+    while i < len(source):
+        ch = source[i]
+        if ch == "\\":
+            if i + 1 >= len(source):
+                break
+            escape = source[i + 1]
+            if escape == "n":
+                out.append("\n")
+            elif escape == "t":
+                out.append("\t")
+            elif escape in ("'", "\\"):
+                out.append(escape)
+            else:
+                raise QvtSyntaxError(f"bad escape \\{escape}", line, column)
+            i += 2
+            continue
+        if ch == "'":
+            return "".join(out), i - start + 1
+        if ch == "\n":
+            break
+        out.append(ch)
+        i += 1
+    raise QvtSyntaxError("unterminated string literal", line, column)

@@ -1,0 +1,393 @@
+"""Recursive-descent parser for the QVT-R textual fragment.
+
+Grammar (EBNF, ``[]`` optional, ``*``/``+`` repetition)::
+
+    transformation := 'transformation' IDENT '(' param (',' param)* ')'
+                      '{' relation* '}'
+    param          := IDENT ':' IDENT
+    relation       := ['top'] 'relation' IDENT '{'
+                         vardecl* domain+ ['when' '{' expr '}']
+                         ['where' '{' expr '}'] ['depends' '{' deps '}'] '}'
+    vardecl        := IDENT (',' IDENT)* ':' IDENT ';'
+    domain         := 'domain' IDENT IDENT ':' IDENT '{' [prop (',' prop)*] '}'
+    prop           := IDENT '=' expr
+    deps           := dep (';' dep)* [';']
+    dep            := [IDENT+] '->' IDENT
+
+Expressions (low to high precedence)::
+
+    expr      := disj ('implies' expr)?          -- right associative
+    disj      := conj ('or' conj)*
+    conj      := cmp ('and' cmp)*
+    cmp       := add (('='|'<>'|'<'|'<='|'>'|'>='|'in'|'subset') add)?
+    add       := unary (('union'|'intersect'|'minus'|'+') unary)*
+    unary     := 'not' unary | postfix
+    postfix   := primary ('.' IDENT
+                          | '->' 'collect' '(' IDENT '|' expr ')'
+                          | '->' 'select'  '(' IDENT '|' expr ')'
+                          | '->' 'forAll'  '(' IDENT '|' expr ')'
+                          | '->' 'exists'  '(' IDENT '|' expr ')'
+                          | '->' 'size' '(' ')'
+                          | '->' 'isEmpty' '(' ')')*
+    primary   := 'true' | 'false' | INT | STRING
+               | '(' expr ')'
+               | '{' [expr (',' expr)*] '}'
+               | IDENT '::' IDENT ['.' 'allInstances' '(' ')']
+               | ('lower'|'upper') '(' expr ')'
+               | IDENT '(' [expr (',' expr)*] ')'     -- relation call
+               | IDENT
+
+``model::Class`` (with or without the explicit ``.allInstances()``) is
+the multidirectional analogue of OCL's ``Class.allInstances()`` — the
+model parameter must be named because several domains may share a
+metamodel.
+"""
+
+from __future__ import annotations
+
+from repro.deps.dependency import Dependency
+from repro.errors import QvtSyntaxError
+from repro.expr import ast as e
+from repro.qvtr.ast import (
+    Domain,
+    ModelParam,
+    ObjectTemplate,
+    PropertyConstraint,
+    Relation,
+    Transformation,
+    VarDecl,
+)
+from repro.qvtr.syntax.lexer import Token, tokenize
+
+_BUILTIN_FUNCTIONS = frozenset({"lower", "upper"})
+_ARROW_OPS = frozenset({"collect", "select", "forAll", "exists", "size", "isEmpty"})
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.at(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if not self.at(kind, text):
+            wanted = text if text is not None else kind
+            raise QvtSyntaxError(
+                f"expected {wanted!r}, found {token.text or token.kind!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        return self.expect("ident").text
+
+    # ------------------------------------------------------------------
+    # Transformation structure
+    # ------------------------------------------------------------------
+    def transformation(self) -> Transformation:
+        self.expect("keyword", "transformation")
+        name = self.expect_ident()
+        self.expect("symbol", "(")
+        params = [self._model_param()]
+        while self.accept("symbol", ","):
+            params.append(self._model_param())
+        self.expect("symbol", ")")
+        self.expect("symbol", "{")
+        relations = []
+        while not self.at("symbol", "}"):
+            relations.append(self._relation())
+        self.expect("symbol", "}")
+        self.expect("eof")
+        return Transformation(name, tuple(params), tuple(relations))
+
+    def _model_param(self) -> ModelParam:
+        name = self.expect_ident()
+        self.expect("symbol", ":")
+        metamodel = self.expect_ident()
+        return ModelParam(name, metamodel)
+
+    def _relation(self) -> Relation:
+        is_top = self.accept("keyword", "top") is not None
+        self.expect("keyword", "relation")
+        name = self.expect_ident()
+        self.expect("symbol", "{")
+        variables = []
+        while self._at_vardecl():
+            variables.extend(self._vardecl())
+        domains = []
+        while self.at("keyword", "domain"):
+            domains.append(self._domain())
+        when = None
+        if self.accept("keyword", "when"):
+            self.expect("symbol", "{")
+            when = self.expression()
+            self.expect("symbol", "}")
+        where = None
+        if self.accept("keyword", "where"):
+            self.expect("symbol", "{")
+            where = self.expression()
+            self.expect("symbol", "}")
+        dependencies = None
+        if self.accept("keyword", "depends"):
+            self.expect("symbol", "{")
+            dependencies = self._dependencies()
+            self.expect("symbol", "}")
+        self.expect("symbol", "}")
+        return Relation(
+            name=name,
+            domains=tuple(domains),
+            variables=tuple(variables),
+            when=when,
+            where=where,
+            is_top=is_top,
+            dependencies=dependencies,
+        )
+
+    def _at_vardecl(self) -> bool:
+        # IDENT (',' IDENT)* ':' IDENT ';' — look ahead for the colon
+        # before a 'domain' keyword.
+        if not self.at("ident"):
+            return False
+        offset = 1
+        while self.peek(offset).kind == "symbol" and self.peek(offset).text == ",":
+            if self.peek(offset + 1).kind != "ident":
+                return False
+            offset += 2
+        return self.peek(offset).kind == "symbol" and self.peek(offset).text == ":"
+
+    def _vardecl(self) -> list[VarDecl]:
+        names = [self.expect_ident()]
+        while self.accept("symbol", ","):
+            names.append(self.expect_ident())
+        self.expect("symbol", ":")
+        type_name = self.expect_ident()
+        self.expect("symbol", ";")
+        return [VarDecl(n, type_name) for n in names]
+
+    def _domain(self) -> Domain:
+        self.expect("keyword", "domain")
+        model_param = self.expect_ident()
+        var = self.expect_ident()
+        self.expect("symbol", ":")
+        class_name = self.expect_ident()
+        self.expect("symbol", "{")
+        properties = []
+        if not self.at("symbol", "}"):
+            properties.append(self._property())
+            while self.accept("symbol", ","):
+                properties.append(self._property())
+        self.expect("symbol", "}")
+        return Domain(model_param, ObjectTemplate(var, class_name, tuple(properties)))
+
+    def _property(self) -> PropertyConstraint:
+        feature = self.expect_ident()
+        self.expect("symbol", "=")
+        return PropertyConstraint(feature, self.expression())
+
+    def _dependencies(self) -> frozenset[Dependency]:
+        deps = set()
+        while not self.at("symbol", "}"):
+            sources = []
+            while self.at("ident"):
+                sources.append(self.advance().text)
+            self.expect("symbol", "->")
+            target = self.expect_ident()
+            deps.add(Dependency(sources, target))
+            if not self.accept("symbol", ";"):
+                break
+        return frozenset(deps)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def expression(self) -> e.Expr:
+        left = self._disjunction()
+        if self.accept("keyword", "implies"):
+            return e.Implies(left, self.expression())
+        return left
+
+    def _disjunction(self) -> e.Expr:
+        operands = [self._conjunction()]
+        while self.accept("keyword", "or"):
+            operands.append(self._conjunction())
+        if len(operands) == 1:
+            return operands[0]
+        return e.Or(*operands)
+
+    def _conjunction(self) -> e.Expr:
+        operands = [self._comparison()]
+        while self.accept("keyword", "and"):
+            operands.append(self._comparison())
+        if len(operands) == 1:
+            return operands[0]
+        return e.And(*operands)
+
+    def _comparison(self) -> e.Expr:
+        left = self._additive()
+        if self.accept("symbol", "="):
+            return e.Eq(left, self._additive())
+        if self.accept("symbol", "<>"):
+            return e.Ne(left, self._additive())
+        if self.accept("symbol", "<="):
+            return e.Le(left, self._additive())
+        if self.accept("symbol", ">="):
+            return e.Ge(left, self._additive())
+        if self.accept("symbol", "<"):
+            return e.Lt(left, self._additive())
+        if self.accept("symbol", ">"):
+            return e.Gt(left, self._additive())
+        if self.accept("keyword", "in"):
+            return e.In(left, self._additive())
+        if self.accept("keyword", "subset"):
+            return e.Subset(left, self._additive())
+        return left
+
+    def _additive(self) -> e.Expr:
+        left = self._unary()
+        while True:
+            if self.accept("keyword", "union"):
+                left = e.Union(left, self._unary())
+            elif self.accept("keyword", "intersect"):
+                left = e.Intersect(left, self._unary())
+            elif self.accept("keyword", "minus"):
+                left = e.SetDiff(left, self._unary())
+            elif self.accept("symbol", "+"):
+                left = e.StrConcat(left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> e.Expr:
+        if self.accept("keyword", "not"):
+            return e.Not(self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> e.Expr:
+        expr = self._primary()
+        while True:
+            if self.at("symbol", ".") and self.peek(1).kind == "ident":
+                self.advance()
+                expr = e.Nav(expr, self.advance().text)
+                continue
+            if self.at("symbol", "->") and self.peek(1).kind == "ident" and (
+                self.peek(1).text in _ARROW_OPS
+            ):
+                self.advance()
+                op = self.advance().text
+                self.expect("symbol", "(")
+                if op == "size":
+                    self.expect("symbol", ")")
+                    expr = e.Size(expr)
+                elif op == "isEmpty":
+                    self.expect("symbol", ")")
+                    expr = e.IsEmpty(expr)
+                else:
+                    var = self.expect_ident()
+                    self.expect("symbol", "|")
+                    body = self.expression()
+                    self.expect("symbol", ")")
+                    if op == "collect":
+                        expr = e.Collect(expr, var, body)
+                    elif op == "select":
+                        expr = e.Select(expr, var, body)
+                    elif op == "forAll":
+                        expr = e.Forall(var, expr, body)
+                    else:
+                        expr = e.Exists(var, expr, body)
+                continue
+            return expr
+
+    def _primary(self) -> e.Expr:
+        token = self.peek()
+        if self.accept("keyword", "true"):
+            return e.Lit(True)
+        if self.accept("keyword", "false"):
+            return e.Lit(False)
+        if token.kind == "int":
+            self.advance()
+            return e.Lit(int(token.text))
+        if token.kind == "string":
+            self.advance()
+            return e.Lit(token.text)
+        if self.accept("symbol", "("):
+            inner = self.expression()
+            self.expect("symbol", ")")
+            return inner
+        if self.accept("symbol", "{"):
+            elements = []
+            if not self.at("symbol", "}"):
+                elements.append(self.expression())
+                while self.accept("symbol", ","):
+                    elements.append(self.expression())
+            self.expect("symbol", "}")
+            return e.SetLit(*elements)
+        if token.kind == "ident":
+            name = self.advance().text
+            if self.accept("symbol", "::"):
+                class_name = self.expect_ident()
+                if (
+                    self.at("symbol", ".")
+                    and self.peek(1).kind == "ident"
+                    and self.peek(1).text == "allInstances"
+                ):
+                    self.advance()
+                    self.advance()
+                    self.expect("symbol", "(")
+                    self.expect("symbol", ")")
+                return e.AllInstances(name, class_name)
+            if self.at("symbol", "("):
+                self.advance()
+                args = []
+                if not self.at("symbol", ")"):
+                    args.append(self.expression())
+                    while self.accept("symbol", ","):
+                        args.append(self.expression())
+                self.expect("symbol", ")")
+                if name in _BUILTIN_FUNCTIONS:
+                    if len(args) != 1:
+                        raise QvtSyntaxError(
+                            f"{name}() takes exactly one argument",
+                            token.line,
+                            token.column,
+                        )
+                    return e.StrLower(args[0]) if name == "lower" else e.StrUpper(args[0])
+                return e.RelationCall(name, *args)
+            return e.Var(name)
+        raise QvtSyntaxError(
+            f"unexpected token {token.text or token.kind!r}", token.line, token.column
+        )
+
+
+def parse_transformation(source: str) -> Transformation:
+    """Parse a complete transformation from source text."""
+    return _Parser(source).transformation()
+
+
+def parse_expression(source: str) -> e.Expr:
+    """Parse a standalone OCL-lite expression (mostly for tests)."""
+    parser = _Parser(source)
+    expr = parser.expression()
+    parser.expect("eof")
+    return expr

@@ -1,0 +1,47 @@
+"""Bounded model finding: the reproduction's Alloy/Kodkod analogue.
+
+Echo embeds QVT-R checking semantics into Alloy and searches for
+consistent models at increasing distance from the originals (later via a
+PMax-SAT solver). This package supplies the same machinery from scratch:
+
+* :mod:`repro.solver.cnf` — literals, clauses, DIMACS;
+* :mod:`repro.solver.sat` — a CDCL SAT solver (watched literals, VSIDS,
+  first-UIP learning, restarts);
+* :mod:`repro.solver.brute` — a truth-table reference solver (test oracle);
+* :mod:`repro.solver.tseitin` — propositional formulas to CNF;
+* :mod:`repro.solver.card` — totalizer cardinality encoding;
+* :mod:`repro.solver.maxsat` — weighted partial MaxSAT (increasing-bound
+  search, the Echo loop; and decreasing linear search);
+* :mod:`repro.solver.bounded` — grounding of directional checks over a
+  bounded universe into propositional constraints.
+"""
+
+from repro.solver.cnf import CNF, VarPool
+from repro.solver.sat import SatResult, solve
+from repro.solver.tseitin import (
+    PFALSE,
+    PTRUE,
+    PAnd,
+    PIff,
+    PImplies,
+    PNot,
+    POr,
+    PVar,
+    to_cnf,
+)
+
+__all__ = [
+    "CNF",
+    "VarPool",
+    "solve",
+    "SatResult",
+    "PVar",
+    "PAnd",
+    "POr",
+    "PNot",
+    "PImplies",
+    "PIff",
+    "PTRUE",
+    "PFALSE",
+    "to_cnf",
+]

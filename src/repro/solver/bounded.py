@@ -1,0 +1,541 @@
+"""Bounded grounding of directional checks into propositional logic.
+
+This is the reproduction's Kodkod: given a model tuple, a set of *target*
+parameters (the models enforcement may change) and the directional checks
+to maintain, it produces
+
+* a **universe** per target model — existing objects plus ``extra``
+  fresh ones per concrete class, and per-type value pools (the active
+  domain of the whole tuple plus fresh synthetic values: the analogue of
+  Alloy scopes);
+* **structural constraints** — alive/attribute/reference variables wired
+  so that every satisfying assignment decodes to a *conformant* model;
+* **consistency constraints** — each directional check ``R_{S->T}``
+  grounded over all symbolic bindings of its source patterns;
+* **distance soft clauses** — one per atom of the bounded universe,
+  preferring the original value, so the violated soft weight *is* the
+  graph-edit distance of :mod:`repro.metamodel.distance` (weighted per
+  model when a weight map is given).
+
+Supported fragment: flat templates whose properties equate *attributes*
+to variables or literals, with no when/where clauses (see
+:class:`~repro.errors.SatFragmentError`). The paper's ``MF``/``OF``
+relations live comfortably inside it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+from repro.deps.dependency import Dependency
+from repro.errors import SatFragmentError, SolverError
+from repro.expr import ast as e
+from repro.metamodel.meta import UNBOUNDED, Metamodel
+from repro.metamodel.model import Model, ModelObject
+from repro.metamodel.types import (
+    AttrType,
+    EnumType,
+    PrimitiveType,
+    Value,
+)
+from repro.qvtr.ast import Domain, Relation, Transformation
+from repro.solver.card import Totalizer, at_most_one_pairwise
+from repro.solver.cnf import CNF, VarPool
+from repro.solver.maxsat import SoftClause
+from repro.solver.tseitin import (
+    PFALSE,
+    PTRUE,
+    PFormula,
+    PVar,
+    Tseitin,
+    pand,
+    pimplies,
+    pnot,
+    por,
+)
+
+
+@dataclass(frozen=True)
+class Scope:
+    """Bounds of the grounding universe (the Alloy-scope analogue)."""
+
+    extra_objects: int = 1
+    extra_strings: int = 1
+    extra_ints: tuple[int, ...] = (0, 1)
+
+    def __post_init__(self) -> None:
+        if self.extra_objects < 0 or self.extra_strings < 0:
+            raise SolverError("scope bounds must be non-negative")
+
+
+def fresh_oid(class_name: str, index: int) -> str:
+    """The deterministic id of the ``index``-th fresh object of a class."""
+    return f"new_{class_name.lower()}_{index}"
+
+
+def fresh_string(index: int) -> str:
+    """The deterministic ``index``-th synthetic string value."""
+    return f"$new{index}"
+
+
+class ValuePools:
+    """Per-type candidate value pools: active domain plus synthetics."""
+
+    def __init__(self, models: Mapping[str, Model], scope: Scope) -> None:
+        strings: list[str] = []
+        ints: list[int] = []
+        seen_str: set[str] = set()
+        seen_int: set[int] = set()
+        for name in sorted(models):
+            for value in models[name].attribute_values():
+                if isinstance(value, bool):
+                    continue
+                if isinstance(value, str) and value not in seen_str:
+                    seen_str.add(value)
+                    strings.append(value)
+                elif isinstance(value, int) and value not in seen_int:
+                    seen_int.add(value)
+                    ints.append(value)
+        for i in range(1, scope.extra_strings + 1):
+            synthetic = fresh_string(i)
+            if synthetic not in seen_str:
+                strings.append(synthetic)
+        for extra in scope.extra_ints:
+            if extra not in seen_int:
+                seen_int.add(extra)
+                ints.append(extra)
+        self._strings = tuple(strings)
+        self._ints = tuple(sorted(ints))
+
+    def candidates(self, attr_type: AttrType) -> tuple[Value, ...]:
+        """All candidate values an attribute of ``attr_type`` may take."""
+        if isinstance(attr_type, EnumType):
+            return attr_type.literals
+        if attr_type is PrimitiveType.BOOLEAN:
+            return (False, True)
+        if attr_type is PrimitiveType.INTEGER:
+            return self._ints
+        return self._strings
+
+
+class GroundModel:
+    """One model's view in the grounding: symbolic or frozen.
+
+    Frozen models answer atom queries with constants; target models
+    answer with propositional variables named by the atom.
+    """
+
+    def __init__(
+        self,
+        param: str,
+        model: Model,
+        symbolic: bool,
+        scope: Scope,
+        pools: ValuePools,
+    ) -> None:
+        self.param = param
+        self.model = model
+        self.symbolic = symbolic
+        self.pools = pools
+        self.metamodel: Metamodel = model.metamodel
+        universe = list(model.object_ids())
+        self._class_of = {o.oid: o.cls for o in model.objects}
+        if symbolic:
+            for class_name in self.metamodel.concrete_classes():
+                for i in range(1, scope.extra_objects + 1):
+                    oid = fresh_oid(class_name, i)
+                    if oid in self._class_of:
+                        raise SolverError(
+                            f"fresh object id {oid!r} collides with an existing object"
+                        )
+                    universe.append(oid)
+                    self._class_of[oid] = class_name
+        self.universe = tuple(sorted(universe))
+
+    # ------------------------------------------------------------------
+    # Universe queries
+    # ------------------------------------------------------------------
+    def objects_of(self, class_name: str) -> list[str]:
+        """Universe object ids whose class conforms to ``class_name``."""
+        return [
+            oid
+            for oid in self.universe
+            if self.metamodel.has_class(self._class_of[oid])
+            and self.metamodel.is_subclass(self._class_of[oid], class_name)
+        ]
+
+    def class_of(self, oid: str) -> str:
+        return self._class_of[oid]
+
+    def is_fresh(self, oid: str) -> bool:
+        return not self.model.has(oid)
+
+    # ------------------------------------------------------------------
+    # Atom formulas
+    # ------------------------------------------------------------------
+    def alive(self, oid: str) -> PFormula:
+        if not self.symbolic:
+            return PTRUE if self.model.has(oid) else PFALSE
+        return PVar(("obj", self.param, oid))
+
+    def attr_eq(self, oid: str, attr: str, value: Value) -> PFormula:
+        if not self.symbolic:
+            obj = self.model.get_or_none(oid)
+            if obj is None:
+                return PFALSE
+            actual = obj.attr_or(attr)
+            if actual is None:
+                return PFALSE
+            same = actual == value and isinstance(actual, bool) == isinstance(
+                value, bool
+            )
+            return PTRUE if same else PFALSE
+        return PVar(("attr", self.param, oid, attr, _value_key(value)))
+
+    def ref_has(self, source: str, ref: str, target: str) -> PFormula:
+        if not self.symbolic:
+            obj = self.model.get_or_none(source)
+            if obj is None:
+                return PFALSE
+            return PTRUE if target in obj.targets(ref) else PFALSE
+        return PVar(("ref", self.param, source, ref, target))
+
+
+def _value_key(value: Value) -> str:
+    return f"{type(value).__name__}:{value!r}"
+
+
+@dataclass(frozen=True)
+class GroundingResult:
+    """Everything a solver call needs, plus the decode hooks."""
+
+    cnf: CNF
+    pool: VarPool
+    soft: tuple[SoftClause, ...]
+    ground_models: Mapping[str, GroundModel]
+
+
+class Grounder:
+    """Grounds structure + consistency + distance for one repair problem."""
+
+    def __init__(
+        self,
+        transformation: Transformation,
+        models: Mapping[str, Model],
+        targets: frozenset[str] | set[str],
+        directions: Sequence[tuple[Relation, Dependency]],
+        scope: Scope = Scope(),
+        weights: Mapping[str, int] | None = None,
+        symmetry_breaking: bool = True,
+    ) -> None:
+        self.transformation = transformation
+        self.models = dict(models)
+        self.targets = frozenset(targets)
+        unknown = self.targets - set(transformation.param_names())
+        if unknown:
+            raise SolverError(f"unknown target parameters {sorted(unknown)}")
+        self.directions = list(directions)
+        self.scope = scope
+        self.weights = dict(weights or {})
+        self.symmetry_breaking = symmetry_breaking
+        self.pools = ValuePools(models, scope)
+        self.cnf = CNF()
+        self.var_pool = VarPool(self.cnf)
+        self.tseitin = Tseitin(self.cnf, self.var_pool)
+        self.soft: list[SoftClause] = []
+        self.ground_models = {
+            param: GroundModel(
+                param,
+                models[param],
+                symbolic=param in self.targets,
+                scope=scope,
+                pools=self.pools,
+            )
+            for param in transformation.param_names()
+        }
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def ground(self) -> GroundingResult:
+        """Produce the CNF, soft clauses and decode hooks."""
+        for param in sorted(self.targets):
+            self._ground_structure(self.ground_models[param])
+            self._ground_distance(self.ground_models[param])
+        for relation, dependency in self.directions:
+            self._ground_direction(relation, dependency)
+        return GroundingResult(
+            self.cnf, self.var_pool, tuple(self.soft), dict(self.ground_models)
+        )
+
+    # ------------------------------------------------------------------
+    # Structure: decoded assignments must be conformant models
+    # ------------------------------------------------------------------
+    def _ground_structure(self, gm: GroundModel) -> None:
+        mm = gm.metamodel
+        for oid in gm.universe:
+            cls = gm.class_of(oid)
+            alive = self.tseitin.literal(gm.alive(oid))
+            for attr_name, attr in sorted(mm.all_attributes(cls).items()):
+                candidates = self.pools.candidates(attr.type)
+                if not candidates:
+                    raise SolverError(
+                        f"empty value pool for attribute {cls}.{attr_name}"
+                    )
+                value_lits = [
+                    self.tseitin.literal(gm.attr_eq(oid, attr_name, v))
+                    for v in candidates
+                ]
+                # At most one value, value implies alive, alive implies a
+                # value for mandatory attributes.
+                at_most_one_pairwise(self.cnf, value_lits)
+                for lit in value_lits:
+                    self.cnf.add_clause([-lit, alive])
+                if not attr.optional:
+                    self.cnf.add_clause([-alive] + value_lits)
+            for ref_name, ref in sorted(mm.all_references(cls).items()):
+                target_lits = []
+                for target in gm.objects_of(ref.target):
+                    lit = self.tseitin.literal(gm.ref_has(oid, ref_name, target))
+                    target_lits.append(lit)
+                    self.cnf.add_clause([-lit, alive])
+                    self.cnf.add_clause(
+                        [-lit, self.tseitin.literal(gm.alive(target))]
+                    )
+                if ref.lower >= 1 and target_lits:
+                    if ref.lower == 1:
+                        self.cnf.add_clause([-alive] + target_lits)
+                    else:
+                        totalizer = Totalizer(self.cnf, target_lits)
+                        for assumption in totalizer.at_least_assumption(ref.lower):
+                            self.cnf.add_clause([-alive, assumption])
+                elif ref.lower >= 1:
+                    # No candidate targets at all: object cannot be alive.
+                    self.cnf.add_clause([-alive])
+                if ref.upper != UNBOUNDED and target_lits:
+                    if ref.upper == 1:
+                        at_most_one_pairwise(self.cnf, target_lits)
+                    elif ref.upper < len(target_lits):
+                        totalizer = Totalizer(self.cnf, target_lits)
+                        totalizer.assert_at_most(ref.upper)
+        # Symmetry breaking: the i-th fresh object of a class may only be
+        # alive if the (i-1)-th is.
+        if not self.symmetry_breaking:
+            return
+        for class_name in mm.concrete_classes():
+            previous = None
+            for i in range(1, self.scope.extra_objects + 1):
+                oid = fresh_oid(class_name, i)
+                if oid not in gm.universe:
+                    continue
+                current = self.tseitin.literal(gm.alive(oid))
+                if previous is not None:
+                    self.cnf.add_clause([-current, previous])
+                previous = current
+
+    # ------------------------------------------------------------------
+    # Distance: prefer the original atom values
+    # ------------------------------------------------------------------
+    def _ground_distance(self, gm: GroundModel) -> None:
+        weight = self.weights.get(gm.param, 1)
+        if weight < 0:
+            raise SolverError(f"negative weight for {gm.param!r}")
+        if weight == 0:
+            return
+        mm = gm.metamodel
+        for oid in gm.universe:
+            cls = gm.class_of(oid)
+            existing = gm.model.get_or_none(oid)
+            alive = self.tseitin.literal(gm.alive(oid))
+            self.soft.append(
+                SoftClause((alive if existing is not None else -alive,), weight)
+            )
+            for attr_name, attr in sorted(mm.all_attributes(cls).items()):
+                original = existing.attr_or(attr_name) if existing else None
+                for value in self.pools.candidates(attr.type):
+                    lit = self.tseitin.literal(gm.attr_eq(oid, attr_name, value))
+                    originally_true = (
+                        original is not None
+                        and original == value
+                        and isinstance(original, bool) == isinstance(value, bool)
+                    )
+                    self.soft.append(
+                        SoftClause((lit if originally_true else -lit,), weight)
+                    )
+            for ref_name, _ref in sorted(mm.all_references(cls).items()):
+                had = set(existing.targets(ref_name)) if existing else set()
+                for target in gm.objects_of(mm.all_references(cls)[ref_name].target):
+                    lit = self.tseitin.literal(gm.ref_has(oid, ref_name, target))
+                    self.soft.append(
+                        SoftClause((lit if target in had else -lit,), weight)
+                    )
+
+    # ------------------------------------------------------------------
+    # Consistency: ground one directional check
+    # ------------------------------------------------------------------
+    def _ground_direction(self, relation: Relation, dependency: Dependency) -> None:
+        _require_fragment(relation)
+        source_domains = [
+            d for d in relation.domains if d.model_param in dependency.sources
+        ]
+        target_domain = relation.domain_for(dependency.target)
+        var_pools = self._pattern_var_pools(source_domains + [target_domain])
+        source_vars = self._vars_of(source_domains)
+        root_spaces = [
+            self.ground_models[d.model_param].objects_of(d.template.class_name)
+            for d in source_domains
+        ]
+        value_spaces = [var_pools[v] for v in source_vars]
+        for roots in itertools.product(*root_spaces):
+            for values in itertools.product(*value_spaces):
+                binding = dict(zip(source_vars, values))
+                guard_parts = []
+                for domain, root in zip(source_domains, roots):
+                    guard_parts.append(
+                        self._template_formula(domain, root, binding)
+                    )
+                guard = pand(guard_parts)
+                if guard == PFALSE:
+                    continue
+                conclusion = self._target_formula(
+                    target_domain, binding, var_pools
+                )
+                self.tseitin.assert_formula(pimplies(guard, conclusion))
+
+    def _target_formula(
+        self,
+        domain: Domain,
+        binding: Mapping[str, Value],
+        var_pools: Mapping[str, tuple[Value, ...]],
+    ) -> PFormula:
+        gm = self.ground_models[domain.model_param]
+        free = [
+            p.expr.name
+            for p in domain.template.properties
+            if isinstance(p.expr, e.Var) and p.expr.name not in binding
+        ]
+        free = list(dict.fromkeys(free))
+        disjuncts = []
+        for oid in gm.objects_of(domain.template.class_name):
+            if not free:
+                disjuncts.append(self._template_formula(domain, oid, binding))
+                continue
+            for values in itertools.product(*(var_pools[v] for v in free)):
+                extended = dict(binding)
+                extended.update(zip(free, values))
+                disjuncts.append(self._template_formula(domain, oid, extended))
+        return por(disjuncts)
+
+    def _template_formula(
+        self, domain: Domain, oid: str, binding: Mapping[str, Value]
+    ) -> PFormula:
+        gm = self.ground_models[domain.model_param]
+        parts = [gm.alive(oid)]
+        for prop in domain.template.properties:
+            if isinstance(prop.expr, e.Var):
+                value = binding[prop.expr.name]
+            else:
+                assert isinstance(prop.expr, e.Lit)
+                value = prop.expr.value
+            parts.append(gm.attr_eq(oid, prop.feature, value))
+        return pand(parts)
+
+    def _pattern_var_pools(
+        self, domains: Sequence[Domain]
+    ) -> dict[str, tuple[Value, ...]]:
+        """The candidate pool of each pattern variable (from its attribute)."""
+        pools: dict[str, tuple[Value, ...]] = {}
+        for domain in domains:
+            mm = self.ground_models[domain.model_param].metamodel
+            for prop in domain.template.properties:
+                if not isinstance(prop.expr, e.Var):
+                    continue
+                attr = mm.attribute(domain.template.class_name, prop.feature)
+                candidates = self.pools.candidates(attr.type)
+                existing = pools.get(prop.expr.name)
+                if existing is None:
+                    pools[prop.expr.name] = candidates
+                else:
+                    pools[prop.expr.name] = tuple(
+                        v for v in existing if v in set(candidates)
+                    )
+        return pools
+
+    def _vars_of(self, domains: Sequence[Domain]) -> list[str]:
+        ordered: list[str] = []
+        for domain in domains:
+            for prop in domain.template.properties:
+                if isinstance(prop.expr, e.Var) and prop.expr.name not in ordered:
+                    ordered.append(prop.expr.name)
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, assignment: Mapping[int, bool]) -> dict[str, Model]:
+        """Rebuild the full model tuple from a satisfying assignment."""
+        repaired: dict[str, Model] = {}
+        for param, gm in self.ground_models.items():
+            if not gm.symbolic:
+                repaired[param] = gm.model
+                continue
+            repaired[param] = self._decode_model(gm, assignment)
+        return repaired
+
+    def _decode_model(
+        self, gm: GroundModel, assignment: Mapping[int, bool]
+    ) -> Model:
+        mm = gm.metamodel
+
+        def truth(formula: PFormula) -> bool:
+            if formula == PTRUE:
+                return True
+            if formula == PFALSE:
+                return False
+            assert isinstance(formula, PVar)
+            if not self.var_pool.has(formula.name):
+                return False
+            return assignment[self.var_pool.var(formula.name)]
+
+        objects = []
+        for oid in gm.universe:
+            if not truth(gm.alive(oid)):
+                continue
+            cls = gm.class_of(oid)
+            attrs: dict[str, Value] = {}
+            for attr_name, attr in sorted(mm.all_attributes(cls).items()):
+                for value in self.pools.candidates(attr.type):
+                    if truth(gm.attr_eq(oid, attr_name, value)):
+                        attrs[attr_name] = value
+                        break
+            refs: dict[str, list[str]] = {}
+            for ref_name, ref in sorted(mm.all_references(cls).items()):
+                targets = [
+                    t
+                    for t in gm.objects_of(ref.target)
+                    if truth(gm.ref_has(oid, ref_name, t))
+                ]
+                if targets:
+                    refs[ref_name] = targets
+            objects.append(ModelObject.create(oid, cls, attrs, refs))
+        return Model(gm.model.metamodel, tuple(objects), gm.model.name)
+
+
+def _require_fragment(relation: Relation) -> None:
+    """Reject relations outside the groundable template fragment."""
+    if relation.when is not None or relation.where is not None:
+        raise SatFragmentError(
+            f"relation {relation.name!r} has when/where clauses; "
+            "the SAT engine grounds the template fragment only "
+            "(use the search engine)"
+        )
+    for domain in relation.domains:
+        for prop in domain.template.properties:
+            if not isinstance(prop.expr, (e.Var, e.Lit)):
+                raise SatFragmentError(
+                    f"relation {relation.name!r}: property "
+                    f"{domain.template.var}.{prop.feature} is not a variable "
+                    "or literal (outside the SAT fragment)"
+                )

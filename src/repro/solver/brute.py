@@ -1,0 +1,61 @@
+"""Truth-table reference solver — the oracle the CDCL solver is tested against.
+
+Exponential in the number of variables; guarded to refuse instances that
+would enumerate more than ``2**22`` assignments.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.errors import SolverError
+from repro.solver.cnf import CNF
+from repro.solver.sat import SatResult
+
+_MAX_VARS = 22
+
+
+def brute_solve(cnf: CNF) -> SatResult:
+    """Exhaustively search for a satisfying assignment."""
+    if cnf.num_vars > _MAX_VARS:
+        raise SolverError(
+            f"brute force refuses {cnf.num_vars} variables (max {_MAX_VARS})"
+        )
+    variables = range(1, cnf.num_vars + 1)
+    for bits in product((False, True), repeat=cnf.num_vars):
+        assignment = dict(zip(variables, bits))
+        if _satisfies(cnf, assignment):
+            return SatResult(True, assignment)
+    return SatResult(False)
+
+
+def count_models(cnf: CNF) -> int:
+    """The number of satisfying assignments (for small instances)."""
+    if cnf.num_vars > _MAX_VARS:
+        raise SolverError(
+            f"brute force refuses {cnf.num_vars} variables (max {_MAX_VARS})"
+        )
+    variables = range(1, cnf.num_vars + 1)
+    total = 0
+    for bits in product((False, True), repeat=cnf.num_vars):
+        if _satisfies(cnf, dict(zip(variables, bits))):
+            total += 1
+    return total
+
+
+def check_assignment(cnf: CNF, assignment: dict[int, bool]) -> bool:
+    """Whether ``assignment`` satisfies every clause of ``cnf``."""
+    return _satisfies(cnf, assignment)
+
+
+def _satisfies(cnf: CNF, assignment: dict[int, bool]) -> bool:
+    for clause in cnf.clauses:
+        for lit in clause:
+            value = assignment.get(abs(lit))
+            if value is None:
+                continue
+            if (lit > 0) == value:
+                break
+        else:
+            return False
+    return True

@@ -1,0 +1,192 @@
+"""Weighted partial MaxSAT on top of the CDCL solver.
+
+Two strategies, mirroring the two realisations the paper cites:
+
+* ``increasing`` — the Echo loop [Macedo & Cunha, FASE'13]: try total
+  soft-violation weight 0, then 1, 2, ... until satisfiable. The first
+  satisfiable bound is the optimum. Each step is one SAT call under a
+  single assumption literal (a totalizer output), so nothing is re-encoded.
+* ``decreasing`` — linear SAT-UNSAT search as in target-oriented model
+  finding [Cunha, Macedo & Guimarães, FASE'14]: find any model, then
+  repeatedly assert "strictly cheaper" until UNSAT; the last model is
+  optimal.
+
+Weights are handled by replicating relaxation literals inside the
+totalizer (adequate for the small integer weights model distances use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.errors import SolverError
+from repro.solver.card import Totalizer
+from repro.solver.cnf import CNF, Lit
+from repro.solver.sat import SatResult, solve
+
+INCREASING = "increasing"
+DECREASING = "decreasing"
+
+
+@dataclass(frozen=True)
+class SoftClause:
+    """A clause we would like to satisfy, at ``weight`` cost if violated."""
+
+    literals: tuple[Lit, ...]
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.literals:
+            raise SolverError("soft clause needs at least one literal")
+        if self.weight < 0:
+            raise SolverError(f"soft clause weight must be >= 0, got {self.weight}")
+
+
+@dataclass(frozen=True)
+class MaxSatResult:
+    """An optimal solution: total violated soft weight plus assignment."""
+
+    satisfiable: bool
+    cost: int = 0
+    assignment: dict[int, bool] | None = None
+
+
+def solve_maxsat(
+    hard: CNF,
+    soft: Sequence[SoftClause],
+    mode: str = INCREASING,
+    max_cost: int | None = None,
+) -> MaxSatResult:
+    """Minimise the violated soft weight subject to the hard clauses.
+
+    ``max_cost`` bounds the search (useful when the caller only cares
+    about repairs up to some distance); when the optimum exceeds it the
+    result is reported unsatisfiable.
+    """
+    if mode not in (INCREASING, DECREASING):
+        raise SolverError(f"unknown MaxSAT mode {mode!r}")
+    working = hard.copy()
+    relax_weighted: list[Lit] = []
+    originals = working.num_vars
+    for clause in soft:
+        if clause.weight == 0:
+            continue
+        for lit in clause.literals:
+            if abs(lit) > originals:
+                raise SolverError("soft clause references unknown variable")
+        relax = working.new_var()
+        working.add_clause(list(clause.literals) + [relax])
+        relax_weighted.extend([relax] * clause.weight)
+    if not relax_weighted:
+        result = solve(working)
+        return MaxSatResult(result.satisfiable, 0, result.assignment)
+    totalizer = Totalizer(working, relax_weighted)
+    total_weight = len(relax_weighted)
+    ceiling = total_weight if max_cost is None else min(max_cost, total_weight)
+    if mode == INCREASING:
+        return _increasing(working, totalizer, ceiling)
+    return _decreasing(working, totalizer, ceiling, total_weight)
+
+
+def _increasing(cnf: CNF, totalizer: Totalizer, ceiling: int) -> MaxSatResult:
+    for bound in range(ceiling + 1):
+        result = solve(cnf, assumptions=totalizer.at_most_assumption(bound))
+        if result.satisfiable:
+            return MaxSatResult(True, _cost(totalizer, result), result.assignment)
+    return MaxSatResult(False)
+
+
+def _decreasing(
+    cnf: CNF, totalizer: Totalizer, ceiling: int, total_weight: int
+) -> MaxSatResult:
+    if ceiling < total_weight:
+        totalizer.assert_at_most(ceiling)
+    best: SatResult | None = None
+    best_cost = ceiling + 1
+    while True:
+        result = solve(cnf)
+        if not result.satisfiable:
+            break
+        cost = _cost(totalizer, result)
+        best = result
+        best_cost = cost
+        if cost == 0:
+            break
+        totalizer.assert_at_most(cost - 1)
+    if best is None:
+        return MaxSatResult(False)
+    return MaxSatResult(True, best_cost, best.assignment)
+
+
+def _cost(totalizer: Totalizer, result: SatResult) -> int:
+    assert result.assignment is not None
+    return sum(
+        1
+        for lit in totalizer.literals
+        if (result.assignment[abs(lit)] if lit > 0 else not result.assignment[abs(lit)])
+    )
+
+
+def enumerate_optimal(
+    hard: CNF,
+    soft: Sequence[SoftClause],
+    project: Sequence[int],
+    mode: str = INCREASING,
+    limit: int = 64,
+) -> tuple[int, list[dict[int, bool]]]:
+    """All optimum-cost assignments, distinct on the ``project`` variables.
+
+    Finds the optimum as :func:`solve_maxsat` does, then re-solves under
+    the optimal bound, blocking each found assignment's projection, until
+    UNSAT or ``limit`` solutions. Returns ``(optimal cost, assignments)``;
+    raises :class:`SolverError` when the hard clauses are unsatisfiable.
+
+    The projection matters: auxiliary (Tseitin/totalizer/relaxation)
+    variables can vary freely without changing the decoded solution, so
+    blocking must quantify over the meaningful variables only.
+    """
+    first = solve_maxsat(hard, soft, mode=mode)
+    if not first.satisfiable:
+        raise SolverError("enumerate_optimal needs satisfiable hard clauses")
+    project = [abs(v) for v in project]
+    working = hard.copy()
+    relax_weighted: list[Lit] = []
+    for clause in soft:
+        if clause.weight == 0:
+            continue
+        relax = working.new_var()
+        working.add_clause(list(clause.literals) + [relax])
+        relax_weighted.extend([relax] * clause.weight)
+    assumptions: list[Lit] = []
+    if relax_weighted:
+        totalizer = Totalizer(working, relax_weighted)
+        assumptions = totalizer.at_most_assumption(first.cost)
+    solutions: list[dict[int, bool]] = []
+    while len(solutions) < limit:
+        result = solve(working, assumptions=assumptions)
+        if not result.satisfiable:
+            break
+        assert result.assignment is not None
+        projection = {v: result.assignment[v] for v in project}
+        solutions.append(projection)
+        # Block this projection: at least one projected var must differ.
+        working.add_clause(
+            [-v if value else v for v, value in projection.items()]
+        )
+    return first.cost, solutions
+
+
+def verify_soft_cost(
+    soft: Sequence[SoftClause], assignment: dict[int, bool]
+) -> int:
+    """The violated soft weight of ``assignment`` (test helper)."""
+    cost = 0
+    for clause in soft:
+        satisfied = any(
+            (assignment[abs(lit)] if lit > 0 else not assignment[abs(lit)])
+            for lit in clause.literals
+        )
+        if not satisfied:
+            cost += clause.weight
+    return cost

@@ -1,0 +1,350 @@
+"""A CDCL SAT solver.
+
+Conflict-driven clause learning with the standard modern ingredients:
+
+* two-watched-literal unit propagation;
+* first-UIP conflict analysis with learnt-clause minimisation
+  (self-subsuming resolution against reason clauses);
+* VSIDS-style exponential variable activities with phase saving;
+* geometric restarts.
+
+The implementation favours clarity over raw speed — it is the engine
+behind bounded model finding for *model transformation* instances, whose
+CNFs are thousands, not millions, of clauses. Correctness is
+property-tested against the truth-table oracle in
+:mod:`repro.solver.brute`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.errors import SolverError
+from repro.solver.cnf import CNF, Lit
+
+
+@dataclass(frozen=True)
+class SatResult:
+    """Outcome of a solve call.
+
+    ``assignment`` maps every variable ``1..num_vars`` to a boolean when
+    satisfiable, and is ``None`` otherwise.
+    """
+
+    satisfiable: bool
+    assignment: dict[int, bool] | None = None
+
+    def value(self, var: int) -> bool:
+        if self.assignment is None:
+            raise SolverError("UNSAT result has no assignment")
+        return self.assignment[var]
+
+
+def solve(cnf: CNF, assumptions: Iterable[Lit] = ()) -> SatResult:
+    """Decide satisfiability of ``cnf`` under optional ``assumptions``.
+
+    Assumptions are enforced as if unit clauses had been added, without
+    mutating ``cnf``.
+    """
+    solver = _Cdcl(cnf)
+    return solver.solve(tuple(assumptions))
+
+
+class _Cdcl:
+    """One-shot CDCL solver instance over a fixed clause database."""
+
+    RESTART_FIRST = 100
+    RESTART_FACTOR = 1.5
+    ACTIVITY_DECAY = 0.95
+
+    def __init__(self, cnf: CNF) -> None:
+        self.num_vars = cnf.num_vars
+        self.clauses: list[list[Lit]] = []
+        # values[v]: 0 unassigned, 1 true, -1 false (indexed by variable).
+        self.values = [0] * (self.num_vars + 1)
+        self.levels = [0] * (self.num_vars + 1)
+        self.reasons: list[int | None] = [None] * (self.num_vars + 1)
+        self.activity = [0.0] * (self.num_vars + 1)
+        self.phase = [False] * (self.num_vars + 1)
+        self.watches: dict[Lit, list[int]] = {}
+        self.trail: list[Lit] = []
+        self.trail_lim: list[int] = []
+        self.propagated = 0
+        self.activity_inc = 1.0
+        self.empty_clause = False
+        self.units: list[Lit] = []
+        for clause in cnf.clauses:
+            self._add_clause(list(clause))
+
+    # ------------------------------------------------------------------
+    # Clause database
+    # ------------------------------------------------------------------
+    def _add_clause(self, literals: list[Lit]) -> int | None:
+        """Add a clause, deduplicated; returns its index or None.
+
+        Tautologies are dropped; empty clauses mark the instance UNSAT;
+        unit clauses are queued for level-0 assignment.
+        """
+        seen: set[Lit] = set()
+        unique: list[Lit] = []
+        for lit in literals:
+            if -lit in seen:
+                return None  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                unique.append(lit)
+        if not unique:
+            self.empty_clause = True
+            return None
+        if len(unique) == 1:
+            self.units.append(unique[0])
+            return None
+        index = len(self.clauses)
+        self.clauses.append(unique)
+        self.watches.setdefault(unique[0], []).append(index)
+        self.watches.setdefault(unique[1], []).append(index)
+        return index
+
+    # ------------------------------------------------------------------
+    # Assignment plumbing
+    # ------------------------------------------------------------------
+    def _lit_value(self, lit: Lit) -> int:
+        value = self.values[abs(lit)]
+        return value if lit > 0 else -value
+
+    def _assign(self, lit: Lit, reason: int | None) -> None:
+        var = abs(lit)
+        self.values[var] = 1 if lit > 0 else -1
+        self.levels[var] = self._decision_level()
+        self.reasons[var] = reason
+        self.phase[var] = lit > 0
+        self.trail.append(lit)
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        cut = self.trail_lim[level]
+        for lit in self.trail[cut:]:
+            var = abs(lit)
+            self.values[var] = 0
+            self.reasons[var] = None
+        del self.trail[cut:]
+        del self.trail_lim[level:]
+        self.propagated = min(self.propagated, len(self.trail))
+
+    # ------------------------------------------------------------------
+    # Unit propagation (two watched literals)
+    # ------------------------------------------------------------------
+    def _propagate(self) -> int | None:
+        """Propagate queued assignments; return conflicting clause index."""
+        while self.propagated < len(self.trail):
+            lit = self.trail[self.propagated]
+            self.propagated += 1
+            false_lit = -lit
+            watch_list = self.watches.get(false_lit, [])
+            kept: list[int] = []
+            i = 0
+            while i < len(watch_list):
+                index = watch_list[i]
+                i += 1
+                clause = self.clauses[index]
+                # Normalise: watched literals live at positions 0 and 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                other = clause[0]
+                if self._lit_value(other) == 1:
+                    kept.append(index)
+                    continue
+                moved = False
+                for j in range(2, len(clause)):
+                    if self._lit_value(clause[j]) != -1:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self.watches.setdefault(clause[1], []).append(index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(index)
+                if self._lit_value(other) == -1:
+                    kept.extend(watch_list[i:])
+                    self.watches[false_lit] = kept
+                    return index
+                self._assign(other, index)
+            self.watches[false_lit] = kept
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: int) -> tuple[list[Lit], int]:
+        """Derive a first-UIP learnt clause and its backjump level."""
+        learnt: list[Lit] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit: Lit | None = None
+        reason_clause: list[Lit] = list(self.clauses[conflict])
+        index = len(self.trail)
+        current_level = self._decision_level()
+        while True:
+            for q in reason_clause:
+                var = abs(q)
+                if seen[var] or self.levels[var] == 0:
+                    continue
+                if q == lit:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self.levels[var] == current_level:
+                    counter += 1
+                else:
+                    learnt.append(q)
+            # Walk back the trail to the next marked literal.
+            while True:
+                index -= 1
+                lit = self.trail[index]
+                if seen[abs(lit)]:
+                    break
+            counter -= 1
+            seen[abs(lit)] = False
+            if counter == 0:
+                break
+            reason_index = self.reasons[abs(lit)]
+            assert reason_index is not None
+            reason_clause = [q for q in self.clauses[reason_index] if q != lit]
+        learnt = [-lit] + self._minimise(learnt, seen)
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second-highest level in the clause.
+        levels = sorted((self.levels[abs(q)] for q in learnt[1:]), reverse=True)
+        backjump = levels[0]
+        # Put a literal of the backjump level in watch position 1.
+        for j in range(1, len(learnt)):
+            if self.levels[abs(learnt[j])] == backjump:
+                learnt[1], learnt[j] = learnt[j], learnt[1]
+                break
+        return learnt, backjump
+
+    def _minimise(self, literals: list[Lit], seen: list[bool]) -> list[Lit]:
+        """Drop literals implied by the rest (self-subsuming resolution)."""
+        kept = []
+        marked = {abs(l) for l in literals}
+        for lit in literals:
+            reason_index = self.reasons[abs(lit)]
+            if reason_index is None:
+                kept.append(lit)
+                continue
+            redundant = True
+            for q in self.clauses[reason_index]:
+                var = abs(q)
+                if q == -lit or self.levels[var] == 0:
+                    continue
+                if var not in marked:
+                    redundant = False
+                    break
+            if not redundant:
+                kept.append(lit)
+        return kept
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.activity_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.activity_inc *= 1e-100
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _decide(self) -> Lit | None:
+        best_var = 0
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.values[var] == 0 and self.activity[var] > best_activity:
+                best_var = var
+                best_activity = self.activity[var]
+        if best_var == 0:
+            return None
+        return best_var if self.phase[best_var] else -best_var
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[Lit]) -> SatResult:
+        if self.empty_clause:
+            return SatResult(False)
+        for lit in self.units:
+            current = self._lit_value(lit)
+            if current == -1:
+                return SatResult(False)
+            if current == 0:
+                self._assign(lit, None)
+        if self._propagate() is not None:
+            return SatResult(False)
+        conflict_budget = self.RESTART_FIRST
+        conflicts_total = 0
+        while True:
+            conflicts = 0
+            self._backtrack(0)
+            if not self._assume_all(assumptions):
+                return SatResult(False)
+            result = self._search(assumptions, conflict_budget)
+            if result is not None:
+                return result
+            conflicts_total += conflict_budget
+            conflict_budget = int(conflict_budget * self.RESTART_FACTOR)
+
+    def _assume_all(self, assumptions: Sequence[Lit]) -> bool:
+        """Enqueue assumptions as decisions; False when contradictory."""
+        for lit in assumptions:
+            if abs(lit) > self.num_vars:
+                raise SolverError(f"assumption {lit} out of range")
+            value = self._lit_value(lit)
+            if value == -1:
+                return False
+            if value == 0:
+                self.trail_lim.append(len(self.trail))
+                self._assign(lit, None)
+            if self._propagate() is not None:
+                return False
+        return True
+
+    def _search(
+        self, assumptions: Sequence[Lit], conflict_budget: int
+    ) -> SatResult | None:
+        """Search until SAT, UNSAT, or budget exhaustion (restart)."""
+        assumption_level = self._decision_level()
+        conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflicts += 1
+                if self._decision_level() <= assumption_level:
+                    return SatResult(False)
+                learnt, backjump = self._analyze(conflict)
+                self._backtrack(max(backjump, assumption_level))
+                if len(learnt) == 1:
+                    if self._lit_value(learnt[0]) == -1:
+                        return SatResult(False)
+                    if self._lit_value(learnt[0]) == 0:
+                        self._assign(learnt[0], None)
+                else:
+                    index = self._add_clause(learnt)
+                    if index is not None:
+                        self._assign(learnt[0], index)
+                self.activity_inc /= self.ACTIVITY_DECAY
+                if conflicts >= conflict_budget:
+                    return None  # restart
+                continue
+            decision = self._decide()
+            if decision is None:
+                assignment = {
+                    var: self.values[var] == 1
+                    for var in range(1, self.num_vars + 1)
+                }
+                return SatResult(True, assignment)
+            self.trail_lim.append(len(self.trail))
+            self._assign(decision, None)

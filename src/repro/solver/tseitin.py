@@ -1,0 +1,252 @@
+"""Propositional formulas and their Tseitin transformation to CNF.
+
+The grounder in :mod:`repro.solver.bounded` produces arbitrary
+propositional formulas; :func:`to_cnf` converts them to equisatisfiable
+CNF introducing one auxiliary variable per distinct sub-formula
+(structural hashing keeps shared sub-formulas shared).
+
+Constant folding happens at construction time via the ``pand``/``por``/
+``pnot``/``pimplies`` smart constructors, so grounding over frozen
+(non-target) models collapses to constants for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Hashable, Iterable
+
+from repro.errors import SolverError
+from repro.solver.cnf import CNF, VarPool
+
+
+@dataclass(frozen=True)
+class PVar:
+    """A named propositional variable (name is any hashable)."""
+
+    name: Hashable
+
+
+@dataclass(frozen=True)
+class PTrue:
+    pass
+
+
+@dataclass(frozen=True)
+class PFalse:
+    pass
+
+
+@dataclass(frozen=True)
+class PAnd:
+    operands: tuple["PFormula", ...]
+
+    def __init__(self, *operands: "PFormula") -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+
+@dataclass(frozen=True)
+class POr:
+    operands: tuple["PFormula", ...]
+
+    def __init__(self, *operands: "PFormula") -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+
+@dataclass(frozen=True)
+class PNot:
+    operand: "PFormula"
+
+
+@dataclass(frozen=True)
+class PImplies:
+    premise: "PFormula"
+    conclusion: "PFormula"
+
+
+@dataclass(frozen=True)
+class PIff:
+    left: "PFormula"
+    right: "PFormula"
+
+
+PFormula = PVar | PTrue | PFalse | PAnd | POr | PNot | PImplies | PIff
+
+PTRUE = PTrue()
+PFALSE = PFalse()
+
+
+def pand(operands: Iterable[PFormula]) -> PFormula:
+    """Conjunction with constant folding and flattening."""
+    flat: list[PFormula] = []
+    for op in operands:
+        if isinstance(op, PFalse):
+            return PFALSE
+        if isinstance(op, PTrue):
+            continue
+        if isinstance(op, PAnd):
+            flat.extend(op.operands)
+        else:
+            flat.append(op)
+    if not flat:
+        return PTRUE
+    if len(flat) == 1:
+        return flat[0]
+    return PAnd(*flat)
+
+
+def por(operands: Iterable[PFormula]) -> PFormula:
+    """Disjunction with constant folding and flattening."""
+    flat: list[PFormula] = []
+    for op in operands:
+        if isinstance(op, PTrue):
+            return PTRUE
+        if isinstance(op, PFalse):
+            continue
+        if isinstance(op, POr):
+            flat.extend(op.operands)
+        else:
+            flat.append(op)
+    if not flat:
+        return PFALSE
+    if len(flat) == 1:
+        return flat[0]
+    return POr(*flat)
+
+
+def pnot(operand: PFormula) -> PFormula:
+    """Negation with constant folding and double-negation elimination."""
+    if isinstance(operand, PTrue):
+        return PFALSE
+    if isinstance(operand, PFalse):
+        return PTRUE
+    if isinstance(operand, PNot):
+        return operand.operand
+    return PNot(operand)
+
+
+def pimplies(premise: PFormula, conclusion: PFormula) -> PFormula:
+    """Implication with constant folding."""
+    if isinstance(premise, PFalse) or isinstance(conclusion, PTrue):
+        return PTRUE
+    if isinstance(premise, PTrue):
+        return conclusion
+    if isinstance(conclusion, PFalse):
+        return pnot(premise)
+    return PImplies(premise, conclusion)
+
+
+def piff(left: PFormula, right: PFormula) -> PFormula:
+    """Biconditional with constant folding."""
+    if isinstance(left, PTrue):
+        return right
+    if isinstance(right, PTrue):
+        return left
+    if isinstance(left, PFalse):
+        return pnot(right)
+    if isinstance(right, PFalse):
+        return pnot(left)
+    if left == right:
+        return PTRUE
+    return PIff(left, right)
+
+
+class Tseitin:
+    """Incremental Tseitin transformer onto a shared CNF/VarPool pair."""
+
+    def __init__(self, cnf: CNF, pool: VarPool) -> None:
+        self._cnf = cnf
+        self._pool = pool
+        self._cache: dict[PFormula, int] = {}
+
+    def assert_formula(self, formula: PFormula) -> None:
+        """Constrain ``formula`` to hold."""
+        if isinstance(formula, PTrue):
+            return
+        if isinstance(formula, PFalse):
+            # An explicitly unsatisfiable assertion.
+            fresh = self._cnf.new_var()
+            self._cnf.add_clause([fresh])
+            self._cnf.add_clause([-fresh])
+            return
+        if isinstance(formula, PAnd):
+            for op in formula.operands:
+                self.assert_formula(op)
+            return
+        self._cnf.add_clause([self.literal(formula)])
+
+    def literal(self, formula: PFormula) -> int:
+        """A literal equisatisfiably representing ``formula``."""
+        if isinstance(formula, PVar):
+            return self._pool.var(formula.name)
+        if isinstance(formula, PNot):
+            return -self.literal(formula.operand)
+        if isinstance(formula, (PTrue, PFalse)):
+            cached = self._cache.get(formula)
+            if cached is None:
+                cached = self._cnf.new_var()
+                self._cache[formula] = cached
+                self._cnf.add_clause([cached if isinstance(formula, PTrue) else -cached])
+            return cached
+        cached = self._cache.get(formula)
+        if cached is not None:
+            return cached
+        if isinstance(formula, PAnd):
+            lits = [self.literal(op) for op in formula.operands]
+            fresh = self._cnf.new_var()
+            for lit in lits:
+                self._cnf.add_clause([-fresh, lit])
+            self._cnf.add_clause([fresh] + [-l for l in lits])
+        elif isinstance(formula, POr):
+            lits = [self.literal(op) for op in formula.operands]
+            fresh = self._cnf.new_var()
+            for lit in lits:
+                self._cnf.add_clause([fresh, -lit])
+            self._cnf.add_clause([-fresh] + lits)
+        elif isinstance(formula, PImplies):
+            return self.literal(por([pnot(formula.premise), formula.conclusion]))
+        elif isinstance(formula, PIff):
+            a = self.literal(formula.left)
+            b = self.literal(formula.right)
+            fresh = self._cnf.new_var()
+            self._cnf.add_clause([-fresh, -a, b])
+            self._cnf.add_clause([-fresh, a, -b])
+            self._cnf.add_clause([fresh, a, b])
+            self._cnf.add_clause([fresh, -a, -b])
+        else:
+            raise SolverError(f"unknown formula node: {formula!r}")
+        self._cache[formula] = fresh
+        return fresh
+
+
+def to_cnf(formula: PFormula) -> tuple[CNF, VarPool]:
+    """Convert a closed formula to CNF; returns the CNF and its pool."""
+    cnf = CNF()
+    pool = VarPool(cnf)
+    transformer = Tseitin(cnf, pool)
+    transformer.assert_formula(formula)
+    return cnf, pool
+
+
+def eval_formula(formula: PFormula, assignment: dict[Hashable, bool]) -> bool:
+    """Evaluate a formula under a named assignment (test helper)."""
+    if isinstance(formula, PVar):
+        return assignment[formula.name]
+    if isinstance(formula, PTrue):
+        return True
+    if isinstance(formula, PFalse):
+        return False
+    if isinstance(formula, PAnd):
+        return all(eval_formula(op, assignment) for op in formula.operands)
+    if isinstance(formula, POr):
+        return any(eval_formula(op, assignment) for op in formula.operands)
+    if isinstance(formula, PNot):
+        return not eval_formula(formula.operand, assignment)
+    if isinstance(formula, PImplies):
+        return (not eval_formula(formula.premise, assignment)) or eval_formula(
+            formula.conclusion, assignment
+        )
+    if isinstance(formula, PIff):
+        return eval_formula(formula.left, assignment) == eval_formula(
+            formula.right, assignment
+        )
+    raise SolverError(f"unknown formula node: {formula!r}")

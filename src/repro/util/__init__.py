@@ -1,0 +1,13 @@
+"""Shared utilities: deterministic ids, seeding, and plain-text rendering."""
+
+from repro.util.ids import fresh_id, stable_sorted
+from repro.util.seeding import rng_from_seed
+from repro.util.text import render_series, render_table
+
+__all__ = [
+    "fresh_id",
+    "stable_sorted",
+    "rng_from_seed",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,64 @@
+"""Deterministic identifier helpers.
+
+Enforcement explores spaces of candidate models and must be reproducible,
+so freshly created objects receive ids derived from an explicit counter or
+namespace rather than from ``id()`` or random UUIDs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def fresh_id(prefix: str, taken: Iterable[str]) -> str:
+    """Return the first ``prefix<N>`` identifier not present in ``taken``.
+
+    >>> fresh_id("f", ["f1", "f2"])
+    'f3'
+    """
+    taken_set = set(taken)
+    n = 1
+    while f"{prefix}{n}" in taken_set:
+        n += 1
+    return f"{prefix}{n}"
+
+
+def fresh_ids(prefix: str, taken: Iterable[str], count: int) -> list[str]:
+    """Return ``count`` distinct fresh identifiers with the given prefix."""
+    taken_set = set(taken)
+    out: list[str] = []
+    n = 1
+    while len(out) < count:
+        candidate = f"{prefix}{n}"
+        if candidate not in taken_set:
+            out.append(candidate)
+            taken_set.add(candidate)
+        n += 1
+    return out
+
+
+def stable_sorted(items: Iterable[T]) -> list[T]:
+    """Sort heterogeneous items by their canonical textual form.
+
+    Used for deterministic iteration order over sets whose elements do not
+    share a natural total order (e.g. mixed value types in a value pool).
+    """
+    return sorted(items, key=_canonical_key)
+
+
+def _canonical_key(item: object) -> tuple[str, str]:
+    return (type(item).__name__, repr(item))
+
+
+def pick_least(candidates: Sequence[T], key) -> T:
+    """Deterministically pick the least candidate under ``key``.
+
+    Ties beyond ``key`` are broken by canonical textual form so the choice
+    never depends on iteration order.
+    """
+    if not candidates:
+        raise ValueError("pick_least() arg is an empty sequence")
+    return min(candidates, key=lambda c: (key(c), _canonical_key(c)))

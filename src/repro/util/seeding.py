@@ -1,0 +1,33 @@
+"""Deterministic random number plumbing.
+
+All stochastic generators in the library (random feature models, random
+CNFs, random dependency sets) accept either an integer seed or an existing
+:class:`random.Random`; this module provides the single conversion point.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def rng_from_seed(seed: int | random.Random | None) -> random.Random:
+    """Return a :class:`random.Random` for ``seed``.
+
+    ``None`` maps to a fixed default seed (0) rather than entropy from the
+    OS: reproducibility is the default, opting *into* nondeterminism is
+    done by passing an explicitly seeded generator.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    if seed is None:
+        seed = 0
+    return random.Random(seed)
+
+
+def spawn(rng: random.Random) -> random.Random:
+    """Derive an independent child generator from ``rng``.
+
+    Splitting streams keeps sibling generators independent of how many
+    draws each one performs.
+    """
+    return random.Random(rng.getrandbits(64))

@@ -1,0 +1,135 @@
+"""Shared hypothesis strategies for property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.deps.dependency import Dependency
+from repro.featuremodels.instances import configuration, feature_model
+from repro.metamodel.builder import ModelBuilder
+from repro.metamodel.meta import Attribute, Class, Metamodel, Reference
+from repro.metamodel.types import BOOLEAN, INTEGER, STRING
+from repro.solver.cnf import CNF
+
+#: A small, fixed metamodel rich enough to exercise diff/distance:
+#: nodes with three attribute types and a many-valued self reference.
+GRAPH_MM = Metamodel(
+    "Graph",
+    (
+        Class(
+            "Node",
+            attributes=(
+                Attribute("label", STRING),
+                Attribute("weight", INTEGER),
+                Attribute("active", BOOLEAN, optional=True),
+            ),
+            references=(Reference("next", "Node"),),
+        ),
+    ),
+)
+
+_LABELS = ("a", "b", "c")
+_WEIGHTS = (0, 1, 2)
+_NODE_IDS = ("n1", "n2", "n3", "n4")
+
+
+@st.composite
+def graph_models(draw):
+    """Random small Graph models over a fixed universe."""
+    present = draw(
+        st.lists(st.sampled_from(_NODE_IDS), unique=True, max_size=len(_NODE_IDS))
+    )
+    builder = ModelBuilder(GRAPH_MM, name="g")
+    for oid in present:
+        builder.add(
+            "Node",
+            oid=oid,
+            label=draw(st.sampled_from(_LABELS)),
+            weight=draw(st.sampled_from(_WEIGHTS)),
+        )
+        if draw(st.booleans()):
+            builder.set(oid, active=draw(st.booleans()))
+    for source in present:
+        for target in present:
+            if draw(st.booleans()) and draw(st.integers(0, 3)) == 0:
+                builder.link(source, "next", target)
+    return builder.build()
+
+
+_FEATURES = ("core", "log", "ui", "net")
+
+
+@st.composite
+def feature_models(draw):
+    """Random feature models over a fixed feature universe."""
+    chosen = draw(
+        st.dictionaries(st.sampled_from(_FEATURES), st.booleans(), max_size=4)
+    )
+    return feature_model(chosen)
+
+
+@st.composite
+def configurations(draw, name: str = "cf"):
+    """Random configurations over the same feature universe."""
+    selected = draw(
+        st.lists(st.sampled_from(_FEATURES), unique=True, max_size=4)
+    )
+    return configuration(selected, name=name)
+
+
+@st.composite
+def model_tuples(draw, k: int = 2):
+    """Random (possibly inconsistent) k-configuration environments."""
+    models = {"fm": draw(feature_models())}
+    for i in range(1, k + 1):
+        models[f"cf{i}"] = draw(configurations(name=f"cf{i}"))
+    return models
+
+
+@st.composite
+def cnfs(draw, max_vars: int = 6, max_clauses: int = 12):
+    """Random small CNFs (including empty clauses occasionally)."""
+    num_vars = draw(st.integers(1, max_vars))
+    cnf = CNF(num_vars)
+    n_clauses = draw(st.integers(0, max_clauses))
+    literal = st.integers(1, num_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    for _ in range(n_clauses):
+        clause = draw(st.lists(literal, min_size=1, max_size=4))
+        cnf.add_clause(clause)
+    return cnf
+
+
+_DOMAINS = ("m1", "m2", "m3", "m4")
+
+
+@st.composite
+def dependency_sets(draw, max_size: int = 6):
+    """Random dependency sets over a fixed domain universe."""
+    deps = set()
+    for _ in range(draw(st.integers(0, max_size))):
+        target = draw(st.sampled_from(_DOMAINS))
+        sources = draw(
+            st.lists(
+                st.sampled_from([d for d in _DOMAINS if d != target]),
+                unique=True,
+                max_size=3,
+            )
+        )
+        deps.add(Dependency(sources, target))
+    return frozenset(deps)
+
+
+@st.composite
+def dependencies(draw):
+    """A single random dependency."""
+    target = draw(st.sampled_from(_DOMAINS))
+    sources = draw(
+        st.lists(
+            st.sampled_from([d for d in _DOMAINS if d != target]),
+            unique=True,
+            max_size=3,
+        )
+    )
+    return Dependency(sources, target)

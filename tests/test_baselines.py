@@ -1,0 +1,107 @@
+"""Tests for the baselines: standard semantics scoring and pairwise decomposition."""
+
+import pytest
+
+from repro.baselines.pairwise import (
+    check_pairwise,
+    classify_instance,
+    ground_truth,
+    pairwise_over_transformations,
+    pairwise_under_transformations,
+)
+from repro.baselines.standard_qvtr import compare_semantics
+from repro.featuremodels import configuration, feature_model, paper_transformation
+
+
+def env(fm, cf1, cf2):
+    return {
+        "fm": feature_model(fm),
+        "cf1": configuration(cf1, name="cf1"),
+        "cf2": configuration(cf2, name="cf2"),
+    }
+
+
+class TestGroundTruth:
+    def test_consistent(self):
+        assert ground_truth(env({"core": True, "log": False}, ["core", "log"], ["core"]))
+
+    def test_shared_optional_violates_mf(self):
+        assert not ground_truth(
+            env({"core": True, "log": False}, ["core", "log"], ["core", "log"])
+        )
+
+    def test_missing_mandatory_violates_mf(self):
+        assert not ground_truth(env({"core": True}, ["core"], []))
+
+    def test_unknown_selection_violates_of(self):
+        assert not ground_truth(env({"core": True}, ["core", "rogue"], ["core"]))
+
+
+class TestPairwiseDecomposition:
+    """Section 1: MF cannot be decomposed into k binary relations."""
+
+    def test_under_accepts_all_consistent(self):
+        instance = env({"core": True, "log": False}, ["core", "log"], ["core"])
+        assert check_pairwise(pairwise_under_transformations(2), instance)
+
+    def test_under_false_accepts_shared_optional(self):
+        """The under-approximation misses 'selected everywhere but not
+        mandatory' — exactly the part of MF that needs k-arity."""
+        instance = env(
+            {"core": True, "log": False}, ["core", "log"], ["core", "log"]
+        )
+        assert not ground_truth(instance)
+        assert check_pairwise(pairwise_under_transformations(2), instance)
+
+    def test_over_rejects_all_inconsistent(self):
+        instance = env({"core": True}, ["core"], [])
+        assert not check_pairwise(pairwise_over_transformations(2), instance)
+
+    def test_over_false_rejects_optional_selection(self):
+        """The over-approximation forbids any optional selection."""
+        instance = env({"core": True, "log": False}, ["core", "log"], ["core"])
+        assert ground_truth(instance)
+        assert not check_pairwise(pairwise_over_transformations(2), instance)
+
+    def test_classify_instance_keys(self):
+        verdicts = classify_instance(
+            env({"core": True}, ["core"], ["core"]), 2
+        )
+        assert set(verdicts) == {
+            "ground_truth",
+            "kary_extended",
+            "pairwise_under",
+            "pairwise_over",
+        }
+        assert all(verdicts.values())
+
+
+class TestCompareSemantics:
+    def test_counts(self):
+        annotated = paper_transformation(2)
+        plain = paper_transformation(2, annotated=False)
+        instances = [
+            env({"core": True}, ["core"], ["core"]),  # consistent, both agree
+            env({"core": True}, [], []),  # standard false-accepts (vacuity)
+            env({"core": True, "log": False}, ["core", "log"], ["core"]),
+            # ^ consistent, standard false-rejects (OF towards cf2)
+        ]
+        result = compare_semantics(annotated, plain, instances, ground_truth)
+        assert result.total == 3
+        assert result.standard_false_accepts == 1
+        assert result.standard_false_rejects == 1
+        assert result.extended_errors == 0
+        assert result.standard_errors == 2
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_extended_never_errs_on_random_instances(self, seed):
+        from repro.featuremodels import random_instance
+
+        annotated = paper_transformation(2)
+        plain = paper_transformation(2, annotated=False)
+        instances = [
+            random_instance(5, 2, seed=seed * 10 + i, consistent=bool(i % 2))
+            for i in range(6)
+        ]
+        result = compare_semantics(annotated, plain, instances, ground_truth)
+        assert result.extended_errors == 0

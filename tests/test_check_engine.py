@@ -1,0 +1,106 @@
+"""Tests for the top-level checking engine (configuration, reports)."""
+
+import pytest
+
+from repro.check.engine import CheckConfig, Checker, EXTENDED, STANDARD
+from repro.deps.dependency import Dependency
+from repro.errors import CheckError, QvtStaticError
+from repro.featuremodels import configuration, feature_model, paper_transformation
+from repro.objectdb import db_model
+
+
+def env(fm=None, cf1=(), cf2=()):
+    return {
+        "fm": feature_model(fm or {"core": True}),
+        "cf1": configuration(cf1, name="cf1"),
+        "cf2": configuration(cf2, name="cf2"),
+    }
+
+
+class TestConfig:
+    def test_unknown_semantics_rejected(self):
+        with pytest.raises(CheckError):
+            CheckConfig(semantics="quantum")
+
+    def test_validation_can_be_disabled(self):
+        # An intentionally unsafe relation: validation off builds fine.
+        import dataclasses
+        from repro.expr.ast import Eq, Lit, Var
+
+        t = paper_transformation(2)
+        mf = dataclasses.replace(t.relation("MF"), when=Eq(Var("ghost"), Lit(1)))
+        from repro.qvtr.ast import Transformation
+
+        bad = Transformation("T", t.model_params, (mf, t.relation("OF")))
+        with pytest.raises(QvtStaticError):
+            Checker(bad)
+        Checker(bad, config=CheckConfig(validate=False))  # does not raise
+
+
+class TestBindingValidation:
+    def test_missing_parameter(self):
+        checker = Checker(paper_transformation(2))
+        with pytest.raises(CheckError, match="no models bound"):
+            checker.check({"fm": feature_model({})})
+
+    def test_wrong_metamodel(self):
+        checker = Checker(paper_transformation(2))
+        bad = env()
+        bad["cf1"] = db_model({}, name="cf1")
+        with pytest.raises(CheckError, match="expects metamodel"):
+            checker.check(bad)
+
+
+class TestReports:
+    def test_directions_listed_per_relation(self):
+        checker = Checker(paper_transformation(2))
+        report = checker.check(env(cf1=["core"], cf2=["core"]))
+        mf_dirs = {r.dependency for r in report.results if r.relation == "MF"}
+        assert mf_dirs == {
+            Dependency(("cf1", "cf2"), "fm"),
+            Dependency(("fm",), "cf1"),
+            Dependency(("fm",), "cf2"),
+        }
+
+    def test_standard_semantics_forces_standard_directions(self):
+        checker = Checker(
+            paper_transformation(2), config=CheckConfig(semantics=STANDARD)
+        )
+        report = checker.check(env(cf1=["core"], cf2=["core"]))
+        mf_dirs = {r.dependency for r in report.results if r.relation == "MF"}
+        assert Dependency(("cf2", "fm"), "cf1") in mf_dirs
+
+    def test_result_for_unknown_direction(self):
+        checker = Checker(paper_transformation(2))
+        report = checker.check(env(cf1=["core"], cf2=["core"]))
+        with pytest.raises(CheckError, match="no result"):
+            report.result_for("MF", Dependency(("cf1",), "cf2"))
+
+    def test_failed_and_summary(self):
+        checker = Checker(paper_transformation(2))
+        report = checker.check(env())  # core mandatory, nothing selected
+        assert report.failed()
+        text = report.summary()
+        assert "VIOLATED" in text and "witness" in text
+
+    def test_summary_when_consistent(self):
+        checker = Checker(paper_transformation(2))
+        report = checker.check(env(cf1=["core"], cf2=["core"]))
+        assert "OK" in report.summary()
+
+    def test_max_witnesses_respected(self):
+        checker = Checker(
+            paper_transformation(2), config=CheckConfig(max_witnesses=1)
+        )
+        report = checker.check(
+            env(fm={"a": True, "b": True, "c": True})
+        )
+        for result in report.failed():
+            assert len(result.violations) <= 1
+
+    def test_is_consistent_matches_check(self):
+        checker = Checker(paper_transformation(2))
+        good = env(cf1=["core"], cf2=["core"])
+        bad = env()
+        assert checker.is_consistent(good) == checker.check(good).consistent
+        assert checker.is_consistent(bad) == checker.check(bad).consistent

@@ -1,0 +1,281 @@
+"""Tests for the Echo façade, workspaces and the command line."""
+
+import json
+
+import pytest
+
+from repro.echo import Echo, Workspace
+from repro.echo.cli import main
+from repro.errors import QvtStaticError, WorkspaceError
+from repro.featuremodels import (
+    configuration,
+    configuration_metamodel,
+    feature_metamodel,
+    feature_model,
+    paper_transformation,
+)
+
+
+def build_echo():
+    echo = Echo()
+    echo.add_metamodel(feature_metamodel())
+    echo.add_metamodel(configuration_metamodel())
+    echo.add_transformation(paper_transformation(2))
+    echo.add_model("fm", feature_model({"core": True, "log": True}))
+    echo.add_model("alpha", configuration(["core", "log"]))
+    echo.add_model("beta", configuration(["core"]))
+    return echo
+
+
+BINDING = {"fm": "fm", "cf1": "alpha", "cf2": "beta"}
+
+
+class TestEchoFacade:
+    def test_check_reports_violation(self):
+        echo = build_echo()
+        report = echo.check("F", BINDING)
+        assert not report.consistent
+
+    def test_enforce_applies_repairs(self):
+        echo = build_echo()
+        repair = echo.enforce("F", BINDING, targets=["cf1", "cf2"])
+        assert repair.distance > 0
+        assert echo.check("F", BINDING).consistent  # store was updated
+
+    def test_enforce_without_apply(self):
+        echo = build_echo()
+        echo.enforce("F", BINDING, targets=["cf1", "cf2"], apply=False)
+        assert not echo.check("F", BINDING).consistent
+
+    def test_missing_binding_entry(self):
+        echo = build_echo()
+        with pytest.raises(WorkspaceError, match="misses"):
+            echo.check("F", {"fm": "fm"})
+
+    def test_unknown_model_name(self):
+        echo = build_echo()
+        with pytest.raises(WorkspaceError, match="no model"):
+            echo.check("F", {"fm": "ghost", "cf1": "alpha", "cf2": "beta"})
+
+    def test_unknown_transformation(self):
+        echo = build_echo()
+        with pytest.raises(WorkspaceError, match="no transformation"):
+            echo.check("Ghost", BINDING)
+
+    def test_transformation_from_source_text(self):
+        echo = Echo()
+        echo.add_metamodel(feature_metamodel())
+        echo.add_transformation(
+            """
+            transformation T (a : FM, b : FM) {
+              top relation Same {
+                n : String;
+                domain a x : Feature { name = n }
+                domain b y : Feature { name = n }
+              }
+            }
+            """
+        )
+        echo.add_model("m1", feature_model({"a": True}))
+        echo.add_model("m2", feature_model({"a": False}))
+        report = echo.check("T", {"a": "m1", "b": "m2"})
+        assert report.consistent  # names match; mandatory is unconstrained
+
+    def test_static_errors_surface_at_registration(self):
+        echo = Echo()
+        echo.add_metamodel(feature_metamodel())
+        with pytest.raises(QvtStaticError):
+            echo.add_transformation(
+                """
+                transformation T (a : FM) {
+                  top relation R {
+                    domain a x : Ghost { }
+                    depends { -> a }
+                  }
+                }
+                """
+            )
+
+    def test_add_model_registers_metamodel(self):
+        echo = Echo()
+        echo.add_model("fm", feature_model({"a": True}))
+        assert echo.model("fm").metamodel.name == "FM"
+
+
+@pytest.fixture()
+def workspace_dir(tmp_path):
+    workspace = Workspace()
+    workspace.metamodels["FM"] = feature_metamodel()
+    workspace.metamodels["CF"] = configuration_metamodel()
+    workspace.transformations["F"] = paper_transformation(2)
+    workspace.models["fm"] = feature_model({"core": True, "log": True})
+    workspace.models["alpha"] = configuration(["core", "log"], name="alpha")
+    workspace.models["beta"] = configuration(["core"], name="beta")
+    workspace.save(tmp_path)
+    return tmp_path
+
+
+class TestWorkspace:
+    def test_save_load_roundtrip(self, workspace_dir):
+        loaded = Workspace.load(workspace_dir)
+        assert set(loaded.metamodels) == {"FM", "CF"}
+        assert set(loaded.models) == {"fm", "alpha", "beta"}
+        assert loaded.transformations["F"] == paper_transformation(2)
+
+    def test_missing_root(self, tmp_path):
+        with pytest.raises(WorkspaceError, match="not a directory"):
+            Workspace.load(tmp_path / "nope")
+
+    def test_invalid_json_reported(self, workspace_dir):
+        (workspace_dir / "models" / "bad.json").write_text("{broken")
+        with pytest.raises(WorkspaceError, match="invalid JSON"):
+            Workspace.load(workspace_dir)
+
+    def test_unknown_kind_reported(self, workspace_dir):
+        (workspace_dir / "models" / "odd.json").write_text(
+            json.dumps({"kind": "mystery"})
+        )
+        with pytest.raises(WorkspaceError, match="unknown artefact"):
+            Workspace.load(workspace_dir)
+
+    def test_model_with_unknown_metamodel(self, workspace_dir):
+        (workspace_dir / "models" / "odd.json").write_text(
+            json.dumps({"kind": "model", "metamodel": "Ghost", "objects": []})
+        )
+        with pytest.raises(WorkspaceError, match="unknown metamodel"):
+            Workspace.load(workspace_dir)
+
+    def test_save_model_writes_file(self, workspace_dir):
+        workspace = Workspace.load(workspace_dir)
+        path = workspace.save_model(workspace_dir, "alpha")
+        assert path.exists()
+        with pytest.raises(WorkspaceError):
+            workspace.save_model(workspace_dir, "ghost")
+
+    def test_model_name_defaults_to_stem(self, workspace_dir):
+        data = json.loads((workspace_dir / "models" / "alpha.json").read_text())
+        data.pop("name")
+        (workspace_dir / "models" / "gamma.json").write_text(json.dumps(data))
+        loaded = Workspace.load(workspace_dir)
+        assert "gamma" in loaded.models
+
+
+class TestCli:
+    def test_validate_ok(self, workspace_dir, capsys):
+        assert main(["validate", "--workspace", str(workspace_dir)]) == 0
+        assert "F: ok" in capsys.readouterr().out
+
+    def test_check_inconsistent_exit_code(self, workspace_dir, capsys):
+        rc = main(
+            [
+                "check",
+                "--workspace", str(workspace_dir),
+                "-t", "F",
+                "--bind", "fm=fm", "cf1=alpha", "cf2=beta",
+            ]
+        )
+        assert rc == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_check_standard_semantics_flag(self, workspace_dir, capsys):
+        rc = main(
+            [
+                "check",
+                "--workspace", str(workspace_dir),
+                "-t", "F",
+                "--semantics", "standard",
+                "--bind", "fm=fm", "cf1=alpha", "cf2=beta",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "standard semantics" in out
+
+    def test_enforce_write_roundtrip(self, workspace_dir, capsys):
+        rc = main(
+            [
+                "enforce",
+                "--workspace", str(workspace_dir),
+                "-t", "F",
+                "--bind", "fm=fm", "cf1=alpha", "cf2=beta",
+                "--target", "cf1", "--target", "cf2",
+                "--write",
+            ]
+        )
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        rc = main(
+            [
+                "check",
+                "--workspace", str(workspace_dir),
+                "-t", "F",
+                "--bind", "fm=fm", "cf1=alpha", "cf2=beta",
+            ]
+        )
+        assert rc == 0
+
+    def test_enforce_with_weights(self, workspace_dir):
+        rc = main(
+            [
+                "enforce",
+                "--workspace", str(workspace_dir),
+                "-t", "F",
+                "--bind", "fm=fm", "cf1=alpha", "cf2=beta",
+                "--target", "cf2",
+                "--weight", "cf2=3",
+            ]
+        )
+        assert rc == 0
+
+    def test_error_exit_code(self, workspace_dir, capsys):
+        rc = main(
+            [
+                "check",
+                "--workspace", str(workspace_dir),
+                "-t", "Ghost",
+                "--bind", "fm=fm", "cf1=alpha", "cf2=beta",
+            ]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_bind_entry(self, workspace_dir):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "check",
+                    "--workspace", str(workspace_dir),
+                    "-t", "F",
+                    "--bind", "fm",
+                ]
+            )
+
+    def test_explain_describes_transformation(self, workspace_dir, capsys):
+        rc = main(
+            ["explain", "--workspace", str(workspace_dir), "-t", "F"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "top relation MF" in out
+        assert "depends: cf1 cf2 -> fm; fm -> cf1; fm -> cf2" in out
+        assert "[declared]" in out
+
+    def test_explain_unknown_transformation(self, workspace_dir, capsys):
+        rc = main(
+            ["explain", "--workspace", str(workspace_dir), "-t", "Ghost"]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_validate_reports_failures(self, workspace_dir, capsys):
+        bad = """
+        transformation Bad (a : FM) {
+          top relation R {
+            domain a x : Ghost { }
+            depends { -> a }
+          }
+        }
+        """
+        (workspace_dir / "transformations" / "Bad.qvtr").write_text(bad)
+        rc = main(["validate", "--workspace", str(workspace_dir)])
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""Tests for the guided (witness-driven) repair engine."""
+
+import pytest
+
+from repro.check.engine import Checker
+from repro.enforce import TargetSelection, enforce
+from repro.enforce.guided import enforce_guided
+from repro.errors import NoRepairFound
+from repro.featuremodels import (
+    configuration,
+    feature_model,
+    paper_transformation,
+    scenario_new_mandatory_feature,
+    scenario_rename,
+)
+from repro.objectdb import consistent_environment, oo_model, schema_transformation
+
+
+def paper_env(fm, cf1, cf2):
+    return {
+        "fm": feature_model(fm),
+        "cf1": configuration(cf1, name="cf1"),
+        "cf2": configuration(cf2, name="cf2"),
+    }
+
+
+class TestGuidedOnFeatureModels:
+    def test_repairs_missing_mandatory(self):
+        t = paper_transformation(2)
+        env = paper_env({"core": True}, ["core"], [])
+        repair = enforce(t, env, TargetSelection(["cf2"]), engine="guided")
+        assert repair.changed == {"cf2"}
+        names = {str(o.attr("name")) for o in repair.models["cf2"].objects}
+        assert names == {"core"}
+
+    def test_matches_optimum_on_simple_cases(self):
+        """On the paper's scenario the greedy repair happens to be optimal."""
+        scenario = scenario_new_mandatory_feature(3)
+        guided = enforce(
+            scenario.transformation,
+            scenario.after_update,
+            TargetSelection(["cf1", "cf2", "cf3"]),
+            engine="guided",
+        )
+        sat = enforce(
+            scenario.transformation,
+            scenario.after_update,
+            TargetSelection(["cf1", "cf2", "cf3"]),
+            engine="sat",
+        )
+        assert guided.distance == sat.distance == 6
+
+    def test_result_verified_consistent(self):
+        scenario = scenario_rename(2)
+        repair = enforce(
+            scenario.transformation,
+            scenario.after_update,
+            TargetSelection(scenario.repairable_targets[0]),
+            engine="guided",
+        )
+        assert Checker(scenario.transformation).is_consistent(repair.models)
+
+    def test_unrepairable_direction_raises(self):
+        scenario = scenario_new_mandatory_feature(2)
+        with pytest.raises(NoRepairFound):
+            enforce(
+                scenario.transformation,
+                scenario.after_update,
+                TargetSelection(["cf1"]),
+                engine="guided",
+            )
+
+    def test_hippocratic_via_api(self):
+        t = paper_transformation(2)
+        env = paper_env({"core": True}, ["core"], ["core"])
+        repair = enforce(t, env, TargetSelection(["cf1"]), engine="guided")
+        assert repair.distance == 0 and not repair.changed
+
+
+class TestGuidedOnObjectDb:
+    """The guided engine handles when/where specs at sizes where the
+    exact search engine is hopeless."""
+
+    def test_large_rename_is_tractable(self):
+        t = schema_transformation()
+        env = consistent_environment(
+            {"Person": ["age", "email"], "Order": ["total"]}
+        )
+        env["oo"] = oo_model({"Customer": ["age", "email"], "Order": ["total"]})
+        repair = enforce(t, env, TargetSelection(["db", "idx"]), engine="guided")
+        assert Checker(t).is_consistent(repair.models)
+        table_names = {
+            str(o.attr("name")) for o in repair.models["db"].objects_of("Table")
+        }
+        assert table_names == {"Customer", "Order"}
+
+    def test_guided_is_not_necessarily_minimal(self):
+        """The drift that motivates least-change (ablation A1)."""
+        t = schema_transformation()
+        env = consistent_environment({"Person": ["age"]})
+        env["oo"] = oo_model({"Customer": ["age"]})
+        guided = enforce(t, env, TargetSelection(["db", "idx"]), engine="guided")
+        exact = enforce(
+            t, env, TargetSelection(["db", "idx"]), engine="search",
+            max_states=400_000,
+        )
+        assert guided.distance >= exact.distance
+
+    def test_rounds_budget(self):
+        t = schema_transformation()
+        env = consistent_environment({"Person": ["age"]})
+        env["oo"] = oo_model({"Customer": ["age"]})
+        checker = Checker(t)
+        with pytest.raises(NoRepairFound, match="rounds|progress"):
+            enforce_guided(
+                checker, env, TargetSelection(["db", "idx"]), max_rounds=1
+            )

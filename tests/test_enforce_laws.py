@@ -1,0 +1,87 @@
+"""Tests for the constraint-maintainer law validators."""
+
+from repro.check.engine import Checker
+from repro.enforce import TargetSelection, enforce
+from repro.enforce.laws import (
+    is_correct,
+    is_hippocratic,
+    is_least_change,
+    least_change_optimum,
+)
+from repro.featuremodels import configuration, feature_model, paper_transformation
+from repro.solver.bounded import Scope
+
+
+def env(fm, cf1, cf2):
+    return {
+        "fm": feature_model(fm),
+        "cf1": configuration(cf1, name="cf1"),
+        "cf2": configuration(cf2, name="cf2"),
+    }
+
+
+class TestLawValidators:
+    def test_correctness_holds_for_real_repairs(self):
+        t = paper_transformation(2)
+        models = env({"core": True}, ["core"], [])
+        repair = enforce(t, models, TargetSelection(["cf2"]))
+        assert is_correct(Checker(t), repair)
+
+    def test_hippocratic_trivially_true_on_inconsistent_input(self):
+        """The law only constrains consistent inputs."""
+        t = paper_transformation(2)
+        models = env({"core": True}, ["core"], [])
+        repair = enforce(t, models, TargetSelection(["cf2"]))
+        assert is_hippocratic(Checker(t), models, repair)
+
+    def test_hippocratic_detects_gratuitous_change(self):
+        """A hand-built 'repair' that changed a consistent input fails."""
+        from repro.enforce.api import Repair
+
+        t = paper_transformation(2)
+        models = env({"core": True}, ["core"], ["core"])
+        fake = Repair(
+            models=dict(models),
+            distance=2,
+            changed=frozenset({"cf1"}),
+            engine="fake",
+            targets=frozenset({"cf1"}),
+        )
+        assert not is_hippocratic(Checker(t), models, fake)
+
+    def test_least_change_optimum_none_when_unrepairable(self):
+        t = paper_transformation(2)
+        models = env({"core": True, "x": True}, ["core", "x"], ["core"])
+        # cf1 alone cannot make 'x' selected in cf2.
+        optimum = least_change_optimum(
+            Checker(t),
+            models,
+            TargetSelection(["cf1"]),
+            scope=Scope(extra_objects=1),
+        )
+        assert optimum is None
+
+    def test_is_least_change_on_sat_repair(self):
+        t = paper_transformation(2)
+        models = env({"core": True}, [], [])
+        repair = enforce(t, models, TargetSelection(["cf1", "cf2"]))
+        assert is_least_change(Checker(t), models, repair)
+
+    def test_is_least_change_rejects_suboptimal(self):
+        from repro.enforce.api import Repair
+        from repro.featuremodels import configuration as cfg
+
+        t = paper_transformation(2)
+        models = env({"core": True}, [], [])
+        # A valid but wasteful repair: selects core AND an extra feature
+        # everywhere along with adding it to fm... simply report a wrong
+        # (larger) distance for the same models.
+        repair = enforce(t, models, TargetSelection(["cf1", "cf2"]))
+        fake = Repair(
+            models=repair.models,
+            distance=repair.distance + 2,
+            changed=repair.changed,
+            engine="fake",
+            targets=repair.targets,
+        )
+        assert not is_least_change(Checker(t), models, fake)

@@ -1,0 +1,116 @@
+"""Tests for optimal-repair enumeration.
+
+The E6 reproduction note: least change may not determine the repair —
+these tests *measure* the optimum set.
+"""
+
+import pytest
+
+from repro.check.engine import Checker
+from repro.enforce import TargetSelection, enumerate_repairs
+from repro.errors import SolverError
+from repro.featuremodels import (
+    configuration,
+    feature_model,
+    paper_transformation,
+    scenario_rename,
+)
+from repro.solver.bounded import Scope
+from repro.solver.cnf import CNF
+from repro.solver.maxsat import SoftClause, enumerate_optimal
+
+
+class TestEnumerateOptimal:
+    def test_all_projections_found(self):
+        """x1 or x2, soft prefers both false: two optimal solutions."""
+        hard = CNF(2)
+        hard.add_clause([1, 2])
+        soft = [SoftClause((-1,)), SoftClause((-2,))]
+        cost, solutions = enumerate_optimal(hard, soft, project=[1, 2])
+        assert cost == 1
+        assert len(solutions) == 2
+        assert {frozenset(s.items()) for s in solutions} == {
+            frozenset({(1, True), (2, False)}),
+            frozenset({(1, False), (2, True)}),
+        }
+
+    def test_limit_respected(self):
+        hard = CNF(3)
+        cost, solutions = enumerate_optimal(hard, [], project=[1, 2, 3], limit=4)
+        assert cost == 0
+        assert len(solutions) == 4
+
+    def test_unsat_hard_raises(self):
+        hard = CNF(1)
+        hard.add_clause([1])
+        hard.add_clause([-1])
+        with pytest.raises(SolverError):
+            enumerate_optimal(hard, [], project=[1])
+
+
+class TestEnumerateRepairs:
+    def test_unique_repair_for_forced_selection(self):
+        """Adding the mandatory feature to cf2 is the only minimal repair
+        when everything else is frozen or already aligned."""
+        t = paper_transformation(2)
+        models = {
+            "fm": feature_model({"core": True, "log": True}),
+            "cf1": configuration(["core", "log"], name="cf1"),
+            "cf2": configuration(["core"], name="cf2"),
+        }
+        cost, repairs = enumerate_repairs(
+            Checker(t), models, TargetSelection(["cf1", "cf2"])
+        )
+        assert cost == 2
+        assert len(repairs) == 1
+        names = {str(o.attr("name")) for o in repairs[0]["cf2"].objects}
+        assert names == {"core", "log"}
+
+    def test_rename_scenario_has_multiple_optima(self):
+        """The E6 finding, measured: the rename repair is not unique."""
+        scenario = scenario_rename(2)
+        cost, repairs = enumerate_repairs(
+            Checker(scenario.transformation),
+            scenario.after_update,
+            TargetSelection(scenario.repairable_targets[0]),
+            scope=Scope(extra_objects=1),
+        )
+        assert cost == 4
+        assert len(repairs) >= 2
+        # The paper's "natural" repair (rename propagation) is among them.
+        def is_propagation(tuple_):
+            fm_names = {str(o.attr("name")) for o in tuple_["fm"].objects}
+            cf2_names = {str(o.attr("name")) for o in tuple_["cf2"].objects}
+            return "kernel" in fm_names and cf2_names == {"kernel"}
+
+        assert any(is_propagation(r) for r in repairs)
+
+    def test_all_enumerated_repairs_are_consistent_and_minimal(self):
+        scenario = scenario_rename(2)
+        checker = Checker(scenario.transformation)
+        from repro.enforce import TupleMetric
+
+        metric = TupleMetric()
+        cost, repairs = enumerate_repairs(
+            checker,
+            scenario.after_update,
+            TargetSelection(scenario.repairable_targets[0]),
+            scope=Scope(extra_objects=1),
+        )
+        for repaired in repairs:
+            assert checker.is_consistent(repaired)
+            assert metric.distance(scenario.after_update, repaired) == cost
+
+    def test_deterministic_ordering(self):
+        scenario = scenario_rename(2)
+        args = (
+            Checker(scenario.transformation),
+            scenario.after_update,
+            TargetSelection(scenario.repairable_targets[0]),
+        )
+        kwargs = {"scope": Scope(extra_objects=1)}
+        _, first = enumerate_repairs(*args, **kwargs)
+        _, second = enumerate_repairs(*args, **kwargs)
+        assert [
+            {p: m.objects for p, m in r.items()} for r in first
+        ] == [{p: m.objects for p, m in r.items()} for r in second]

@@ -1,0 +1,243 @@
+"""Tests for the OCL-lite expression language: evaluation and free vars."""
+
+import pytest
+
+from repro.errors import EvalError, ExprError
+from repro.expr import ast as e
+from repro.expr.eval import EvalContext, evaluate
+from repro.expr.free_vars import free_vars
+from repro.expr.pretty import pretty
+from repro.expr.walk import children, relation_calls, walk
+from repro.featuremodels import feature_model
+from repro.objectdb import db_model
+
+
+@pytest.fixture()
+def ctx():
+    models = {
+        "fm": feature_model({"core": True, "log": False}),
+        "db": db_model({"person": ["age", "name"]}),
+    }
+    return EvalContext(models)
+
+
+def ev(expr, ctx, **env):
+    return evaluate(expr, ctx.bind_all(env))
+
+
+class TestLiteralsAndVars:
+    def test_literal(self, ctx):
+        assert ev(e.Lit(5), ctx) == 5
+
+    def test_invalid_literal_rejected(self):
+        with pytest.raises(ExprError):
+            e.Lit(3.14)
+
+    def test_var_lookup(self, ctx):
+        assert ev(e.Var("x"), ctx, x=7) == 7
+
+    def test_unbound_var(self, ctx):
+        with pytest.raises(EvalError, match="unbound"):
+            ev(e.Var("x"), ctx)
+
+    def test_empty_var_name_rejected(self):
+        with pytest.raises(ExprError):
+            e.Var("")
+
+
+class TestNavigation:
+    def test_attribute_navigation(self, ctx):
+        ref = e.ObjRef("fm", "f_core")
+        assert ev(e.Nav(e.Var("o"), "name"), ctx, o=ref) == "core"
+
+    def test_reference_navigation_returns_set(self, ctx):
+        col = e.ObjRef("db", "col_person_age")
+        out = ev(e.Nav(e.Var("o"), "table"), ctx, o=col)
+        assert out == frozenset({e.ObjRef("db", "t_person")})
+
+    def test_navigation_over_sets_flattens(self, ctx):
+        cols = frozenset(
+            {e.ObjRef("db", "col_person_age"), e.ObjRef("db", "col_person_name")}
+        )
+        out = ev(e.Nav(e.Var("s"), "table"), ctx, s=cols)
+        assert out == frozenset({e.ObjRef("db", "t_person")})
+
+    def test_unknown_feature(self, ctx):
+        ref = e.ObjRef("fm", "f_core")
+        with pytest.raises(EvalError, match="no feature"):
+            ev(e.Nav(e.Var("o"), "zzz"), ctx, o=ref)
+
+    def test_navigate_from_non_object(self, ctx):
+        with pytest.raises(EvalError, match="cannot navigate"):
+            ev(e.Nav(e.Lit(3), "x"), ctx)
+
+    def test_dangling_reference(self, ctx):
+        with pytest.raises(EvalError, match="dangling"):
+            ev(e.Nav(e.Var("o"), "name"), ctx, o=e.ObjRef("fm", "ghost"))
+
+    def test_unknown_model(self, ctx):
+        with pytest.raises(EvalError, match="no model"):
+            ev(e.Nav(e.Var("o"), "name"), ctx, o=e.ObjRef("zz", "f_core"))
+
+
+class TestBooleansAndComparison:
+    def test_equality_cross_type_is_false(self, ctx):
+        assert ev(e.Eq(e.Lit(True), e.Lit(1)), ctx) is False
+        assert ev(e.Ne(e.Lit(True), e.Lit(1)), ctx) is True
+
+    def test_ordering(self, ctx):
+        assert ev(e.Lt(e.Lit(1), e.Lit(2)), ctx)
+        assert ev(e.Le(e.Lit(2), e.Lit(2)), ctx)
+        assert ev(e.Gt(e.Lit(3), e.Lit(2)), ctx)
+        assert ev(e.Ge(e.Lit(2), e.Lit(2)), ctx)
+
+    def test_ordering_rejects_non_integers(self, ctx):
+        with pytest.raises(EvalError, match="integers"):
+            ev(e.Lt(e.Lit("a"), e.Lit("b")), ctx)
+        with pytest.raises(EvalError, match="integers"):
+            ev(e.Lt(e.Lit(True), e.Lit(2)), ctx)
+
+    def test_and_or_not_implies(self, ctx):
+        t, f = e.Lit(True), e.Lit(False)
+        assert ev(e.And(t, t), ctx)
+        assert not ev(e.And(t, f), ctx)
+        assert ev(e.Or(f, t), ctx)
+        assert ev(e.Not(f), ctx)
+        assert ev(e.Implies(f, f), ctx)
+        assert not ev(e.Implies(t, f), ctx)
+
+    def test_empty_connectives(self, ctx):
+        assert ev(e.And(), ctx) is True
+        assert ev(e.Or(), ctx) is False
+
+    def test_non_boolean_operand_rejected(self, ctx):
+        with pytest.raises(EvalError, match="boolean"):
+            ev(e.And(e.Lit(1)), ctx)
+
+
+class TestSets:
+    def test_set_algebra(self, ctx):
+        a = e.SetLit(e.Lit(1), e.Lit(2))
+        b = e.SetLit(e.Lit(2), e.Lit(3))
+        assert ev(e.Union(a, b), ctx) == frozenset({1, 2, 3})
+        assert ev(e.Intersect(a, b), ctx) == frozenset({2})
+        assert ev(e.SetDiff(a, b), ctx) == frozenset({1})
+
+    def test_membership_and_subset(self, ctx):
+        a = e.SetLit(e.Lit(1), e.Lit(2))
+        assert ev(e.In(e.Lit(1), a), ctx)
+        assert not ev(e.In(e.Lit(9), a), ctx)
+        assert ev(e.Subset(e.SetLit(e.Lit(1)), a), ctx)
+
+    def test_size_and_empty(self, ctx):
+        assert ev(e.Size(e.SetLit(e.Lit(1), e.Lit(2))), ctx) == 2
+        assert ev(e.IsEmpty(e.SetLit()), ctx)
+
+    def test_collect_flattens(self, ctx):
+        cols = e.AllInstances("db", "Column")
+        tables = ev(e.Collect(cols, "c", e.Nav(e.Var("c"), "table")), ctx)
+        assert tables == frozenset({e.ObjRef("db", "t_person")})
+
+    def test_select(self, ctx):
+        feats = e.AllInstances("fm", "Feature")
+        mand = ev(
+            e.Select(feats, "f", e.Eq(e.Nav(e.Var("f"), "mandatory"), e.Lit(True))),
+            ctx,
+        )
+        assert mand == frozenset({e.ObjRef("fm", "f_core")})
+
+    def test_set_expected_error(self, ctx):
+        with pytest.raises(EvalError, match="expected a set"):
+            ev(e.Size(e.Lit(1)), ctx)
+
+
+class TestQuantifiers:
+    def test_forall(self, ctx):
+        feats = e.AllInstances("fm", "Feature")
+        named = e.Forall("f", feats, e.Ne(e.Nav(e.Var("f"), "name"), e.Lit("")))
+        assert ev(named, ctx)
+
+    def test_exists(self, ctx):
+        feats = e.AllInstances("fm", "Feature")
+        has_core = e.Exists("f", feats, e.Eq(e.Nav(e.Var("f"), "name"), e.Lit("core")))
+        assert ev(has_core, ctx)
+
+    def test_forall_over_empty_is_true(self, ctx):
+        assert ev(e.Forall("x", e.SetLit(), e.Lit(False)), ctx)
+
+
+class TestStringsAndCalls:
+    def test_string_operators(self, ctx):
+        assert ev(e.StrConcat(e.Lit("a"), e.Lit("b")), ctx) == "ab"
+        assert ev(e.StrLower(e.Lit("AbC")), ctx) == "abc"
+        assert ev(e.StrUpper(e.Lit("x")), ctx) == "X"
+
+    def test_string_op_type_error(self, ctx):
+        with pytest.raises(EvalError, match="string"):
+            ev(e.StrLower(e.Lit(1)), ctx)
+
+    def test_relation_call_uses_hook(self, ctx):
+        calls = []
+
+        def hook(name, args):
+            calls.append((name, args))
+            return True
+
+        hooked = EvalContext(ctx.models, {}, hook)
+        assert evaluate(e.RelationCall("R", e.Lit(1)), hooked)
+        assert calls == [("R", (1,))]
+
+    def test_relation_call_without_hook_rejected(self, ctx):
+        with pytest.raises(EvalError, match="outside a checking context"):
+            ev(e.RelationCall("R"), ctx)
+
+
+class TestFreeVars:
+    def test_var_and_literal(self):
+        assert free_vars(e.Var("x")) == {"x"}
+        assert free_vars(e.Lit(1)) == frozenset()
+
+    def test_binders_remove_bound_var(self):
+        body = e.Eq(e.Var("x"), e.Var("y"))
+        assert free_vars(e.Forall("x", e.Var("d"), body)) == {"d", "y"}
+        assert free_vars(e.Exists("y", e.SetLit(), body)) == {"x"}
+        assert free_vars(e.Collect(e.Var("c"), "x", body)) == {"c", "y"}
+        assert free_vars(e.Select(e.Var("c"), "x", body)) == {"c", "y"}
+
+    def test_call_args(self):
+        assert free_vars(e.RelationCall("R", e.Var("a"), e.Lit(1))) == {"a"}
+
+    def test_all_instances_closed(self):
+        assert free_vars(e.AllInstances("m", "C")) == frozenset()
+
+
+class TestWalk:
+    def test_walk_visits_everything(self):
+        expr = e.And(e.Eq(e.Var("x"), e.Lit(1)), e.Not(e.Var("y")))
+        names = {n.name for n in walk(expr) if isinstance(n, e.Var)}
+        assert names == {"x", "y"}
+
+    def test_relation_calls_collector(self):
+        expr = e.And(e.RelationCall("R", e.Var("a")), e.RelationCall("S"))
+        assert [c.relation for c in relation_calls(expr)] == ["R", "S"]
+
+    def test_relation_calls_of_none(self):
+        assert relation_calls(None) == []
+
+    def test_children_of_leaves(self):
+        assert children(e.Lit(1)) == ()
+        assert children(e.AllInstances("m", "C")) == ()
+
+
+class TestPretty:
+    def test_pretty_smoke(self):
+        expr = e.Implies(
+            e.In(e.Var("x"), e.SetLit(e.Lit(1))),
+            e.Eq(e.StrLower(e.Var("s")), e.Lit("a")),
+        )
+        text = pretty(expr)
+        assert "implies" in text and "lower" in text
+
+    def test_pretty_empty_connectives(self):
+        assert pretty(e.And()) == "true"
+        assert pretty(e.Or()) == "false"

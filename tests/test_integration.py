@@ -1,0 +1,153 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test exercises a realistic workflow: textual spec -> static analysis
+-> checkonly -> target selection -> enforcement -> law verification.
+"""
+
+import pytest
+
+from repro.check.engine import CheckConfig, Checker, STANDARD
+from repro.enforce import TargetSelection, all_but, enforce
+from repro.enforce.laws import is_correct, is_hippocratic, least_change_optimum
+from repro.errors import NoRepairFound
+from repro.featuremodels import (
+    configuration,
+    feature_model,
+    random_instance,
+    paper_transformation,
+)
+from repro.objectdb import consistent_environment, oo_model, schema_transformation
+from repro.qvtr import parse_transformation, pretty_transformation
+
+FULL_SOURCE = """
+transformation F (cf1 : CF, cf2 : CF, cf3 : CF, fm : FM) {
+  top relation MF {
+    n : String;
+    domain cf1 s1 : Feature { name = n }
+    domain cf2 s2 : Feature { name = n }
+    domain cf3 s3 : Feature { name = n }
+    domain fm f : Feature { name = n, mandatory = true }
+    depends { cf1 cf2 cf3 -> fm; fm -> cf1; fm -> cf2; fm -> cf3 }
+  }
+  top relation OF {
+    n : String;
+    domain cf1 s1 : Feature { name = n }
+    domain cf2 s2 : Feature { name = n }
+    domain cf3 s3 : Feature { name = n }
+    domain fm f : Feature { name = n }
+    depends { cf1 -> fm; cf2 -> fm; cf3 -> fm }
+  }
+}
+"""
+
+
+class TestTextualPipeline:
+    def test_parse_equals_programmatic(self):
+        assert parse_transformation(FULL_SOURCE) == paper_transformation(3)
+
+    def test_full_cycle_from_source(self):
+        t = parse_transformation(FULL_SOURCE)
+        models = {
+            "fm": feature_model({"core": True, "net": False}),
+            "cf1": configuration(["core", "net"], name="cf1"),
+            "cf2": configuration(["core"], name="cf2"),
+            "cf3": configuration(["core"], name="cf3"),
+        }
+        checker = Checker(t)
+        assert checker.is_consistent(models)
+
+        # User makes 'net' mandatory.
+        models["fm"] = feature_model({"core": True, "net": True})
+        assert not checker.is_consistent(models)
+
+        repair = enforce(t, models, TargetSelection(["cf1", "cf2", "cf3"]))
+        assert is_correct(checker, repair)
+        assert repair.distance == 4  # net added to cf2 and cf3
+        for cf in ("cf1", "cf2", "cf3"):
+            names = {str(o.attr("name")) for o in repair.models[cf].objects}
+            assert "net" in names
+
+    def test_pretty_print_survives_enforcement(self):
+        """A printed-and-reparsed transformation behaves identically."""
+        t = parse_transformation(pretty_transformation(paper_transformation(2)))
+        env = {
+            "fm": feature_model({"core": True}),
+            "cf1": configuration([], name="cf1"),
+            "cf2": configuration([], name="cf2"),
+        }
+        repair = enforce(t, env, TargetSelection(["cf1", "cf2"]))
+        assert repair.distance == 4
+
+
+class TestCrossEngineAgreement:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_engines_agree_on_random_instances(self, seed):
+        """SAT and explicit search find equal minimal distances on
+        randomised inconsistent environments."""
+        t = paper_transformation(2)
+        models = random_instance(3, 2, seed=seed, consistent=False)
+        targets = TargetSelection(["cf1", "cf2", "fm"])
+        try:
+            sat = enforce(t, models, targets, engine="sat")
+        except NoRepairFound:
+            pytest.skip("scope-bound instance")
+        search = enforce(t, models, targets, engine="search", max_states=400_000)
+        assert sat.distance == search.distance
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sat_is_least_change(self, seed):
+        t = paper_transformation(2)
+        models = random_instance(3, 2, seed=seed + 100, consistent=False)
+        targets = TargetSelection(["cf1", "cf2"])
+        try:
+            sat = enforce(t, models, targets, engine="sat")
+        except NoRepairFound:
+            return  # direction genuinely cannot repair; nothing to compare
+        optimum = least_change_optimum(Checker(t), models, targets)
+        assert sat.distance == optimum
+
+
+class TestObjectDbPipeline:
+    def test_coevolution_cycle(self):
+        t = schema_transformation()
+        env = consistent_environment({"Person": ["age"]})
+        checker = Checker(t)
+        assert checker.is_consistent(env)
+
+        env["oo"] = oo_model({"Person": ["age", "mail"]})
+        assert not checker.is_consistent(env)
+
+        repair = enforce(
+            t, env, all_but(t, "oo"), engine="search", max_states=400_000
+        )
+        assert is_correct(checker, repair)
+        assert repair.changed == {"db", "idx"}
+
+    def test_hippocratic_on_consistent_environment(self):
+        t = schema_transformation()
+        env = consistent_environment({"Person": ["age"]})
+        repair = enforce(t, env, all_but(t, "oo"), engine="search")
+        assert is_hippocratic(Checker(t), env, repair)
+
+
+class TestSemanticsSideBySide:
+    def test_paper_narrative(self):
+        """The full section 2.1 story in one test: the three-model
+        environment that standard semantics cannot tell apart from a
+        consistent one, and extended semantics can."""
+        violated = {
+            "fm": feature_model({"core": True}),
+            "cf1": configuration([], name="cf1"),
+            "cf2": configuration([], name="cf2"),
+        }
+        plain = paper_transformation(2, annotated=False)
+        annotated = paper_transformation(2)
+        standard = Checker(plain, config=CheckConfig(semantics=STANDARD))
+        extended = Checker(annotated)
+        assert standard.is_consistent(violated)  # vacuity
+        assert not extended.is_consistent(violated)
+
+        # And enforcement under the extended semantics repairs it:
+        repair = enforce(annotated, violated, TargetSelection(["cf1", "cf2"]))
+        assert extended.is_consistent(repair.models)
+        assert repair.distance == 4

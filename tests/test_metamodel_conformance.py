@@ -1,0 +1,107 @@
+"""Tests for the conformance checker: one test per diagnostic kind."""
+
+import pytest
+
+from repro.errors import ConformanceError
+from repro.metamodel.conformance import assert_conformant, check_conformance, is_conformant
+from repro.metamodel.meta import Attribute, Class, Metamodel, Reference
+from repro.metamodel.model import Model, ModelObject
+from repro.metamodel.types import INTEGER, STRING
+
+MM = Metamodel(
+    "MM",
+    (
+        Class("Abstract", abstract=True),
+        Class(
+            "Thing",
+            attributes=(
+                Attribute("name", STRING),
+                Attribute("rank", INTEGER, optional=True),
+            ),
+            references=(Reference("one", "Thing", lower=1, upper=1),),
+        ),
+        Class("Free", references=(Reference("many", "Thing"),)),
+    ),
+)
+
+
+def thing(oid="t1", name="x", one=("t1",)):
+    return ModelObject.create(oid, "Thing", {"name": name}, {"one": one})
+
+
+def messages(model):
+    return [str(d) for d in check_conformance(model)]
+
+
+class TestConformance:
+    def test_conformant_model(self):
+        model = Model(MM, (thing(),))
+        assert is_conformant(model)
+        assert_conformant(model)  # should not raise
+
+    def test_unknown_class(self):
+        model = Model(MM, (ModelObject.create("x", "Nope"),))
+        assert any("unknown class" in m for m in messages(model))
+
+    def test_abstract_instantiation(self):
+        model = Model(MM, (ModelObject.create("x", "Abstract"),))
+        assert any("abstract" in m for m in messages(model))
+
+    def test_missing_mandatory_attribute(self):
+        obj = ModelObject.create("t1", "Thing", {}, {"one": ("t1",)})
+        assert any("mandatory" in m for m in messages(Model(MM, (obj,))))
+
+    def test_optional_attribute_may_be_absent(self):
+        assert is_conformant(Model(MM, (thing(),)))
+
+    def test_wrong_attribute_type(self):
+        obj = ModelObject.create("t1", "Thing", {"name": 5}, {"one": ("t1",)})
+        assert any("does not conform" in m for m in messages(Model(MM, (obj,))))
+
+    def test_bool_is_not_integer(self):
+        obj = ModelObject.create(
+            "t1", "Thing", {"name": "x", "rank": True}, {"one": ("t1",)}
+        )
+        assert any("does not conform" in m for m in messages(Model(MM, (obj,))))
+
+    def test_undeclared_attribute(self):
+        obj = ModelObject.create(
+            "t1", "Thing", {"name": "x", "zzz": 1}, {"one": ("t1",)}
+        )
+        assert any("undeclared attribute" in m for m in messages(Model(MM, (obj,))))
+
+    def test_undeclared_reference(self):
+        obj = ModelObject.create("t1", "Thing", {"name": "x"}, {"one": ("t1",), "zzz": ("t1",)})
+        assert any("undeclared reference" in m for m in messages(Model(MM, (obj,))))
+
+    def test_dangling_target(self):
+        obj = ModelObject.create("t1", "Thing", {"name": "x"}, {"one": ("ghost",)})
+        assert any("dangling" in m for m in messages(Model(MM, (obj,))))
+
+    def test_wrong_target_class(self):
+        free = ModelObject.create("f1", "Free", {}, {"many": ("f2",)})
+        other = ModelObject.create("f2", "Free")
+        assert any(
+            "expected 'Thing'" in m for m in messages(Model(MM, (free, other)))
+        )
+
+    def test_lower_bound_violation(self):
+        obj = ModelObject.create("t1", "Thing", {"name": "x"})
+        assert any("lower bound" in m for m in messages(Model(MM, (obj,))))
+
+    def test_upper_bound_violation(self):
+        a = thing("t1", one=("t1",))
+        b = thing("t2", one=("t1", "t2"))
+        assert any("upper bound" in m for m in messages(Model(MM, (a, b))))
+
+    def test_assert_conformant_raises_with_all_violations(self):
+        obj = ModelObject.create("t1", "Thing", {})
+        with pytest.raises(ConformanceError) as excinfo:
+            assert_conformant(Model(MM, (obj,)))
+        assert "mandatory" in str(excinfo.value)
+        assert "lower bound" in str(excinfo.value)
+
+    def test_diagnostic_str_without_feature(self):
+        model = Model(MM, (ModelObject.create("x", "Nope"),))
+        diagnostic = check_conformance(model)[0]
+        assert str(diagnostic).startswith("x:")

@@ -1,0 +1,114 @@
+"""Tests for the graph-edit distance and its metric laws."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ModelError
+from repro.metamodel.distance import atoms, distance, tuple_distance, weighted_distance
+from repro.metamodel.edits import AddObject, RemoveObject, SetAttr, apply_edit
+from repro.metamodel.model import Model, ModelObject
+from tests.strategies import GRAPH_MM, graph_models
+
+
+def node(oid="n1", label="a", weight=0, **refs):
+    return ModelObject.create(
+        oid, "Node", {"label": label, "weight": weight}, refs or None
+    )
+
+
+class TestAtoms:
+    def test_atom_counts(self):
+        model = Model(GRAPH_MM, (node("n1", next=["n2"]), node("n2")))
+        # 2 obj atoms + 4 attr atoms + 1 ref atom
+        assert len(atoms(model)) == 7
+
+    def test_bool_and_int_values_distinct(self):
+        a = Model(GRAPH_MM, (node("n1", weight=1),))
+        b = Model(
+            GRAPH_MM,
+            (ModelObject.create("n1", "Node", {"label": "a", "weight": True}),),
+        )
+        assert atoms(a) != atoms(b)
+
+
+class TestDistance:
+    def test_set_attr_costs_two(self):
+        before = Model(GRAPH_MM, (node(),))
+        after = apply_edit(before, SetAttr("n1", "label", "b"))
+        assert distance(before, after) == 2
+
+    def test_add_object_costs_its_atoms(self):
+        before = Model(GRAPH_MM, ())
+        after = apply_edit(before, AddObject.create("n1", "Node", {"label": "a"}))
+        assert distance(before, after) == 2  # obj atom + attr atom
+
+    def test_remove_object_with_refs(self):
+        before = Model(GRAPH_MM, (node("n1", next=["n2"]), node("n2")))
+        after = apply_edit(before, RemoveObject("n2"))
+        # n2 obj + 2 attrs + the incoming ref atom
+        assert distance(before, after) == 4
+
+    @given(a=graph_models())
+    @settings(max_examples=60, deadline=None)
+    def test_identity(self, a):
+        assert distance(a, a) == 0
+
+    @given(a=graph_models(), b=graph_models())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, a, b):
+        assert distance(a, b) == distance(b, a)
+
+    @given(a=graph_models(), b=graph_models(), c=graph_models())
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert distance(a, c) <= distance(a, b) + distance(b, c)
+
+    @given(a=graph_models(), b=graph_models())
+    @settings(max_examples=60, deadline=None)
+    def test_zero_iff_equal(self, a, b):
+        assert (distance(a, b) == 0) == (a == b)
+
+
+class TestWeightedDistance:
+    def test_kind_weights(self):
+        before = Model(GRAPH_MM, (node(),))
+        after = apply_edit(before, SetAttr("n1", "label", "b"))
+        assert weighted_distance(before, after, attr_weight=3) == 6
+        assert weighted_distance(before, after, attr_weight=0) == 0
+
+    def test_object_weight(self):
+        before = Model(GRAPH_MM, ())
+        after = apply_edit(before, AddObject.create("n1", "Node", {}))
+        assert weighted_distance(before, after, object_weight=5) == 5
+
+
+class TestTupleDistance:
+    def test_plain_sum(self):
+        a = Model(GRAPH_MM, (node(),))
+        b = apply_edit(a, SetAttr("n1", "label", "b"))
+        assert tuple_distance([a, a], [b, b]) == 4
+
+    def test_weight_sequence(self):
+        a = Model(GRAPH_MM, (node(),))
+        b = apply_edit(a, SetAttr("n1", "label", "b"))
+        assert tuple_distance([a, a], [b, b], weights=[1, 3]) == 8
+
+    def test_weight_mapping(self):
+        a = Model(GRAPH_MM, (node(),))
+        b = apply_edit(a, SetAttr("n1", "label", "b"))
+        assert tuple_distance([a, a], [b, b], weights={1: 0}) == 2
+
+    def test_length_mismatch(self):
+        a = Model(GRAPH_MM, ())
+        with pytest.raises(ModelError):
+            tuple_distance([a], [a, a])
+
+    def test_weight_length_mismatch(self):
+        a = Model(GRAPH_MM, ())
+        with pytest.raises(ModelError):
+            tuple_distance([a], [a], weights=[1, 2])
+
+    def test_negative_weight_rejected(self):
+        a = Model(GRAPH_MM, ())
+        with pytest.raises(ModelError):
+            tuple_distance([a], [a], weights=[-1])

@@ -1,0 +1,153 @@
+"""Tests for edit operations, inversion and edit-script diffing."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import EditError
+from repro.metamodel.diff import diff
+from repro.metamodel.edits import (
+    AddObject,
+    AddRef,
+    RemoveObject,
+    RemoveRef,
+    SetAttr,
+    UnsetAttr,
+    apply_edit,
+    apply_edits,
+    invert,
+)
+from repro.metamodel.model import Model, ModelObject
+from tests.strategies import GRAPH_MM, graph_models
+
+
+def node(oid="n1", label="a", weight=0, **refs):
+    return ModelObject.create(
+        oid, "Node", {"label": label, "weight": weight}, refs or None
+    )
+
+
+def base() -> Model:
+    return Model(GRAPH_MM, (node("n1", next=["n2"]), node("n2")))
+
+
+class TestApplyEdit:
+    def test_add_object(self):
+        model = apply_edit(base(), AddObject.create("n3", "Node", {"label": "c"}))
+        assert model.get("n3").attr("label") == "c"
+
+    def test_add_duplicate_rejected(self):
+        with pytest.raises(EditError, match="already in use"):
+            apply_edit(base(), AddObject("n1", "Node"))
+
+    def test_remove_object_drops_incoming(self):
+        model = apply_edit(base(), RemoveObject("n2"))
+        assert not model.has("n2")
+        assert model.get("n1").targets("next") == ()
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(EditError, match="no such object"):
+            apply_edit(base(), RemoveObject("ghost"))
+
+    def test_set_attr(self):
+        model = apply_edit(base(), SetAttr("n1", "label", "z"))
+        assert model.get("n1").attr("label") == "z"
+
+    def test_set_attr_on_missing_object(self):
+        with pytest.raises(EditError):
+            apply_edit(base(), SetAttr("ghost", "label", "z"))
+
+    def test_unset_attr(self):
+        model = apply_edit(base(), UnsetAttr("n1", "label"))
+        assert not model.get("n1").has_attr("label")
+
+    def test_unset_absent_attr_rejected(self):
+        with pytest.raises(EditError, match="no value"):
+            apply_edit(base(), UnsetAttr("n1", "active"))
+
+    def test_add_ref(self):
+        model = apply_edit(base(), AddRef("n2", "next", "n1"))
+        assert model.get("n2").targets("next") == ("n1",)
+
+    def test_add_existing_ref_rejected(self):
+        with pytest.raises(EditError, match="already contains"):
+            apply_edit(base(), AddRef("n1", "next", "n2"))
+
+    def test_add_ref_to_missing_target(self):
+        with pytest.raises(EditError, match="no such object"):
+            apply_edit(base(), AddRef("n1", "next", "ghost"))
+
+    def test_remove_ref(self):
+        model = apply_edit(base(), RemoveRef("n1", "next", "n2"))
+        assert model.get("n1").targets("next") == ()
+
+    def test_remove_absent_ref_rejected(self):
+        with pytest.raises(EditError, match="does not contain"):
+            apply_edit(base(), RemoveRef("n2", "next", "n1"))
+
+
+class TestInvert:
+    @pytest.mark.parametrize(
+        "edit",
+        [
+            AddObject.create("n3", "Node", {"label": "c", "weight": 1}),
+            SetAttr("n1", "label", "z"),
+            SetAttr("n1", "active", True),  # previously unset
+            UnsetAttr("n1", "label"),
+            AddRef("n2", "next", "n1"),
+            RemoveRef("n1", "next", "n2"),
+            RemoveObject("n2"),
+            RemoveObject("n1"),
+        ],
+    )
+    def test_invert_roundtrip(self, edit):
+        model = base()
+        forward = apply_edit(model, edit)
+        back = apply_edits(forward, invert(model, edit))
+        assert back == model
+
+    def test_remove_object_inverse_restores_incoming_links(self):
+        model = base()
+        inverse = invert(model, RemoveObject("n2"))
+        kinds = {type(e).__name__ for e in inverse}
+        assert kinds == {"AddObject", "AddRef"}
+
+
+class TestDiff:
+    def test_empty_diff_for_equal_models(self):
+        assert diff(base(), base()) == ()
+
+    def test_attribute_change(self):
+        after = apply_edit(base(), SetAttr("n1", "label", "z"))
+        script = diff(base(), after)
+        assert script == (SetAttr("n1", "label", "z"),)
+
+    def test_object_addition_with_links(self):
+        after = apply_edits(
+            base(),
+            [AddObject.create("n3", "Node", {"label": "c"}), AddRef("n3", "next", "n1")],
+        )
+        script = diff(base(), after)
+        assert AddRef("n3", "next", "n1") in script
+
+    def test_class_change_is_remove_and_add(self):
+        mm = GRAPH_MM
+        before = Model(mm, (node("n1"),))
+        after = Model(
+            mm, (ModelObject.create("n1", "Node", {"label": "b", "weight": 0}),)
+        )
+        # same class: simple attr diff
+        assert len(diff(before, after)) == 1
+
+    def test_bool_int_flip_is_detected(self):
+        before = Model(GRAPH_MM, (node("n1", weight=1),))
+        after = Model(
+            GRAPH_MM,
+            (ModelObject.create("n1", "Node", {"label": "a", "weight": True}),),
+        )
+        assert diff(before, after) != ()
+
+    @given(a=graph_models(), b=graph_models())
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip_property(self, a, b):
+        """apply(diff(a, b), a) == b for arbitrary model pairs."""
+        assert apply_edits(a, diff(a, b)) == b

@@ -1,0 +1,190 @@
+"""Tests for metamodel structure and validation."""
+
+import pytest
+
+from repro.errors import MetamodelError
+from repro.metamodel.meta import UNBOUNDED, Attribute, Class, Metamodel, Reference
+from repro.metamodel.types import (
+    BOOLEAN,
+    INTEGER,
+    STRING,
+    EnumType,
+    default_value,
+    type_name,
+    value_conforms,
+)
+
+
+def simple_mm() -> Metamodel:
+    return Metamodel(
+        "MM",
+        (
+            Class("Base", attributes=(Attribute("name", STRING),), abstract=True),
+            Class("Leaf", supertypes=("Base",), attributes=(Attribute("n", INTEGER),)),
+            Class("Other", references=(Reference("to", "Leaf", lower=1, upper=2),)),
+        ),
+    )
+
+
+class TestTypes:
+    def test_string_conformance(self):
+        assert value_conforms("x", STRING)
+        assert not value_conforms(1, STRING)
+
+    def test_boolean_conformance(self):
+        assert value_conforms(True, BOOLEAN)
+        assert not value_conforms(1, BOOLEAN)
+
+    def test_integer_rejects_bool(self):
+        assert value_conforms(3, INTEGER)
+        assert not value_conforms(True, INTEGER)
+
+    def test_enum_conformance(self):
+        colour = EnumType("Colour", ("red", "green"))
+        assert value_conforms("red", colour)
+        assert not value_conforms("blue", colour)
+        assert not value_conforms(0, colour)
+
+    def test_enum_validation(self):
+        with pytest.raises(MetamodelError):
+            EnumType("E", ())
+        with pytest.raises(MetamodelError):
+            EnumType("E", ("a", "a"))
+        with pytest.raises(MetamodelError):
+            EnumType("", ("a",))
+
+    def test_defaults(self):
+        assert default_value(STRING) == ""
+        assert default_value(BOOLEAN) is False
+        assert default_value(INTEGER) == 0
+        assert default_value(EnumType("E", ("x", "y"))) == "x"
+
+    def test_type_names(self):
+        assert type_name(STRING) == "String"
+        assert type_name(EnumType("E", ("x",))) == "E"
+
+
+class TestFeatureValidation:
+    def test_attribute_needs_name(self):
+        with pytest.raises(MetamodelError):
+            Attribute("", STRING)
+
+    def test_reference_bounds(self):
+        with pytest.raises(MetamodelError):
+            Reference("r", "C", lower=-1)
+        with pytest.raises(MetamodelError):
+            Reference("r", "C", lower=2, upper=1)
+        # UNBOUNDED upper is always fine.
+        Reference("r", "C", lower=5, upper=UNBOUNDED)
+
+    def test_class_duplicate_features(self):
+        with pytest.raises(MetamodelError, match="duplicate features"):
+            Class("C", attributes=(Attribute("x", STRING), Attribute("x", STRING)))
+
+    def test_class_attr_ref_clash(self):
+        with pytest.raises(MetamodelError, match="duplicate features"):
+            Class(
+                "C",
+                attributes=(Attribute("x", STRING),),
+                references=(Reference("x", "C"),),
+            )
+
+
+class TestMetamodelValidation:
+    def test_duplicate_class(self):
+        with pytest.raises(MetamodelError, match="duplicate class"):
+            Metamodel("M", (Class("C"), Class("C")))
+
+    def test_unknown_supertype(self):
+        with pytest.raises(MetamodelError, match="unknown class"):
+            Metamodel("M", (Class("C", supertypes=("Nope",)),))
+
+    def test_unknown_reference_target(self):
+        with pytest.raises(MetamodelError, match="unknown class"):
+            Metamodel("M", (Class("C", references=(Reference("r", "Nope"),)),))
+
+    def test_inheritance_cycle(self):
+        with pytest.raises(MetamodelError, match="cycle"):
+            Metamodel(
+                "M",
+                (
+                    Class("A", supertypes=("B",)),
+                    Class("B", supertypes=("A",)),
+                ),
+            )
+
+    def test_conflicting_inherited_attribute(self):
+        with pytest.raises(MetamodelError, match="conflicting attribute"):
+            Metamodel(
+                "M",
+                (
+                    Class("A", attributes=(Attribute("x", STRING),)),
+                    Class("B", attributes=(Attribute("x", INTEGER),)),
+                    Class("C", supertypes=("A", "B")),
+                ),
+            )
+
+    def test_diamond_inheritance_same_attribute_ok(self):
+        mm = Metamodel(
+            "M",
+            (
+                Class("Root", attributes=(Attribute("x", STRING),)),
+                Class("A", supertypes=("Root",)),
+                Class("B", supertypes=("Root",)),
+                Class("C", supertypes=("A", "B")),
+            ),
+        )
+        assert "x" in mm.all_attributes("C")
+
+
+class TestMetamodelLookups:
+    def test_cls_lookup(self):
+        mm = simple_mm()
+        assert mm.cls("Leaf").name == "Leaf"
+        with pytest.raises(MetamodelError):
+            mm.cls("Nope")
+
+    def test_inherited_attributes_flattened(self):
+        mm = simple_mm()
+        attrs = mm.all_attributes("Leaf")
+        assert set(attrs) == {"name", "n"}
+
+    def test_attribute_lookup_errors(self):
+        mm = simple_mm()
+        with pytest.raises(MetamodelError):
+            mm.attribute("Leaf", "nope")
+        with pytest.raises(MetamodelError):
+            mm.reference("Leaf", "to")
+
+    def test_reference_lookup(self):
+        mm = simple_mm()
+        assert mm.reference("Other", "to").target == "Leaf"
+
+    def test_is_subclass(self):
+        mm = simple_mm()
+        assert mm.is_subclass("Leaf", "Base")
+        assert mm.is_subclass("Leaf", "Leaf")
+        assert not mm.is_subclass("Base", "Leaf")
+
+    def test_concrete_classes_excludes_abstract(self):
+        mm = simple_mm()
+        assert "Base" not in mm.concrete_classes()
+        assert mm.concrete_classes("Base") == ["Leaf"]
+
+    def test_class_names_sorted(self):
+        assert simple_mm().class_names() == ["Base", "Leaf", "Other"]
+
+    def test_enum_lookup(self):
+        colour = EnumType("Colour", ("red",))
+        mm = Metamodel("M", (Class("C"),), enums=(colour,))
+        assert mm.enum("Colour") is colour
+        with pytest.raises(MetamodelError):
+            mm.enum("Nope")
+
+    def test_duplicate_enum_names(self):
+        with pytest.raises(MetamodelError, match="duplicate enum"):
+            Metamodel(
+                "M",
+                (Class("C"),),
+                enums=(EnumType("E", ("a",)), EnumType("E", ("b",))),
+            )

@@ -1,0 +1,126 @@
+"""Tests for the object/relational/index example domain."""
+
+import pytest
+
+from repro.check.engine import Checker
+from repro.deps.dependency import Dependency
+from repro.enforce import TargetSelection, enforce
+from repro.metamodel.conformance import is_conformant
+from repro.objectdb import (
+    consistent_environment,
+    db_model,
+    idx_model,
+    oo_model,
+    schema_transformation,
+)
+
+
+@pytest.fixture()
+def checker():
+    return Checker(schema_transformation())
+
+
+class TestInstances:
+    def test_builders_conform(self):
+        env = consistent_environment({"Person": ["age"], "Tag": []})
+        for model in env.values():
+            assert is_conformant(model)
+
+    def test_oo_model_links_attributes(self):
+        model = oo_model({"Person": ["age"]})
+        attr = model.get("a_Person_age")
+        assert attr.targets("owner") == ("c_Person",)
+
+    def test_idx_model_dedupes(self):
+        model = idx_model([("t", "c"), ("t", "c")])
+        assert model.size() == 1
+
+
+class TestConsistency:
+    def test_environment_consistent(self, checker):
+        assert checker.is_consistent(consistent_environment({"Person": ["age"]}))
+
+    def test_empty_environment_consistent(self, checker):
+        assert checker.is_consistent(consistent_environment({}))
+
+    def test_missing_table(self, checker):
+        env = consistent_environment({"Person": []})
+        env["db"] = db_model({})
+        assert not checker.is_consistent(env)
+
+    def test_extra_table(self, checker):
+        env = consistent_environment({"Person": []})
+        env["db"] = db_model({"Person": [], "Ghost": []})
+        assert not checker.is_consistent(env)
+
+    def test_missing_column(self, checker):
+        env = consistent_environment({"Person": ["age"]})
+        env["db"] = db_model({"Person": []})
+        report = Checker(schema_transformation()).check(env)
+        failing = {r.relation for r in report.failed()}
+        assert "AttributeColumn" in failing
+
+    def test_missing_index(self, checker):
+        env = consistent_environment({"Person": ["age"]})
+        env["idx"] = idx_model([])
+        report = Checker(schema_transformation()).check(env)
+        failing = {(r.relation, r.dependency) for r in report.failed()}
+        assert ("ColumnIndex", Dependency(("db",), "idx")) in failing
+
+    def test_stale_index(self, checker):
+        env = consistent_environment({"Person": []})
+        env["idx"] = idx_model([("Person", "ghost")])
+        report = Checker(schema_transformation()).check(env)
+        failing = {(r.relation, r.dependency) for r in report.failed()}
+        assert ("ColumnIndex", Dependency(("idx",), "db")) in failing
+
+
+class TestRepairs:
+    def test_add_attribute_ripples_to_db_and_idx(self, checker):
+        """Adding an attribute in oo forces a column and an index entry."""
+        env = consistent_environment({"Person": ["age"]})
+        env["oo"] = oo_model({"Person": ["age", "email"]})
+        repair = enforce(
+            schema_transformation(),
+            env,
+            TargetSelection(["db", "idx"]),
+            engine="search",
+            max_states=400_000,
+        )
+        assert repair.changed == {"db", "idx"}
+        column_names = {
+            str(o.attr("name"))
+            for o in repair.models["db"].objects_of("Column")
+        }
+        assert column_names == {"age", "email"}
+        indexed = {
+            (str(o.attr("table")), str(o.attr("column")))
+            for o in repair.models["idx"].objects
+        }
+        assert ("Person", "email") in indexed
+
+    def test_drop_attribute_shrinks_db_and_idx(self, checker):
+        env = consistent_environment({"Person": ["age"]})
+        env["oo"] = oo_model({"Person": []})
+        repair = enforce(
+            schema_transformation(),
+            env,
+            TargetSelection(["db", "idx"]),
+            engine="search",
+            max_states=400_000,
+        )
+        assert repair.models["db"].objects_of("Column") == []
+        assert repair.models["idx"].size() == 0
+
+    def test_index_only_repair(self, checker):
+        """A stale catalog is repaired without touching oo/db."""
+        env = consistent_environment({"Person": ["age"]})
+        env["idx"] = idx_model([("Person", "age"), ("Stale", "x")])
+        repair = enforce(
+            schema_transformation(),
+            env,
+            TargetSelection(["idx"]),
+            engine="search",
+        )
+        assert repair.changed == {"idx"}
+        assert repair.distance == 3  # the stale Index object (1 + 2 attrs)

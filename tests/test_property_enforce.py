@@ -1,0 +1,120 @@
+"""Property-based tests on the enforcement stack (hypothesis).
+
+Instances are deliberately small (the strategies cap models at four
+features) and scopes explicit, so the exact engines stay fast; the
+heavyweight randomised cross-validation lives in the benches.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.engine import Checker
+from repro.enforce import TargetSelection, enforce
+from repro.errors import NoRepairFound
+from repro.featuremodels import paper_transformation
+from repro.metamodel.conformance import is_conformant
+from repro.metamodel.serialize import model_from_dict, model_to_dict
+from repro.solver.bounded import Scope
+from tests.strategies import GRAPH_MM, graph_models, model_tuples
+
+_T2 = paper_transformation(2)
+_CHECKER = Checker(_T2)
+_ALL = TargetSelection(["cf1", "cf2", "fm"])
+_CFS = TargetSelection(["cf1", "cf2"])
+_SCOPE = Scope(extra_objects=2)
+
+
+def _small(models) -> bool:
+    return sum(m.size() for m in models.values()) <= 5
+
+
+class TestEnforcementProperties:
+    @given(models=model_tuples(k=2))
+    @settings(max_examples=15, deadline=None)
+    def test_repair_towards_everything_always_succeeds(self, models):
+        """With every model repairable a consistent tuple always exists
+        within a small scope (at worst: empty out every model)."""
+        if not _small(models):
+            return
+        repair = enforce(_T2, models, _ALL, engine="sat", scope=_SCOPE)
+        assert _CHECKER.is_consistent(repair.models)
+        assert all(is_conformant(m) for m in repair.models.values())
+
+    @given(models=model_tuples(k=2))
+    @settings(max_examples=8, deadline=None)
+    def test_sat_and_search_agree(self, models):
+        """The two exact engines find the same optimum."""
+        if not _small(models):
+            return
+        try:
+            sat = enforce(_T2, models, _CFS, engine="sat", scope=_SCOPE)
+        except NoRepairFound:
+            return  # the direction genuinely has no repair in scope
+        if sat.distance > 6:
+            return  # keep the exponential oracle within budget
+        search = enforce(
+            _T2, models, _CFS, engine="search", scope=_SCOPE, max_states=150_000
+        )
+        assert sat.distance == search.distance
+
+    @given(models=model_tuples(k=2))
+    @settings(max_examples=20, deadline=None)
+    def test_hippocraticness_universal(self, models):
+        """Whenever the input is consistent, enforcement is the identity."""
+        if not _CHECKER.is_consistent(models):
+            return
+        repair = enforce(_T2, models, _ALL, scope=_SCOPE)
+        assert repair.distance == 0
+        assert repair.changed == frozenset()
+
+    @given(models=model_tuples(k=2))
+    @settings(max_examples=10, deadline=None)
+    def test_guided_correct_and_never_below_optimum(self, models):
+        if not _small(models):
+            return
+        try:
+            guided = enforce(_T2, models, _ALL, engine="guided", scope=_SCOPE)
+        except NoRepairFound:
+            return  # greedy may dead-end where exact engines would not
+        assert _CHECKER.is_consistent(guided.models)
+        sat = enforce(_T2, models, _ALL, engine="sat", scope=_SCOPE)
+        assert guided.distance >= sat.distance
+
+    @given(models=model_tuples(k=2), data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_frozen_models_never_change(self, models, data):
+        """Whatever the repair, non-target models come back identical."""
+        if not _small(models):
+            return
+        frozen = data.draw(st.sampled_from(["fm", "cf1", "cf2"]))
+        targets = TargetSelection([p for p in ("fm", "cf1", "cf2") if p != frozen])
+        try:
+            repair = enforce(_T2, models, targets, engine="sat", scope=_SCOPE)
+        except NoRepairFound:
+            return
+        assert repair.models[frozen] == models[frozen]
+
+
+class TestSerializationFuzz:
+    @given(model=graph_models())
+    @settings(max_examples=80, deadline=None)
+    def test_model_roundtrip(self, model):
+        assert model_from_dict(model_to_dict(model), GRAPH_MM) == model
+
+    @given(model=graph_models())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_conformance_verdict(self, model):
+        again = model_from_dict(model_to_dict(model), GRAPH_MM)
+        assert is_conformant(again) == is_conformant(model)
+
+
+class TestCheckerDeterminism:
+    @given(models=model_tuples(k=2))
+    @settings(max_examples=30, deadline=None)
+    def test_verdict_is_stable(self, models):
+        assert _CHECKER.is_consistent(models) == _CHECKER.is_consistent(models)
+
+    @given(models=model_tuples(k=2))
+    @settings(max_examples=30, deadline=None)
+    def test_report_matches_fast_path(self, models):
+        assert _CHECKER.check(models).consistent == _CHECKER.is_consistent(models)

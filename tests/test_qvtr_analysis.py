@@ -1,0 +1,237 @@
+"""Tests for QVT-R AST validation and static analysis."""
+
+import dataclasses
+
+import pytest
+
+from repro.deps.dependency import Dependency
+from repro.errors import QvtStaticError
+from repro.expr.ast import Eq, Lit, Nav, RelationCall, Var
+from repro.featuremodels import (
+    configuration_metamodel,
+    feature_metamodel,
+    paper_transformation,
+)
+from repro.objectdb import db_metamodel, idx_metamodel, oo_metamodel, schema_transformation
+from repro.qvtr.analysis import analyse, call_sites_of
+from repro.qvtr.ast import (
+    Domain,
+    ModelParam,
+    ObjectTemplate,
+    PropertyConstraint,
+    Relation,
+    Transformation,
+)
+
+FM_METAMODELS = {"FM": feature_metamodel(), "CF": configuration_metamodel()}
+DB_METAMODELS = {"OO": oo_metamodel(), "DB": db_metamodel(), "IDX": idx_metamodel()}
+
+
+def domain(param, var, cls="Feature", **props):
+    return Domain(
+        param,
+        ObjectTemplate(
+            var, cls, tuple(PropertyConstraint(k, v) for k, v in props.items())
+        ),
+    )
+
+
+class TestAstValidation:
+    def test_relation_needs_domains(self):
+        with pytest.raises(QvtStaticError, match="at least one domain"):
+            Relation(name="R", domains=())
+
+    def test_repeated_model_params_rejected(self):
+        with pytest.raises(QvtStaticError, match="repeated domain model"):
+            Relation(name="R", domains=(domain("a", "x"), domain("a", "y")))
+
+    def test_repeated_root_vars_rejected(self):
+        with pytest.raises(QvtStaticError, match="repeated domain root"):
+            Relation(name="R", domains=(domain("a", "x"), domain("b", "x")))
+
+    def test_foreign_dependency_rejected(self):
+        with pytest.raises(Exception, match="undeclared"):
+            Relation(
+                name="R",
+                domains=(domain("a", "x"), domain("b", "y")),
+                dependencies=frozenset({Dependency(("zz",), "a")}),
+            )
+
+    def test_effective_dependencies_default_to_standard(self):
+        r = Relation(name="R", domains=(domain("a", "x"), domain("b", "y")))
+        assert r.effective_dependencies() == frozenset(
+            {Dependency(("a",), "b"), Dependency(("b",), "a")}
+        )
+
+    def test_domain_for_unknown_param(self):
+        r = Relation(name="R", domains=(domain("a", "x"),))
+        with pytest.raises(QvtStaticError, match="no domain"):
+            r.domain_for("zz")
+
+    def test_transformation_duplicate_relations(self):
+        r = Relation(name="R", domains=(domain("a", "x"),))
+        with pytest.raises(QvtStaticError, match="twice"):
+            Transformation("T", (ModelParam("a", "M"),), (r, r))
+
+    def test_transformation_undeclared_params(self):
+        r = Relation(name="R", domains=(domain("zz", "x"),))
+        with pytest.raises(QvtStaticError, match="undeclared model"):
+            Transformation("T", (ModelParam("a", "M"),), (r,))
+
+    def test_top_relations(self):
+        t = paper_transformation(2)
+        assert {r.name for r in t.top_relations()} == {"MF", "OF"}
+
+
+class TestAnalysis:
+    def test_paper_transformations_are_clean(self):
+        assert analyse(paper_transformation(3), FM_METAMODELS).ok()
+        assert analyse(schema_transformation(), DB_METAMODELS).ok()
+
+    def test_unknown_class_reported(self):
+        t = Transformation(
+            "T",
+            (ModelParam("a", "FM"),),
+            (Relation(name="R", domains=(domain("a", "x", cls="Ghost"),)),),
+        )
+        report = analyse(t, FM_METAMODELS)
+        assert any("unknown" in m and "class" in m for m in report.issues)
+
+    def test_unknown_feature_reported(self):
+        t = Transformation(
+            "T",
+            (ModelParam("a", "FM"),),
+            (
+                Relation(
+                    name="R", domains=(domain("a", "x", ghost=Var("n")),)
+                ),
+            ),
+        )
+        report = analyse(t, FM_METAMODELS)
+        assert any("no feature 'ghost'" in m for m in report.issues)
+
+    def test_unknown_metamodel_reported(self):
+        t = Transformation(
+            "T",
+            (ModelParam("a", "Ghost"),),
+            (Relation(name="R", domains=(domain("a", "x"),)),),
+        )
+        report = analyse(t, FM_METAMODELS)
+        assert any("unknown" in m and "metamodel" in m for m in report.issues)
+
+    def test_call_arity_checked(self):
+        base = paper_transformation(2)
+        mf = base.relation("MF")
+        bad = dataclasses.replace(mf, when=RelationCall("OF", Var("s1")))
+        t = Transformation("T", base.model_params, (bad, base.relation("OF")))
+        report = analyse(t)
+        assert any("arguments" in m for m in report.issues)
+
+    def test_call_to_unknown_relation(self):
+        base = paper_transformation(2)
+        mf = dataclasses.replace(
+            base.relation("MF"), when=RelationCall("Ghost", Var("s1"))
+        )
+        t = Transformation("T", base.model_params, (mf, base.relation("OF")))
+        report = analyse(t)
+        assert any("unknown relation" in m for m in report.issues)
+
+    def test_call_sites_collects_both_clauses(self):
+        t = schema_transformation()
+        sites = call_sites_of(t)
+        assert [(s.caller, s.callee) for s in sites] == [
+            ("AttributeColumn", "ClassTable")
+        ]
+
+    def test_raise_if_failed(self):
+        t = Transformation(
+            "T",
+            (ModelParam("a", "FM"),),
+            (Relation(name="R", domains=(domain("a", "x", cls="Ghost"),)),),
+        )
+        with pytest.raises(QvtStaticError):
+            analyse(t, FM_METAMODELS).raise_if_failed()
+
+
+class TestSafetyAnalysis:
+    def test_unbindable_universal_variable(self):
+        """A when-clause variable no source pattern binds is unsafe."""
+        r = Relation(
+            name="R",
+            domains=(domain("a", "x"), domain("b", "y")),
+            when=Eq(Var("ghost"), Lit(1)),
+        )
+        t = Transformation(
+            "T", (ModelParam("a", "CF"), ModelParam("b", "CF")), (r,)
+        )
+        report = analyse(t)
+        assert any("ghost" in m for m in report.safety_issues)
+
+    def test_unbindable_existential_variable(self):
+        r = Relation(
+            name="R",
+            domains=(domain("a", "x"), domain("b", "y")),
+            where=Eq(Var("ghost"), Lit(1)),
+        )
+        t = Transformation(
+            "T", (ModelParam("a", "CF"), ModelParam("b", "CF")), (r,)
+        )
+        report = analyse(t)
+        assert any("ghost" in m for m in report.safety_issues)
+
+    def test_compound_pattern_value_does_not_bind(self):
+        """name = lower(n) checks but cannot bind n."""
+        from repro.expr.ast import StrLower
+
+        r = Relation(
+            name="R",
+            domains=(
+                domain("a", "x", name=StrLower(Var("n"))),
+                domain("b", "y"),
+            ),
+        )
+        t = Transformation(
+            "T", (ModelParam("a", "CF"), ModelParam("b", "CF")), (r,)
+        )
+        report = analyse(t)
+        assert any("'n'" in m for m in report.safety_issues)
+
+    def test_call_arg_vars_count_as_bindable(self):
+        """The objectdb AttributeColumn relation binds t via the when-call."""
+        assert analyse(schema_transformation(), DB_METAMODELS).ok()
+
+    def test_where_nav_over_target_bound_var_is_safe(self):
+        r = Relation(
+            name="R",
+            domains=(
+                domain("a", "x", name=Var("n")),
+                domain("b", "y", name=Var("n")),
+            ),
+            where=Eq(Nav(Var("y"), "name"), Var("n")),
+        )
+        t = Transformation(
+            "T", (ModelParam("a", "CF"), ModelParam("b", "CF")), (r,)
+        )
+        assert analyse(t).ok()
+
+
+class TestInvocationTyping:
+    def test_illegal_direction_call_flagged(self):
+        """R = {a->b} calling S = {b->a} is the paper's static error."""
+        callee = Relation(
+            name="S",
+            domains=(domain("a", "p"), domain("b", "q")),
+            dependencies=frozenset({Dependency(("b",), "a")}),
+        )
+        caller = Relation(
+            name="R",
+            domains=(domain("a", "x", name=Var("n")), domain("b", "y", name=Var("n"))),
+            where=RelationCall("S", Var("x"), Var("y")),
+            dependencies=frozenset({Dependency(("a",), "b")}),
+        )
+        t = Transformation(
+            "T", (ModelParam("a", "CF"), ModelParam("b", "CF")), (caller, callee)
+        )
+        report = analyse(t)
+        assert len(report.invocation_issues) == 1
+        assert "do not entail" in str(report.invocation_issues[0])

@@ -1,0 +1,241 @@
+"""Tests for the QVT-R lexer, parser and pretty-printer round-trip."""
+
+import pytest
+
+from repro.deps.dependency import Dependency
+from repro.errors import QvtSyntaxError
+from repro.expr import ast as e
+from repro.featuremodels import paper_transformation
+from repro.objectdb import schema_transformation
+from repro.qvtr.pretty import pretty_transformation
+from repro.qvtr.syntax.lexer import Token, tokenize
+from repro.qvtr.syntax.parser import parse_expression, parse_transformation
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("relation R { x = 1 }")]
+        assert kinds == ["keyword", "ident", "symbol", "ident", "symbol", "int",
+                         "symbol", "eof"]
+
+    def test_multichar_symbols(self):
+        texts = [t.text for t in tokenize("-> :: <= >= <>")][:-1]
+        assert texts == ["->", "::", "<=", ">=", "<>"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a -- comment\nb // another\nc")
+        assert [t.text for t in tokens if t.kind == "ident"] == ["a", "b", "c"]
+
+    def test_string_literal(self):
+        token = tokenize("'hi there'")[0]
+        assert token.kind == "string"
+        assert token.text == "hi there"
+
+    def test_string_escapes(self):
+        assert tokenize(r"'a\'b\\c\n'")[0].text == "a'b\\c\n"
+
+    def test_unterminated_string(self):
+        with pytest.raises(QvtSyntaxError, match="unterminated"):
+            tokenize("'abc")
+
+    def test_bad_escape(self):
+        with pytest.raises(QvtSyntaxError, match="bad escape"):
+            tokenize(r"'a\q'")
+
+    def test_unexpected_character(self):
+        with pytest.raises(QvtSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_positions_tracked(self):
+        token = tokenize("a\n  b")[1]
+        assert (token.line, token.column) == (2, 3)
+
+
+class TestExpressionParsing:
+    def test_precedence_and_binds_tighter_than_or(self):
+        expr = parse_expression("a or b and c")
+        assert isinstance(expr, e.Or)
+        assert isinstance(expr.operands[1], e.And)
+
+    def test_implies_right_associative(self):
+        expr = parse_expression("a implies b implies c")
+        assert isinstance(expr, e.Implies)
+        assert isinstance(expr.conclusion, e.Implies)
+
+    def test_comparison_operators(self):
+        assert isinstance(parse_expression("1 < 2"), e.Lt)
+        assert isinstance(parse_expression("1 <= 2"), e.Le)
+        assert isinstance(parse_expression("1 > 2"), e.Gt)
+        assert isinstance(parse_expression("1 >= 2"), e.Ge)
+        assert isinstance(parse_expression("1 <> 2"), e.Ne)
+        assert isinstance(parse_expression("x in s"), e.In)
+        assert isinstance(parse_expression("x subset s"), e.Subset)
+
+    def test_set_operators(self):
+        expr = parse_expression("a union b intersect c minus d")
+        assert isinstance(expr, e.SetDiff)
+
+    def test_navigation_chain(self):
+        expr = parse_expression("x.a.b")
+        assert expr == e.Nav(e.Nav(e.Var("x"), "a"), "b")
+
+    def test_arrow_operations(self):
+        assert isinstance(parse_expression("s->size()"), e.Size)
+        assert isinstance(parse_expression("s->isEmpty()"), e.IsEmpty)
+        assert isinstance(parse_expression("s->collect(x | x.n)"), e.Collect)
+        assert isinstance(parse_expression("s->select(x | x.n = 1)"), e.Select)
+        assert isinstance(parse_expression("s->forAll(x | true)"), e.Forall)
+        assert isinstance(parse_expression("s->exists(x | true)"), e.Exists)
+
+    def test_all_instances(self):
+        expr = parse_expression("fm::Feature.allInstances()")
+        assert expr == e.AllInstances("fm", "Feature")
+        assert parse_expression("fm::Feature") == expr
+
+    def test_relation_call(self):
+        expr = parse_expression("R(a, b)")
+        assert expr == e.RelationCall("R", e.Var("a"), e.Var("b"))
+
+    def test_builtin_functions(self):
+        assert isinstance(parse_expression("lower(x)"), e.StrLower)
+        assert isinstance(parse_expression("upper(x)"), e.StrUpper)
+        with pytest.raises(QvtSyntaxError, match="one argument"):
+            parse_expression("lower(x, y)")
+
+    def test_set_literal(self):
+        expr = parse_expression("{1, 2}")
+        assert expr == e.SetLit(e.Lit(1), e.Lit(2))
+
+    def test_string_concat(self):
+        assert isinstance(parse_expression("'a' + x"), e.StrConcat)
+
+    def test_literals(self):
+        assert parse_expression("true") == e.Lit(True)
+        assert parse_expression("false") == e.Lit(False)
+        assert parse_expression("'s'") == e.Lit("s")
+        assert parse_expression("42") == e.Lit(42)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QvtSyntaxError):
+            parse_expression("a b")
+
+
+MF_SOURCE = """
+-- the paper's MF relation, k = 2
+transformation F (cf1 : CF, cf2 : CF, fm : FM) {
+  top relation MF {
+    n : String;
+    domain cf1 s1 : Feature { name = n }
+    domain cf2 s2 : Feature { name = n }
+    domain fm f : Feature { name = n, mandatory = true }
+    depends { cf1 cf2 -> fm; fm -> cf1; fm -> cf2 }
+  }
+}
+"""
+
+
+class TestTransformationParsing:
+    def test_paper_mf_relation(self):
+        t = parse_transformation(MF_SOURCE)
+        assert t.name == "F"
+        assert [p.name for p in t.model_params] == ["cf1", "cf2", "fm"]
+        mf = t.relation("MF")
+        assert mf.is_top
+        assert mf.variables == tuple(
+            v for v in mf.variables
+        )  # structural smoke
+        assert mf.dependencies == frozenset(
+            {
+                Dependency(("cf1", "cf2"), "fm"),
+                Dependency(("fm",), "cf1"),
+                Dependency(("fm",), "cf2"),
+            }
+        )
+
+    def test_relation_without_depends_has_none(self):
+        source = MF_SOURCE.replace(
+            "depends { cf1 cf2 -> fm; fm -> cf1; fm -> cf2 }", ""
+        )
+        t = parse_transformation(source)
+        assert t.relation("MF").dependencies is None
+
+    def test_non_top_relation(self):
+        source = """
+        transformation T (a : A, b : B) {
+          relation R {
+            domain a x : C { }
+            domain b y : D { }
+          }
+        }
+        """
+        t = parse_transformation(source)
+        assert not t.relation("R").is_top
+
+    def test_when_where_clauses(self):
+        source = """
+        transformation T (a : A, b : B) {
+          top relation R {
+            n : String;
+            domain a x : C { name = n }
+            domain b y : D { name = n }
+            when { S(x, y) }
+            where { n <> 'x' }
+          }
+          top relation S {
+            domain a x : C { }
+            domain b y : D { }
+          }
+        }
+        """
+        t = parse_transformation(source)
+        r = t.relation("R")
+        assert isinstance(r.when, e.RelationCall)
+        assert isinstance(r.where, e.Ne)
+
+    def test_grouped_vardecl(self):
+        source = """
+        transformation T (a : A) {
+          top relation R {
+            n, m : String;
+            domain a x : C { p = n, q = m }
+            depends { -> a }
+          }
+        }
+        """
+        t = parse_transformation(source)
+        assert [v.name for v in t.relation("R").variables] == ["n", "m"]
+
+    def test_parse_error_has_location(self):
+        with pytest.raises(QvtSyntaxError) as excinfo:
+            parse_transformation("transformation T (a : A) { relation }")
+        assert "at" in str(excinfo.value)
+
+    def test_relation_without_domains_rejected(self):
+        from repro.errors import QvtStaticError
+
+        with pytest.raises((QvtSyntaxError, QvtStaticError)):
+            parse_transformation(
+                "transformation T (a : A) { top relation R { } }"
+            )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_feature_transformation_roundtrip(self, k):
+        t = paper_transformation(k)
+        assert parse_transformation(pretty_transformation(t)) == t
+
+    def test_unannotated_roundtrip(self):
+        t = paper_transformation(2, annotated=False)
+        assert parse_transformation(pretty_transformation(t)) == t
+
+    def test_schema_transformation_roundtrip(self):
+        t = schema_transformation()
+        assert parse_transformation(pretty_transformation(t)) == t
+
+    def test_mf_source_roundtrip_stable(self):
+        t = parse_transformation(MF_SOURCE)
+        printed = pretty_transformation(t)
+        assert parse_transformation(printed) == t
+        # printing is idempotent
+        assert pretty_transformation(parse_transformation(printed)) == printed

@@ -1,0 +1,97 @@
+"""Tests for JSON serialisation of metamodels and models."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.featuremodels import feature_metamodel, feature_model
+from repro.metamodel.meta import Attribute, Class, Metamodel, Reference
+from repro.metamodel.serialize import (
+    canonical_text,
+    metamodel_from_dict,
+    metamodel_to_dict,
+    model_from_dict,
+    model_to_dict,
+)
+from repro.metamodel.types import STRING, EnumType
+from repro.objectdb import db_metamodel, db_model
+
+
+class TestMetamodelRoundTrip:
+    def test_feature_metamodel(self):
+        mm = feature_metamodel()
+        assert metamodel_from_dict(metamodel_to_dict(mm)) == mm
+
+    def test_metamodel_with_refs_and_bounds(self):
+        mm = db_metamodel()
+        again = metamodel_from_dict(metamodel_to_dict(mm))
+        assert again.reference("Column", "table").lower == 1
+        assert again == mm
+
+    def test_metamodel_with_enum_and_inheritance(self):
+        status = EnumType("Status", ("on", "off"))
+        mm = Metamodel(
+            "M",
+            (
+                Class("Base", attributes=(Attribute("s", status),), abstract=True),
+                Class("Sub", supertypes=("Base",)),
+            ),
+            enums=(status,),
+        )
+        again = metamodel_from_dict(metamodel_to_dict(mm))
+        assert again == mm
+        assert again.cls("Base").abstract
+
+    def test_unknown_attribute_type_rejected(self):
+        data = metamodel_to_dict(feature_metamodel())
+        data["classes"][0]["attributes"][0]["type"] = "Whatever"
+        with pytest.raises(SerializationError, match="unknown attribute type"):
+            metamodel_from_dict(data)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(SerializationError, match="kind"):
+            metamodel_from_dict({"kind": "model", "name": "x"})
+
+    def test_wrong_format_version_rejected(self):
+        data = metamodel_to_dict(feature_metamodel())
+        data["format"] = 99
+        with pytest.raises(SerializationError, match="format"):
+            metamodel_from_dict(data)
+
+
+class TestModelRoundTrip:
+    def test_feature_model(self):
+        model = feature_model({"core": True, "log": False})
+        again = model_from_dict(model_to_dict(model), feature_metamodel())
+        assert again == model
+
+    def test_model_with_references(self):
+        model = db_model({"person": ["age"]})
+        again = model_from_dict(model_to_dict(model), db_metamodel())
+        assert again == model
+
+    def test_metamodel_name_mismatch(self):
+        model = feature_model({"a": True})
+        with pytest.raises(SerializationError, match="references metamodel"):
+            model_from_dict(model_to_dict(model), db_metamodel())
+
+    def test_name_preserved(self):
+        model = feature_model({"a": True}, name="myfm")
+        data = model_to_dict(model)
+        assert data["name"] == "myfm"
+        assert model_from_dict(data, feature_metamodel()).name == "myfm"
+
+
+class TestCanonicalText:
+    def test_name_independent(self):
+        a = feature_model({"a": True}, name="x")
+        b = feature_model({"a": True}, name="y")
+        assert canonical_text(a) == canonical_text(b)
+
+    def test_structurally_different_models_differ(self):
+        a = feature_model({"a": True})
+        b = feature_model({"a": False})
+        assert canonical_text(a) != canonical_text(b)
+
+    def test_deterministic(self):
+        a = feature_model({"a": True, "b": False})
+        assert canonical_text(a) == canonical_text(a)

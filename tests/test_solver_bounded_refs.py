@@ -1,0 +1,145 @@
+"""Grounder tests for reference handling: bounds, distance, decoding.
+
+The feature-model relations never exercise references; this suite runs a
+pattern-only (SAT-fragment) transformation over the DB metamodel, whose
+``Column.table`` reference has bounds [1, 1] — covering the at-least /
+at-most encodings and reference atoms in the distance objective.
+"""
+
+import pytest
+
+from repro.check.engine import Checker
+from repro.deps.dependency import Dependency
+from repro.expr.ast import Var
+from repro.metamodel.conformance import is_conformant
+from repro.metamodel.distance import distance
+from repro.objectdb import db_metamodel, db_model
+from repro.qvtr.ast import (
+    Domain,
+    ModelParam,
+    ObjectTemplate,
+    PropertyConstraint,
+    Relation,
+    Transformation,
+    VarDecl,
+)
+from repro.solver.bounded import Grounder, Scope
+from repro.solver.maxsat import solve_maxsat
+
+#: "Every table of db1 has an identically named table in db2", both ways.
+MIRROR = Transformation(
+    "Mirror",
+    (ModelParam("db1", "DB"), ModelParam("db2", "DB")),
+    (
+        Relation(
+            name="TableMirror",
+            domains=(
+                Domain(
+                    "db1",
+                    ObjectTemplate(
+                        "t1", "Table", (PropertyConstraint("name", Var("n")),)
+                    ),
+                ),
+                Domain(
+                    "db2",
+                    ObjectTemplate(
+                        "t2", "Table", (PropertyConstraint("name", Var("n")),)
+                    ),
+                ),
+            ),
+            variables=(VarDecl("n", "String"),),
+            dependencies=frozenset(
+                {Dependency(("db1",), "db2"), Dependency(("db2",), "db1")}
+            ),
+        ),
+    ),
+)
+
+
+def _solve(models, targets, scope=Scope()):
+    checker = Checker(MIRROR)
+    directions = [
+        (relation, dependency)
+        for relation in MIRROR.top_relations()
+        for dependency in checker.directions_of(relation)
+    ]
+    grounder = Grounder(MIRROR, models, frozenset(targets), directions, scope=scope)
+    grounding = grounder.ground()
+    result = solve_maxsat(grounding.cnf, list(grounding.soft))
+    return grounder, result
+
+
+class TestReferenceStructure:
+    def test_missing_table_created(self):
+        models = {
+            "db1": db_model({"person": []}, name="db1"),
+            "db2": db_model({}, name="db2"),
+        }
+        grounder, result = _solve(models, ["db2"])
+        assert result.satisfiable
+        repaired = grounder.decode(result.assignment)
+        names = {str(o.attr("name")) for o in repaired["db2"].objects_of("Table")}
+        assert names == {"person"}
+        assert is_conformant(repaired["db2"])
+
+    def test_column_lower_bound_respected_on_removal(self):
+        """Removing a table must not orphan its column: the minimal repair
+        drops the column too (or keeps both and renames)."""
+        models = {
+            "db1": db_model({}, name="db1"),
+            "db2": db_model({"person": ["age"]}, name="db2"),
+        }
+        grounder, result = _solve(models, ["db2"])
+        assert result.satisfiable
+        repaired = grounder.decode(result.assignment)
+        assert is_conformant(repaired["db2"])
+        # All tables are mirrored (none exist in db1), so db2 has no tables
+        # and therefore - by the lower bound - no columns either.
+        assert repaired["db2"].objects_of("Table") == []
+        assert repaired["db2"].objects_of("Column") == []
+
+    def test_ref_atoms_count_in_distance(self):
+        models = {
+            "db1": db_model({}, name="db1"),
+            "db2": db_model({"person": ["age"]}, name="db2"),
+        }
+        grounder, result = _solve(models, ["db2"])
+        repaired = grounder.decode(result.assignment)
+        measured = distance(models["db2"], repaired["db2"])
+        assert measured == result.cost
+        # table obj + name, column obj + name, the table ref: 5 atoms.
+        assert result.cost == 5
+
+    def test_consistency_with_columns_preserved(self):
+        """A repair that keeps the mirrored table keeps its column legal."""
+        models = {
+            "db1": db_model({"person": []}, name="db1"),
+            "db2": db_model({"person": ["age"]}, name="db2"),
+        }
+        grounder, result = _solve(models, ["db2"])
+        assert result.satisfiable and result.cost == 0
+        repaired = grounder.decode(result.assignment)
+        assert repaired["db2"] == models["db2"]
+
+    def test_checker_agrees_with_grounded_repair(self):
+        models = {
+            "db1": db_model({"person": [], "order": []}, name="db1"),
+            "db2": db_model({"person": []}, name="db2"),
+        }
+        grounder, result = _solve(models, ["db2"])
+        repaired = grounder.decode(result.assignment)
+        assert Checker(MIRROR).is_consistent(repaired)
+
+    @pytest.mark.parametrize("targets", [["db1"], ["db1", "db2"]])
+    def test_other_target_selections(self, targets):
+        models = {
+            "db1": db_model({"person": []}, name="db1"),
+            "db2": db_model({"order": []}, name="db2"),
+        }
+        grounder, result = _solve(models, targets)
+        assert result.satisfiable
+        repaired = grounder.decode(result.assignment)
+        assert Checker(MIRROR).is_consistent(repaired)
+        for param in ("db1", "db2"):
+            if param not in targets:
+                assert repaired[param] == models[param]

@@ -1,0 +1,192 @@
+"""Tests for the totalizer encoding and MaxSAT search strategies."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.solver.card import Totalizer, at_most_one_pairwise, exactly_one
+from repro.solver.cnf import CNF
+from repro.solver.maxsat import (
+    DECREASING,
+    INCREASING,
+    MaxSatResult,
+    SoftClause,
+    solve_maxsat,
+    verify_soft_cost,
+)
+from repro.solver.sat import solve
+
+
+def fresh_cnf(n):
+    cnf = CNF()
+    return cnf, [cnf.new_var() for _ in range(n)]
+
+
+class TestTotalizer:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_outputs_are_sorted_counter(self, n):
+        """For every input assignment, output i is true iff count > i."""
+        cnf, lits = fresh_cnf(n)
+        totalizer = Totalizer(cnf, lits)
+        for bits in itertools.product((False, True), repeat=n):
+            assumptions = [v if b else -v for v, b in zip(lits, bits)]
+            result = solve(cnf, assumptions=assumptions)
+            assert result.satisfiable
+            count = sum(bits)
+            for i, out in enumerate(totalizer.outputs):
+                assert result.value(out) == (count >= i + 1)
+
+    def test_at_most_assumption(self):
+        cnf, lits = fresh_cnf(3)
+        totalizer = Totalizer(cnf, lits)
+        assumptions = totalizer.at_most_assumption(1)
+        # forcing two inputs true contradicts the bound
+        assert not solve(cnf, assumptions=assumptions + lits[:2]).satisfiable
+        assert solve(cnf, assumptions=assumptions + lits[:1]).satisfiable
+
+    def test_at_most_trivial_bound_is_empty(self):
+        cnf, lits = fresh_cnf(2)
+        totalizer = Totalizer(cnf, lits)
+        assert totalizer.at_most_assumption(2) == []
+        with pytest.raises(SolverError):
+            totalizer.at_most_assumption(-1)
+
+    def test_at_least(self):
+        cnf, lits = fresh_cnf(3)
+        totalizer = Totalizer(cnf, lits)
+        totalizer.assert_at_least(2)
+        result = solve(cnf, assumptions=[-lits[0], -lits[1]])
+        assert not result.satisfiable
+
+    def test_at_least_bounds_validation(self):
+        cnf, lits = fresh_cnf(2)
+        totalizer = Totalizer(cnf, lits)
+        assert totalizer.at_least_assumption(0) == []
+        with pytest.raises(SolverError):
+            totalizer.at_least_assumption(3)
+
+    def test_needs_literals(self):
+        with pytest.raises(SolverError):
+            Totalizer(CNF(), [])
+
+
+class TestSmallCardinalityHelpers:
+    def test_at_most_one_pairwise(self):
+        cnf, lits = fresh_cnf(3)
+        at_most_one_pairwise(cnf, lits)
+        assert not solve(cnf, assumptions=lits[:2]).satisfiable
+        assert solve(cnf, assumptions=[lits[0]]).satisfiable
+
+    def test_exactly_one(self):
+        cnf, lits = fresh_cnf(3)
+        exactly_one(cnf, lits)
+        assert not solve(cnf, assumptions=[-l for l in lits]).satisfiable
+        assert solve(cnf, assumptions=[lits[1]]).satisfiable
+
+    def test_exactly_one_empty(self):
+        with pytest.raises(SolverError):
+            exactly_one(CNF(), [])
+
+
+def brute_optimum(hard: CNF, soft) -> int | None:
+    """Exhaustive optimal soft cost, None when hard is UNSAT."""
+    best = None
+    for bits in itertools.product((False, True), repeat=hard.num_vars):
+        assignment = dict(zip(range(1, hard.num_vars + 1), bits))
+        ok = all(
+            any((assignment[abs(l)] if l > 0 else not assignment[abs(l)]) for l in c)
+            for c in hard.clauses
+        )
+        if not ok:
+            continue
+        cost = verify_soft_cost(soft, assignment)
+        if best is None or cost < best:
+            best = cost
+    return best
+
+
+@st.composite
+def maxsat_instances(draw):
+    num_vars = draw(st.integers(1, 5))
+    hard = CNF(num_vars)
+    literal = st.integers(1, num_vars).flatmap(lambda v: st.sampled_from([v, -v]))
+    for _ in range(draw(st.integers(0, 5))):
+        hard.add_clause(draw(st.lists(literal, min_size=1, max_size=3)))
+    soft = []
+    for _ in range(draw(st.integers(1, 5))):
+        lits = tuple(draw(st.lists(literal, min_size=1, max_size=2)))
+        soft.append(SoftClause(lits, weight=draw(st.integers(1, 3))))
+    return hard, soft
+
+
+class TestMaxSat:
+    def test_soft_clause_validation(self):
+        with pytest.raises(SolverError):
+            SoftClause((), 1)
+        with pytest.raises(SolverError):
+            SoftClause((1,), -1)
+
+    def test_unknown_mode(self):
+        with pytest.raises(SolverError):
+            solve_maxsat(CNF(1), [], mode="magic")
+
+    def test_no_soft_clauses_is_plain_sat(self):
+        cnf = CNF(1)
+        cnf.add_clause([1])
+        result = solve_maxsat(cnf, [])
+        assert result.satisfiable and result.cost == 0
+
+    def test_hard_unsat(self):
+        cnf = CNF(1)
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert not solve_maxsat(cnf, [SoftClause((1,))]).satisfiable
+
+    def test_weighted_preference(self):
+        """Two contradictory soft units: the heavier one wins."""
+        cnf = CNF(1)
+        soft = [SoftClause((1,), 3), SoftClause((-1,), 1)]
+        for mode in (INCREASING, DECREASING):
+            result = solve_maxsat(cnf, soft, mode=mode)
+            assert result.cost == 1
+            assert result.assignment[1] is True
+
+    def test_max_cost_caps_search(self):
+        cnf = CNF(2)
+        cnf.add_clause([1])  # hard: x1
+        soft = [SoftClause((-1,), 2)]  # conflicting soft of weight 2
+        result = solve_maxsat(cnf, soft, max_cost=1)
+        assert not result.satisfiable
+        result = solve_maxsat(cnf, soft, max_cost=2)
+        assert result.satisfiable and result.cost == 2
+
+    def test_zero_weight_soft_ignored(self):
+        cnf = CNF(1)
+        cnf.add_clause([1])
+        result = solve_maxsat(cnf, [SoftClause((-1,), 0)])
+        assert result.cost == 0
+
+    @given(instance=maxsat_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_increasing_matches_brute_force(self, instance):
+        hard, soft = instance
+        expected = brute_optimum(hard, soft)
+        result = solve_maxsat(hard, soft, mode=INCREASING)
+        if expected is None:
+            assert not result.satisfiable
+        else:
+            assert result.satisfiable and result.cost == expected
+            assert verify_soft_cost(soft, result.assignment) <= expected
+
+    @given(instance=maxsat_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_both_modes_agree(self, instance):
+        hard, soft = instance
+        inc = solve_maxsat(hard, soft, mode=INCREASING)
+        dec = solve_maxsat(hard, soft, mode=DECREASING)
+        assert inc.satisfiable == dec.satisfiable
+        if inc.satisfiable:
+            assert inc.cost == dec.cost

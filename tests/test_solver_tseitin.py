@@ -1,0 +1,138 @@
+"""Tests for propositional formulas and the Tseitin transformation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.brute import brute_solve
+from repro.solver.cnf import CNF, VarPool
+from repro.solver.sat import solve
+from repro.solver.tseitin import (
+    PFALSE,
+    PTRUE,
+    PAnd,
+    PIff,
+    PImplies,
+    PNot,
+    POr,
+    PVar,
+    Tseitin,
+    eval_formula,
+    pand,
+    piff,
+    pimplies,
+    pnot,
+    por,
+    to_cnf,
+)
+
+_NAMES = ("x", "y", "z")
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0:
+        return draw(
+            st.sampled_from([PVar("x"), PVar("y"), PVar("z"), PTRUE, PFALSE])
+        )
+    kind = draw(st.integers(0, 5))
+    sub = formulas(depth=depth - 1)
+    if kind == 0:
+        return draw(st.sampled_from([PVar(n) for n in _NAMES]))
+    if kind == 1:
+        return PNot(draw(sub))
+    if kind == 2:
+        return PAnd(draw(sub), draw(sub))
+    if kind == 3:
+        return POr(draw(sub), draw(sub))
+    if kind == 4:
+        return PImplies(draw(sub), draw(sub))
+    return PIff(draw(sub), draw(sub))
+
+
+class TestSmartConstructors:
+    def test_pand_folding(self):
+        assert pand([PTRUE, PTRUE]) == PTRUE
+        assert pand([PVar("x"), PFALSE]) == PFALSE
+        assert pand([PVar("x")]) == PVar("x")
+
+    def test_pand_flattens(self):
+        nested = pand([PAnd(PVar("x"), PVar("y")), PVar("z")])
+        assert isinstance(nested, PAnd) and len(nested.operands) == 3
+
+    def test_por_folding(self):
+        assert por([PFALSE, PFALSE]) == PFALSE
+        assert por([PVar("x"), PTRUE]) == PTRUE
+        assert por([]) == PFALSE
+
+    def test_pnot_folding(self):
+        assert pnot(PTRUE) == PFALSE
+        assert pnot(pnot(PVar("x"))) == PVar("x")
+
+    def test_pimplies_folding(self):
+        assert pimplies(PFALSE, PVar("x")) == PTRUE
+        assert pimplies(PTRUE, PVar("x")) == PVar("x")
+        assert pimplies(PVar("x"), PFALSE) == PNot(PVar("x"))
+
+    def test_piff_folding(self):
+        assert piff(PTRUE, PVar("x")) == PVar("x")
+        assert piff(PFALSE, PVar("x")) == PNot(PVar("x"))
+        assert piff(PVar("x"), PVar("x")) == PTRUE
+
+
+class TestTseitin:
+    @given(formula=formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_equisatisfiable_per_assignment(self, formula):
+        """For every named assignment, CNF + assumption literals is SAT
+        exactly when the formula evaluates to true."""
+        cnf, pool = to_cnf(formula)
+        for bits in itertools.product((False, True), repeat=len(_NAMES)):
+            assignment = dict(zip(_NAMES, bits))
+            assumptions = [
+                pool.var(name) if value else -pool.var(name)
+                for name, value in assignment.items()
+                if pool.has(name)
+            ]
+            sat = solve(cnf, assumptions=assumptions).satisfiable
+            assert sat == eval_formula(formula, assignment)
+
+    def test_assert_false_is_unsat(self):
+        cnf, _ = to_cnf(PFALSE)
+        assert not solve(cnf).satisfiable
+
+    def test_assert_true_is_sat(self):
+        cnf, _ = to_cnf(PTRUE)
+        assert solve(cnf).satisfiable
+
+    def test_structural_sharing(self):
+        shared = PAnd(PVar("x"), PVar("y"))
+        cnf = CNF()
+        pool = VarPool(cnf)
+        transformer = Tseitin(cnf, pool)
+        a = transformer.literal(shared)
+        b = transformer.literal(PAnd(PVar("x"), PVar("y")))
+        assert a == b
+
+    def test_top_level_conjunction_splits(self):
+        """assert_formula on a conjunction asserts each conjunct without
+        auxiliary variables for the top node."""
+        cnf, pool = to_cnf(pand([PVar("x"), PVar("y")]))
+        result = solve(cnf)
+        assert result.satisfiable
+        assert result.value(pool.var("x")) and result.value(pool.var("y"))
+
+
+class TestEvalFormula:
+    def test_all_nodes(self):
+        env = {"x": True, "y": False}
+        assert eval_formula(PVar("x"), env)
+        assert not eval_formula(PNot(PVar("x")), env)
+        assert not eval_formula(PAnd(PVar("x"), PVar("y")), env)
+        assert eval_formula(POr(PVar("x"), PVar("y")), env)
+        assert not eval_formula(PImplies(PVar("x"), PVar("y")), env)
+        assert not eval_formula(PIff(PVar("x"), PVar("y")), env)
+        assert eval_formula(PTRUE, env)
+        assert not eval_formula(PFALSE, env)

@@ -1,0 +1,86 @@
+"""Tests for repro.util (ids, seeding, text rendering)."""
+
+import pytest
+
+from repro.util.ids import fresh_id, fresh_ids, pick_least, stable_sorted
+from repro.util.seeding import rng_from_seed, spawn
+from repro.util.text import render_series, render_table
+
+
+class TestFreshIds:
+    def test_first_free_suffix(self):
+        assert fresh_id("f", ["f1", "f2"]) == "f3"
+
+    def test_fills_gaps(self):
+        assert fresh_id("f", ["f2"]) == "f1"
+
+    def test_empty_taken(self):
+        assert fresh_id("x", []) == "x1"
+
+    def test_multiple_distinct(self):
+        ids = fresh_ids("f", ["f2"], 3)
+        assert ids == ["f1", "f3", "f4"]
+        assert len(set(ids)) == 3
+
+
+class TestStableSorted:
+    def test_mixed_types_do_not_raise(self):
+        out = stable_sorted([3, "a", True, 1])
+        assert len(out) == 4
+
+    def test_deterministic(self):
+        items = ["b", 2, "a", 1]
+        assert stable_sorted(items) == stable_sorted(list(reversed(items)))
+
+
+class TestPickLeast:
+    def test_picks_minimum_by_key(self):
+        assert pick_least(["aaa", "b", "cc"], key=len) == "b"
+
+    def test_breaks_ties_canonically(self):
+        assert pick_least(["b", "a"], key=len) == "a"
+        assert pick_least(["a", "b"], key=len) == "a"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            pick_least([], key=len)
+
+
+class TestSeeding:
+    def test_same_seed_same_stream(self):
+        assert rng_from_seed(7).random() == rng_from_seed(7).random()
+
+    def test_none_maps_to_fixed_default(self):
+        assert rng_from_seed(None).random() == rng_from_seed(0).random()
+
+    def test_passthrough_of_existing_rng(self):
+        rng = rng_from_seed(3)
+        assert rng_from_seed(rng) is rng
+
+    def test_spawn_is_deterministic(self):
+        a = spawn(rng_from_seed(1)).random()
+        b = spawn(rng_from_seed(1)).random()
+        assert a == b
+
+
+class TestTextRendering:
+    def test_table_alignment(self):
+        text = render_table(["a", "b"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "22 | yy" in lines[-1]
+
+    def test_table_title(self):
+        text = render_table(["h"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_bool_formatting(self):
+        assert "yes" in render_table(["x"], [[True]])
+
+    def test_float_formatting(self):
+        assert "0.3333" in render_table(["x"], [[1 / 3]])
+
+    def test_series(self):
+        text = render_series("s", {1: 2.0, 2: 4.0})
+        assert text.splitlines()[0] == "series: s"
+        assert "  1 -> 2" in text
