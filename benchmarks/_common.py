@@ -7,6 +7,7 @@ EXPERIMENTS.md can cite stable artefacts.
 
 from __future__ import annotations
 
+import argparse
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -19,3 +20,18 @@ def record(experiment: str, text: str) -> None:
     path.write_text(text + "\n")
     print(f"\n[{experiment}] -> {path}")
     print(text)
+
+
+def bench_cli(description: str, argv=None) -> argparse.Namespace:
+    """Arguments for running a bench file as a standalone script.
+
+    ``--smoke`` selects reduced workloads that finish in seconds — the
+    mode ``scripts/ci.sh`` runs on every commit.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced workloads for CI (finishes in well under 10 s)",
+    )
+    return parser.parse_args(argv)

@@ -1,0 +1,217 @@
+"""A5 (ablation) — persistent incremental SAT vs one-shot solving.
+
+The enforcement hot path issues *streams* of closely related SAT calls:
+the Echo loop probes distance bounds 0, 1, 2, ... over one fixed
+grounding, and repair enumeration re-asks the same question behind
+growing blocking clauses. The incremental core
+(:class:`repro.solver.sat.IncrementalSolver`) keeps the clause database,
+learnt clauses, VSIDS activities and saved phases alive across the whole
+stream, where the historical one-shot path rebuilt and re-searched from
+scratch per call — the same lever that makes incremental TGG
+transformation viable at scale (Barkowsky & Giese 2023).
+
+Measured on the A1 (new-mandatory-feature enforcement) and A3
+(double-missing-feature) workloads plus the E6 repair enumeration:
+wall-time, unit propagations, conflicts, and solver (re)builds per
+candidate stream. Acceptance: the incremental arm needs >= 2x fewer
+propagations or >= 30 % lower wall-time; the optima must be bitwise
+identical.
+
+``--smoke`` runs reduced sizes for CI (see ``scripts/ci.sh``).
+"""
+
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _p in (str(_ROOT), str(_ROOT / "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+from repro.check.engine import Checker
+from repro.featuremodels import (
+    configuration,
+    feature_model,
+    paper_transformation,
+    scenario_new_mandatory_feature,
+    scenario_rename,
+)
+from repro.solver.bounded import Grounder, Scope
+from repro.solver.maxsat import enumerate_optimal, solve_maxsat
+from repro.solver.sat import GLOBAL_STATS
+from repro.util.text import render_table
+
+from benchmarks._common import bench_cli, record
+
+
+def _ground(transformation, models, targets, extra_objects):
+    checker = Checker(transformation)
+    directions = [
+        (relation, dependency)
+        for relation in transformation.top_relations()
+        for dependency in checker.directions_of(relation)
+    ]
+    grounder = Grounder(
+        transformation,
+        models,
+        frozenset(targets),
+        directions,
+        scope=Scope(extra_objects=extra_objects),
+    )
+    return grounder.ground()
+
+
+def _measure(run):
+    before = GLOBAL_STATS.snapshot()
+    start = time.perf_counter()
+    outcome = run()
+    elapsed = time.perf_counter() - start
+    delta = GLOBAL_STATS - before
+    return outcome, elapsed, delta
+
+
+def workloads(smoke: bool):
+    """(name, grounding, exercise(grounding, incremental) -> outcome)."""
+    # A1: the paper's new-mandatory-feature scenario — one increasing
+    # MaxSAT sweep, i.e. one SAT call per distance bound.
+    k = 2 if smoke else 3
+    scenario = scenario_new_mandatory_feature(k)
+    a1 = _ground(
+        scenario.transformation,
+        scenario.after_update,
+        {f"cf{i}" for i in range(1, k + 1)},
+        extra_objects=2,
+    )
+
+    def sweep(grounding, incremental):
+        result = solve_maxsat(
+            grounding.cnf, list(grounding.soft), incremental=incremental
+        )
+        assert result.satisfiable
+        return result.cost
+
+    # A3: two mandatory features missing from both configurations, with
+    # a fatter fresh-object budget (the symmetry-breaking workload).
+    t = paper_transformation(2)
+    models = {
+        "fm": feature_model({"core": True, "secure": True, "log": False}),
+        "cf1": configuration([], name="cf1"),
+        "cf2": configuration([], name="cf2"),
+    }
+    a3 = _ground(t, models, {"cf1", "cf2"}, extra_objects=2 if smoke else 3)
+
+    # E6: enumerate every least-change repair of the rename scenario —
+    # one optimum sweep plus one SAT call and one blocking clause per
+    # repair.
+    rename = scenario_rename(2)
+    enum = _ground(
+        rename.transformation,
+        rename.after_update,
+        set(rename.repairable_targets[0]),
+        extra_objects=1,
+    )
+
+    def enumerate(grounding, incremental):
+        project = sorted(
+            grounding.pool.var(name)
+            for name in grounding.pool.names()
+            if isinstance(name, tuple) and name[0] in ("obj", "attr", "ref")
+        )
+        cost, solutions = enumerate_optimal(
+            grounding.cnf,
+            list(grounding.soft),
+            project,
+            limit=8 if smoke else 16,
+            incremental=incremental,
+        )
+        return (cost, len(solutions))
+
+    return [
+        (f"A1 enforcement sweep (k={k})", a1, sweep),
+        ("A3 double-missing-feature", a3, sweep),
+        ("E6 repair enumeration", enum, enumerate),
+    ]
+
+
+def run(smoke: bool = False) -> dict[str, dict[str, object]]:
+    rows = []
+    totals = {
+        arm: {"propagations": 0, "time": 0.0, "builds": 0}
+        for arm in ("one-shot", "incremental")
+    }
+    for name, grounding, exercise in workloads(smoke):
+        outcomes = {}
+        for arm, incremental in (("one-shot", False), ("incremental", True)):
+            outcome, elapsed, delta = _measure(
+                lambda: exercise(grounding, incremental)
+            )
+            outcomes[arm] = outcome
+            totals[arm]["propagations"] += delta.propagations
+            totals[arm]["time"] += elapsed
+            totals[arm]["builds"] += delta.solver_builds
+            rows.append(
+                [
+                    name,
+                    arm,
+                    delta.solves,
+                    delta.solver_builds,
+                    delta.propagations,
+                    delta.conflicts,
+                    f"{elapsed * 1e3:.1f} ms",
+                ]
+            )
+        assert outcomes["one-shot"] == outcomes["incremental"], name
+
+    one, inc = totals["one-shot"], totals["incremental"]
+    speedup = one["time"] / inc["time"] if inc["time"] else float("inf")
+    prop_ratio = (
+        one["propagations"] / inc["propagations"]
+        if inc["propagations"]
+        else float("inf")
+    )
+    rows.append(
+        [
+            "TOTAL",
+            f"{prop_ratio:.1f}x fewer propagations",
+            "",
+            f"{one['builds']}->{inc['builds']}",
+            f"{one['propagations']}->{inc['propagations']}",
+            "",
+            f"{speedup:.1f}x faster",
+        ]
+    )
+    table = render_table(
+        ["workload", "arm", "SAT calls", "solver builds", "propagations",
+         "conflicts", "time"],
+        rows,
+        title="A5: persistent incremental SAT core vs one-shot solving"
+        + (" [smoke]" if smoke else ""),
+    )
+    record("a5_incremental_sat" + ("_smoke" if smoke else ""), table)
+    # Acceptance: the candidate streams must be markedly cheaper.
+    assert (
+        inc["propagations"] * 2 <= one["propagations"]
+        or inc["time"] <= 0.7 * one["time"]
+    ), f"incremental arm not faster: {totals}"
+    return totals
+
+
+def test_a5_incremental_sat(benchmark):
+    run(smoke=False)
+    scenario = scenario_new_mandatory_feature(2)
+    grounding = _ground(
+        scenario.transformation, scenario.after_update, {"cf1", "cf2"}, 2
+    )
+    benchmark.pedantic(
+        lambda: solve_maxsat(grounding.cnf, list(grounding.soft)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+if __name__ == "__main__":
+    args = bench_cli(__doc__.splitlines()[0])
+    start = time.perf_counter()
+    run(smoke=args.smoke)
+    print(f"\ntotal bench time: {time.perf_counter() - start:.2f} s")

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Minimal CI: the tier-1 test suite plus the incremental-SAT smoke
+# benchmark (a5), which doubles as a perf regression guard — it asserts
+# the persistent solver stays >= 2x cheaper than one-shot solving.
+#
+# Usage: scripts/ci.sh  (from anywhere; finishes in well under a minute)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== a5 incremental-SAT ablation (full workloads, via pytest) =="
+python -m pytest benchmarks/bench_a5_incremental_sat.py -q
+
+echo "== a5 incremental-SAT smoke benchmark (script mode) =="
+python benchmarks/bench_a5_incremental_sat.py --smoke
+
+echo "CI OK"

@@ -11,22 +11,78 @@ and the optimum is found either by
   downwards (the FASE'14 target-oriented model finding realisation).
 
 Both return the same optimum; experiment E7 compares their runtime.
+
+Every enforcement question grounds the fixed transformation constraints
+exactly once and then runs on one persistent incremental SAT solver: the
+distance bounds of either mode are assumption literals, enumeration
+blocking clauses are incremental ``add_clause`` calls, and the learnt
+clauses from one probe accelerate the next (ablation A5 measures the
+win). :class:`ConsistencyOracle` exports the same machinery to the other
+engines: candidate repair states become assumption sets over the atom
+variables, so a consistency-plus-conformance verdict costs one
+propagation-heavy incremental solve instead of a full checker pass.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping
 
+from repro.check.bindings import values_equal
 from repro.check.engine import Checker
 from repro.deps.dependency import Dependency
 from repro.enforce.metrics import TupleMetric
 from repro.enforce.targets import TargetSelection
-from repro.errors import NoRepairFound
+from repro.errors import NoRepairFound, SatFragmentError, SolverError
 from repro.metamodel.model import Model
 from repro.metamodel.serialize import canonical_text
 from repro.qvtr.ast import Relation
-from repro.solver.bounded import Grounder, Scope
-from repro.solver.maxsat import INCREASING, enumerate_optimal, solve_maxsat
+from repro.solver.bounded import Grounder, GroundingResult, Scope, _value_key
+from repro.solver.cnf import Lit
+from repro.solver.maxsat import INCREASING, enumerate_optimal
+from repro.solver.sat import IncrementalSolver
+
+
+def _directions(checker: Checker) -> list[tuple[Relation, Dependency]]:
+    return [
+        (relation, dependency)
+        for relation in checker.transformation.top_relations()
+        for dependency in checker.directions_of(relation)
+    ]
+
+
+def _ground(
+    checker: Checker,
+    models: Mapping[str, Model],
+    targets: TargetSelection,
+    metric: TupleMetric | None,
+    scope: Scope,
+    symmetry_breaking: bool = True,
+) -> Grounder:
+    """The shared grounding preamble of every SAT-engine entry point.
+
+    ``metric=None`` grounds without distance soft clauses (consistency
+    and conformance only — what the :class:`ConsistencyOracle` needs).
+    The oracle also turns ``symmetry_breaking`` off: its candidates fix
+    every atom, so symmetry clauses would wrongly veto consistent states
+    whose fresh objects are not in canonical id order.
+    """
+    transformation = checker.transformation
+    targets.validate(transformation)
+    if metric is None:
+        weights = {param: 0 for param in transformation.param_names()}
+    else:
+        weights = {
+            param: metric.weight(param) for param in transformation.param_names()
+        }
+    return Grounder(
+        transformation,
+        models,
+        frozenset(targets.params),
+        _directions(checker),
+        scope=scope,
+        weights=weights,
+        symmetry_breaking=symmetry_breaking,
+    )
 
 
 def enforce_sat(
@@ -37,34 +93,21 @@ def enforce_sat(
     scope: Scope = Scope(),
     mode: str = INCREASING,
     max_distance: int | None = None,
+    incremental: bool = True,
 ) -> tuple[dict[str, Model], int]:
     """Find a distance-minimal consistent tuple with the SAT engine.
 
     Returns ``(repaired tuple, weighted distance)``; raises
     :class:`NoRepairFound` when no consistent tuple exists within the
-    scope (or the distance cap).
+    scope (or the distance cap). The constraints are encoded once; the
+    distance sweep explores bounds as assumptions on one persistent
+    solver (``incremental=False`` restores the historical one-shot solve
+    per bound, kept for ablation A5).
     """
-    transformation = checker.transformation
-    targets.validate(transformation)
-    directions: list[tuple[Relation, Dependency]] = []
-    for relation in transformation.top_relations():
-        for dependency in checker.directions_of(relation):
-            directions.append((relation, dependency))
-    weights = {
-        param: metric.weight(param) for param in transformation.param_names()
-    }
-    grounder = Grounder(
-        transformation,
-        models,
-        frozenset(targets.params),
-        directions,
-        scope=scope,
-        weights=weights,
-    )
+    grounder = _ground(checker, models, targets, metric, scope)
     grounding = grounder.ground()
-    result = solve_maxsat(
-        grounding.cnf, list(grounding.soft), mode=mode, max_cost=max_distance
-    )
+    session = grounding.session(incremental=incremental)
+    result = session.solve_optimal(mode=mode, max_cost=max_distance)
     if not result.satisfiable:
         raise NoRepairFound(
             f"no consistent tuple within scope {scope} "
@@ -84,6 +127,7 @@ def enumerate_repairs(
     metric: TupleMetric = TupleMetric(),
     scope: Scope = Scope(),
     limit: int = 64,
+    incremental: bool = True,
 ) -> tuple[int, list[dict[str, Model]]]:
     """All distance-minimal repairs (up to ``limit``), canonically ordered.
 
@@ -91,25 +135,11 @@ def enumerate_repairs(
     tuple; this enumerates the whole optimum set — the tool-level answer
     to the observation (EXPERIMENTS.md, E6) that minimality alone may
     not determine the "natural" repair. Same fragment restrictions as
-    :func:`enforce_sat`.
+    :func:`enforce_sat`. The enumeration is fully incremental: one
+    grounding, one encoding, one solver; each found repair adds one
+    blocking clause.
     """
-    transformation = checker.transformation
-    targets.validate(transformation)
-    directions: list[tuple[Relation, Dependency]] = []
-    for relation in transformation.top_relations():
-        for dependency in checker.directions_of(relation):
-            directions.append((relation, dependency))
-    weights = {
-        param: metric.weight(param) for param in transformation.param_names()
-    }
-    grounder = Grounder(
-        transformation,
-        models,
-        frozenset(targets.params),
-        directions,
-        scope=scope,
-        weights=weights,
-    )
+    grounder = _ground(checker, models, targets, metric, scope)
     grounding = grounder.ground()
     project = sorted(
         grounding.pool.var(name)
@@ -117,7 +147,11 @@ def enumerate_repairs(
         if isinstance(name, tuple) and name[0] in ("obj", "attr", "ref")
     )
     cost, assignments = enumerate_optimal(
-        grounding.cnf, list(grounding.soft), project, limit=limit
+        grounding.cnf,
+        list(grounding.soft),
+        project,
+        limit=limit,
+        incremental=incremental,
     )
     decoded: dict[str, dict[str, Model]] = {}
     for assignment in assignments:
@@ -126,3 +160,182 @@ def enumerate_repairs(
         decoded.setdefault(key, tuple_)
     ordered = [decoded[key] for key in sorted(decoded)]
     return cost, ordered
+
+
+class ConsistencyOracle:
+    """Assumption-based consistency + conformance oracle for candidates.
+
+    Built once per enforcement run: grounds the fixed structural and
+    consistency constraints (no distance soft clauses) over the bounded
+    universe of the *original* tuple, attaches one persistent
+    :class:`IncrementalSolver`, and answers, per candidate state, whether
+    every target model is metamodel-conformant *and* the tuple satisfies
+    every directional check — by fixing each atom variable of the
+    universe with an assumption literal and asking for satisfiability.
+
+    The answer is exact on the SAT fragment because the assumptions
+    determine every atom of the grounding: the solve degenerates into
+    unit propagation over constraints learnt-clause-accelerated across
+    the thousands of candidates an exploration visits. :meth:`query`
+    returns ``None`` (caller must fall back to the real checker) whenever
+    a candidate strays outside the bounded universe or the value pools —
+    soundness is never traded for speed.
+    """
+
+    def __init__(
+        self,
+        grounding: GroundingResult,
+        targets: frozenset[str],
+        solver: IncrementalSolver,
+    ) -> None:
+        self._grounding = grounding
+        self._targets = tuple(sorted(targets))
+        self._solver = solver
+        self.queries = 0
+        self.fallbacks = 0
+        # Non-target models are baked into the grounding as constants; a
+        # query against a tuple whose frozen side drifted must decline.
+        self._frozen = {
+            param: gm.model
+            for param, gm in grounding.ground_models.items()
+            if not gm.symbolic
+        }
+        # Per-target atom tables, fixed for the oracle's lifetime —
+        # queries are the hot path and must not rebuild them.
+        self._universes: dict[str, frozenset[str]] = {}
+        self._atoms: dict[str, list[tuple]] = {}
+        self.complete = self._precompute()
+
+    def _precompute(self) -> bool:
+        """Tabulate (oid, vars, candidates) per target; False if any
+        expected atom variable is missing from the grounding."""
+        pool = self._grounding.pool
+        for param in self._targets:
+            gm = self._grounding.ground_models[param]
+            mm = gm.metamodel
+            self._universes[param] = frozenset(gm.universe)
+            entries: list[tuple] = []
+            for oid in gm.universe:
+                cls_name = gm.class_of(oid)
+                alive_name = ("obj", param, oid)
+                if not pool.has(alive_name):
+                    return False
+                attr_entries = []
+                for attr_name, attr in sorted(mm.all_attributes(cls_name).items()):
+                    pairs = []
+                    for value in gm.pools.candidates(attr.type):
+                        name = ("attr", param, oid, attr_name, _value_key(value))
+                        if not pool.has(name):
+                            return False
+                        pairs.append((value, pool.var(name)))
+                    attr_entries.append((attr_name, pairs))
+                ref_entries = []
+                for ref_name, ref in sorted(mm.all_references(cls_name).items()):
+                    pairs = []
+                    for target in gm.objects_of(ref.target):
+                        name = ("ref", param, oid, ref_name, target)
+                        if not pool.has(name):
+                            return False
+                        pairs.append((target, pool.var(name)))
+                    ref_entries.append(
+                        (ref_name, pairs, frozenset(t for t, _ in pairs))
+                    )
+                entries.append(
+                    (
+                        oid,
+                        cls_name,
+                        pool.var(alive_name),
+                        frozenset(n for n, _ in attr_entries),
+                        frozenset(n for n, _, _ in ref_entries),
+                        attr_entries,
+                        ref_entries,
+                    )
+                )
+            self._atoms[param] = entries
+        return True
+
+    @classmethod
+    def try_build(
+        cls,
+        checker: Checker,
+        models: Mapping[str, Model],
+        targets: TargetSelection,
+        scope: Scope,
+    ) -> "ConsistencyOracle | None":
+        """An oracle for this enforcement run, or None outside the fragment."""
+        try:
+            grounder = _ground(
+                checker, models, targets, None, scope, symmetry_breaking=False
+            )
+            grounding = grounder.ground()
+        except (SatFragmentError, SolverError):
+            return None
+        oracle = cls(
+            grounding, frozenset(targets.params), IncrementalSolver(grounding.cnf)
+        )
+        return oracle if oracle.complete else None
+
+    def query(self, state: Mapping[str, Model]) -> bool | None:
+        """Whether ``state`` is consistent with conformant targets.
+
+        ``None`` means the oracle cannot encode this candidate (object,
+        attribute value or reference target outside the bounded universe)
+        and the caller must decide with the real checker.
+        """
+        self.queries += 1
+        assumptions = self._assumptions_for(state)
+        if assumptions is None:
+            self.fallbacks += 1
+            return None
+        return self._solver.solve(assumptions, model=False).satisfiable
+
+    def _assumptions_for(
+        self, state: Mapping[str, Model]
+    ) -> list[Lit] | None:
+        for param, original in self._frozen.items():
+            current = state.get(param)
+            if current is not original and current != original:
+                return None  # frozen side drifted from the grounding
+        assumptions: list[Lit] = []
+        for param in self._targets:
+            model = state[param]
+            universe = self._universes[param]
+            for oid in model.object_ids():
+                if oid not in universe:
+                    return None  # candidate escaped the bounded universe
+            for (
+                oid,
+                cls_name,
+                alive_var,
+                attr_names,
+                ref_names,
+                attr_entries,
+                ref_entries,
+            ) in self._atoms[param]:
+                obj = model.get_or_none(oid)
+                if obj is not None and obj.cls != cls_name:
+                    return None
+                assumptions.append(alive_var if obj is not None else -alive_var)
+                if obj is not None:
+                    # Undeclared features have no atom variables.
+                    if any(a not in attr_names for a, _ in obj.attrs):
+                        return None
+                    if any(r not in ref_names for r, _ in obj.refs):
+                        return None
+                for attr_name, pairs in attr_entries:
+                    current = obj.attr_or(attr_name) if obj is not None else None
+                    matched = current is None
+                    for value, var in pairs:
+                        same = current is not None and values_equal(current, value)
+                        if same:
+                            matched = True
+                        assumptions.append(var if same else -var)
+                    if not matched:
+                        return None  # value outside the candidate pool
+                for ref_name, pairs, target_set in ref_entries:
+                    had = set(obj.targets(ref_name)) if obj is not None else set()
+                    if not had <= target_set:
+                        return None  # reference target outside the universe
+                    for target, var in pairs:
+                        assumptions.append(var if target in had else -var)
+        return assumptions

@@ -17,6 +17,17 @@ checker, so when/where clauses and relation calls all work) but
 exponential; it is the oracle the SAT engine is validated against, and
 the right tool for small scopes only. ``max_states``/``max_distance``
 bound the exploration.
+
+For specifications inside the SAT fragment the per-state goal test —
+conformance of every target plus a full consistency check, the hot path
+of the whole exploration — is served by the incremental
+:class:`~repro.enforce.satengine.ConsistencyOracle`: the fixed
+constraints are encoded once and every popped state becomes one
+assumption-based solve on a persistent solver. The oracle declines
+(returns ``None``) on states it cannot encode, and the real checker
+decides those, so verdicts — and therefore the explored frontier and the
+returned repair — are identical with the oracle on or off
+(``use_oracle=False`` keeps the checker-only path for validation).
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from collections.abc import Iterator, Mapping
 
 from repro.check.engine import Checker
 from repro.enforce.metrics import TupleMetric
+from repro.enforce.satengine import ConsistencyOracle
 from repro.enforce.targets import TargetSelection
 from repro.errors import EnforcementError, NoRepairFound
 from repro.metamodel.conformance import is_conformant
@@ -45,6 +57,8 @@ class SearchStats:
     popped: int
     pushed: int
     max_distance_reached: int
+    oracle_queries: int = 0
+    oracle_fallbacks: int = 0
 
 
 def enforce_search(
@@ -55,6 +69,7 @@ def enforce_search(
     scope: Scope = Scope(),
     max_distance: int | None = None,
     max_states: int = 200_000,
+    use_oracle: bool = True,
 ) -> tuple[dict[str, Model], int, SearchStats]:
     """Find a distance-minimal consistent tuple; see module docstring.
 
@@ -66,6 +81,20 @@ def enforce_search(
     original = dict(models)
     pools = ValuePools(original, scope)
     target_list = sorted(targets.params)
+    oracle = (
+        ConsistencyOracle.try_build(checker, original, targets, scope)
+        if use_oracle
+        else None
+    )
+
+    def is_goal(state: dict[str, Model]) -> bool:
+        if oracle is not None:
+            verdict = oracle.query(state)
+            if verdict is not None:
+                return verdict
+        return all(is_conformant(state[p]) for p in target_list) and (
+            checker.is_consistent(state)
+        )
 
     counter = 0
     heap: list[tuple[int, int, dict[str, Model]]] = []
@@ -97,10 +126,10 @@ def enforce_search(
         # table), but a repair must be a valid instance of every
         # metamodel, exactly as the SAT engine's structural constraints
         # guarantee.
-        if all(is_conformant(state[p]) for p in target_list) and (
-            checker.is_consistent(state)
-        ):
-            return state, cost, SearchStats(popped, counter, max_reached)
+        if is_goal(state):
+            return state, cost, SearchStats(
+                popped, counter, max_reached, *_oracle_counts(oracle)
+            )
         if popped >= max_states:
             raise NoRepairFound(
                 f"search budget of {max_states} states exhausted "
@@ -124,6 +153,12 @@ def enforce_search(
         f"(deepest distance reached: {max_reached})",
         explored_distance=max_reached,
     )
+
+
+def _oracle_counts(oracle: ConsistencyOracle | None) -> tuple[int, int]:
+    if oracle is None:
+        return 0, 0
+    return oracle.queries, oracle.fallbacks
 
 
 def _successors(model: Model, pools: ValuePools, scope: Scope) -> Iterator[Model]:

@@ -6,7 +6,8 @@ PMax-SAT solver). This package supplies the same machinery from scratch:
 
 * :mod:`repro.solver.cnf` — literals, clauses, DIMACS;
 * :mod:`repro.solver.sat` — a CDCL SAT solver (watched literals, VSIDS,
-  first-UIP learning, restarts);
+  first-UIP learning, restarts) with a persistent incremental interface
+  (assumption solving, between-call clause addition, failed cores);
 * :mod:`repro.solver.brute` — a truth-table reference solver (test oracle);
 * :mod:`repro.solver.tseitin` — propositional formulas to CNF;
 * :mod:`repro.solver.card` — totalizer cardinality encoding;
@@ -17,7 +18,7 @@ PMax-SAT solver). This package supplies the same machinery from scratch:
 """
 
 from repro.solver.cnf import CNF, VarPool
-from repro.solver.sat import SatResult, solve
+from repro.solver.sat import IncrementalSolver, SatResult, SolverStats, solve
 from repro.solver.tseitin import (
     PFALSE,
     PTRUE,
@@ -34,7 +35,9 @@ __all__ = [
     "CNF",
     "VarPool",
     "solve",
+    "IncrementalSolver",
     "SatResult",
+    "SolverStats",
     "PVar",
     "PAnd",
     "POr",

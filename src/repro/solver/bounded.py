@@ -43,7 +43,7 @@ from repro.metamodel.types import (
 from repro.qvtr.ast import Domain, Relation, Transformation
 from repro.solver.card import Totalizer, at_most_one_pairwise
 from repro.solver.cnf import CNF, VarPool
-from repro.solver.maxsat import SoftClause
+from repro.solver.maxsat import MaxSatSession, SoftClause
 from repro.solver.tseitin import (
     PFALSE,
     PTRUE,
@@ -216,9 +216,23 @@ class GroundingResult:
     soft: tuple[SoftClause, ...]
     ground_models: Mapping[str, GroundModel]
 
+    def session(self, incremental: bool = True) -> MaxSatSession:
+        """A persistent MaxSAT session over this grounding.
+
+        The relaxation/totalizer encoding is translated exactly once and
+        one incremental solver serves every subsequent query (distance
+        bounds, repair enumeration blocking clauses), instead of the
+        historical full re-translation per SAT call.
+        """
+        return MaxSatSession(self.cnf, list(self.soft), incremental=incremental)
+
 
 class Grounder:
     """Grounds structure + consistency + distance for one repair problem."""
+
+    #: Process-wide count of :meth:`ground` runs; the translation-count
+    #: tests read deltas to pin "one grounding per enforcement question".
+    translations = 0
 
     def __init__(
         self,
@@ -261,6 +275,7 @@ class Grounder:
     # ------------------------------------------------------------------
     def ground(self) -> GroundingResult:
         """Produce the CNF, soft clauses and decode hooks."""
+        Grounder.translations += 1
         for param in sorted(self.targets):
             self._ground_structure(self.ground_models[param])
             self._ground_distance(self.ground_models[param])

@@ -24,9 +24,14 @@ class Totalizer:
     2
     """
 
+    #: Process-wide construction count; the translation-count tests read
+    #: deltas to assert encodings are built once per session, not per call.
+    built = 0
+
     def __init__(self, cnf: CNF, literals: Sequence[Lit]) -> None:
         if not literals:
             raise SolverError("totalizer needs at least one literal")
+        Totalizer.built += 1
         self._cnf = cnf
         self.literals = tuple(literals)
         self.outputs = self._build(list(literals))

@@ -1,4 +1,4 @@
-"""Weighted partial MaxSAT on top of the CDCL solver.
+"""Weighted partial MaxSAT on top of the incremental CDCL solver.
 
 Two strategies, mirroring the two realisations the paper cites:
 
@@ -8,22 +8,31 @@ Two strategies, mirroring the two realisations the paper cites:
   single assumption literal (a totalizer output), so nothing is re-encoded.
 * ``decreasing`` — linear SAT-UNSAT search as in target-oriented model
   finding [Cunha, Macedo & Guimarães, FASE'14]: find any model, then
-  repeatedly assert "strictly cheaper" until UNSAT; the last model is
+  repeatedly assume "strictly cheaper" until UNSAT; the last model is
   optimal.
 
 Weights are handled by replicating relaxation literals inside the
 totalizer (adequate for the small integer weights model distances use).
+
+All queries of one optimisation run — and of any follow-up model
+enumeration — go through a single :class:`MaxSatSession`: the soft-clause
+relaxation and the totalizer are encoded exactly once, and one
+:class:`~repro.solver.sat.IncrementalSolver` persists across every bound
+probe and blocking clause, carrying its learnt clauses and heuristic
+state from call to call. ``incremental=False`` reverts to a fresh
+one-shot solver per SAT call (the seed behaviour) and exists as the
+baseline arm of ablation benchmark A5.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.errors import SolverError
 from repro.solver.card import Totalizer
 from repro.solver.cnf import CNF, Lit
-from repro.solver.sat import SatResult, solve
+from repro.solver.sat import IncrementalSolver, SatResult, solve
 
 INCREASING = "increasing"
 DECREASING = "decreasing"
@@ -52,71 +61,138 @@ class MaxSatResult:
     assignment: dict[int, bool] | None = None
 
 
+class MaxSatSession:
+    """A persistent MaxSAT session over one hard CNF.
+
+    Encodes relaxation variables and the totalizer once at construction;
+    afterwards every query — optimum search, re-solves at a fixed bound,
+    enumeration with blocking clauses — is an assumption-based call on
+    the same incremental solver. The input ``hard`` CNF is never mutated.
+    """
+
+    def __init__(
+        self,
+        hard: CNF,
+        soft: Sequence[SoftClause],
+        incremental: bool = True,
+    ) -> None:
+        self.incremental = incremental
+        self._working = hard.copy()
+        originals = self._working.num_vars
+        relax_weighted: list[Lit] = []
+        for clause in soft:
+            if clause.weight == 0:
+                continue
+            for lit in clause.literals:
+                if abs(lit) > originals:
+                    raise SolverError("soft clause references unknown variable")
+            relax = self._working.new_var()
+            self._working.add_clause(list(clause.literals) + [relax])
+            relax_weighted.extend([relax] * clause.weight)
+        self.total_weight = len(relax_weighted)
+        self._totalizer = (
+            Totalizer(self._working, relax_weighted) if relax_weighted else None
+        )
+        self._solver = IncrementalSolver(self._working) if incremental else None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[Lit] = ()) -> SatResult:
+        """One SAT call over the session database under ``assumptions``."""
+        if self._solver is not None:
+            return self._solver.solve(assumptions)
+        return solve(self._working, assumptions)
+
+    def add_clause(self, literals: Iterable[Lit]) -> None:
+        """Permanently add a clause (e.g. an enumeration blocking clause)."""
+        clause = list(literals)
+        self._working.add_clause(clause)
+        if self._solver is not None:
+            self._solver.add_clause(clause)
+
+    def at_most(self, bound: int) -> list[Lit]:
+        """Assumption literals capping the violated weight at ``bound``."""
+        if self._totalizer is None:
+            return []
+        return self._totalizer.at_most_assumption(bound)
+
+    def cost_of(self, result: SatResult) -> int:
+        """The violated soft weight of a satisfiable ``result``."""
+        if self._totalizer is None:
+            return 0
+        return _cost(self._totalizer, result)
+
+    # ------------------------------------------------------------------
+    # Optimisation
+    # ------------------------------------------------------------------
+    def solve_optimal(
+        self, mode: str = INCREASING, max_cost: int | None = None
+    ) -> MaxSatResult:
+        """Minimise the violated soft weight subject to the hard clauses.
+
+        ``max_cost`` bounds the search (useful when the caller only cares
+        about repairs up to some distance); when the optimum exceeds it
+        the result is reported unsatisfiable. The session stays reusable
+        afterwards: bounds are explored via assumptions, never asserted.
+        """
+        if mode not in (INCREASING, DECREASING):
+            raise SolverError(f"unknown MaxSAT mode {mode!r}")
+        if self.total_weight == 0:
+            result = self.solve()
+            return MaxSatResult(result.satisfiable, 0, result.assignment)
+        ceiling = (
+            self.total_weight
+            if max_cost is None
+            else min(max_cost, self.total_weight)
+        )
+        if mode == INCREASING:
+            return self._increasing(ceiling)
+        return self._decreasing(ceiling)
+
+    def _increasing(self, ceiling: int) -> MaxSatResult:
+        for bound in range(ceiling + 1):
+            result = self.solve(self.at_most(bound))
+            if result.satisfiable:
+                return MaxSatResult(True, self.cost_of(result), result.assignment)
+        return MaxSatResult(False)
+
+    def _decreasing(self, ceiling: int) -> MaxSatResult:
+        best: SatResult | None = None
+        best_cost = ceiling + 1
+        bound = ceiling
+        while True:
+            result = self.solve(self.at_most(bound))
+            if not result.satisfiable:
+                break
+            cost = self.cost_of(result)
+            best = result
+            best_cost = cost
+            if cost == 0:
+                break
+            bound = cost - 1
+        if best is None:
+            return MaxSatResult(False)
+        return MaxSatResult(True, best_cost, best.assignment)
+
+
 def solve_maxsat(
     hard: CNF,
     soft: Sequence[SoftClause],
     mode: str = INCREASING,
     max_cost: int | None = None,
+    incremental: bool = True,
 ) -> MaxSatResult:
     """Minimise the violated soft weight subject to the hard clauses.
 
-    ``max_cost`` bounds the search (useful when the caller only cares
-    about repairs up to some distance); when the optimum exceeds it the
-    result is reported unsatisfiable.
+    Convenience wrapper building a throwaway :class:`MaxSatSession`;
+    callers issuing follow-up queries should hold on to a session
+    instead. ``incremental=False`` re-solves each bound from scratch
+    (the A5 ablation baseline).
     """
-    if mode not in (INCREASING, DECREASING):
-        raise SolverError(f"unknown MaxSAT mode {mode!r}")
-    working = hard.copy()
-    relax_weighted: list[Lit] = []
-    originals = working.num_vars
-    for clause in soft:
-        if clause.weight == 0:
-            continue
-        for lit in clause.literals:
-            if abs(lit) > originals:
-                raise SolverError("soft clause references unknown variable")
-        relax = working.new_var()
-        working.add_clause(list(clause.literals) + [relax])
-        relax_weighted.extend([relax] * clause.weight)
-    if not relax_weighted:
-        result = solve(working)
-        return MaxSatResult(result.satisfiable, 0, result.assignment)
-    totalizer = Totalizer(working, relax_weighted)
-    total_weight = len(relax_weighted)
-    ceiling = total_weight if max_cost is None else min(max_cost, total_weight)
-    if mode == INCREASING:
-        return _increasing(working, totalizer, ceiling)
-    return _decreasing(working, totalizer, ceiling, total_weight)
-
-
-def _increasing(cnf: CNF, totalizer: Totalizer, ceiling: int) -> MaxSatResult:
-    for bound in range(ceiling + 1):
-        result = solve(cnf, assumptions=totalizer.at_most_assumption(bound))
-        if result.satisfiable:
-            return MaxSatResult(True, _cost(totalizer, result), result.assignment)
-    return MaxSatResult(False)
-
-
-def _decreasing(
-    cnf: CNF, totalizer: Totalizer, ceiling: int, total_weight: int
-) -> MaxSatResult:
-    if ceiling < total_weight:
-        totalizer.assert_at_most(ceiling)
-    best: SatResult | None = None
-    best_cost = ceiling + 1
-    while True:
-        result = solve(cnf)
-        if not result.satisfiable:
-            break
-        cost = _cost(totalizer, result)
-        best = result
-        best_cost = cost
-        if cost == 0:
-            break
-        totalizer.assert_at_most(cost - 1)
-    if best is None:
-        return MaxSatResult(False)
-    return MaxSatResult(True, best_cost, best.assignment)
+    return MaxSatSession(hard, soft, incremental=incremental).solve_optimal(
+        mode=mode, max_cost=max_cost
+    )
 
 
 def _cost(totalizer: Totalizer, result: SatResult) -> int:
@@ -134,6 +210,7 @@ def enumerate_optimal(
     project: Sequence[int],
     mode: str = INCREASING,
     limit: int = 64,
+    incremental: bool = True,
 ) -> tuple[int, list[dict[int, bool]]]:
     """All optimum-cost assignments, distinct on the ``project`` variables.
 
@@ -145,33 +222,29 @@ def enumerate_optimal(
     The projection matters: auxiliary (Tseitin/totalizer/relaxation)
     variables can vary freely without changing the decoded solution, so
     blocking must quantify over the meaningful variables only.
+
+    The whole enumeration runs in one :class:`MaxSatSession`: the
+    encoding is translated once, each blocking clause is a cheap
+    ``add_clause`` on the persistent solver, and the optimum bound is a
+    single reusable assumption — nothing is re-encoded or re-solved from
+    scratch between solutions.
     """
-    first = solve_maxsat(hard, soft, mode=mode)
+    session = MaxSatSession(hard, soft, incremental=incremental)
+    first = session.solve_optimal(mode=mode)
     if not first.satisfiable:
         raise SolverError("enumerate_optimal needs satisfiable hard clauses")
     project = [abs(v) for v in project]
-    working = hard.copy()
-    relax_weighted: list[Lit] = []
-    for clause in soft:
-        if clause.weight == 0:
-            continue
-        relax = working.new_var()
-        working.add_clause(list(clause.literals) + [relax])
-        relax_weighted.extend([relax] * clause.weight)
-    assumptions: list[Lit] = []
-    if relax_weighted:
-        totalizer = Totalizer(working, relax_weighted)
-        assumptions = totalizer.at_most_assumption(first.cost)
+    assumptions = session.at_most(first.cost)
     solutions: list[dict[int, bool]] = []
     while len(solutions) < limit:
-        result = solve(working, assumptions=assumptions)
+        result = session.solve(assumptions)
         if not result.satisfiable:
             break
         assert result.assignment is not None
         projection = {v: result.assignment[v] for v in project}
         solutions.append(projection)
         # Block this projection: at least one projected var must differ.
-        working.add_clause(
+        session.add_clause(
             [-v if value else v for v, value in projection.items()]
         )
     return first.cost, solutions

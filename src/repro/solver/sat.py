@@ -1,4 +1,4 @@
-"""A CDCL SAT solver.
+"""A CDCL SAT solver with persistent incremental solving.
 
 Conflict-driven clause learning with the standard modern ingredients:
 
@@ -13,15 +13,74 @@ behind bounded model finding for *model transformation* instances, whose
 CNFs are thousands, not millions, of clauses. Correctness is
 property-tested against the truth-table oracle in
 :mod:`repro.solver.brute`.
+
+Incremental solving
+-------------------
+
+:class:`IncrementalSolver` is the persistent interface: one instance
+keeps its clause database, learnt clauses, variable activities and saved
+phases alive across any number of :meth:`IncrementalSolver.solve` calls.
+Between calls the instance accepts new clauses (:meth:`add_clause`) and
+new variables (:meth:`new_var`), which is what makes assumption-driven
+exploration cheap — the enforcement engines encode the fixed
+transformation constraints once and probe thousands of candidate repairs
+as assumption sets, each probe profiting from everything learnt by the
+previous ones. UNSAT answers under assumptions carry a *failed core*
+(``SatResult.core``): a subset of the assumptions that is already
+unsatisfiable together with the clause database.
+
+The one-shot :func:`solve` helper remains for callers with a single
+throwaway query; it simply builds a fresh instance per call. Prefer the
+incremental interface whenever the same (growing) clause database is
+queried more than once — MaxSAT bound sweeps, model enumeration,
+candidate-repair screening.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from collections.abc import Iterable, Sequence
 
 from repro.errors import SolverError
 from repro.solver.cnf import CNF, Lit
+
+
+@dataclass
+class SolverStats:
+    """Work counters, kept per solver instance and globally aggregated."""
+
+    propagations: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    restarts: int = 0
+    solves: int = 0
+    solver_builds: int = 0
+
+    def snapshot(self) -> "SolverStats":
+        return SolverStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def __sub__(self, other: "SolverStats") -> "SolverStats":
+        return SolverStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+
+#: Aggregate counters across every solver instance in the process; the
+#: A5 benchmark and the translation-count tests read deltas of this.
+GLOBAL_STATS = SolverStats()
+
+
+def global_stats() -> SolverStats:
+    """A snapshot of the process-wide solver counters."""
+    return GLOBAL_STATS.snapshot()
+
+
+def reset_global_stats() -> None:
+    for f in fields(SolverStats):
+        setattr(GLOBAL_STATS, f.name, 0)
 
 
 @dataclass(frozen=True)
@@ -30,10 +89,15 @@ class SatResult:
 
     ``assignment`` maps every variable ``1..num_vars`` to a boolean when
     satisfiable, and is ``None`` otherwise.
+
+    ``core`` is only set on UNSAT answers: a subset of the assumption
+    literals whose conjunction with the clause database is already
+    unsatisfiable (empty when the database is unsatisfiable on its own).
     """
 
     satisfiable: bool
     assignment: dict[int, bool] | None = None
+    core: tuple[Lit, ...] | None = None
 
     def value(self, var: int) -> bool:
         if self.assignment is None:
@@ -45,28 +109,36 @@ def solve(cnf: CNF, assumptions: Iterable[Lit] = ()) -> SatResult:
     """Decide satisfiability of ``cnf`` under optional ``assumptions``.
 
     Assumptions are enforced as if unit clauses had been added, without
-    mutating ``cnf``.
+    mutating ``cnf``. One-shot: builds a fresh solver per call — use
+    :class:`IncrementalSolver` directly to amortise across calls.
     """
-    solver = _Cdcl(cnf)
-    return solver.solve(tuple(assumptions))
+    return IncrementalSolver(cnf).solve(assumptions)
 
 
-class _Cdcl:
-    """One-shot CDCL solver instance over a fixed clause database."""
+class IncrementalSolver:
+    """A persistent CDCL solver over a growable clause database.
+
+    The instance survives across :meth:`solve` calls: learnt clauses,
+    variable activities, saved phases and the permanent (level-0)
+    assignment all carry over, so repeated queries over the same database
+    get monotonically cheaper. Clauses and variables may be added between
+    calls; clauses may never be removed (encode retractable constraints
+    as assumptions over selector variables instead).
+    """
 
     RESTART_FIRST = 100
     RESTART_FACTOR = 1.5
     ACTIVITY_DECAY = 0.95
 
-    def __init__(self, cnf: CNF) -> None:
-        self.num_vars = cnf.num_vars
+    def __init__(self, cnf: CNF | None = None) -> None:
+        self.num_vars = 0
         self.clauses: list[list[Lit]] = []
         # values[v]: 0 unassigned, 1 true, -1 false (indexed by variable).
-        self.values = [0] * (self.num_vars + 1)
-        self.levels = [0] * (self.num_vars + 1)
-        self.reasons: list[int | None] = [None] * (self.num_vars + 1)
-        self.activity = [0.0] * (self.num_vars + 1)
-        self.phase = [False] * (self.num_vars + 1)
+        self.values: list[int] = [0]
+        self.levels: list[int] = [0]
+        self.reasons: list[int | None] = [None]
+        self.activity: list[float] = [0.0]
+        self.phase: list[bool] = [False]
         self.watches: dict[Lit, list[int]] = {}
         self.trail: list[Lit] = []
         self.trail_lim: list[int] = []
@@ -74,17 +146,63 @@ class _Cdcl:
         self.activity_inc = 1.0
         self.empty_clause = False
         self.units: list[Lit] = []
-        for clause in cnf.clauses:
-            self._add_clause(list(clause))
+        self._units_applied = 0
+        self._assumptions: tuple[Lit, ...] = ()
+        self._model = True
+        self.stats = SolverStats(solver_builds=1)
+        GLOBAL_STATS.solver_builds += 1
+        if cnf is not None:
+            self.ensure_vars(cnf.num_vars)
+            for clause in cnf.clauses:
+                self._add_clause(list(clause))
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable."""
+        self.ensure_vars(self.num_vars + 1)
+        return self.num_vars
+
+    def ensure_vars(self, n: int) -> None:
+        """Grow the variable range to at least ``1..n``."""
+        if n <= self.num_vars:
+            return
+        grow = n - self.num_vars
+        self.values.extend([0] * grow)
+        self.levels.extend([0] * grow)
+        self.reasons.extend([None] * grow)
+        self.activity.extend([0.0] * grow)
+        self.phase.extend([False] * grow)
+        self.num_vars = n
 
     # ------------------------------------------------------------------
     # Clause database
     # ------------------------------------------------------------------
-    def _add_clause(self, literals: list[Lit]) -> int | None:
-        """Add a clause, deduplicated; returns its index or None.
+    def add_clause(self, literals: Iterable[Lit]) -> None:
+        """Add a clause; usable between :meth:`solve` calls.
 
-        Tautologies are dropped; empty clauses mark the instance UNSAT;
-        unit clauses are queued for level-0 assignment.
+        Backtracks to the root level first so the watched-literal
+        invariants hold for the new clause.
+        """
+        clause = list(literals)
+        for lit in clause:
+            if lit == 0:
+                raise SolverError("0 is not a literal")
+            if abs(lit) > self.num_vars:
+                raise SolverError(
+                    f"literal {lit} references variable beyond num_vars={self.num_vars}"
+                )
+        self._backtrack(0)
+        self._add_clause(clause)
+
+    def _add_clause(self, literals: list[Lit]) -> int | None:
+        """Attach a clause, deduplicated; returns its index or None.
+
+        Tautologies and clauses satisfied at level 0 are dropped;
+        literals false at level 0 are pruned (level-0 assignments are
+        permanent); empty clauses mark the instance UNSAT; unit clauses
+        are queued for level-0 assignment at the next solve.
         """
         seen: set[Lit] = set()
         unique: list[Lit] = []
@@ -94,16 +212,24 @@ class _Cdcl:
             if lit not in seen:
                 seen.add(lit)
                 unique.append(lit)
-        if not unique:
+        pruned: list[Lit] = []
+        for lit in unique:
+            var = abs(lit)
+            if self.values[var] != 0 and self.levels[var] == 0:
+                if self._lit_value(lit) == 1:
+                    return None  # permanently satisfied
+                continue  # permanently false: drop the literal
+            pruned.append(lit)
+        if not pruned:
             self.empty_clause = True
             return None
-        if len(unique) == 1:
-            self.units.append(unique[0])
+        if len(pruned) == 1:
+            self.units.append(pruned[0])
             return None
         index = len(self.clauses)
-        self.clauses.append(unique)
-        self.watches.setdefault(unique[0], []).append(index)
-        self.watches.setdefault(unique[1], []).append(index)
+        self.clauses.append(pruned)
+        self.watches.setdefault(pruned[0], []).append(index)
+        self.watches.setdefault(pruned[1], []).append(index)
         return index
 
     # ------------------------------------------------------------------
@@ -144,6 +270,7 @@ class _Cdcl:
         while self.propagated < len(self.trail):
             lit = self.trail[self.propagated]
             self.propagated += 1
+            self.stats.propagations += 1
             false_lit = -lit
             watch_list = self.watches.get(false_lit, [])
             kept: list[int] = []
@@ -249,6 +376,32 @@ class _Cdcl:
                 kept.append(lit)
         return kept
 
+    def _analyze_final(self, failed: Lit) -> tuple[Lit, ...]:
+        """The failed-assumption core behind an implied ``-failed``.
+
+        Walks reasons back from the falsified assumption; decisions met
+        on the way are (by construction of the search loop) earlier
+        assumptions, and together with ``failed`` they form a subset of
+        the assumptions already unsatisfiable with the clause database.
+        """
+        core = {failed}
+        if self._decision_level() > 0:
+            seen = [False] * (self.num_vars + 1)
+            seen[abs(failed)] = True
+            for lit in reversed(self.trail[self.trail_lim[0] :]):
+                var = abs(lit)
+                if not seen[var]:
+                    continue
+                seen[var] = False
+                reason_index = self.reasons[var]
+                if reason_index is None:
+                    core.add(lit)
+                    continue
+                for q in self.clauses[reason_index]:
+                    if abs(q) != var and self.levels[abs(q)] > 0:
+                        seen[abs(q)] = True
+        return tuple(sorted(core, key=lambda l: (abs(l), l)))
+
     def _bump(self, var: int) -> None:
         self.activity[var] += self.activity_inc
         if self.activity[var] > 1e100:
@@ -273,63 +426,87 @@ class _Cdcl:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def solve(self, assumptions: Sequence[Lit]) -> SatResult:
-        if self.empty_clause:
-            return SatResult(False)
-        for lit in self.units:
-            current = self._lit_value(lit)
-            if current == -1:
-                return SatResult(False)
-            if current == 0:
-                self._assign(lit, None)
-        if self._propagate() is not None:
-            return SatResult(False)
-        conflict_budget = self.RESTART_FIRST
-        conflicts_total = 0
-        while True:
-            conflicts = 0
-            self._backtrack(0)
-            if not self._assume_all(assumptions):
-                return SatResult(False)
-            result = self._search(assumptions, conflict_budget)
-            if result is not None:
-                return result
-            conflicts_total += conflict_budget
-            conflict_budget = int(conflict_budget * self.RESTART_FACTOR)
+    def solve(
+        self, assumptions: Iterable[Lit] = (), model: bool = True
+    ) -> SatResult:
+        """Decide the database under ``assumptions``; state persists.
 
-    def _assume_all(self, assumptions: Sequence[Lit]) -> bool:
-        """Enqueue assumptions as decisions; False when contradictory."""
-        for lit in assumptions:
+        ``model=False`` skips materialising the satisfying assignment —
+        for verdict-only callers (e.g. per-candidate screening) this
+        saves an O(num_vars) dict build per SAT answer.
+        """
+        assumed = tuple(assumptions)
+        for lit in assumed:
+            if lit == 0:
+                raise SolverError("0 is not a literal")
             if abs(lit) > self.num_vars:
                 raise SolverError(f"assumption {lit} out of range")
+        before = self.stats.snapshot()
+        self.stats.solves += 1
+        self._model = model
+        try:
+            return self._solve(assumed)
+        finally:
+            delta = self.stats - before
+            for f in fields(SolverStats):
+                setattr(
+                    GLOBAL_STATS,
+                    f.name,
+                    getattr(GLOBAL_STATS, f.name) + getattr(delta, f.name),
+                )
+
+    def _solve(self, assumptions: tuple[Lit, ...]) -> SatResult:
+        self._backtrack(0)
+        if not self._settle_root_level():
+            return SatResult(False, core=())
+        self._assumptions = assumptions
+        conflict_budget = self.RESTART_FIRST
+        while True:
+            result = self._search(conflict_budget)
+            if result is not None:
+                return result
+            self.stats.restarts += 1
+            conflict_budget = int(conflict_budget * self.RESTART_FACTOR)
+            self._backtrack(0)
+
+    def _settle_root_level(self) -> bool:
+        """Apply pending unit clauses and propagate at level 0."""
+        if self.empty_clause:
+            return False
+        while self._units_applied < len(self.units):
+            lit = self.units[self._units_applied]
+            self._units_applied += 1
             value = self._lit_value(lit)
             if value == -1:
+                self.empty_clause = True
                 return False
             if value == 0:
-                self.trail_lim.append(len(self.trail))
                 self._assign(lit, None)
-            if self._propagate() is not None:
-                return False
+        if self._propagate() is not None:
+            self.empty_clause = True
+            return False
         return True
 
-    def _search(
-        self, assumptions: Sequence[Lit], conflict_budget: int
-    ) -> SatResult | None:
+    def _search(self, conflict_budget: int) -> SatResult | None:
         """Search until SAT, UNSAT, or budget exhaustion (restart)."""
-        assumption_level = self._decision_level()
         conflicts = 0
         while True:
             conflict = self._propagate()
             if conflict is not None:
+                self.stats.conflicts += 1
                 conflicts += 1
-                if self._decision_level() <= assumption_level:
-                    return SatResult(False)
+                if self._decision_level() == 0:
+                    self.empty_clause = True
+                    return SatResult(False, core=())
                 learnt, backjump = self._analyze(conflict)
-                self._backtrack(max(backjump, assumption_level))
+                self._backtrack(backjump)
                 if len(learnt) == 1:
-                    if self._lit_value(learnt[0]) == -1:
-                        return SatResult(False)
-                    if self._lit_value(learnt[0]) == 0:
+                    # A root-level fact: persists across solves.
+                    value = self._lit_value(learnt[0])
+                    if value == -1:
+                        self.empty_clause = True
+                        return SatResult(False, core=())
+                    if value == 0:
                         self._assign(learnt[0], None)
                 else:
                     index = self._add_clause(learnt)
@@ -339,12 +516,27 @@ class _Cdcl:
                 if conflicts >= conflict_budget:
                     return None  # restart
                 continue
+            # Re-establish assumptions, one decision level per assumption;
+            # backjumps may undo them, so this runs at decision time.
+            level = self._decision_level()
+            if level < len(self._assumptions):
+                lit = self._assumptions[level]
+                value = self._lit_value(lit)
+                if value == -1:
+                    return SatResult(False, core=self._analyze_final(lit))
+                self.trail_lim.append(len(self.trail))
+                if value == 0:
+                    self._assign(lit, None)
+                continue
             decision = self._decide()
             if decision is None:
+                if not self._model:
+                    return SatResult(True)
                 assignment = {
                     var: self.values[var] == 1
                     for var in range(1, self.num_vars + 1)
                 }
                 return SatResult(True, assignment)
+            self.stats.decisions += 1
             self.trail_lim.append(len(self.trail))
             self._assign(decision, None)

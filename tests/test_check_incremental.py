@@ -85,15 +85,24 @@ class TestIncrementalChecker:
 
     def test_search_engine_with_incremental_checker(self):
         """The caching checker slots into the search engine unchanged and
-        produces the same optimum."""
+        produces the same optimum.
+
+        ``use_oracle=False`` forces the checker-driven goal test: with
+        the assumption-based SAT oracle active the checker is only a
+        fallback and would never be consulted on this in-fragment spec.
+        """
         from repro.solver.bounded import Scope
 
         t = paper_transformation(2)
         models = env({"core": True, "log": True}, ["core"], [])
         targets = TargetSelection(["cf1", "cf2"])
         scope = Scope(extra_objects=2)
-        _, plain_cost, _ = enforce_search(Checker(t), models, targets, scope=scope)
+        _, plain_cost, _ = enforce_search(
+            Checker(t), models, targets, scope=scope, use_oracle=False
+        )
         cached = IncrementalChecker(t)
-        _, cached_cost, _ = enforce_search(cached, models, targets, scope=scope)
+        _, cached_cost, _ = enforce_search(
+            cached, models, targets, scope=scope, use_oracle=False
+        )
         assert plain_cost == cached_cost
         assert cached.hits > 0

@@ -43,7 +43,12 @@ class TestEnforcementProperties:
     @given(models=model_tuples(k=2))
     @settings(max_examples=8, deadline=None)
     def test_sat_and_search_agree(self, models):
-        """The two exact engines find the same optimum."""
+        """The two exact engines find the same optimum.
+
+        The search engine runs checker-only (no SAT oracle) so this
+        stays an *independent* cross-validation of the grounding — with
+        the oracle on, both engines would share the Grounder encoding.
+        """
         if not _small(models):
             return
         try:
@@ -52,10 +57,18 @@ class TestEnforcementProperties:
             return  # the direction genuinely has no repair in scope
         if sat.distance > 6:
             return  # keep the exponential oracle within budget
-        search = enforce(
-            _T2, models, _CFS, engine="search", scope=_SCOPE, max_states=150_000
+        from repro.check.engine import Checker
+        from repro.enforce.search import enforce_search
+
+        _, search_distance, _ = enforce_search(
+            Checker(_T2),
+            models,
+            _CFS,
+            scope=_SCOPE,
+            max_states=150_000,
+            use_oracle=False,
         )
-        assert sat.distance == search.distance
+        assert sat.distance == search_distance
 
     @given(models=model_tuples(k=2))
     @settings(max_examples=20, deadline=None)

@@ -1,0 +1,122 @@
+"""Metamorphic regressions: incremental vs one-shot solving.
+
+For every hand case of ``test_solver_sat.py`` the persistent
+:class:`~repro.solver.sat.IncrementalSolver` must agree with the
+one-shot :func:`~repro.solver.sat.solve`:
+
+* on a **fresh instance** (the incremental machinery adds nothing and
+  must change nothing), and
+* **after an unrelated prior solve** on the same instance — the case's
+  clauses are embedded at a variable offset behind an unrelated
+  satisfiable sub-formula that has already been solved (including one
+  failed-assumption probe), so any state leaking between queries
+  (stale trail entries, mis-scoped learnt clauses, phase corruption)
+  flips a verdict.
+"""
+
+import pytest
+
+from repro.solver.cnf import CNF, Lit
+from repro.solver.sat import IncrementalSolver, solve
+
+
+def cnf_of(num_vars: int, clauses) -> CNF:
+    cnf = CNF(num_vars)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+def php(pigeons: int, holes: int) -> CNF:
+    cnf = CNF(pigeons * holes)
+    var = lambda p, h: p * holes + h + 1
+    for p in range(pigeons):
+        cnf.add_clause([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-var(p1, h), -var(p2, h)])
+    return cnf
+
+
+def empty_clause_case() -> CNF:
+    cnf = CNF(1)
+    cnf.clauses.append(())
+    return cnf
+
+
+#: (name, cnf, assumptions) — mirrors every TestHandCases/TestAssumptions
+#: instance of test_solver_sat.py.
+CASES: list[tuple[str, CNF, tuple[Lit, ...]]] = [
+    ("empty-cnf", CNF(0), ()),
+    ("single-unit", cnf_of(1, [[1]]), ()),
+    ("contradictory-units", cnf_of(1, [[1], [-1]]), ()),
+    ("empty-clause", empty_clause_case(), ()),
+    ("tautology", cnf_of(1, [[1, -1]]), ()),
+    ("implication-chain", cnf_of(3, [[-1, 2], [-2, 3], [1]]), ()),
+    ("simple-unsat", cnf_of(2, [[1, 2], [1, -2], [-1, 2], [-1, -2]]), ()),
+    ("pigeonhole-3-2", php(3, 2), ()),
+    ("assumption-polarity", cnf_of(2, [[1, 2]]), (-1,)),
+    ("contradictory-assumption", cnf_of(1, [[1]]), (-1,)),
+    ("propagated-assumption-conflict", cnf_of(2, [[1], [-1, 2]]), (-2,)),
+    ("assumption-pair", cnf_of(3, [[1, 2, 3]]), (-1, -2)),
+]
+
+IDS = [name for name, _, _ in CASES]
+
+
+def shifted(cnf: CNF, offset: int) -> list[list[Lit]]:
+    return [
+        [lit + offset if lit > 0 else lit - offset for lit in clause]
+        for clause in cnf.clauses
+    ]
+
+
+@pytest.mark.parametrize("name,cnf,assumptions", CASES, ids=IDS)
+class TestMetamorphicAgreement:
+    def test_fresh_instance_agrees_with_oneshot(self, name, cnf, assumptions):
+        oneshot = solve(cnf, assumptions)
+        incremental = IncrementalSolver(cnf).solve(assumptions)
+        assert incremental.satisfiable == oneshot.satisfiable
+        if incremental.satisfiable:
+            from repro.solver.brute import check_assignment
+
+            assert check_assignment(cnf, incremental.assignment)
+        else:
+            assert set(incremental.core) <= set(assumptions)
+
+    def test_agrees_after_unrelated_prior_solve(self, name, cnf, assumptions):
+        """State-leak detection: embed the case behind an already-solved
+        unrelated sub-formula and demand the identical verdict."""
+        solver = IncrementalSolver()
+        u1, u2 = solver.new_var(), solver.new_var()
+        solver.add_clause([u1, u2])
+        solver.add_clause([-u1, u2])
+        # Unrelated prior solves: one SAT, one failed-assumption UNSAT.
+        assert solver.solve().satisfiable
+        prior = solver.solve([-u2])
+        assert not prior.satisfiable and prior.core == (-u2,)
+        # Embed the case at offset 2 and re-ask the original question.
+        offset = 2
+        solver.ensure_vars(offset + cnf.num_vars)
+        for clause in shifted(cnf, offset):
+            solver.add_clause(clause)
+        shifted_assumptions = [
+            lit + offset if lit > 0 else lit - offset for lit in assumptions
+        ]
+        oneshot = solve(cnf, assumptions)
+        incremental = solver.solve(shifted_assumptions)
+        assert incremental.satisfiable == oneshot.satisfiable, name
+        if not incremental.satisfiable:
+            assert set(incremental.core) <= set(shifted_assumptions)
+        # And the embedding is stable: ask again, same answer.
+        assert solver.solve(shifted_assumptions).satisfiable == oneshot.satisfiable
+
+    def test_assumptions_leave_no_residue(self, name, cnf, assumptions):
+        """Solving under assumptions then without them equals a fresh
+        unassumed solve — assumptions must never be baked in."""
+        solver = IncrementalSolver(cnf)
+        solver.solve(assumptions)
+        after = solver.solve()
+        fresh = solve(cnf)
+        assert after.satisfiable == fresh.satisfiable
