@@ -2,24 +2,49 @@
 
 Every experiment records its claim-versus-measured table both to stdout
 (visible with ``pytest -s``) and to ``benchmarks/results/<exp>.txt`` so
-EXPERIMENTS.md can cite stable artefacts.
+EXPERIMENTS.md can cite stable artefacts. Experiments that also pass a
+``metrics`` mapping get a machine-readable ``BENCH_<exp>.json`` at the
+repo root, which is what makes the perf trajectory trackable across PRs
+(free-text tables are not diffable by tooling).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
-def record(experiment: str, text: str) -> None:
-    """Print and persist one experiment's output."""
+def record(experiment: str, text: str, metrics: dict | None = None) -> None:
+    """Print and persist one experiment's output.
+
+    ``metrics``, when given, is additionally saved via
+    :func:`write_metrics`.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{experiment}.txt"
     path.write_text(text + "\n")
     print(f"\n[{experiment}] -> {path}")
     print(text)
+    if metrics is not None:
+        write_metrics(experiment, metrics)
+
+
+def write_metrics(experiment: str, metrics: dict) -> Path:
+    """Save one run's metrics as ``BENCH_<experiment>.json`` (repo root).
+
+    Values should be plain JSON types; anything else is stringified.
+    Each run overwrites the file — the git history *is* the trajectory.
+    """
+    path = REPO_ROOT / f"BENCH_{experiment}.json"
+    path.write_text(
+        json.dumps(metrics, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    print(f"[{experiment}] metrics -> {path}")
+    return path
 
 
 def bench_cli(description: str, argv=None) -> argparse.Namespace:

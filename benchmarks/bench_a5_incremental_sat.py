@@ -188,7 +188,7 @@ def run(smoke: bool = False) -> dict[str, dict[str, object]]:
         title="A5: persistent incremental SAT core vs one-shot solving"
         + (" [smoke]" if smoke else ""),
     )
-    record("a5_incremental_sat" + ("_smoke" if smoke else ""), table)
+    record("a5_incremental_sat" + ("_smoke" if smoke else ""), table, metrics=totals)
     # Acceptance: the candidate streams must be markedly cheaper.
     assert (
         inc["propagations"] * 2 <= one["propagations"]

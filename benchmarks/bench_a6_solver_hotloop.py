@@ -1,0 +1,303 @@
+"""A6 (ablation) — solver hot loop + persistent enforcement sessions.
+
+Three arms over the A1/A3/A5-style workloads plus decision-bound
+synthetic instances:
+
+* **decide** — VSIDS binary heap vs the historical O(num_vars) linear
+  scan. Both arms are deterministic and tie-break identically, so they
+  make the *same* decisions; the heap must simply make them faster
+  (decisions/sec) on decision-heavy instances.
+* **gc** — learnt-clause database reduction on vs off over an
+  enforcement sweep and a repair-enumeration stream; outcomes must be
+  identical, GC bounds the database for long-lived sessions.
+* **session** — the Echo workspace loop: a stream of model edits, each
+  followed by ``enforce``. One persistent
+  :class:`~repro.enforce.session.EnforcementSession` (grounds once,
+  patches origin assumptions per edit) vs one-shot
+  :func:`repro.enforce.enforce` per edit (re-grounds every time).
+  Acceptance: the session arm grounds exactly once and is >= 30 %
+  faster on the repeated-enforce workload.
+
+``--smoke`` runs reduced sizes for CI (see ``scripts/ci.sh``) and
+doubles as the perf regression guard for all three claims.
+"""
+
+import random
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _p in (str(_ROOT), str(_ROOT / "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+from repro.check.engine import Checker
+from repro.enforce import EnforcementSession, TargetSelection, enforce
+from repro.featuremodels import (
+    configuration,
+    feature_model,
+    paper_transformation,
+    scenario_new_mandatory_feature,
+)
+from repro.solver.bounded import Grounder, Scope
+from repro.solver.cnf import CNF
+from repro.solver.maxsat import MaxSatSession
+from repro.solver.sat import HEAP, SCAN, IncrementalSolver
+from repro.util.text import render_table
+
+from benchmarks._common import bench_cli, record
+
+
+def _ground(transformation, models, targets, extra_objects):
+    checker = Checker(transformation)
+    directions = [
+        (relation, dependency)
+        for relation in transformation.top_relations()
+        for dependency in checker.directions_of(relation)
+    ]
+    grounder = Grounder(
+        transformation,
+        models,
+        frozenset(targets),
+        directions,
+        scope=Scope(extra_objects=extra_objects),
+    )
+    return grounder.ground()
+
+
+def _synthetic(num_vars: int, seed: int) -> CNF:
+    """Satisfiable-leaning random 3-CNF at ratio 3: decision-bound."""
+    rng = random.Random(seed)
+    cnf = CNF(num_vars)
+    for _ in range(3 * num_vars):
+        chosen = rng.sample(range(1, num_vars + 1), 3)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in chosen])
+    return cnf
+
+
+# ----------------------------------------------------------------------
+# Arm 1: decision heuristic
+# ----------------------------------------------------------------------
+def bench_decide(smoke: bool, rows: list) -> dict:
+    sizes = (600, 800) if smoke else (1500, 2000)
+    instances = [("synthetic n=%d" % n, _synthetic(n, seed=n)) for n in sizes]
+    k = 2 if smoke else 3
+    scenario = scenario_new_mandatory_feature(k)
+    a1 = _ground(
+        scenario.transformation,
+        scenario.after_update,
+        {f"cf{i}" for i in range(1, k + 1)},
+        extra_objects=2,
+    )
+    totals = {}
+    for arm in (SCAN, HEAP):
+        elapsed = 0.0
+        decisions = 0
+        propagations = 0
+        for name, cnf in instances:
+            # Best-of-3: the work is deterministic, so min() strips
+            # scheduler noise from the wall-clock CI gate.
+            step = float("inf")
+            for _ in range(3):
+                solver = IncrementalSolver(cnf, decision=arm)
+                start = time.perf_counter()
+                solver.solve(model=False)
+                step = min(step, time.perf_counter() - start)
+            elapsed += step
+            decisions += solver.stats.decisions
+            propagations += solver.stats.propagations
+            rows.append(
+                ["decide: " + name, arm, solver.stats.decisions, "",
+                 f"{step * 1e3:.1f} ms"]
+            )
+        # Paper-scale: the A1 enforcement sweep on the chosen heuristic.
+        session = MaxSatSession(
+            a1.cnf, list(a1.soft), solver_kwargs={"decision": arm}
+        )
+        start = time.perf_counter()
+        optimum = session.solve_optimal()
+        step = time.perf_counter() - start
+        assert optimum.satisfiable
+        elapsed += step
+        decisions += session.solver.stats.decisions
+        propagations += session.solver.stats.propagations
+        rows.append(
+            [f"decide: A1 sweep (k={k})", arm, session.solver.stats.decisions,
+             f"cost={optimum.cost}", f"{step * 1e3:.1f} ms"]
+        )
+        totals[arm] = {
+            "time_s": elapsed,
+            "decisions": decisions,
+            "propagations": propagations,
+            "decisions_per_sec": decisions / elapsed if elapsed else 0.0,
+        }
+    rows.append(
+        ["decide: TOTAL",
+         f"{totals[SCAN]['time_s'] / totals[HEAP]['time_s']:.2f}x faster heap",
+         f"{totals[HEAP]['decisions']}",
+         f"{totals[HEAP]['decisions_per_sec']:,.0f}/s heap vs "
+         f"{totals[SCAN]['decisions_per_sec']:,.0f}/s scan",
+         ""]
+    )
+    return totals
+
+
+# ----------------------------------------------------------------------
+# Arm 2: learnt-clause GC
+# ----------------------------------------------------------------------
+def bench_gc(smoke: bool, rows: list) -> dict:
+    t = paper_transformation(2)
+    models = {
+        "fm": feature_model({"core": True, "secure": True, "log": False}),
+        "cf1": configuration([], name="cf1"),
+        "cf2": configuration([], name="cf2"),
+    }
+    # Full-size A3 in both modes: the smaller grounding yields only glue
+    # learnts (never GC candidates), which would make this arm vacuous;
+    # the full sweep still finishes in ~15 ms.
+    a3 = _ground(t, models, {"cf1", "cf2"}, extra_objects=3)
+    totals = {}
+    for arm, gc in (("gc-off", False), ("gc-on", True)):
+        session = MaxSatSession(
+            a3.cnf, list(a3.soft), solver_kwargs={"gc": gc}
+        )
+        if gc:
+            # Long-lived-session pressure: restart after every conflict
+            # and keep the budget tiny, so the paper-scale sweep really
+            # reaches reduction (the default budgets are sized for
+            # thousands of conflicts and would make this arm vacuous).
+            session.solver.LUBY_UNIT = 1
+            session.solver.max_learnts = 0.0
+        start = time.perf_counter()
+        optimum = session.solve_optimal()
+        # Re-probe the optimum bound a few times — the streaming pattern
+        # of enumerate_optimal — so learnt state matters.
+        for _ in range(3):
+            session.solve(session.at_most(optimum.cost))
+        elapsed = time.perf_counter() - start
+        stats = session.solver.stats
+        totals[arm] = {
+            "time_s": elapsed,
+            "cost": optimum.cost,
+            "conflicts": stats.conflicts,
+            "reductions": stats.reductions,
+            "learnts_dropped": stats.learnts_dropped,
+        }
+        rows.append(
+            ["gc: A3 sweep + re-probes", arm, stats.conflicts,
+             f"dropped={stats.learnts_dropped}", f"{elapsed * 1e3:.1f} ms"]
+        )
+    assert totals["gc-on"]["cost"] == totals["gc-off"]["cost"], totals
+    assert totals["gc-on"]["reductions"] > 0, (
+        f"gc arm must actually reduce, or the guard is vacuous: {totals}"
+    )
+    return totals
+
+
+# ----------------------------------------------------------------------
+# Arm 3: persistent enforcement sessions (the Echo workspace loop)
+# ----------------------------------------------------------------------
+def _edit_stream():
+    """A repeated-enforce workload: the user keeps editing cf1, cf2
+    stays broken, the tool repairs after every edit.
+
+    The same size in smoke and full mode — smaller tuples make the
+    grounding too cheap for the arms to separate meaningfully, and the
+    full stream finishes in well under a second anyway."""
+    features = {"core": True, "secure": True}
+    names = sorted(features)
+    subsets = [names, [], names[:1], [], names[1:], names, [], names[:1]]
+    transformation = paper_transformation(k=2)
+    tuples = [
+        {
+            "fm": feature_model(features).renamed("fm"),
+            "cf1": configuration(subset).renamed("cf1"),
+            "cf2": configuration([]).renamed("cf2"),
+        }
+        for subset in subsets
+    ]
+    return transformation, tuples, Scope(extra_objects=len(features))
+
+
+def bench_session(smoke: bool, rows: list) -> dict:
+    transformation, tuples, scope = _edit_stream()
+    targets = TargetSelection(["cf1", "cf2"])
+    totals = {}
+
+    before = Grounder.translations
+    start = time.perf_counter()
+    reground_costs = [
+        enforce(transformation, models, targets, engine="sat", scope=scope).distance
+        for models in tuples
+    ]
+    reground_time = time.perf_counter() - start
+    reground_grounds = Grounder.translations - before
+    totals["re-ground"] = {
+        "time_s": reground_time,
+        "groundings": reground_grounds,
+        "costs": reground_costs,
+    }
+    rows.append(
+        [f"session: {len(tuples)} edits", "re-ground", f"{reground_grounds} groundings",
+         f"costs={reground_costs}", f"{reground_time * 1e3:.1f} ms"]
+    )
+
+    session = EnforcementSession(transformation, targets, scope=scope)
+    before = Grounder.translations
+    start = time.perf_counter()
+    session_costs = [session.enforce(models).distance for models in tuples]
+    session_time = time.perf_counter() - start
+    session_grounds = Grounder.translations - before
+    totals["session"] = {
+        "time_s": session_time,
+        "groundings": session_grounds,
+        "reuses": session.reuses,
+        "costs": session_costs,
+    }
+    rows.append(
+        [f"session: {len(tuples)} edits", "session", f"{session_grounds} groundings",
+         f"costs={session_costs}", f"{session_time * 1e3:.1f} ms"]
+    )
+    rows.append(
+        ["session: TOTAL", f"{reground_time / session_time:.2f}x faster session",
+         f"{reground_grounds}->{session_grounds} groundings", "", ""]
+    )
+    assert session_costs == reground_costs, (session_costs, reground_costs)
+    return totals
+
+
+def run(smoke: bool = False) -> dict:
+    rows: list = []
+    metrics = {
+        "decide": bench_decide(smoke, rows),
+        "gc": bench_gc(smoke, rows),
+        "session": bench_session(smoke, rows),
+    }
+    table = render_table(
+        ["workload", "arm", "work", "detail", "time"],
+        rows,
+        title="A6: solver hot loop (heap/GC) + persistent enforcement sessions"
+        + (" [smoke]" if smoke else ""),
+    )
+    record("a6_solver_hotloop" + ("_smoke" if smoke else ""), table, metrics=metrics)
+    # Perf guards (the CI smoke contract):
+    decide = metrics["decide"]
+    assert decide[HEAP]["time_s"] < decide[SCAN]["time_s"], (
+        f"heap decide must beat the linear scan: {decide}"
+    )
+    session = metrics["session"]
+    assert session["session"]["groundings"] == 1, (
+        "session reuse must ground exactly once: " f"{session}"
+    )
+    assert session["session"]["time_s"] <= 0.7 * session["re-ground"]["time_s"], (
+        f"session reuse must be >= 30% faster: {session}"
+    )
+    return metrics
+
+
+if __name__ == "__main__":
+    args = bench_cli(__doc__.splitlines()[0])
+    start = time.perf_counter()
+    run(smoke=args.smoke)
+    print(f"\ntotal bench time: {time.perf_counter() - start:.2f} s")

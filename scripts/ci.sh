@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Minimal CI: the tier-1 test suite plus the incremental-SAT smoke
-# benchmark (a5), which doubles as a perf regression guard — it asserts
-# the persistent solver stays >= 2x cheaper than one-shot solving.
+# Minimal CI: the tier-1 test suite plus the perf regression guards —
+# a5 asserts the persistent solver stays >= 2x cheaper than one-shot
+# solving, a6 asserts the VSIDS heap beats the linear-scan `_decide`
+# and that Echo enforcement sessions reuse one grounding (>= 30 %
+# faster than re-grounding per edit).
 #
 # Usage: scripts/ci.sh  (from anywhere; finishes in well under a minute)
 set -euo pipefail
@@ -16,5 +18,8 @@ python -m pytest benchmarks/bench_a5_incremental_sat.py -q
 
 echo "== a5 incremental-SAT smoke benchmark (script mode) =="
 python benchmarks/bench_a5_incremental_sat.py --smoke
+
+echo "== a6 solver hot-loop + enforcement-session smoke guard =="
+python benchmarks/bench_a6_solver_hotloop.py --smoke
 
 echo "CI OK"

@@ -105,13 +105,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _validate(workspace)
     if args.command == "explain":
         return _explain(workspace, args.transformation)
-    echo = Echo()
-    for metamodel in workspace.metamodels.values():
-        echo.add_metamodel(metamodel)
-    for name, model in workspace.models.items():
-        echo.add_model(name, model)
-    for transformation in workspace.transformations.values():
-        echo.add_transformation(transformation)
+    echo = workspace.echo()
     binding = _parse_binding(args.bind)
     if args.command == "check":
         report = echo.check(args.transformation, binding, semantics=args.semantics)

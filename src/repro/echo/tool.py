@@ -2,6 +2,14 @@
 
 A thin, stateful convenience layer over :mod:`repro.check` and
 :mod:`repro.enforce` mirroring the tool workflow the paper describes.
+
+The workflow is a *loop* — edit a model, :meth:`Echo.enforce`, edit
+again — so the façade keeps one persistent
+:class:`~repro.enforce.session.EnforcementSession` per (transformation,
+binding, targets, semantics) for the SAT engine: repeated ``enforce()``
+calls over an evolving registry patch the cached grounding instead of
+re-grounding the whole question, and keep profiting from the solver
+state earlier repairs built up.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from collections.abc import Iterable, Mapping
 from repro.check.engine import CheckConfig, Checker, CheckReport, EXTENDED
 from repro.enforce.api import Repair, enforce
 from repro.enforce.metrics import TupleMetric
+from repro.enforce.session import EnforcementSession
 from repro.enforce.targets import TargetSelection
 from repro.errors import WorkspaceError
 from repro.metamodel.meta import Metamodel
@@ -43,6 +52,7 @@ class Echo:
         self._metamodels: dict[str, Metamodel] = {}
         self._models: dict[str, Model] = {}
         self._transformations: dict[str, Transformation] = {}
+        self._sessions: dict[tuple, EnforcementSession] = {}
 
     # ------------------------------------------------------------------
     # Registry
@@ -61,6 +71,12 @@ class Echo:
         report = analyse(transformation, self._metamodels or None)
         report.raise_if_failed()
         self._transformations[transformation.name] = transformation
+        # A (re)registered transformation invalidates its cached sessions.
+        self._sessions = {
+            key: session
+            for key, session in self._sessions.items()
+            if key[0] != transformation.name
+        }
 
     def model(self, name: str) -> Model:
         try:
@@ -113,27 +129,85 @@ class Echo:
 
         ``targets`` are transformation *parameters*; with ``apply=True``
         (default) the repaired models replace the registered ones, so a
-        subsequent :meth:`check` sees the repaired environment.
+        subsequent :meth:`check` sees the repaired environment. For the
+        SAT engine the call is served by a persistent
+        :class:`~repro.enforce.session.EnforcementSession` — one per
+        (transformation, binding, targets, semantics) — so the
+        edit/enforce loop re-validates and patches a cached grounding
+        instead of re-grounding per call.
         """
         transformation = self.transformation(transformation_name)
         models = self._resolve_binding(transformation, binding)
-        repair = enforce(
-            transformation,
-            models,
-            TargetSelection(targets),
-            engine=engine,
-            semantics=semantics,
-            metric=metric,
-            scope=scope,
-            mode=mode,
-            max_distance=max_distance,
-        )
+        if engine == "sat":
+            session = self._session(
+                transformation_name,
+                binding,
+                targets,
+                semantics=semantics,
+                metric=metric,
+                scope=scope,
+                mode=mode,
+            )
+            repair = session.enforce(models, max_distance=max_distance)
+        else:
+            repair = enforce(
+                transformation,
+                models,
+                TargetSelection(targets),
+                engine=engine,
+                semantics=semantics,
+                metric=metric,
+                scope=scope,
+                mode=mode,
+                max_distance=max_distance,
+            )
         if apply:
             for param in repair.changed:
                 self._models[binding[param]] = repair.models[param].renamed(
                     binding[param]
                 )
         return repair
+
+    def _session(
+        self,
+        transformation_name: str,
+        binding: Mapping[str, str],
+        targets: Iterable[str],
+        semantics: str,
+        metric: TupleMetric,
+        scope: Scope,
+        mode: str,
+    ) -> EnforcementSession:
+        """The cached enforcement session for this question shape.
+
+        Sessions are keyed by (transformation, binding, targets,
+        semantics); a call with different metric/scope/mode settings
+        replaces the cached session rather than answering with stale
+        ones.
+        """
+        selection = TargetSelection(targets)
+        key = (
+            transformation_name,
+            tuple(sorted(binding.items())),
+            tuple(sorted(selection.params)),
+            semantics,
+        )
+        session = self._sessions.get(key)
+        if session is None or not session.compatible(semantics, metric, scope, mode):
+            session = EnforcementSession(
+                self.transformation(transformation_name),
+                selection,
+                semantics=semantics,
+                metric=metric,
+                scope=scope,
+                mode=mode,
+            )
+            self._sessions[key] = session
+        return session
+
+    def enforcement_sessions(self) -> list[EnforcementSession]:
+        """The live sessions (inspection hook for tests and benchmarks)."""
+        return list(self._sessions.values())
 
     def _resolve_binding(
         self, transformation: Transformation, binding: Mapping[str, str]

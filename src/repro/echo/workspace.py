@@ -36,6 +36,54 @@ class Workspace:
         self.metamodels: dict[str, Metamodel] = {}
         self.models: dict[str, Model] = {}
         self.transformations: dict[str, Transformation] = {}
+        self._echo = None
+        self._echo_synced: dict[str, Model] = {}
+
+    # ------------------------------------------------------------------
+    # Tool bridge
+    # ------------------------------------------------------------------
+    def echo(self) -> "Echo":
+        """An :class:`~repro.echo.tool.Echo` over this workspace, cached.
+
+        The same instance is returned on every call so the tool's
+        persistent enforcement sessions survive across repeated verbs on
+        one workspace (the edit/enforce loop). Models sync both ways at
+        each call: repairs the tool applied (``enforce`` with
+        ``apply=True``) are reflected back into ``workspace.models``
+        (in memory — :meth:`save` still decides what hits disk), and a
+        workspace-side edit since the last call wins over the tool's
+        state and is pushed into the registry. Mutating ``metamodels``
+        or ``transformations`` after the first call needs a fresh
+        bridge — call :meth:`invalidate_echo`.
+        """
+        from repro.echo.tool import Echo
+
+        if self._echo is None:
+            self._echo = Echo()
+            self._echo_synced = {}
+            for metamodel in self.metamodels.values():
+                self._echo.add_metamodel(metamodel)
+            for transformation in self.transformations.values():
+                self._echo.add_transformation(transformation)
+        registered = set(self._echo.model_names())
+        for name, model in list(self.models.items()):
+            synced = self._echo_synced.get(name)
+            if synced is not None and name in registered and model == synced:
+                # No workspace-side edit; adopt any tool-applied repair.
+                current = self._echo.model(name)
+                if current != synced:
+                    self.models[name] = current
+                    self._echo_synced[name] = current
+                continue
+            if synced != model:
+                self._echo.add_model(name, model)
+                self._echo_synced[name] = model
+        return self._echo
+
+    def invalidate_echo(self) -> None:
+        """Drop the cached tool bridge (after metamodel/transformation edits)."""
+        self._echo = None
+        self._echo_synced = {}
 
     # ------------------------------------------------------------------
     # Loading

@@ -25,6 +25,7 @@ from repro.enforce.guided import enforce_guided
 from repro.enforce.metrics import TupleMetric
 from repro.enforce.satengine import enforce_sat, enumerate_repairs
 from repro.enforce.search import enforce_search
+from repro.enforce.session import EnforcementSession
 from repro.enforce.targets import TargetSelection, all_but, only, paper_shapes
 
 __all__ = [
@@ -39,4 +40,5 @@ __all__ = [
     "enforce_sat",
     "enforce_guided",
     "enumerate_repairs",
+    "EnforcementSession",
 ]

@@ -137,6 +137,26 @@ def enforce(
             max_distance=max_distance,
         )
 
+    return verify_repair(checker, engine, original, repaired, cost, targets, metric)
+
+
+def verify_repair(
+    checker: Checker,
+    engine: str,
+    original: Mapping[str, Model],
+    repaired: dict[str, Model],
+    cost: int,
+    targets: TargetSelection,
+    metric: TupleMetric,
+) -> Repair:
+    """Validate an engine's answer and package it as a :class:`Repair`.
+
+    Guards the API guarantees independently of the engine: the repair is
+    consistent (re-checked with the actual checker), target models are
+    conformant, the reported distance matches the metric, and no
+    non-target model was touched. Shared by :func:`enforce` and the
+    persistent :class:`~repro.enforce.session.EnforcementSession`.
+    """
     if not checker.is_consistent(repaired):
         raise EnforcementError(
             f"engine {engine!r} returned an inconsistent repair; this is a bug"

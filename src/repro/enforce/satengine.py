@@ -57,6 +57,7 @@ def _ground(
     metric: TupleMetric | None,
     scope: Scope,
     symmetry_breaking: bool = True,
+    retarget: bool = False,
 ) -> Grounder:
     """The shared grounding preamble of every SAT-engine entry point.
 
@@ -65,6 +66,10 @@ def _ground(
     The oracle also turns ``symmetry_breaking`` off: its candidates fix
     every atom, so symmetry clauses would wrongly veto consistent states
     whose fresh objects are not in canonical id order.
+    :class:`~repro.enforce.session.EnforcementSession` does the same and
+    additionally sets ``retarget`` so the distance origin is chosen per
+    solve via assumptions (see
+    :meth:`~repro.solver.bounded.GroundingResult.origin_assumptions`).
     """
     transformation = checker.transformation
     targets.validate(transformation)
@@ -82,6 +87,7 @@ def _ground(
         scope=scope,
         weights=weights,
         symmetry_breaking=symmetry_breaking,
+        retarget=retarget,
     )
 
 

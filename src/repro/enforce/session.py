@@ -1,0 +1,253 @@
+"""Persistent enforcement sessions: one grounding per *evolving* tuple.
+
+The paper's tool scenario is a loop: the user edits a model, the tool
+repairs the tuple, the user edits again. Each :func:`repro.enforce.enforce`
+call answers one question from scratch — it re-grounds the transformation
+constraints over the bounded universe every time, even though consecutive
+questions differ only in the model tuple's *current state*. Incremental
+transformation engines (Barkowsky & Giese's multi-version TGGs) show that
+persisting the transformation state across the model's evolution is where
+the order-of-magnitude wins live.
+
+:class:`EnforcementSession` is that persistence for the SAT engine. It
+grounds once — *retargetably*: the distance-to-original soft clauses run
+through origin variables selected by assumptions
+(:meth:`~repro.solver.bounded.GroundingResult.origin_assumptions`) — and
+keeps the :class:`~repro.solver.bounded.GroundingResult`, the
+:class:`~repro.solver.maxsat.MaxSatSession` and a
+:class:`~repro.enforce.satengine.ConsistencyOracle` alive, all three
+sharing one incremental solver. Each :meth:`EnforcementSession.enforce`
+call then *re-validates* the cached grounding against the edited tuple
+and *patches* the query (new origin assumptions) instead of re-grounding;
+only edits that escape the grounding — an object outside the bounded
+universe, a new attribute value outside the candidate pools, a drifted
+frozen model — trigger a fresh grounding. Learnt clauses and heuristic
+state accumulated by earlier repairs keep accelerating later ones.
+
+Semantic note: the session grounds without symmetry breaking (like the
+oracle, so arbitrary in-universe states remain encodable) and uses the
+oracle as a hippocratic fast *accept* — a state the oracle accepts is
+consistent and returned unrepaired at distance 0; any other verdict
+defers to the real checker, exactly like :func:`~repro.enforce.enforce`.
+Optimal repair distances are identical to
+:func:`~repro.enforce.satengine.enforce_sat`; the chosen optimum may be a
+different member of the same minimum-distance set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.check.engine import CheckConfig, Checker, EXTENDED
+from repro.enforce.api import (
+    SAT_ENGINE,
+    Repair,
+    adaptive_scope,
+    verify_repair,
+)
+from repro.enforce.metrics import TupleMetric
+from repro.enforce.satengine import ConsistencyOracle, _ground
+from repro.enforce.targets import TargetSelection
+from repro.errors import EnforcementError, NoRepairFound
+from repro.metamodel.conformance import is_conformant
+from repro.metamodel.model import Model
+from repro.solver.bounded import Scope
+from repro.solver.maxsat import INCREASING
+
+
+class EnforcementSession:
+    """Least-change SAT enforcement over one evolving model tuple.
+
+    Construct it once per (transformation, targets, metric, scope, mode)
+    and call :meth:`enforce` after every edit; the Echo tool keeps one
+    per transformation binding. ``scope=None`` re-derives the adaptive
+    scope whenever a (re-)grounding happens.
+
+    Counters: ``calls`` (enforce calls), ``groundings`` (full grounding
+    builds), ``reuses`` (calls served by patching the cached grounding).
+    """
+
+    def __init__(
+        self,
+        transformation,
+        targets: TargetSelection | Iterable[str],
+        semantics: str = EXTENDED,
+        metric: TupleMetric = TupleMetric(),
+        scope: Scope | None = None,
+        mode: str = INCREASING,
+    ) -> None:
+        self.transformation = transformation
+        self.targets = (
+            targets
+            if isinstance(targets, TargetSelection)
+            else TargetSelection(targets)
+        )
+        self.targets.validate(transformation)
+        self.semantics = semantics
+        self.checker = Checker(
+            transformation, config=CheckConfig(semantics=semantics)
+        )
+        self.metric = metric
+        self.scope = scope
+        self.mode = mode
+        self._params = transformation.param_names()
+        self._grounder = None
+        self._grounding = None
+        self._maxsat = None
+        self._oracle: ConsistencyOracle | None = None
+        self._frozen: dict[str, Model] = {}
+        self.calls = 0
+        self.groundings = 0
+        self.reuses = 0
+
+    def compatible(
+        self,
+        semantics: str,
+        metric: TupleMetric,
+        scope: Scope | None,
+        mode: str,
+    ) -> bool:
+        """Whether this session answers questions with these settings."""
+        return (
+            self.semantics == semantics
+            and self.metric == metric
+            and self.scope == scope
+            and self.mode == mode
+        )
+
+    # ------------------------------------------------------------------
+    # The session verb
+    # ------------------------------------------------------------------
+    def enforce(
+        self,
+        models: Mapping[str, Model],
+        max_distance: int | None = None,
+    ) -> Repair:
+        """Repair ``models`` (the tuple's current state), least change first.
+
+        Hippocratic: a consistent state comes back untouched at distance
+        0 (engine ``"none"``). Raises
+        :class:`~repro.errors.NoRepairFound` when no consistent tuple
+        exists within the scope (or the distance cap).
+        """
+        self.calls += 1
+        missing = set(self._params) - set(models)
+        if missing:
+            raise EnforcementError(
+                f"no models bound to parameters {sorted(missing)}"
+            )
+        original = {param: models[param] for param in self._params}
+
+        assumptions = None
+        if self._grounding is not None and self._frozen_matches(original):
+            assumptions = self._grounding.origin_assumptions(original)
+        if assumptions is not None:
+            self.reuses += 1
+            if self._consistent_fast(original):
+                return self._untouched(original)
+        else:
+            # The edit escaped the cached grounding (or none exists yet).
+            if self.checker.is_consistent(original):
+                return self._untouched(original)
+            self._reground(original)
+            assumptions = self._grounding.origin_assumptions(original)
+            if assumptions is None:
+                raise EnforcementError(
+                    "model tuple cannot anchor its own grounding; this is a bug"
+                )
+
+        result = self._maxsat.solve_optimal(
+            mode=self.mode, max_cost=max_distance, assumptions=assumptions
+        )
+        if not result.satisfiable:
+            raise NoRepairFound(
+                f"no consistent tuple within scope for targets {self.targets}"
+                + (
+                    f" and distance cap {max_distance}"
+                    if max_distance is not None
+                    else ""
+                ),
+                explored_distance=max_distance,
+            )
+        assert result.assignment is not None
+        repaired = self._grounder.decode(result.assignment)
+        return verify_repair(
+            self.checker,
+            SAT_ENGINE,
+            original,
+            repaired,
+            result.cost,
+            self.targets,
+            self.metric,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _untouched(self, original: Mapping[str, Model]) -> Repair:
+        return Repair(
+            models=dict(original),
+            distance=0,
+            changed=frozenset(),
+            engine="none",
+            targets=frozenset(self.targets.params),
+        )
+
+    def _consistent_fast(self, original: Mapping[str, Model]) -> bool:
+        """Hippocratic pre-check, oracle-accelerated when possible.
+
+        The oracle decides "consistent AND conformant targets", the
+        checker decides "consistent" — and
+        :func:`~repro.enforce.api.enforce` leaves *consistent* states
+        untouched, conformant or not. So: oracle ``True`` is trusted
+        (implies the checker's verdict); oracle ``False`` is exact
+        exactly when every target is conformant, because then the
+        structure constraints are satisfied by the state itself and only
+        consistency can have failed; otherwise — nonconformant target,
+        or oracle ``None`` — the real checker decides, so answers never
+        depend on whether a grounding happens to be cached.
+        """
+        if self._oracle is not None:
+            verdict = self._oracle.query(original)
+            if verdict:
+                return True
+            if verdict is False and all(
+                is_conformant(original[param])
+                for param in sorted(self.targets.params)
+            ):
+                return False
+        return self.checker.is_consistent(original)
+
+    def _frozen_matches(self, original: Mapping[str, Model]) -> bool:
+        for param, grounded in self._frozen.items():
+            current = original[param]
+            if current is not grounded and current != grounded:
+                return False
+        return True
+
+    def _reground(self, models: Mapping[str, Model]) -> None:
+        """Build grounding, MaxSAT session and oracle on one solver."""
+        scope = self.scope if self.scope is not None else adaptive_scope(models)
+        grounder = _ground(
+            self.checker,
+            models,
+            self.targets,
+            self.metric,
+            scope,
+            symmetry_breaking=False,
+            retarget=True,
+        )
+        grounding = grounder.ground()
+        self._grounder = grounder
+        self._grounding = grounding
+        self._maxsat = grounding.session()
+        oracle = ConsistencyOracle(
+            grounding, frozenset(self.targets.params), self._maxsat.solver
+        )
+        self._oracle = oracle if oracle.complete else None
+        self._frozen = {
+            param: gm.model
+            for param, gm in grounding.ground_models.items()
+            if not gm.symbolic
+        }
+        self.groundings += 1

@@ -42,7 +42,7 @@ from repro.metamodel.types import (
 )
 from repro.qvtr.ast import Domain, Relation, Transformation
 from repro.solver.card import Totalizer, at_most_one_pairwise
-from repro.solver.cnf import CNF, VarPool
+from repro.solver.cnf import CNF, Lit, VarPool
 from repro.solver.maxsat import MaxSatSession, SoftClause
 from repro.solver.tseitin import (
     PFALSE,
@@ -188,10 +188,7 @@ class GroundModel:
             actual = obj.attr_or(attr)
             if actual is None:
                 return PFALSE
-            same = actual == value and isinstance(actual, bool) == isinstance(
-                value, bool
-            )
-            return PTRUE if same else PFALSE
+            return PTRUE if _same_value(actual, value) else PFALSE
         return PVar(("attr", self.param, oid, attr, _value_key(value)))
 
     def ref_has(self, source: str, ref: str, target: str) -> PFormula:
@@ -207,16 +204,36 @@ def _value_key(value: Value) -> str:
     return f"{type(value).__name__}:{value!r}"
 
 
+def _same_value(actual: Value, value: Value) -> bool:
+    """Equality that keeps ``True``/``1`` (bool vs int) apart."""
+    return actual == value and isinstance(actual, bool) == isinstance(value, bool)
+
+
 @dataclass(frozen=True)
 class GroundingResult:
-    """Everything a solver call needs, plus the decode hooks."""
+    """Everything a solver call needs, plus the decode hooks.
+
+    ``origins`` names the parameters whose distance soft clauses were
+    grounded *retargetably* (``Grounder(retarget=True)``): instead of
+    hard-wiring "prefer the original atom value", each distance atom got
+    an ``origin`` variable and a ``diff`` variable with ``diff <->
+    (atom XOR origin)``, and the soft clauses prefer ``-diff``. The
+    origin of the distance is then chosen per solve by assuming the
+    origin literals — :meth:`origin_assumptions` — which is what lets an
+    enforcement session follow an *evolving* model tuple on one
+    encoding and one learnt-clause-laden solver, instead of re-grounding
+    after every edit.
+    """
 
     cnf: CNF
     pool: VarPool
     soft: tuple[SoftClause, ...]
     ground_models: Mapping[str, GroundModel]
+    origins: frozenset[str] = frozenset()
 
-    def session(self, incremental: bool = True) -> MaxSatSession:
+    def session(
+        self, incremental: bool = True, solver_kwargs: dict | None = None
+    ) -> MaxSatSession:
         """A persistent MaxSAT session over this grounding.
 
         The relaxation/totalizer encoding is translated exactly once and
@@ -224,7 +241,90 @@ class GroundingResult:
         bounds, repair enumeration blocking clauses), instead of the
         historical full re-translation per SAT call.
         """
-        return MaxSatSession(self.cnf, list(self.soft), incremental=incremental)
+        return MaxSatSession(
+            self.cnf,
+            list(self.soft),
+            incremental=incremental,
+            solver_kwargs=solver_kwargs,
+        )
+
+    def origin_assumptions(
+        self, state: Mapping[str, Model]
+    ) -> list[Lit] | None:
+        """Assumption literals pinning the distance origin to ``state``.
+
+        Only meaningful on retargetable groundings. Returns ``None``
+        when ``state`` cannot serve as an origin of this grounding — an
+        object outside the bounded universe, a class mismatch, an
+        attribute value outside the candidate pools, a reference target
+        outside the universe, or an undeclared feature — in which case
+        the caller must re-ground. The walk mirrors the iteration order
+        of the distance grounding exactly, so every named origin
+        variable already exists; its decline rules must stay in
+        lockstep with ``ConsistencyOracle._assumptions_for``
+        (:mod:`repro.enforce.satengine`), which encodes the same state
+        over the atom variables instead of the origin variables.
+        """
+        lits: list[Lit] = []
+        pool = self.pool
+        for param in sorted(self.origins):
+            gm = self.ground_models[param]
+            model = state[param]
+            universe = set(gm.universe)
+            for oid in model.object_ids():
+                if oid not in universe:
+                    return None
+            mm = gm.metamodel
+            for oid in gm.universe:
+                cls = gm.class_of(oid)
+                obj = model.get_or_none(oid)
+                if obj is not None and obj.cls != cls:
+                    return None
+                attrs = mm.all_attributes(cls)
+                refs = mm.all_references(cls)
+                if obj is not None:
+                    # Undeclared features have no atom variables.
+                    if any(a not in attrs for a, _ in obj.attrs):
+                        return None
+                    if any(r not in refs for r, _ in obj.refs):
+                        return None
+                name = ("origin", "obj", param, oid)
+                if not pool.has(name):
+                    return None
+                lits.append(pool.var(name) if obj is not None else -pool.var(name))
+                for attr_name, attr in sorted(attrs.items()):
+                    current = obj.attr_or(attr_name) if obj is not None else None
+                    matched = current is None
+                    for value in gm.pools.candidates(attr.type):
+                        same = current is not None and _same_value(current, value)
+                        if same:
+                            matched = True
+                        name = (
+                            "origin",
+                            "attr",
+                            param,
+                            oid,
+                            attr_name,
+                            _value_key(value),
+                        )
+                        if not pool.has(name):
+                            return None
+                        lits.append(pool.var(name) if same else -pool.var(name))
+                    if not matched:
+                        return None  # value outside the candidate pool
+                for ref_name, ref in sorted(refs.items()):
+                    targets = gm.objects_of(ref.target)
+                    had = set(obj.targets(ref_name)) if obj is not None else set()
+                    if not had <= set(targets):
+                        return None  # target outside the universe
+                    for target in targets:
+                        name = ("origin", "ref", param, oid, ref_name, target)
+                        if not pool.has(name):
+                            return None
+                        lits.append(
+                            pool.var(name) if target in had else -pool.var(name)
+                        )
+        return lits
 
 
 class Grounder:
@@ -243,6 +343,7 @@ class Grounder:
         scope: Scope = Scope(),
         weights: Mapping[str, int] | None = None,
         symmetry_breaking: bool = True,
+        retarget: bool = False,
     ) -> None:
         self.transformation = transformation
         self.models = dict(models)
@@ -254,6 +355,8 @@ class Grounder:
         self.scope = scope
         self.weights = dict(weights or {})
         self.symmetry_breaking = symmetry_breaking
+        self.retarget = retarget
+        self.origin_params: set[str] = set()
         self.pools = ValuePools(models, scope)
         self.cnf = CNF()
         self.var_pool = VarPool(self.cnf)
@@ -282,7 +385,11 @@ class Grounder:
         for relation, dependency in self.directions:
             self._ground_direction(relation, dependency)
         return GroundingResult(
-            self.cnf, self.var_pool, tuple(self.soft), dict(self.ground_models)
+            self.cnf,
+            self.var_pool,
+            tuple(self.soft),
+            dict(self.ground_models),
+            frozenset(self.origin_params),
         )
 
     # ------------------------------------------------------------------
@@ -359,33 +466,55 @@ class Grounder:
             raise SolverError(f"negative weight for {gm.param!r}")
         if weight == 0:
             return
+        if self.retarget:
+            self.origin_params.add(gm.param)
         mm = gm.metamodel
         for oid in gm.universe:
             cls = gm.class_of(oid)
             existing = gm.model.get_or_none(oid)
-            alive = self.tseitin.literal(gm.alive(oid))
-            self.soft.append(
-                SoftClause((alive if existing is not None else -alive,), weight)
-            )
+            self._prefer(gm.alive(oid), existing is not None, weight)
             for attr_name, attr in sorted(mm.all_attributes(cls).items()):
                 original = existing.attr_or(attr_name) if existing else None
                 for value in self.pools.candidates(attr.type):
-                    lit = self.tseitin.literal(gm.attr_eq(oid, attr_name, value))
-                    originally_true = (
-                        original is not None
-                        and original == value
-                        and isinstance(original, bool) == isinstance(value, bool)
+                    originally_true = original is not None and _same_value(
+                        original, value
                     )
-                    self.soft.append(
-                        SoftClause((lit if originally_true else -lit,), weight)
+                    self._prefer(
+                        gm.attr_eq(oid, attr_name, value), originally_true, weight
                     )
             for ref_name, _ref in sorted(mm.all_references(cls).items()):
                 had = set(existing.targets(ref_name)) if existing else set()
                 for target in gm.objects_of(mm.all_references(cls)[ref_name].target):
-                    lit = self.tseitin.literal(gm.ref_has(oid, ref_name, target))
-                    self.soft.append(
-                        SoftClause((lit if target in had else -lit,), weight)
+                    self._prefer(
+                        gm.ref_has(oid, ref_name, target), target in had, weight
                     )
+
+    def _prefer(
+        self, formula: PFormula, originally_true: bool, weight: int
+    ) -> None:
+        """One distance atom: prefer its original truth value.
+
+        Non-retargetable groundings bake the preference in as a unit
+        soft clause. Retargetable ones route it through an ``origin``
+        variable — ``diff <-> (atom XOR origin)``, soft clause
+        ``-diff`` — so the preferred value is picked per solve by
+        assuming the origin literal (``originally_true`` then only
+        matters through :meth:`GroundingResult.origin_assumptions`).
+        """
+        lit = self.tseitin.literal(formula)
+        if not self.retarget:
+            self.soft.append(
+                SoftClause((lit if originally_true else -lit,), weight)
+            )
+            return
+        assert isinstance(formula, PVar), "distance atoms are symbolic"
+        origin = self.var_pool.var(("origin",) + formula.name)
+        diff = self.var_pool.var(("diff",) + formula.name)
+        self.cnf.add_clause([-diff, lit, origin])
+        self.cnf.add_clause([-diff, -lit, -origin])
+        self.cnf.add_clause([diff, -lit, origin])
+        self.cnf.add_clause([diff, lit, -origin])
+        self.soft.append(SoftClause((-diff,), weight))
 
     # ------------------------------------------------------------------
     # Consistency: ground one directional check

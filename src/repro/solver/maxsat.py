@@ -75,7 +75,12 @@ class MaxSatSession:
         hard: CNF,
         soft: Sequence[SoftClause],
         incremental: bool = True,
+        solver_kwargs: dict | None = None,
     ) -> None:
+        """``solver_kwargs`` forwards hot-loop knobs (``decision``,
+        ``restart``, ``gc``) to the underlying
+        :class:`~repro.solver.sat.IncrementalSolver` — the A6 ablation
+        compares arms on identical encodings this way."""
         self.incremental = incremental
         self._working = hard.copy()
         originals = self._working.num_vars
@@ -93,7 +98,21 @@ class MaxSatSession:
         self._totalizer = (
             Totalizer(self._working, relax_weighted) if relax_weighted else None
         )
-        self._solver = IncrementalSolver(self._working) if incremental else None
+        self._solver = (
+            IncrementalSolver(self._working, **(solver_kwargs or {}))
+            if incremental
+            else None
+        )
+
+    @property
+    def solver(self) -> IncrementalSolver | None:
+        """The persistent solver (None in the one-shot ablation arm).
+
+        Exposed so callers holding a session can run extra
+        assumption-based queries — e.g. the consistency oracle of an
+        enforcement session — against the same learnt-clause state.
+        """
+        return self._solver
 
     # ------------------------------------------------------------------
     # Queries
@@ -127,19 +146,26 @@ class MaxSatSession:
     # Optimisation
     # ------------------------------------------------------------------
     def solve_optimal(
-        self, mode: str = INCREASING, max_cost: int | None = None
+        self,
+        mode: str = INCREASING,
+        max_cost: int | None = None,
+        assumptions: Sequence[Lit] = (),
     ) -> MaxSatResult:
         """Minimise the violated soft weight subject to the hard clauses.
 
         ``max_cost`` bounds the search (useful when the caller only cares
         about repairs up to some distance); when the optimum exceeds it
-        the result is reported unsatisfiable. The session stays reusable
-        afterwards: bounds are explored via assumptions, never asserted.
+        the result is reported unsatisfiable. ``assumptions`` are base
+        assumptions added to every bound probe — enforcement sessions
+        retarget the distance origin this way without re-encoding. The
+        session stays reusable afterwards: bounds are explored via
+        assumptions, never asserted.
         """
         if mode not in (INCREASING, DECREASING):
             raise SolverError(f"unknown MaxSAT mode {mode!r}")
+        base = list(assumptions)
         if self.total_weight == 0:
-            result = self.solve()
+            result = self.solve(base)
             return MaxSatResult(result.satisfiable, 0, result.assignment)
         ceiling = (
             self.total_weight
@@ -147,22 +173,22 @@ class MaxSatSession:
             else min(max_cost, self.total_weight)
         )
         if mode == INCREASING:
-            return self._increasing(ceiling)
-        return self._decreasing(ceiling)
+            return self._increasing(ceiling, base)
+        return self._decreasing(ceiling, base)
 
-    def _increasing(self, ceiling: int) -> MaxSatResult:
+    def _increasing(self, ceiling: int, base: list[Lit]) -> MaxSatResult:
         for bound in range(ceiling + 1):
-            result = self.solve(self.at_most(bound))
+            result = self.solve(base + self.at_most(bound))
             if result.satisfiable:
                 return MaxSatResult(True, self.cost_of(result), result.assignment)
         return MaxSatResult(False)
 
-    def _decreasing(self, ceiling: int) -> MaxSatResult:
+    def _decreasing(self, ceiling: int, base: list[Lit]) -> MaxSatResult:
         best: SatResult | None = None
         best_cost = ceiling + 1
         bound = ceiling
         while True:
-            result = self.solve(self.at_most(bound))
+            result = self.solve(base + self.at_most(bound))
             if not result.satisfiable:
                 break
             cost = self.cost_of(result)

@@ -5,8 +5,15 @@ Conflict-driven clause learning with the standard modern ingredients:
 * two-watched-literal unit propagation;
 * first-UIP conflict analysis with learnt-clause minimisation
   (self-subsuming resolution against reason clauses);
-* VSIDS-style exponential variable activities with phase saving;
-* geometric restarts.
+* VSIDS variable activities kept in a binary max-heap with lazy stale
+  entries (decisions are O(log n) pops, not O(n) scans), decayed via the
+  activity-increment trick — no rescale loop in the hot path;
+* phase saving with Luby-sequence restarts (geometric restarts remain
+  available as an ablation arm);
+* learnt-clause database reduction: each learnt clause carries its LBD
+  (literal block distance) and an activity; when the database outgrows
+  its budget the weakest half is dropped — never glue clauses (LBD <= 2)
+  and never *locked* clauses (reasons of current assignments).
 
 The implementation favours clarity over raw speed — it is the engine
 behind bounded model finding for *model transformation* instances, whose
@@ -29,6 +36,29 @@ previous ones. UNSAT answers under assumptions carry a *failed core*
 (``SatResult.core``): a subset of the assumptions that is already
 unsatisfiable together with the clause database.
 
+The hot-loop knobs are constructor arguments so ablations can compare
+arms on identical databases: ``decision`` selects the VSIDS heap
+(default) or the historical linear scan — both break equal-activity
+ties towards the lowest variable index, so runs are reproducible across
+implementations; ``restart`` selects Luby (default) or geometric
+restart scheduling; ``gc=False`` disables learnt-clause reduction (the
+long-lived-session safeguard).
+
+Statistics
+----------
+
+Every solver keeps a :class:`SolverStats` in ``IncrementalSolver.stats``
+and every :meth:`~IncrementalSolver.solve` call attaches its own delta
+as ``SatResult.stats``. Fields:
+
+* ``propagations`` — literals dequeued by unit propagation;
+* ``conflicts`` / ``decisions`` / ``restarts`` — search-loop work;
+* ``reductions`` — learnt-database GC sweeps;
+* ``learnts_kept`` / ``learnts_dropped`` — learnt clauses surviving /
+  deleted across those sweeps (locked and glue clauses are always kept);
+* ``solves`` / ``solver_builds`` — API-level call and construction
+  counts (the incrementality ablations read these).
+
 The one-shot :func:`solve` helper remains for callers with a single
 throwaway query; it simply builds a fresh instance per call. Prefer the
 incremental interface whenever the same (growing) clause database is
@@ -38,11 +68,35 @@ candidate-repair screening.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields, replace
+from heapq import heapify, heappop, heappush
 from collections.abc import Iterable, Sequence
 
 from repro.errors import SolverError
 from repro.solver.cnf import CNF, Lit
+
+#: Decision heuristics (constructor ``decision=``).
+HEAP = "heap"
+SCAN = "scan"
+
+#: Restart schedules (constructor ``restart=``).
+LUBY = "luby"
+GEOMETRIC = "geometric"
+
+
+def luby(i: int) -> int:
+    """The ``i``-th term (1-based) of the Luby restart sequence.
+
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ... — the universally
+    optimal schedule of Luby, Sinclair & Zuckerman (1993).
+    """
+    if i < 1:
+        raise SolverError(f"Luby index must be >= 1, got {i}")
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
 
 
 @dataclass
@@ -53,6 +107,9 @@ class SolverStats:
     conflicts: int = 0
     decisions: int = 0
     restarts: int = 0
+    reductions: int = 0
+    learnts_kept: int = 0
+    learnts_dropped: int = 0
     solves: int = 0
     solver_builds: int = 0
 
@@ -69,7 +126,7 @@ class SolverStats:
 
 
 #: Aggregate counters across every solver instance in the process; the
-#: A5 benchmark and the translation-count tests read deltas of this.
+#: A5/A6 benchmarks and the translation-count tests read deltas of this.
 GLOBAL_STATS = SolverStats()
 
 
@@ -93,11 +150,15 @@ class SatResult:
     ``core`` is only set on UNSAT answers: a subset of the assumption
     literals whose conjunction with the clause database is already
     unsatisfiable (empty when the database is unsatisfiable on its own).
+
+    ``stats`` is this call's work delta (see the module docstring); it
+    never participates in equality.
     """
 
     satisfiable: bool
     assignment: dict[int, bool] | None = None
     core: tuple[Lit, ...] | None = None
+    stats: SolverStats | None = field(default=None, compare=False)
 
     def value(self, var: int) -> bool:
         if self.assignment is None:
@@ -122,17 +183,44 @@ class IncrementalSolver:
     variable activities, saved phases and the permanent (level-0)
     assignment all carry over, so repeated queries over the same database
     get monotonically cheaper. Clauses and variables may be added between
-    calls; clauses may never be removed (encode retractable constraints
-    as assumptions over selector variables instead).
+    calls; clauses may never be removed by callers (encode retractable
+    constraints as assumptions over selector variables instead) — only
+    the internal learnt-clause GC deletes, and it only deletes learnt
+    clauses that are neither locked (a current reason) nor glue.
     """
 
     RESTART_FIRST = 100
     RESTART_FACTOR = 1.5
+    LUBY_UNIT = 64
     ACTIVITY_DECAY = 0.95
+    CLAUSE_DECAY = 0.999
+    GLUE_LBD = 2
+    GC_FIRST = 300
+    GC_GROWTH = 1.3
 
-    def __init__(self, cnf: CNF | None = None) -> None:
+    def __init__(
+        self,
+        cnf: CNF | None = None,
+        decision: str = HEAP,
+        restart: str = LUBY,
+        gc: bool = True,
+    ) -> None:
+        if decision not in (HEAP, SCAN):
+            raise SolverError(f"unknown decision heuristic {decision!r}")
+        if restart not in (LUBY, GEOMETRIC):
+            raise SolverError(f"unknown restart schedule {restart!r}")
+        self.decision = decision
+        self.restart = restart
+        self.gc = gc
         self.num_vars = 0
         self.clauses: list[list[Lit]] = []
+        # Learnt-clause metadata, parallel to ``clauses``: ``lbd`` is 0
+        # for problem clauses (never GC candidates), ``act`` their bump
+        # activity.
+        self.clause_lbd: list[int] = []
+        self.clause_act: list[float] = []
+        self.num_learnts = 0
+        self.max_learnts = float(self.GC_FIRST)
         # values[v]: 0 unassigned, 1 true, -1 false (indexed by variable).
         self.values: list[int] = [0]
         self.levels: list[int] = [0]
@@ -144,6 +232,15 @@ class IncrementalSolver:
         self.trail_lim: list[int] = []
         self.propagated = 0
         self.activity_inc = 1.0
+        self.clause_inc = 1.0
+        # VSIDS order: a max-heap of (-activity, var) with lazy stale
+        # entries. Invariant: every unassigned variable has at least one
+        # entry carrying its current activity (pushed on creation, on
+        # every bump, and on unassignment), so popping the first entry
+        # whose variable is unassigned yields the lowest-index variable
+        # of maximal activity.
+        self._heap: list[tuple[float, int]] = []
+        self._use_heap = decision == HEAP
         self.empty_clause = False
         self.units: list[Lit] = []
         self._units_applied = 0
@@ -174,6 +271,9 @@ class IncrementalSolver:
         self.reasons.extend([None] * grow)
         self.activity.extend([0.0] * grow)
         self.phase.extend([False] * grow)
+        if self._use_heap:
+            for var in range(self.num_vars + 1, n + 1):
+                heappush(self._heap, (0.0, var))
         self.num_vars = n
 
     # ------------------------------------------------------------------
@@ -196,13 +296,14 @@ class IncrementalSolver:
         self._backtrack(0)
         self._add_clause(clause)
 
-    def _add_clause(self, literals: list[Lit]) -> int | None:
+    def _add_clause(self, literals: list[Lit], lbd: int = 0) -> int | None:
         """Attach a clause, deduplicated; returns its index or None.
 
         Tautologies and clauses satisfied at level 0 are dropped;
         literals false at level 0 are pruned (level-0 assignments are
         permanent); empty clauses mark the instance UNSAT; unit clauses
-        are queued for level-0 assignment at the next solve.
+        are queued for level-0 assignment at the next solve. ``lbd > 0``
+        marks a learnt clause (a GC candidate unless glue or locked).
         """
         seen: set[Lit] = set()
         unique: list[Lit] = []
@@ -228,9 +329,72 @@ class IncrementalSolver:
             return None
         index = len(self.clauses)
         self.clauses.append(pruned)
+        self.clause_lbd.append(lbd)
+        self.clause_act.append(0.0)
+        if lbd > 0:
+            self.num_learnts += 1
         self.watches.setdefault(pruned[0], []).append(index)
         self.watches.setdefault(pruned[1], []).append(index)
         return index
+
+    # ------------------------------------------------------------------
+    # Learnt-clause database reduction
+    # ------------------------------------------------------------------
+    def _reduce_learnts(self) -> None:
+        """Drop the weakest half of the deletable learnt clauses.
+
+        Runs at the root level only (restart boundaries), where the
+        locked set is exactly the reason clauses of level-0 assignments.
+        Locked clauses, glue clauses (LBD <= ``GLUE_LBD``) and problem
+        clauses are never deleted. Surviving indices are compacted and
+        every index-bearing structure (watches, reasons) is remapped.
+        """
+        assert self._decision_level() == 0
+        locked = {
+            self.reasons[abs(lit)]
+            for lit in self.trail
+            if self.reasons[abs(lit)] is not None
+        }
+        removable = [
+            index
+            for index in range(len(self.clauses))
+            if self.clause_lbd[index] > self.GLUE_LBD and index not in locked
+        ]
+        removable.sort(
+            key=lambda i: (self.clause_act[i], -self.clause_lbd[i], -i)
+        )
+        drop = set(removable[: len(removable) // 2])
+        if not drop:
+            self.max_learnts *= self.GC_GROWTH
+            return
+        remap: dict[int, int] = {}
+        clauses: list[list[Lit]] = []
+        lbds: list[int] = []
+        acts: list[float] = []
+        for index, clause in enumerate(self.clauses):
+            if index in drop:
+                continue
+            remap[index] = len(clauses)
+            clauses.append(clause)
+            lbds.append(self.clause_lbd[index])
+            acts.append(self.clause_act[index])
+        self.clauses = clauses
+        self.clause_lbd = lbds
+        self.clause_act = acts
+        self.watches = {}
+        for index, clause in enumerate(self.clauses):
+            self.watches.setdefault(clause[0], []).append(index)
+            self.watches.setdefault(clause[1], []).append(index)
+        for lit in self.trail:
+            var = abs(lit)
+            reason = self.reasons[var]
+            if reason is not None:
+                self.reasons[var] = remap[reason]
+        self.num_learnts -= len(drop)
+        self.stats.reductions += 1
+        self.stats.learnts_dropped += len(drop)
+        self.stats.learnts_kept += self.num_learnts
+        self.max_learnts *= self.GC_GROWTH
 
     # ------------------------------------------------------------------
     # Assignment plumbing
@@ -258,6 +422,8 @@ class IncrementalSolver:
             var = abs(lit)
             self.values[var] = 0
             self.reasons[var] = None
+            if self._use_heap:
+                heappush(self._heap, (-self.activity[var], var))
         del self.trail[cut:]
         del self.trail_lim[level:]
         self.propagated = min(self.propagated, len(self.trail))
@@ -313,6 +479,7 @@ class IncrementalSolver:
         seen = [False] * (self.num_vars + 1)
         counter = 0
         lit: Lit | None = None
+        self._bump_clause(conflict)
         reason_clause: list[Lit] = list(self.clauses[conflict])
         index = len(self.trail)
         current_level = self._decision_level()
@@ -341,6 +508,7 @@ class IncrementalSolver:
                 break
             reason_index = self.reasons[abs(lit)]
             assert reason_index is not None
+            self._bump_clause(reason_index)
             reason_clause = [q for q in self.clauses[reason_index] if q != lit]
         learnt = [-lit] + self._minimise(learnt, seen)
         if len(learnt) == 1:
@@ -403,16 +571,71 @@ class IncrementalSolver:
         return tuple(sorted(core, key=lambda l: (abs(l), l)))
 
     def _bump(self, var: int) -> None:
-        self.activity[var] += self.activity_inc
-        if self.activity[var] > 1e100:
+        activity = self.activity[var] + self.activity_inc
+        self.activity[var] = activity
+        if activity > 1e100:
             for v in range(1, self.num_vars + 1):
                 self.activity[v] *= 1e-100
             self.activity_inc *= 1e-100
+            if self._use_heap:
+                self._rebuild_heap()
+        elif self._use_heap and self.values[var] == 0:
+            # Assigned variables get a fresh entry at unassignment; only
+            # unassigned ones need their entry refreshed here (in the
+            # conflict-analysis hot path, bumped variables are on the
+            # trail, so this push almost never fires).
+            heappush(self._heap, (-activity, var))
+
+    def _bump_clause(self, index: int) -> None:
+        if self.clause_lbd[index] == 0:
+            return  # problem clause: never a GC candidate, no activity
+        activity = self.clause_act[index] + self.clause_inc
+        self.clause_act[index] = activity
+        if activity > 1e20:
+            for i in range(len(self.clause_act)):
+                self.clause_act[i] *= 1e-20
+            self.clause_inc *= 1e-20
+
+    def _rebuild_heap(self) -> None:
+        self._heap = [
+            (-self.activity[var], var)
+            for var in range(1, self.num_vars + 1)
+            if self.values[var] == 0
+        ]
+        heapify(self._heap)
 
     # ------------------------------------------------------------------
     # Decisions
     # ------------------------------------------------------------------
     def _decide(self) -> Lit | None:
+        if self._use_heap:
+            return self._decide_heap()
+        return self._decide_scan()
+
+    def _decide_heap(self) -> Lit | None:
+        """Pop the unassigned variable of maximal activity (lazy heap).
+
+        Stale entries (superseded activity, or assigned variables) are
+        discarded on the way; ties break towards the lowest variable
+        index because entries compare as ``(-activity, var)``.
+        """
+        heap = self._heap
+        if len(heap) > 4 * self.num_vars + 64:
+            self._rebuild_heap()
+            heap = self._heap
+        values = self.values
+        while heap:
+            _, var = heappop(heap)
+            if values[var] == 0:
+                return var if self.phase[var] else -var
+        return None
+
+    def _decide_scan(self) -> Lit | None:
+        """The historical O(num_vars) scan (ablation arm of A6).
+
+        Ties break towards the lowest variable index (strict ``>``), the
+        same deterministic order the heap produces.
+        """
         best_var = 0
         best_activity = -1.0
         for var in range(1, self.num_vars + 1):
@@ -445,7 +668,7 @@ class IncrementalSolver:
         self.stats.solves += 1
         self._model = model
         try:
-            return self._solve(assumed)
+            result = self._solve(assumed)
         finally:
             delta = self.stats - before
             for f in fields(SolverStats):
@@ -454,20 +677,29 @@ class IncrementalSolver:
                     f.name,
                     getattr(GLOBAL_STATS, f.name) + getattr(delta, f.name),
                 )
+        return replace(result, stats=delta)
+
+    def _restart_budget(self, restarts: int) -> int:
+        """The conflict budget before the next restart."""
+        if self.restart == LUBY:
+            return self.LUBY_UNIT * luby(restarts + 1)
+        return int(self.RESTART_FIRST * self.RESTART_FACTOR**restarts)
 
     def _solve(self, assumptions: tuple[Lit, ...]) -> SatResult:
         self._backtrack(0)
         if not self._settle_root_level():
             return SatResult(False, core=())
         self._assumptions = assumptions
-        conflict_budget = self.RESTART_FIRST
+        restarts = 0
         while True:
-            result = self._search(conflict_budget)
+            result = self._search(self._restart_budget(restarts))
             if result is not None:
                 return result
             self.stats.restarts += 1
-            conflict_budget = int(conflict_budget * self.RESTART_FACTOR)
+            restarts += 1
             self._backtrack(0)
+            if self.gc and self.num_learnts >= self.max_learnts:
+                self._reduce_learnts()
 
     def _settle_root_level(self) -> bool:
         """Apply pending unit clauses and propagate at level 0."""
@@ -499,6 +731,8 @@ class IncrementalSolver:
                     self.empty_clause = True
                     return SatResult(False, core=())
                 learnt, backjump = self._analyze(conflict)
+                # LBD before backtracking, while levels are still live.
+                lbd = len({self.levels[abs(q)] for q in learnt})
                 self._backtrack(backjump)
                 if len(learnt) == 1:
                     # A root-level fact: persists across solves.
@@ -509,10 +743,11 @@ class IncrementalSolver:
                     if value == 0:
                         self._assign(learnt[0], None)
                 else:
-                    index = self._add_clause(learnt)
+                    index = self._add_clause(learnt, lbd=max(1, lbd))
                     if index is not None:
                         self._assign(learnt[0], index)
                 self.activity_inc /= self.ACTIVITY_DECAY
+                self.clause_inc /= self.CLAUSE_DECAY
                 if conflicts >= conflict_budget:
                     return None  # restart
                 continue

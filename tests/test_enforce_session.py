@@ -1,0 +1,299 @@
+"""Persistent enforcement sessions: equivalence + reuse lockdown.
+
+The :class:`~repro.enforce.session.EnforcementSession` must answer every
+question with the same optimum distance (and a fully verified repair) as
+the one-shot :func:`repro.enforce.enforce` SAT path, while grounding the
+transformation constraints exactly once for any stream of in-universe
+edits. Out-of-universe edits (new attribute values, drifted frozen
+models) must transparently re-ground, never mis-answer.
+"""
+
+import pytest
+
+from repro.echo.tool import Echo
+from repro.echo.workspace import Workspace
+from repro.enforce import EnforcementSession, TargetSelection, enforce
+from repro.errors import EnforcementError, NoRepairFound
+from repro.featuremodels import (
+    configuration,
+    configuration_metamodel,
+    feature_metamodel,
+    feature_model,
+    paper_transformation,
+)
+from repro.metamodel.meta import Attribute, Class, Metamodel
+from repro.metamodel.model import Model, ModelObject
+from repro.metamodel.types import STRING
+from repro.qvtr.syntax.parser import parse_transformation
+from repro.solver.bounded import Grounder, Scope
+from repro.solver.sat import GLOBAL_STATS
+
+
+def _tuple(fm_features, cf1_selected, cf2_selected):
+    return {
+        "fm": feature_model(fm_features).renamed("fm"),
+        "cf1": configuration(cf1_selected).renamed("cf1"),
+        "cf2": configuration(cf2_selected).renamed("cf2"),
+    }
+
+
+SCOPE = Scope(extra_objects=2)
+
+
+class TestSessionEquivalence:
+    def test_matches_oneshot_enforce_across_edits(self):
+        transformation = paper_transformation(k=2)
+        session = EnforcementSession(
+            transformation, TargetSelection(["cf1", "cf2"]), scope=SCOPE
+        )
+        edits = [
+            _tuple({"core": True}, [], ["core"]),
+            _tuple({"core": True}, ["core"], []),
+            _tuple({"core": True, "log": False}, [], []),
+            _tuple({"core": True}, ["core"], ["core"]),  # consistent
+        ]
+        for models in edits:
+            from_session = session.enforce(models)
+            reference = enforce(
+                transformation,
+                models,
+                TargetSelection(["cf1", "cf2"]),
+                engine="sat",
+                scope=SCOPE,
+            )
+            assert from_session.distance == reference.distance
+            assert from_session.engine == reference.engine
+            # verify_repair already guarded consistency/conformance/
+            # distance inside the session; spot-check hippocraticness.
+            if reference.distance == 0:
+                assert from_session.models == dict(models)
+
+    def test_modes_and_max_distance(self):
+        transformation = paper_transformation(k=2)
+        session = EnforcementSession(
+            transformation,
+            TargetSelection(["cf1", "cf2"]),
+            scope=SCOPE,
+            mode="decreasing",
+        )
+        models = _tuple({"core": True}, [], [])
+        repair = session.enforce(models)
+        assert repair.distance == 4  # two features, alive + name each
+        with pytest.raises(NoRepairFound):
+            session.enforce(models, max_distance=repair.distance - 1)
+        # the session survives a failed (capped) query
+        assert session.enforce(models).distance == repair.distance
+
+    def test_missing_binding_rejected(self):
+        session = EnforcementSession(
+            paper_transformation(k=2), TargetSelection(["cf1"]), scope=SCOPE
+        )
+        with pytest.raises(EnforcementError):
+            session.enforce({"fm": feature_model({"core": True})})
+
+
+class TestSessionReuse:
+    def test_in_universe_edits_ground_once(self):
+        session = EnforcementSession(
+            paper_transformation(k=2),
+            TargetSelection(["cf1", "cf2"]),
+            scope=SCOPE,
+        )
+        before = Grounder.translations
+        builds_before = GLOBAL_STATS.solver_builds
+        # Every edit stays inside the first tuple's grounded universe:
+        # cf1's universe contains s_core from the start, cf2's never
+        # grows beyond its fresh objects.
+        session.enforce(_tuple({"core": True}, ["core"], []))
+        session.enforce(_tuple({"core": True}, [], []))
+        session.enforce(_tuple({"core": True}, ["core"], []))
+        assert session.groundings == 1
+        assert session.reuses == 2
+        # one grounding == one (shared) solver for maxsat + oracle
+        assert Grounder.translations - before == 1
+        assert GLOBAL_STATS.solver_builds - builds_before == 1
+
+    def test_out_of_pool_edit_regrounds(self):
+        session = EnforcementSession(
+            paper_transformation(k=2),
+            TargetSelection(["cf1", "cf2"]),
+            scope=SCOPE,
+        )
+        session.enforce(_tuple({"core": True}, [], ["core"]))
+        # "shiny" never appeared anywhere: outside the grounded value
+        # pools and universe, so the cached grounding cannot express it.
+        repair = session.enforce(_tuple({"core": True}, ["shiny"], ["core"]))
+        assert session.groundings == 2
+        assert repair.distance > 0
+
+    def test_frozen_drift_regrounds(self):
+        session = EnforcementSession(
+            paper_transformation(k=2),
+            TargetSelection(["cf1", "cf2"]),
+            scope=SCOPE,
+        )
+        session.enforce(_tuple({"core": True}, [], ["core"]))
+        repair = session.enforce(_tuple({"core": True, "log": True}, [], []))
+        assert session.groundings == 2
+        assert repair.distance > 0
+        # and the repair respects the *new* feature model
+        for param in ("cf1", "cf2"):
+            names = {
+                str(o.attr("name"))
+                for o in repair.models[param].objects_of("Feature")
+            }
+            assert names == {"core", "log"}
+
+    def test_nonconformant_consistent_input_is_cache_independent(self):
+        """The hippocratic answer may not depend on cache state.
+
+        A consistent tuple whose target is *non-conformant* (missing
+        mandatory attribute) is left untouched by ``enforce()``; the
+        session must answer identically before AND after it holds a
+        cached grounding (the oracle's stricter verdict defers to the
+        checker)."""
+        mm = Metamodel(
+            "TG",
+            (
+                Class(
+                    "Feature",
+                    attributes=(
+                        Attribute("name", STRING),
+                        Attribute("tag", STRING),
+                    ),
+                ),
+            ),
+        )
+        transformation = parse_transformation(
+            """
+            transformation T (a : TG, b : TG) {
+              top relation Same {
+                n : String;
+                domain a x : Feature { name = n }
+                domain b y : Feature { name = n }
+              }
+            }
+            """
+        )
+
+        def feature(name, tag, model_name):
+            attrs = {"name": name}
+            if tag is not None:
+                attrs["tag"] = tag
+            return Model(
+                mm, (ModelObject.create("f1", "Feature", attrs, {}),), model_name
+            )
+
+        conformant_a = feature("x", "t", "a")
+        nonconformant_b = feature("x", None, "b")  # consistent: names match
+        session = EnforcementSession(transformation, TargetSelection(["b"]))
+        first = session.enforce({"a": conformant_a, "b": nonconformant_b})
+        assert first.engine == "none" and first.distance == 0
+        # Prime the cache with a genuinely inconsistent edit ...
+        repaired = session.enforce(
+            {"a": conformant_a, "b": feature("y", "t", "b")}
+        )
+        assert repaired.distance > 0 and session.groundings == 1
+        # ... and re-ask the original question: same answer as before.
+        again = session.enforce({"a": conformant_a, "b": nonconformant_b})
+        assert again.engine == "none" and again.distance == 0
+
+    def test_consistent_input_needs_no_grounding(self):
+        session = EnforcementSession(
+            paper_transformation(k=2),
+            TargetSelection(["cf1", "cf2"]),
+            scope=SCOPE,
+        )
+        repair = session.enforce(_tuple({"core": True}, ["core"], ["core"]))
+        assert repair.engine == "none"
+        assert session.groundings == 0
+
+
+class TestEchoIntegration:
+    def _echo(self):
+        echo = Echo()
+        echo.add_metamodel(feature_metamodel())
+        echo.add_metamodel(configuration_metamodel())
+        echo.add_transformation(paper_transformation(k=2))
+        echo.add_model("fm", feature_model({"core": True}))
+        echo.add_model("cf1", configuration([]))
+        echo.add_model("cf2", configuration(["core"]))
+        return echo, {"fm": "fm", "cf1": "cf1", "cf2": "cf2"}
+
+    def test_repeated_enforce_shares_one_session(self):
+        echo, binding = self._echo()
+        before = Grounder.translations
+        echo.enforce("F", binding, targets=["cf1", "cf2"], scope=SCOPE)
+        echo.add_model("cf1", configuration([]))
+        echo.enforce("F", binding, targets=["cf1", "cf2"], scope=SCOPE)
+        echo.enforce("F", binding, targets=["cf1", "cf2"], scope=SCOPE)
+        assert Grounder.translations - before == 1
+        sessions = echo.enforcement_sessions()
+        assert len(sessions) == 1
+        assert sessions[0].calls == 3
+        assert sessions[0].groundings == 1
+
+    def test_changed_settings_replace_the_session(self):
+        echo, binding = self._echo()
+        echo.enforce("F", binding, targets=["cf1", "cf2"], scope=SCOPE)
+        echo.add_model("cf1", configuration([]))
+        echo.enforce(
+            "F", binding, targets=["cf1", "cf2"], scope=SCOPE, mode="decreasing"
+        )
+        sessions = echo.enforcement_sessions()
+        assert len(sessions) == 1
+        assert sessions[0].mode == "decreasing"
+        assert sessions[0].calls == 1  # fresh session after the mode switch
+
+    def test_reregistering_transformation_drops_sessions(self):
+        echo, binding = self._echo()
+        echo.enforce("F", binding, targets=["cf1", "cf2"], scope=SCOPE)
+        assert echo.enforcement_sessions()
+        echo.add_transformation(paper_transformation(k=2))
+        assert not echo.enforcement_sessions()
+
+    def test_search_engine_unaffected(self):
+        echo, binding = self._echo()
+        repair = echo.enforce(
+            "F", binding, targets=["cf1"], engine="search", scope=SCOPE
+        )
+        assert repair.distance >= 0
+        assert not echo.enforcement_sessions()
+
+    def test_workspace_echo_bridge_is_cached(self):
+        workspace = Workspace()
+        workspace.metamodels["FM"] = feature_metamodel()
+        workspace.metamodels["CF"] = configuration_metamodel()
+        transformation = paper_transformation(k=2)
+        workspace.transformations[transformation.name] = transformation
+        workspace.models["fm"] = feature_model({"core": True})
+        workspace.models["cf1"] = configuration([])
+        workspace.models["cf2"] = configuration(["core"])
+        first = workspace.echo()
+        assert workspace.echo() is first
+        binding = {"fm": "fm", "cf1": "cf1", "cf2": "cf2"}
+        first.enforce("F", binding, targets=["cf1", "cf2"], scope=SCOPE)
+        # sessions survive because the bridge is the same object
+        assert workspace.echo().enforcement_sessions()
+        workspace.invalidate_echo()
+        assert workspace.echo() is not first
+
+    def test_workspace_echo_preserves_applied_repairs(self):
+        workspace = Workspace()
+        workspace.metamodels["FM"] = feature_metamodel()
+        workspace.metamodels["CF"] = configuration_metamodel()
+        transformation = paper_transformation(k=2)
+        workspace.transformations[transformation.name] = transformation
+        workspace.models["fm"] = feature_model({"core": True})
+        workspace.models["cf1"] = configuration([])
+        workspace.models["cf2"] = configuration(["core"])
+        binding = {"fm": "fm", "cf1": "cf1", "cf2": "cf2"}
+        echo = workspace.echo()
+        assert not echo.check("F", binding).consistent
+        echo.enforce("F", binding, targets=["cf1", "cf2"], scope=SCOPE)
+        # Re-entering through the bridge must not revert the applied
+        # repair to the stale workspace copy ...
+        assert workspace.echo().check("F", binding).consistent
+        # ... but a workspace-side edit to the same model still wins.
+        workspace.models["cf1"] = configuration([])
+        assert not workspace.echo().check("F", binding).consistent

@@ -1,0 +1,304 @@
+"""Hot-loop overhaul lockdown: VSIDS heap, Luby restarts, learnt GC.
+
+Three layers of guarantees:
+
+* **Equivalence under pressure** — with restarts forced every conflict
+  and learnt-clause reduction forced at every restart, the solver's
+  verdicts, model validity and core soundness still match the
+  truth-table oracle on random incremental workloads, and match the
+  GC-off/scan/geometric configuration (the PR-1 behaviour) verdict for
+  verdict.
+* **Deterministic tie-breaking** — the heap and the linear scan pick the
+  *same* decision variable in every state: equal-activity ties break
+  towards the lowest variable index, so whole runs are reproducible
+  across both implementations (identical decision/conflict counts).
+* **GC safety** — locked reason clauses and glue clauses survive every
+  reduction; the clause database stays internally consistent
+  (reasons/watches reference live clauses) after solves that reduced.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.solver.brute import brute_solve, check_assignment
+from repro.solver.cnf import CNF
+from repro.solver.sat import GEOMETRIC, HEAP, LUBY, SCAN, IncrementalSolver, luby
+
+
+@st.composite
+def solver_scripts(draw):
+    """A random interleaving of add-clause and solve-under-assumption ops."""
+    num_vars = draw(st.integers(1, 5))
+    literal = st.integers(1, num_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    ops = []
+    for _ in range(draw(st.integers(1, 10))):
+        if draw(st.booleans()):
+            ops.append(("add", draw(st.lists(literal, min_size=1, max_size=3))))
+        else:
+            ops.append(("solve", draw(st.lists(literal, max_size=3))))
+    ops.append(("solve", draw(st.lists(literal, max_size=2))))
+    return num_vars, ops
+
+
+def _random_cnf(num_vars: int, num_clauses: int, seed: int) -> CNF:
+    import random
+
+    rng = random.Random(seed)
+    cnf = CNF(num_vars)
+    for _ in range(num_clauses):
+        size = min(3, num_vars)
+        chosen = rng.sample(range(1, num_vars + 1), size)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in chosen])
+    return cnf
+
+
+def _stressed(cnf: CNF) -> IncrementalSolver:
+    """A default-configuration solver with restarts/GC forced constantly."""
+    solver = IncrementalSolver(cnf)
+    solver.LUBY_UNIT = 1  # restart after every conflict
+    solver.max_learnts = 0.0  # reduce at every restart
+    return solver
+
+
+def _oracle_verdict(mirror: CNF, assumptions) -> bool:
+    query = mirror.copy()
+    for lit in assumptions:
+        query.add_clause([lit])
+    return brute_solve(query).satisfiable
+
+
+def _check_solve(mirror: CNF, result, assumptions) -> None:
+    expected = _oracle_verdict(mirror, assumptions)
+    assert result.satisfiable == expected
+    if result.satisfiable:
+        assert check_assignment(mirror, result.assignment)
+        for lit in assumptions:
+            assert result.assignment[abs(lit)] == (lit > 0)
+    else:
+        assert result.core is not None
+        assert set(result.core) <= set(assumptions)
+        assert not _oracle_verdict(mirror, result.core)
+
+
+def _check_database(solver: IncrementalSolver) -> None:
+    """Internal invariants that a buggy GC sweep would break."""
+    assert len(solver.clauses) == len(solver.clause_lbd) == len(solver.clause_act)
+    assert solver.num_learnts == sum(1 for lbd in solver.clause_lbd if lbd > 0)
+    for lit, indices in solver.watches.items():
+        for index in indices:
+            assert 0 <= index < len(solver.clauses)
+    for lit in solver.trail:
+        reason = solver.reasons[abs(lit)]
+        if reason is not None:
+            assert lit in solver.clauses[reason], "reason clause lost its literal"
+
+
+class TestEquivalenceUnderPressure:
+    @given(script=solver_scripts())
+    @settings(max_examples=200, deadline=None)
+    def test_stressed_solver_matches_oracle(self, script):
+        num_vars, ops = script
+        mirror = CNF(num_vars)
+        solver = _stressed(CNF(num_vars))
+        for op, payload in ops:
+            if op == "add":
+                mirror.add_clause(payload)
+                solver.add_clause(payload)
+            else:
+                _check_solve(mirror, solver.solve(payload), payload)
+                _check_database(solver)
+
+    @given(script=solver_scripts())
+    @settings(max_examples=150, deadline=None)
+    def test_stressed_solver_matches_pr1_configuration(self, script):
+        """GC + Luby + heap vs the PR-1 arms: identical verdict stream."""
+        num_vars, ops = script
+        stressed = _stressed(CNF(num_vars))
+        legacy = IncrementalSolver(
+            CNF(num_vars), decision=SCAN, restart=GEOMETRIC, gc=False
+        )
+        for op, payload in ops:
+            if op == "add":
+                stressed.add_clause(payload)
+                legacy.add_clause(payload)
+            else:
+                assert (
+                    stressed.solve(payload).satisfiable
+                    == legacy.solve(payload).satisfiable
+                )
+
+    def test_gc_actually_drops_and_verdicts_agree(self):
+        cnf = _random_cnf(60, 255, seed=11)
+        gc_on = IncrementalSolver(cnf)
+        gc_on.LUBY_UNIT = 4
+        gc_on.max_learnts = 8.0
+        gc_off = IncrementalSolver(cnf, gc=False)
+        verdict_on = gc_on.solve().satisfiable
+        verdict_off = gc_off.solve().satisfiable
+        assert verdict_on == verdict_off
+        assert gc_on.stats.reductions > 0
+        assert gc_on.stats.learnts_dropped > 0
+        _check_database(gc_on)
+
+    def test_restarts_fire_under_luby(self):
+        cnf = _random_cnf(40, 170, seed=3)
+        solver = IncrementalSolver(cnf)
+        solver.LUBY_UNIT = 1
+        solver.solve()
+        assert solver.stats.restarts > 0
+        # identical result on the geometric arm
+        assert (
+            IncrementalSolver(cnf, restart=GEOMETRIC).solve().satisfiable
+            == IncrementalSolver(cnf, restart=LUBY).solve().satisfiable
+        )
+
+
+class TestTieBreaking:
+    @given(
+        activities=st.lists(
+            st.sampled_from([0.0, 1.0, 2.0]), min_size=1, max_size=8
+        ),
+        assigned=st.lists(st.booleans(), min_size=1, max_size=8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_heap_and_scan_pick_the_same_decision(self, activities, assigned):
+        """Equal-activity ties break towards the lowest variable index."""
+        n = len(activities)
+        heap_solver = IncrementalSolver(CNF(n), decision=HEAP)
+        scan_solver = IncrementalSolver(CNF(n), decision=SCAN)
+        for solver in (heap_solver, scan_solver):
+            for var, activity in enumerate(activities, start=1):
+                solver.activity[var] = activity
+            for var, is_assigned in enumerate(assigned[:n], start=1):
+                if is_assigned:
+                    solver.values[var] = 1
+        heap_solver._rebuild_heap()
+        expected = None
+        best = -1.0
+        for var in range(1, n + 1):
+            if heap_solver.values[var] == 0 and activities[var - 1] > best:
+                expected, best = var, activities[var - 1]
+        heap_pick = heap_solver._decide()
+        scan_pick = scan_solver._decide()
+        assert heap_pick == scan_pick
+        if expected is None:
+            assert heap_pick is None
+        else:
+            assert abs(heap_pick) == expected
+
+    @given(script=solver_scripts())
+    @settings(max_examples=100, deadline=None)
+    def test_heap_and_scan_runs_are_isomorphic(self, script):
+        """Same decisions/conflicts counts: the whole run is reproduced."""
+        num_vars, ops = script
+        heap_solver = IncrementalSolver(CNF(num_vars), decision=HEAP, gc=False)
+        scan_solver = IncrementalSolver(CNF(num_vars), decision=SCAN, gc=False)
+        for op, payload in ops:
+            if op == "add":
+                heap_solver.add_clause(payload)
+                scan_solver.add_clause(payload)
+            else:
+                a = heap_solver.solve(payload)
+                b = scan_solver.solve(payload)
+                assert a.satisfiable == b.satisfiable
+                assert a.assignment == b.assignment
+                assert a.core == b.core
+        assert heap_solver.stats.decisions == scan_solver.stats.decisions
+        assert heap_solver.stats.conflicts == scan_solver.stats.conflicts
+
+    def test_runs_are_deterministic(self):
+        cnf = _random_cnf(50, 210, seed=5)
+        runs = []
+        for _ in range(2):
+            solver = IncrementalSolver(cnf)
+            result = solver.solve()
+            runs.append(
+                (result.satisfiable, result.assignment, solver.stats.snapshot())
+            )
+        assert runs[0] == runs[1]
+
+
+class TestGcSafety:
+    def test_locked_reason_clauses_survive_reduction(self):
+        """A mid-solve reduction never deletes a clause that is the
+        reason of a current (root) assignment."""
+        cnf = CNF(5)
+        cnf.add_clause([1])  # unit: root fact
+        cnf.add_clause([-1, 2])  # root propagation with a reason clause
+        cnf.add_clause([-2, 3])
+        # Disposable filler the GC is free to drop.
+        cnf.add_clause([3, 4])
+        cnf.add_clause([2, 5])
+        cnf.add_clause([4, 5])
+        cnf.add_clause([-4, 3, 5])
+        solver = IncrementalSolver(cnf)
+        assert solver.solve().satisfiable
+        # Mark every clause as a weak learnt so the GC would love to drop
+        # them; only the locked ones (reasons of the root trail) may not
+        # go.
+        solver._backtrack(0)
+        for index in range(len(solver.clauses)):
+            solver.clause_lbd[index] = 9
+            solver.clause_act[index] = 0.0
+        solver.num_learnts = len(solver.clauses)
+        locked_before = {
+            tuple(solver.clauses[solver.reasons[abs(lit)]])
+            for lit in solver.trail
+            if solver.reasons[abs(lit)] is not None
+        }
+        assert locked_before, "scenario must pin at least one reason clause"
+        solver._reduce_learnts()
+        locked_after = {
+            tuple(solver.clauses[solver.reasons[abs(lit)]])
+            for lit in solver.trail
+            if solver.reasons[abs(lit)] is not None
+        }
+        assert locked_after == locked_before
+        assert solver.stats.learnts_dropped >= 1
+        _check_database(solver)
+        assert solver.solve().satisfiable  # still answers correctly
+
+    def test_glue_clauses_survive_reduction(self):
+        cnf = _random_cnf(60, 255, seed=11)
+        solver = IncrementalSolver(cnf)
+        solver.LUBY_UNIT = 4
+        solver.max_learnts = 8.0
+        solver.solve()
+        assert solver.stats.reductions > 0
+        # Glue (LBD <= 2) is never a GC candidate, so with heavy dropping
+        # the surviving learnts are exactly glue + locked + newest half.
+        assert solver.num_learnts == sum(
+            1 for lbd in solver.clause_lbd if lbd > 0
+        )
+        _check_database(solver)
+
+    def test_knob_validation(self):
+        with pytest.raises(SolverError):
+            IncrementalSolver(CNF(1), decision="magic")
+        with pytest.raises(SolverError):
+            IncrementalSolver(CNF(1), restart="never")
+        with pytest.raises(SolverError):
+            luby(0)
+
+    def test_luby_sequence(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_per_solve_stats_attached(self):
+        cnf = _random_cnf(20, 60, seed=2)
+        solver = IncrementalSolver(cnf)
+        result = solver.solve()
+        assert result.stats is not None
+        assert result.stats.solves == 1
+        assert result.stats.propagations > 0
+        # the per-call delta never participates in equality
+        other = solver.solve()
+        assert (result.satisfiable, result.assignment) == (
+            other.satisfiable,
+            other.assignment,
+        )
