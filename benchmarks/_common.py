@@ -12,10 +12,27 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 REPO_ROOT = Path(__file__).parent.parent
+
+
+def git_revision() -> str:
+    """The repo's current commit hash, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    revision = out.stdout.strip()
+    return revision if out.returncode == 0 and revision else "unknown"
 
 
 def record(experiment: str, text: str, metrics: dict | None = None) -> None:
@@ -37,11 +54,20 @@ def write_metrics(experiment: str, metrics: dict) -> Path:
     """Save one run's metrics as ``BENCH_<experiment>.json`` (repo root).
 
     Values should be plain JSON types; anything else is stringified.
-    Each run overwrites the file — the git history *is* the trajectory.
+    Each run overwrites the file — the git history *is* the trajectory —
+    and every file is stamped (under ``"_meta"``) with the git revision
+    it measured and whether it ran the smoke or the full workloads, so
+    the cross-PR trajectory files are self-describing.
     """
     path = REPO_ROOT / f"BENCH_{experiment}.json"
+    payload = dict(metrics)
+    payload["_meta"] = {
+        "experiment": experiment,
+        "git_revision": git_revision(),
+        "mode": "smoke" if experiment.endswith("_smoke") else "full",
+    }
     path.write_text(
-        json.dumps(metrics, indent=2, sort_keys=True, default=str) + "\n"
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
     )
     print(f"[{experiment}] metrics -> {path}")
     return path

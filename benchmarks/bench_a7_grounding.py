@@ -1,0 +1,326 @@
+"""A7 (ablation) — the grounding fast path.
+
+Three arms over feature-model tuples whose frozen side grows (the
+grounding-dominated regime A6 exposed once the solver hot loop was
+fixed):
+
+* **prune** — a scope/universe sweep grounding the same repair question
+  with ``Grounder(prune=False)`` (bare ``itertools.product`` over
+  ``|universe|^k x |pools|^m``) vs ``prune=True`` (frozen patterns
+  collapse to their matched bindings, frozen conclusions short-circuit).
+  Acceptance: >= 2x fewer enumerated bindings and >= 30 % lower
+  grounding wall-time, with identical optimal costs.
+* **cache** — an edit stream where every edit drifts the frozen feature
+  model (out-of-universe), forcing a re-ground per enforce:
+  ``EnforcementSession(cache=True)`` re-grounds onto one persistent
+  :class:`~repro.solver.bounded.GroundingContext` (Tseitin structural
+  hashes and totalizers survive) vs ``cache=False`` (fresh translation
+  state per re-ground). Distances must be identical.
+* **shared** — one question shape served by ``enforce_sat`` +
+  ``enumerate_repairs`` + ``ConsistencyOracle.try_build`` must ground
+  exactly once (the shared retargetable grounding), vs three groundings
+  with ``share=False``.
+
+``--smoke`` runs reduced sizes for CI (see ``scripts/ci.sh``); the CI
+gate fails if pruning ever enumerates more bindings than the naive arm
+or changes any verdict.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _p in (str(_ROOT), str(_ROOT / "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+from repro.check.engine import Checker
+from repro.enforce import (
+    EnforcementSession,
+    TargetSelection,
+    clear_shared_sessions,
+    enforce_sat,
+    enumerate_repairs,
+)
+from repro.enforce.satengine import ConsistencyOracle
+from repro.featuremodels import configuration, feature_model, paper_transformation
+from repro.solver.bounded import Grounder, GroundingContext, Scope
+from repro.solver.maxsat import MaxSatSession
+from repro.util.text import render_table
+
+from benchmarks._common import bench_cli, record
+
+SCOPE = Scope(extra_objects=2)
+
+
+def _grounder(transformation, models, targets, prune):
+    checker = Checker(transformation)
+    directions = [
+        (relation, dependency)
+        for relation in transformation.top_relations()
+        for dependency in checker.directions_of(relation)
+    ]
+    return Grounder(
+        transformation,
+        models,
+        frozenset(targets),
+        directions,
+        scope=SCOPE,
+        prune=prune,
+    )
+
+
+def _instance(features: int):
+    """A repair question whose frozen side dominates the binding space.
+
+    ``fm`` (frozen) holds ``features`` features with one mandatory;
+    ``cf1`` (frozen) selects exactly the mandatory one; ``cf2`` (the
+    target) is empty, so the minimal repair adds the mandatory feature.
+    """
+    names = {"core": True}
+    names.update({f"opt{i:02d}": False for i in range(1, features)})
+    models = {
+        "fm": feature_model(names),
+        "cf1": configuration(["core"], name="cf1"),
+        "cf2": configuration([], name="cf2"),
+    }
+    return paper_transformation(2), models
+
+
+# ----------------------------------------------------------------------
+# Arm 1: binding-space pruning (the scope/universe sweep)
+# ----------------------------------------------------------------------
+def bench_prune(smoke: bool, rows: list) -> dict:
+    sizes = (6, 10) if smoke else (8, 12, 16)
+    totals = {
+        arm: {"time_s": 0.0, "bindings": 0, "costs": []}
+        for arm in ("naive", "pruned")
+    }
+    for features in sizes:
+        transformation, models = _instance(features)
+        for arm, prune in (("naive", False), ("pruned", True)):
+            # Grounding is deterministic; best-of-3 strips scheduler
+            # noise from the wall-clock CI gate.
+            elapsed = float("inf")
+            for _ in range(3):
+                grounder = _grounder(
+                    transformation, models, {"cf2"}, prune=prune
+                )
+                before = Grounder.bindings_enumerated
+                start = time.perf_counter()
+                grounding = grounder.ground()
+                elapsed = min(elapsed, time.perf_counter() - start)
+                bindings = Grounder.bindings_enumerated - before
+            optimum = MaxSatSession(grounding.cnf, list(grounding.soft)).solve_optimal()
+            assert optimum.satisfiable
+            totals[arm]["time_s"] += elapsed
+            totals[arm]["bindings"] += bindings
+            totals[arm]["costs"].append(optimum.cost)
+            rows.append(
+                [f"prune: |fm|={features}", arm, f"{bindings} bindings",
+                 f"cost={optimum.cost}", f"{elapsed * 1e3:.1f} ms"]
+            )
+    naive, pruned = totals["naive"], totals["pruned"]
+    naive_b, pruned_b = naive["bindings"], pruned["bindings"]
+    rows.append(
+        ["prune: TOTAL",
+         f"{naive['time_s'] / pruned['time_s']:.2f}x faster grounding",
+         f"{naive_b}->{pruned_b} bindings "
+         f"({naive_b / pruned_b:.1f}x fewer)",
+         "", ""]
+    )
+    return totals
+
+
+# ----------------------------------------------------------------------
+# Arm 2: translation caching across forced re-grounds
+# ----------------------------------------------------------------------
+def _oscillating_stream(features: int, rounds: int):
+    """Edits that flip the frozen fm between two variants.
+
+    Every edit is an out-of-universe drift (the fm's feature set
+    changes), so every enforce re-grounds — the worst case for the
+    session's patch-and-reuse path and exactly where translation caching
+    must help: after one round the context has seen both variants and
+    re-grounds become structural-hash hits.
+    """
+    transformation = paper_transformation(2)
+    names_a = {"core": True}
+    names_a.update({f"opt{i:02d}": False for i in range(1, features)})
+    names_b = dict(names_a)
+    names_b.pop(f"opt{features - 1:02d}")
+    names_b["alt01"] = False
+    tuples = []
+    for i in range(rounds):
+        names = names_a if i % 2 == 0 else names_b
+        tuples.append(
+            {
+                "fm": feature_model(names).renamed("fm"),
+                "cf1": configuration(["core"], name="cf1"),
+                "cf2": configuration([], name="cf2"),
+            }
+        )
+    return transformation, tuples
+
+
+def bench_cache(smoke: bool, rows: list) -> dict:
+    features = 6 if smoke else 12
+    rounds = 6 if smoke else 10
+    transformation, tuples = _oscillating_stream(features, rounds)
+    checker = Checker(transformation)
+    directions = [
+        (relation, dependency)
+        for relation in transformation.top_relations()
+        for dependency in checker.directions_of(relation)
+    ]
+
+    def ground_stream(context):
+        """Total ground() wall-time and clauses translated over the stream."""
+        elapsed = 0.0
+        clauses = 0
+        for models in tuples:
+            grounder = Grounder(
+                transformation,
+                models,
+                frozenset({"cf2"}),
+                directions,
+                scope=SCOPE,
+                retarget=True,
+                context=context,
+            )
+            start = time.perf_counter()
+            grounder.ground()
+            elapsed += time.perf_counter() - start
+            if context is None:
+                clauses += len(grounder.cnf)
+        if context is not None:
+            clauses = len(context.cnf)
+        return elapsed, clauses
+
+    totals = {}
+    for arm, context in (("cold", None), ("warm", GroundingContext())):
+        elapsed, clauses = ground_stream(context)
+        totals[arm] = {"time_s": elapsed, "clauses_translated": clauses}
+        rows.append(
+            [f"cache: {rounds} oscillating re-grounds", arm,
+             f"{clauses} clauses", "", f"{elapsed * 1e3:.1f} ms"]
+        )
+    rows.append(
+        ["cache: TOTAL",
+         f"{totals['cold']['time_s'] / totals['warm']['time_s']:.2f}x faster warm",
+         f"{totals['cold']['clauses_translated']}->"
+         f"{totals['warm']['clauses_translated']} clauses",
+         "", ""]
+    )
+
+    # End-to-end sanity: the same drift stream through full enforcement
+    # sessions — contexts must never change an answer.
+    session_costs = {}
+    for arm, cache in (("cold", False), ("warm", True)):
+        session = EnforcementSession(
+            transformation, TargetSelection(["cf2"]), scope=SCOPE, cache=cache
+        )
+        start = time.perf_counter()
+        session_costs[arm] = [session.enforce(models).distance for models in tuples]
+        elapsed = time.perf_counter() - start
+        totals[arm]["enforce_time_s"] = elapsed
+        totals[arm]["costs"] = session_costs[arm]
+        totals[arm]["session_groundings"] = session.groundings
+        rows.append(
+            [f"cache: {rounds} session enforces", arm,
+             f"{session.groundings} groundings",
+             f"costs={session_costs[arm][:4]}...", f"{elapsed * 1e3:.1f} ms"]
+        )
+    assert session_costs["warm"] == session_costs["cold"], session_costs
+    return totals
+
+
+# ----------------------------------------------------------------------
+# Arm 3: one shared grounding behind every entry point
+# ----------------------------------------------------------------------
+def bench_shared(smoke: bool, rows: list) -> dict:
+    transformation, models = _instance(3 if smoke else 5)
+    targets = TargetSelection(["cf1", "cf2"])
+    checker = Checker(transformation)
+    totals = {}
+    for arm, share in (("per-call", False), ("shared", True)):
+        clear_shared_sessions()
+        before = Grounder.translations
+        start = time.perf_counter()
+        _, cost = enforce_sat(checker, models, targets, scope=SCOPE, share=share)
+        enum_cost, repairs = enumerate_repairs(
+            checker, models, targets, scope=SCOPE, limit=16, share=share
+        )
+        oracle = ConsistencyOracle.try_build(
+            checker, models, targets, SCOPE, share=share
+        )
+        elapsed = time.perf_counter() - start
+        assert oracle is not None and oracle.query(models) is False
+        assert cost == enum_cost and repairs
+        totals[arm] = {
+            "time_s": elapsed,
+            "groundings": Grounder.translations - before,
+            "cost": cost,
+            "repairs": len(repairs),
+        }
+        rows.append(
+            ["shared: enforce+enumerate+oracle", arm,
+             f"{totals[arm]['groundings']} groundings",
+             f"cost={cost}, {len(repairs)} repairs", f"{elapsed * 1e3:.1f} ms"]
+        )
+    assert totals["shared"]["cost"] == totals["per-call"]["cost"], totals
+    assert totals["shared"]["repairs"] == totals["per-call"]["repairs"], totals
+    return totals
+
+
+def run(smoke: bool = False) -> dict:
+    rows: list = []
+    metrics = {
+        "prune": bench_prune(smoke, rows),
+        "cache": bench_cache(smoke, rows),
+        "shared": bench_shared(smoke, rows),
+    }
+    table = render_table(
+        ["workload", "arm", "work", "detail", "time"],
+        rows,
+        title="A7: grounding fast path (pruned enumeration, cached translations, "
+        "shared grounding)" + (" [smoke]" if smoke else ""),
+    )
+    record("a7_grounding" + ("_smoke" if smoke else ""), table, metrics=metrics)
+    # Perf guards (the CI smoke contract):
+    prune = metrics["prune"]
+    assert prune["pruned"]["costs"] == prune["naive"]["costs"], (
+        f"pruning must not change any verdict: {prune}"
+    )
+    assert prune["pruned"]["bindings"] <= prune["naive"]["bindings"], (
+        f"pruning must never enumerate more bindings: {prune}"
+    )
+    assert prune["naive"]["bindings"] >= 2 * prune["pruned"]["bindings"], (
+        f"pruning must enumerate >= 2x fewer bindings: {prune}"
+    )
+    assert prune["pruned"]["time_s"] <= 0.7 * prune["naive"]["time_s"], (
+        f"pruned grounding must be >= 30% faster: {prune}"
+    )
+    cache = metrics["cache"]
+    assert 2 * cache["warm"]["clauses_translated"] <= (
+        cache["cold"]["clauses_translated"]
+    ), f"warm re-grounds must translate >= 2x fewer clauses: {cache}"
+    assert cache["warm"]["session_groundings"] < (
+        cache["cold"]["session_groundings"]
+    ), f"generation retention must absorb oscillating drifts: {cache}"
+    shared = metrics["shared"]
+    assert shared["shared"]["groundings"] == 1, (
+        f"the entry points must share one grounding: {shared}"
+    )
+    assert shared["per-call"]["groundings"] == 3, (
+        f"the share=False baseline must ground per call: {shared}"
+    )
+    return metrics
+
+
+if __name__ == "__main__":
+    args = bench_cli(__doc__.splitlines()[0])
+    start = time.perf_counter()
+    run(smoke=args.smoke)
+    print(f"\ntotal bench time: {time.perf_counter() - start:.2f} s")

@@ -19,7 +19,7 @@ from collections.abc import Iterable, Mapping
 from repro.check.engine import CheckConfig, Checker, CheckReport, EXTENDED
 from repro.enforce.api import Repair, enforce
 from repro.enforce.metrics import TupleMetric
-from repro.enforce.session import EnforcementSession
+from repro.enforce.session import EnforcementSession, shared_session
 from repro.enforce.targets import TargetSelection
 from repro.errors import WorkspaceError
 from repro.metamodel.meta import Metamodel
@@ -180,10 +180,15 @@ class Echo:
     ) -> EnforcementSession:
         """The cached enforcement session for this question shape.
 
-        Sessions are keyed by (transformation, binding, targets,
-        semantics); a call with different metric/scope/mode settings
-        replaces the cached session rather than answering with stale
-        ones.
+        Resolved through the process-wide
+        :func:`~repro.enforce.session.shared_session` grounding cache —
+        the same sessions serve ``enforce_sat``/``enumerate_repairs``
+        and oracle construction, so mixing API entry points over one
+        registry shares one retargetable grounding. The façade
+        additionally tracks its sessions per (transformation, binding,
+        targets, semantics) for inspection and invalidation; a call with
+        different metric/scope/mode settings resolves to (and records) a
+        different session rather than answering with stale ones.
         """
         selection = TargetSelection(targets)
         key = (
@@ -194,7 +199,7 @@ class Echo:
         )
         session = self._sessions.get(key)
         if session is None or not session.compatible(semantics, metric, scope, mode):
-            session = EnforcementSession(
+            session = shared_session(
                 self.transformation(transformation_name),
                 selection,
                 semantics=semantics,

@@ -25,7 +25,11 @@ from repro.enforce.guided import enforce_guided
 from repro.enforce.metrics import TupleMetric
 from repro.enforce.satengine import enforce_sat, enumerate_repairs
 from repro.enforce.search import enforce_search
-from repro.enforce.session import EnforcementSession
+from repro.enforce.session import (
+    EnforcementSession,
+    clear_shared_sessions,
+    shared_session,
+)
 from repro.enforce.targets import TargetSelection, all_but, only, paper_shapes
 
 __all__ = [
@@ -41,4 +45,6 @@ __all__ = [
     "enforce_guided",
     "enumerate_repairs",
     "EnforcementSession",
+    "shared_session",
+    "clear_shared_sessions",
 ]

@@ -75,13 +75,17 @@ def enforce(
     mode: str = INCREASING,
     max_distance: int | None = None,
     max_states: int = 200_000,
+    share: bool = True,
 ) -> Repair:
     """Restore consistency by rewriting only the ``targets`` models.
 
     Parameters mirror the paper's ingredients: the *consistency relation*
     (``transformation`` + ``semantics``), the *direction* (``targets``),
     and the *distance* (``metric``). ``engine``/``mode``/``scope`` select
-    and bound the solving machinery. Raises
+    and bound the solving machinery; ``share=False`` makes the SAT
+    engine ground this call standalone instead of riding the shared
+    retargetable grounding of its question shape (the re-grounding
+    baseline arm of ablations A6/A7). Raises
     :class:`~repro.errors.NoRepairFound` when the chosen direction cannot
     restore consistency within bounds — the paper's closing caveat that
     *"not all update directions are able to restore the consistency of
@@ -117,6 +121,7 @@ def enforce(
             scope=scope,
             max_distance=max_distance,
             max_states=max_states,
+            share_oracle=share,
         )
     elif engine == GUIDED_ENGINE:
         repaired, cost = enforce_guided(
@@ -125,6 +130,7 @@ def enforce(
             targets,
             metric=metric,
             scope=scope,
+            share_oracle=share,
         )
     else:
         repaired, cost = enforce_sat(
@@ -135,6 +141,7 @@ def enforce(
             scope=scope,
             mode=mode,
             max_distance=max_distance,
+            share=share,
         )
 
     return verify_repair(checker, engine, original, repaired, cost, targets, metric)

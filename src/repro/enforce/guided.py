@@ -76,6 +76,7 @@ def enforce_guided(
     scope: Scope = Scope(),
     max_rounds: int = 200,
     use_oracle: bool = False,
+    share_oracle: bool = True,
 ) -> tuple[dict[str, Model], int]:
     """Repair by guided greedy descent on the violation count.
 
@@ -88,7 +89,9 @@ def enforce_guided(
     state = dict(models)
     pools = ValuePools(original, scope)
     oracle = (
-        ConsistencyOracle.try_build(checker, original, targets, scope)
+        ConsistencyOracle.try_build(
+            checker, original, targets, scope, metric=metric, share=share_oracle
+        )
         if use_oracle
         else None
     )

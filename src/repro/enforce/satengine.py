@@ -12,22 +12,32 @@ and the optimum is found either by
 
 Both return the same optimum; experiment E7 compares their runtime.
 
-Every enforcement question grounds the fixed transformation constraints
-exactly once and then runs on one persistent incremental SAT solver: the
-distance bounds of either mode are assumption literals, enumeration
-blocking clauses are incremental ``add_clause`` calls, and the learnt
-clauses from one probe accelerate the next (ablation A5 measures the
-win). :class:`ConsistencyOracle` exports the same machinery to the other
-engines: candidate repair states become assumption sets over the atom
-variables, so a consistency-plus-conformance verdict costs one
-propagation-heavy incremental solve instead of a full checker pass.
+Since the grounding fast path (PR 3), every entry point of this module
+rides **one shared retargetable grounding** per question shape:
+:func:`enforce_sat`, :func:`enumerate_repairs` and
+:meth:`ConsistencyOracle.try_build` all resolve to the
+:func:`repro.enforce.session.shared_session` cache, so an edit/enforce
+loop that mixes verbs (repair, enumerate, screen candidates) grounds its
+transformation constraints exactly once and every solve profits from the
+same learnt-clause-laden incremental solver. The distance origin is
+injected per call as assumptions
+(:meth:`~repro.solver.bounded.GroundingResult.origin_assumptions`),
+symmetry breaking is an opt-in assumption, and enumeration blocking
+clauses are guarded by a per-enumeration selector so they never outlive
+their run. ``share=False`` (or ``incremental=False``) restores the
+historical one-grounding-per-call behaviour — the baseline arms of
+ablations A5 and A7.
+
+:class:`ConsistencyOracle` exports the machinery to the other engines:
+candidate repair states become assumption sets over the atom variables,
+so a consistency-plus-conformance verdict costs one propagation-heavy
+incremental solve instead of a full checker pass.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping
 
-from repro.check.bindings import values_equal
 from repro.check.engine import Checker
 from repro.deps.dependency import Dependency
 from repro.enforce.metrics import TupleMetric
@@ -36,7 +46,13 @@ from repro.errors import NoRepairFound, SatFragmentError, SolverError
 from repro.metamodel.model import Model
 from repro.metamodel.serialize import canonical_text
 from repro.qvtr.ast import Relation
-from repro.solver.bounded import Grounder, GroundingResult, Scope, _value_key
+from repro.solver.bounded import (
+    Grounder,
+    GroundingContext,
+    GroundingResult,
+    Scope,
+    encode_state,
+)
 from repro.solver.cnf import Lit
 from repro.solver.maxsat import INCREASING, enumerate_optimal
 from repro.solver.sat import IncrementalSolver
@@ -58,17 +74,21 @@ def _ground(
     scope: Scope,
     symmetry_breaking: bool = True,
     retarget: bool = False,
+    prune: bool = True,
+    context: GroundingContext | None = None,
 ) -> Grounder:
     """The shared grounding preamble of every SAT-engine entry point.
 
     ``metric=None`` grounds without distance soft clauses (consistency
-    and conformance only — what the :class:`ConsistencyOracle` needs).
-    The oracle also turns ``symmetry_breaking`` off: its candidates fix
-    every atom, so symmetry clauses would wrongly veto consistent states
-    whose fresh objects are not in canonical id order.
-    :class:`~repro.enforce.session.EnforcementSession` does the same and
-    additionally sets ``retarget`` so the distance origin is chosen per
-    solve via assumptions (see
+    and conformance only). A standalone oracle turns
+    ``symmetry_breaking`` off: its candidates fix every atom, so
+    symmetry clauses would wrongly veto consistent states whose fresh
+    objects are not in canonical id order.
+    :class:`~repro.enforce.session.EnforcementSession` instead grounds
+    onto a :class:`~repro.solver.bounded.GroundingContext` with
+    *guarded* symmetry clauses — optimum solves assume them, oracle
+    queries do not — and sets ``retarget`` so the distance origin is
+    chosen per solve via assumptions (see
     :meth:`~repro.solver.bounded.GroundingResult.origin_assumptions`).
     """
     transformation = checker.transformation
@@ -88,6 +108,8 @@ def _ground(
         weights=weights,
         symmetry_breaking=symmetry_breaking,
         retarget=retarget,
+        prune=prune,
+        context=context,
     )
 
 
@@ -100,16 +122,33 @@ def enforce_sat(
     mode: str = INCREASING,
     max_distance: int | None = None,
     incremental: bool = True,
+    share: bool = True,
 ) -> tuple[dict[str, Model], int]:
     """Find a distance-minimal consistent tuple with the SAT engine.
 
     Returns ``(repaired tuple, weighted distance)``; raises
     :class:`NoRepairFound` when no consistent tuple exists within the
-    scope (or the distance cap). The constraints are encoded once; the
-    distance sweep explores bounds as assumptions on one persistent
-    solver (``incremental=False`` restores the historical one-shot solve
-    per bound, kept for ablation A5).
+    scope (or the distance cap). By default the call is served by the
+    shared retargetable grounding of its question shape
+    (:func:`repro.enforce.session.shared_session`): the constraints are
+    encoded at most once per shape, the concrete tuple is injected as
+    origin assumptions, and the distance sweep explores bounds as
+    assumptions on one persistent solver. ``share=False`` grounds
+    per call (the A7 baseline); ``incremental=False`` additionally
+    restores the historical one-shot solve per bound (the A5 baseline).
     """
+    if incremental and share:
+        from repro.enforce.session import shared_session
+
+        session = shared_session(
+            checker.transformation,
+            targets,
+            semantics=checker.config.semantics,
+            metric=metric,
+            scope=scope,
+            mode=mode,
+        )
+        return session.solve_tuple(models, max_distance=max_distance, mode=mode)
     grounder = _ground(checker, models, targets, metric, scope)
     grounding = grounder.ground()
     session = grounding.session(incremental=incremental)
@@ -134,6 +173,7 @@ def enumerate_repairs(
     scope: Scope = Scope(),
     limit: int = 64,
     incremental: bool = True,
+    share: bool = True,
 ) -> tuple[int, list[dict[str, Model]]]:
     """All distance-minimal repairs (up to ``limit``), canonically ordered.
 
@@ -141,10 +181,25 @@ def enumerate_repairs(
     tuple; this enumerates the whole optimum set — the tool-level answer
     to the observation (EXPERIMENTS.md, E6) that minimality alone may
     not determine the "natural" repair. Same fragment restrictions as
-    :func:`enforce_sat`. The enumeration is fully incremental: one
+    :func:`enforce_sat`. The enumeration is fully incremental — one
     grounding, one encoding, one solver; each found repair adds one
-    blocking clause.
+    blocking clause — and by default it rides the *shared* grounding of
+    its question shape, with the blocking clauses guarded by a
+    per-enumeration selector so later repairs on the same grounding are
+    unaffected.
     """
+    if incremental and share:
+        from repro.enforce.session import shared_session
+
+        session = shared_session(
+            checker.transformation,
+            targets,
+            semantics=checker.config.semantics,
+            metric=metric,
+            scope=scope,
+            mode=INCREASING,
+        )
+        return session.enumerate_tuple(models, limit=limit)
     grounder = _ground(checker, models, targets, metric, scope)
     grounding = grounder.ground()
     project = sorted(
@@ -171,13 +226,20 @@ def enumerate_repairs(
 class ConsistencyOracle:
     """Assumption-based consistency + conformance oracle for candidates.
 
-    Built once per enforcement run: grounds the fixed structural and
-    consistency constraints (no distance soft clauses) over the bounded
-    universe of the *original* tuple, attaches one persistent
-    :class:`IncrementalSolver`, and answers, per candidate state, whether
-    every target model is metamodel-conformant *and* the tuple satisfies
-    every directional check — by fixing each atom variable of the
-    universe with an assumption literal and asking for satisfiability.
+    Built once per enforcement run over a grounding of the *original*
+    tuple's bounded universe, with one persistent
+    :class:`IncrementalSolver` attached; answers, per candidate state,
+    whether every target model is metamodel-conformant *and* the tuple
+    satisfies every directional check — by fixing each atom variable of
+    the universe with an assumption literal and asking for
+    satisfiability. The atom tables come precomputed from
+    :meth:`~repro.solver.bounded.GroundingResult.atom_tables` and the
+    state walk is the shared :func:`~repro.solver.bounded.encode_state`,
+    so the decline rules stay in lockstep with
+    :meth:`~repro.solver.bounded.GroundingResult.origin_assumptions` by
+    construction. On context-backed (shared) groundings every query
+    assumes the generation selector — and never the symmetry selector,
+    since candidates may place fresh objects at non-canonical ids.
 
     The answer is exact on the SAT fragment because the assumptions
     determine every atom of the grounding: the solve degenerates into
@@ -197,6 +259,7 @@ class ConsistencyOracle:
         self._grounding = grounding
         self._targets = tuple(sorted(targets))
         self._solver = solver
+        self._base = grounding.base_assumptions(symmetry=False)
         self.queries = 0
         self.fallbacks = 0
         # Non-target models are baked into the grounding as constants; a
@@ -206,59 +269,11 @@ class ConsistencyOracle:
             for param, gm in grounding.ground_models.items()
             if not gm.symbolic
         }
-        # Per-target atom tables, fixed for the oracle's lifetime —
-        # queries are the hot path and must not rebuild them.
-        self._universes: dict[str, frozenset[str]] = {}
-        self._atoms: dict[str, list[tuple]] = {}
-        self.complete = self._precompute()
-
-    def _precompute(self) -> bool:
-        """Tabulate (oid, vars, candidates) per target; False if any
-        expected atom variable is missing from the grounding."""
-        pool = self._grounding.pool
-        for param in self._targets:
-            gm = self._grounding.ground_models[param]
-            mm = gm.metamodel
-            self._universes[param] = frozenset(gm.universe)
-            entries: list[tuple] = []
-            for oid in gm.universe:
-                cls_name = gm.class_of(oid)
-                alive_name = ("obj", param, oid)
-                if not pool.has(alive_name):
-                    return False
-                attr_entries = []
-                for attr_name, attr in sorted(mm.all_attributes(cls_name).items()):
-                    pairs = []
-                    for value in gm.pools.candidates(attr.type):
-                        name = ("attr", param, oid, attr_name, _value_key(value))
-                        if not pool.has(name):
-                            return False
-                        pairs.append((value, pool.var(name)))
-                    attr_entries.append((attr_name, pairs))
-                ref_entries = []
-                for ref_name, ref in sorted(mm.all_references(cls_name).items()):
-                    pairs = []
-                    for target in gm.objects_of(ref.target):
-                        name = ("ref", param, oid, ref_name, target)
-                        if not pool.has(name):
-                            return False
-                        pairs.append((target, pool.var(name)))
-                    ref_entries.append(
-                        (ref_name, pairs, frozenset(t for t, _ in pairs))
-                    )
-                entries.append(
-                    (
-                        oid,
-                        cls_name,
-                        pool.var(alive_name),
-                        frozenset(n for n, _ in attr_entries),
-                        frozenset(n for n, _, _ in ref_entries),
-                        attr_entries,
-                        ref_entries,
-                    )
-                )
-            self._atoms[param] = entries
-        return True
+        tables = grounding.atom_tables()
+        self.complete = tables is not None and all(
+            param in tables for param in self._targets
+        )
+        self._tables = tables if self.complete else None
 
     @classmethod
     def try_build(
@@ -267,9 +282,29 @@ class ConsistencyOracle:
         models: Mapping[str, Model],
         targets: TargetSelection,
         scope: Scope,
+        metric: TupleMetric | None = None,
+        share: bool = True,
     ) -> "ConsistencyOracle | None":
-        """An oracle for this enforcement run, or None outside the fragment."""
+        """An oracle for this enforcement run, or None outside the fragment.
+
+        By default the oracle rides the shared retargetable grounding of
+        its question shape, so candidate screening (search/guided
+        engines) and SAT enforcement accumulate learnt clauses on the
+        same solver. ``share=False`` builds a standalone
+        distance-free grounding (the historical behaviour).
+        """
         try:
+            if share:
+                from repro.enforce.session import shared_session
+
+                session = shared_session(
+                    checker.transformation,
+                    targets,
+                    semantics=checker.config.semantics,
+                    metric=metric or TupleMetric(),
+                    scope=scope,
+                )
+                return session.oracle_for(models)
             grounder = _ground(
                 checker, models, targets, None, scope, symmetry_breaking=False
             )
@@ -293,7 +328,9 @@ class ConsistencyOracle:
         if assumptions is None:
             self.fallbacks += 1
             return None
-        return self._solver.solve(assumptions, model=False).satisfiable
+        return self._solver.solve(
+            self._base + assumptions, model=False
+        ).satisfiable
 
     def _assumptions_for(
         self, state: Mapping[str, Model]
@@ -302,46 +339,6 @@ class ConsistencyOracle:
             current = state.get(param)
             if current is not original and current != original:
                 return None  # frozen side drifted from the grounding
-        assumptions: list[Lit] = []
-        for param in self._targets:
-            model = state[param]
-            universe = self._universes[param]
-            for oid in model.object_ids():
-                if oid not in universe:
-                    return None  # candidate escaped the bounded universe
-            for (
-                oid,
-                cls_name,
-                alive_var,
-                attr_names,
-                ref_names,
-                attr_entries,
-                ref_entries,
-            ) in self._atoms[param]:
-                obj = model.get_or_none(oid)
-                if obj is not None and obj.cls != cls_name:
-                    return None
-                assumptions.append(alive_var if obj is not None else -alive_var)
-                if obj is not None:
-                    # Undeclared features have no atom variables.
-                    if any(a not in attr_names for a, _ in obj.attrs):
-                        return None
-                    if any(r not in ref_names for r, _ in obj.refs):
-                        return None
-                for attr_name, pairs in attr_entries:
-                    current = obj.attr_or(attr_name) if obj is not None else None
-                    matched = current is None
-                    for value, var in pairs:
-                        same = current is not None and values_equal(current, value)
-                        if same:
-                            matched = True
-                        assumptions.append(var if same else -var)
-                    if not matched:
-                        return None  # value outside the candidate pool
-                for ref_name, pairs, target_set in ref_entries:
-                    had = set(obj.targets(ref_name)) if obj is not None else set()
-                    if not had <= target_set:
-                        return None  # reference target outside the universe
-                    for target, var in pairs:
-                        assumptions.append(var if target in had else -var)
-        return assumptions
+        if self._tables is None:
+            return None
+        return encode_state(self._tables, self._targets, state)

@@ -70,6 +70,7 @@ def enforce_search(
     max_distance: int | None = None,
     max_states: int = 200_000,
     use_oracle: bool = True,
+    share_oracle: bool = True,
 ) -> tuple[dict[str, Model], int, SearchStats]:
     """Find a distance-minimal consistent tuple; see module docstring.
 
@@ -82,7 +83,9 @@ def enforce_search(
     pools = ValuePools(original, scope)
     target_list = sorted(targets.params)
     oracle = (
-        ConsistencyOracle.try_build(checker, original, targets, scope)
+        ConsistencyOracle.try_build(
+            checker, original, targets, scope, metric=metric, share=share_oracle
+        )
         if use_oracle
         else None
     )

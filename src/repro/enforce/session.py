@@ -24,19 +24,45 @@ universe, a new attribute value outside the candidate pools, a drifted
 frozen model — trigger a fresh grounding. Learnt clauses and heuristic
 state accumulated by earlier repairs keep accelerating later ones.
 
-Semantic note: the session grounds without symmetry breaking (like the
-oracle, so arbitrary in-universe states remain encodable) and uses the
-oracle as a hippocratic fast *accept* — a state the oracle accepts is
-consistent and returned unrepaired at distance 0; any other verdict
-defers to the real checker, exactly like :func:`~repro.enforce.enforce`.
-Optimal repair distances are identical to
-:func:`~repro.enforce.satengine.enforce_sat`; the chosen optimum may be a
-different member of the same minimum-distance set.
+Since the grounding fast path (PR 3) the session is also the *shared*
+grounding behind every SAT-fragment entry point:
+
+* it grounds onto a persistent
+  :class:`~repro.solver.bounded.GroundingContext` (``cache=True``), so
+  even the re-grounds forced by out-of-universe edits reuse the Tseitin
+  structural-hash table and totalizer builds of earlier generations and
+  only encode genuinely new sub-formulas;
+* :func:`shared_session` keys live sessions by question shape
+  (transformation identity, targets, semantics, metric weights, scope,
+  mode) in a small LRU cache, and ``enforce_sat`` /
+  ``enumerate_repairs`` / ``ConsistencyOracle.try_build`` resolve to it
+  — so mixing verbs over one evolving tuple grounds exactly once;
+* :meth:`solve_tuple` / :meth:`enumerate_tuple` / :meth:`oracle_for`
+  are those entry points' primitives: optimum solve and enumeration
+  assume the symmetry-breaking selector (matching the historical
+  hard-clause behaviour), oracle queries do not, and enumeration
+  blocking clauses are guarded by a per-run selector so they never
+  outlive their enumeration;
+* a cached session retains up to :attr:`EnforcementSession.GENERATION_LIMIT`
+  grounding *generations*: an edit that escapes the active grounding
+  but still anchors an older one — oscillating frozen drifts are the
+  common case — switches generations instead of re-grounding at all.
+
+Semantic note: the session's own :meth:`enforce` verb solves *without*
+the symmetry assumption (like the PR 2 session) and uses the oracle as a
+hippocratic fast *accept* — a state the oracle accepts is consistent and
+returned unrepaired at distance 0; any other verdict defers to the real
+checker, exactly like :func:`~repro.enforce.enforce`. Optimal repair
+distances are identical to :func:`~repro.enforce.satengine.enforce_sat`;
+the chosen optimum may be a different member of the same minimum-distance
+set.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
 
 from repro.check.engine import CheckConfig, Checker, EXTENDED
 from repro.enforce.api import (
@@ -48,23 +74,76 @@ from repro.enforce.api import (
 from repro.enforce.metrics import TupleMetric
 from repro.enforce.satengine import ConsistencyOracle, _ground
 from repro.enforce.targets import TargetSelection
-from repro.errors import EnforcementError, NoRepairFound
+from repro.errors import (
+    EnforcementError,
+    NoRepairFound,
+    SatFragmentError,
+    SolverError,
+)
 from repro.metamodel.conformance import is_conformant
 from repro.metamodel.model import Model
-from repro.solver.bounded import Scope
+from repro.metamodel.serialize import canonical_text
+from repro.metamodel.types import EnumType, PrimitiveType
+from repro.solver.bounded import GroundingContext, Scope, _same_value
+from repro.solver.cnf import Lit
 from repro.solver.maxsat import INCREASING
+
+
+def _value_in_pool_domain(value, attr_type) -> bool:
+    """Whether a fresh grounding's candidate pools can express ``value``.
+
+    Mirrors :class:`~repro.solver.bounded.ValuePools` for a pool built
+    from the tuple itself: enum values must be literals, primitives must
+    be of the declared primitive type (any such value is collected into
+    the active domain)."""
+    if isinstance(attr_type, EnumType):
+        return any(_same_value(value, literal) for literal in attr_type.literals)
+    if attr_type is PrimitiveType.BOOLEAN:
+        return isinstance(value, bool)
+    if attr_type is PrimitiveType.INTEGER:
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, str)
+
+
+@dataclass
+class _Generation:
+    """One grounding generation: encoding, MaxSAT session, oracle, anchor."""
+
+    grounder: object
+    grounding: object
+    maxsat: object
+    oracle: ConsistencyOracle | None
+    frozen: dict[str, Model]
+    #: Fresh-slot object ids per target parameter. Symmetry breaking is
+    #: only sound while the anchoring state leaves every fresh slot
+    #: empty — fresh slots are then interchangeable, so the canonical
+    #: representative costs the same as any isomorph. A state that
+    #: *occupies* a fresh slot (a previously accepted repair evolved
+    #: further) breaks the interchangeability and must solve unchained.
+    fresh: dict[str, frozenset]
+    #: Dead (selector-retired) enumeration blocking clauses accumulated
+    #: on this generation's solver; bounded by a rebuild in
+    #: :meth:`EnforcementSession.enumerate_tuple`.
+    enum_clauses: int = 0
 
 
 class EnforcementSession:
     """Least-change SAT enforcement over one evolving model tuple.
 
     Construct it once per (transformation, targets, metric, scope, mode)
-    and call :meth:`enforce` after every edit; the Echo tool keeps one
-    per transformation binding. ``scope=None`` re-derives the adaptive
-    scope whenever a (re-)grounding happens.
+    — or let :func:`shared_session` do it — and call :meth:`enforce`
+    after every edit; the Echo tool keeps one per transformation
+    binding. ``scope=None`` re-derives the adaptive scope whenever a
+    (re-)grounding happens.
+
+    ``prune``/``cache`` toggle the grounding fast path (binding-space
+    pruning, cross-grounding translation caching); both default on and
+    exist as the naive arms of ablation A7 and the equivalence property
+    tests.
 
     Counters: ``calls`` (enforce calls), ``groundings`` (full grounding
-    builds), ``reuses`` (calls served by patching the cached grounding).
+    builds), ``reuses`` (queries served by patching the cached
+    grounding).
     """
 
     def __init__(
@@ -75,6 +154,8 @@ class EnforcementSession:
         metric: TupleMetric = TupleMetric(),
         scope: Scope | None = None,
         mode: str = INCREASING,
+        prune: bool = True,
+        cache: bool = True,
     ) -> None:
         self.transformation = transformation
         self.targets = (
@@ -90,15 +171,38 @@ class EnforcementSession:
         self.metric = metric
         self.scope = scope
         self.mode = mode
+        self.prune = prune
+        self._context = GroundingContext() if cache else None
         self._params = transformation.param_names()
+        # Retained grounding generations, least-recently-used first. A
+        # tuple that escapes the active grounding may still anchor an
+        # older one (oscillating frozen drifts), in which case the
+        # session switches back instead of re-grounding. Without a
+        # translation context only the latest generation is kept (the
+        # historical behaviour, and the ``cache=False`` ablation arm).
+        self._generations: list[_Generation] = []
+        self._active: _Generation | None = None
         self._grounder = None
         self._grounding = None
         self._maxsat = None
         self._oracle: ConsistencyOracle | None = None
         self._frozen: dict[str, Model] = {}
+        self._fragment_error: Exception | None = None
         self.calls = 0
         self.groundings = 0
         self.reuses = 0
+
+    #: How many grounding generations a cached session retains.
+    GENERATION_LIMIT = 4
+
+    #: Retired enumeration blocking clauses tolerated on one generation's
+    #: solver before :meth:`enumerate_tuple` rebuilds its MaxSAT session.
+    ENUM_CLAUSE_LIMIT = 512
+
+    @property
+    def cache(self) -> bool:
+        """Whether re-grounds reuse one persistent translation context."""
+        return self._context is not None
 
     def compatible(
         self,
@@ -131,44 +235,42 @@ class EnforcementSession:
         exists within the scope (or the distance cap).
         """
         self.calls += 1
-        missing = set(self._params) - set(models)
-        if missing:
-            raise EnforcementError(
-                f"no models bound to parameters {sorted(missing)}"
-            )
-        original = {param: models[param] for param in self._params}
+        original = self._bound(models)
 
-        assumptions = None
-        if self._grounding is not None and self._frozen_matches(original):
-            assumptions = self._grounding.origin_assumptions(original)
+        assumptions = self._activate(original)
         if assumptions is not None:
-            self.reuses += 1
             if self._consistent_fast(original):
                 return self._untouched(original)
         else:
-            # The edit escaped the cached grounding (or none exists yet).
+            # The edit escaped every retained grounding (or none exists yet).
             if self.checker.is_consistent(original):
                 return self._untouched(original)
-            self._reground(original)
-            assumptions = self._grounding.origin_assumptions(original)
+            assumptions = self._ground_fresh(original)
             if assumptions is None:
-                raise EnforcementError(
-                    "model tuple cannot anchor its own grounding; this is a bug"
+                # Unanchorable tuple: serve it standalone, same
+                # guarantees, no shared-context pollution.
+                repaired, cost = self._standalone(
+                    original, max_distance, self.mode
+                )
+                return verify_repair(
+                    self.checker,
+                    SAT_ENGINE,
+                    original,
+                    repaired,
+                    cost,
+                    self.targets,
+                    self.metric,
                 )
 
         result = self._maxsat.solve_optimal(
-            mode=self.mode, max_cost=max_distance, assumptions=assumptions
+            mode=self.mode,
+            max_cost=max_distance,
+            # Selector first: one propagation pass activates the whole
+            # generation before the origin literals pin the distance.
+            assumptions=self._grounding.base_assumptions() + assumptions,
         )
         if not result.satisfiable:
-            raise NoRepairFound(
-                f"no consistent tuple within scope for targets {self.targets}"
-                + (
-                    f" and distance cap {max_distance}"
-                    if max_distance is not None
-                    else ""
-                ),
-                explored_distance=max_distance,
-            )
+            raise self._no_repair(max_distance)
         assert result.assignment is not None
         repaired = self._grounder.decode(result.assignment)
         return verify_repair(
@@ -182,8 +284,289 @@ class EnforcementSession:
         )
 
     # ------------------------------------------------------------------
+    # Shared-grounding primitives (the enforce_sat / enumerate_repairs /
+    # oracle entry points ride these)
+    # ------------------------------------------------------------------
+    def solve_tuple(
+        self,
+        models: Mapping[str, Model],
+        max_distance: int | None = None,
+        mode: str | None = None,
+        symmetry: bool = True,
+    ) -> tuple[dict[str, Model], int]:
+        """The :func:`~repro.enforce.satengine.enforce_sat` primitive.
+
+        One optimum solve over the shared grounding — no hippocratic
+        shortcut, symmetry breaking assumed by default (matching the
+        historical per-call grounding). Returns ``(repaired tuple,
+        weighted distance)`` or raises :class:`NoRepairFound`.
+        """
+        original = self._bound(models)
+        assumptions = self._ensure(original)
+        if assumptions is None:
+            return self._standalone(original, max_distance, mode)
+        symmetry = symmetry and self._symmetry_ok(original)
+        result = self._maxsat.solve_optimal(
+            mode=mode or self.mode,
+            max_cost=max_distance,
+            assumptions=self._grounding.base_assumptions(symmetry=symmetry)
+            + assumptions,
+        )
+        if not result.satisfiable:
+            raise self._no_repair(max_distance)
+        assert result.assignment is not None
+        return self._grounder.decode(result.assignment), result.cost
+
+    def enumerate_tuple(
+        self,
+        models: Mapping[str, Model],
+        limit: int = 64,
+        mode: str = INCREASING,
+        symmetry: bool = True,
+    ) -> tuple[int, list[dict[str, Model]]]:
+        """The :func:`~repro.enforce.satengine.enumerate_repairs` primitive.
+
+        Enumerates the optimum set on the shared grounding. Blocking
+        clauses are guarded by a fresh per-run selector variable, so
+        they bind only this enumeration's solves and the grounding stays
+        reusable for every later query.
+        """
+        original = self._bound(models)
+        assumptions = self._ensure(original)
+        if assumptions is None:
+            from repro.enforce.satengine import enumerate_repairs
+
+            return enumerate_repairs(
+                self.checker,
+                original,
+                self.targets,
+                metric=self.metric,
+                scope=self._scope_for(original),
+                limit=limit,
+                share=False,
+            )
+        if self._active.enum_clauses >= self.ENUM_CLAUSE_LIMIT:
+            # Retired blocking clauses from earlier enumerations are
+            # inert but still cost watch-list traffic; rebuild the
+            # MaxSAT session (the grounding itself is untouched) so a
+            # long-lived shared session stays bounded.
+            self._active.maxsat = self._grounding.session()
+            oracle = ConsistencyOracle(
+                self._grounding,
+                frozenset(self.targets.params),
+                self._active.maxsat.solver,
+            )
+            self._active.oracle = oracle if oracle.complete else None
+            self._active.enum_clauses = 0
+            self._set_active(self._active)
+        symmetry = symmetry and self._symmetry_ok(original)
+        base = self._grounding.base_assumptions(symmetry=symmetry) + assumptions
+        optimum = self._maxsat.solve_optimal(mode=mode, assumptions=base)
+        if not optimum.satisfiable:
+            raise SolverError("enumerate_optimal needs satisfiable hard clauses")
+        tables = self._grounding.atom_tables()
+        assert tables is not None, "shared groundings tabulate their atoms"
+        project: list[int] = []
+        for param in sorted(tables):
+            for entry in tables[param].entries:
+                project.append(entry.alive)
+                for _attr, pairs in entry.attrs:
+                    project.extend(var for _value, var in pairs)
+                for _ref, ref_pairs, _targets in entry.refs:
+                    project.extend(var for _target, var in ref_pairs)
+        project.sort()
+        blocking_selector = self._maxsat.new_var()
+        bound = self._maxsat.at_most(optimum.cost)
+        query = base + bound + [blocking_selector]
+        decoded: dict[str, dict[str, Model]] = {}
+        found = 0
+        while found < limit:
+            result = self._maxsat.solve(query)
+            if not result.satisfiable:
+                break
+            assert result.assignment is not None
+            projection = {v: result.assignment[v] for v in project}
+            found += 1
+            tuple_ = self._grounder.decode(projection)
+            key = "|".join(canonical_text(tuple_[p]) for p in sorted(tuple_))
+            decoded.setdefault(key, tuple_)
+            # Block this projection for this enumeration only.
+            self._maxsat.add_clause(
+                [-blocking_selector]
+                + [-v if value else v for v, value in projection.items()]
+            )
+            self._active.enum_clauses += 1
+        ordered = [decoded[key] for key in sorted(decoded)]
+        return optimum.cost, ordered
+
+    def oracle_for(
+        self, models: Mapping[str, Model]
+    ) -> ConsistencyOracle | None:
+        """The shared grounding's consistency oracle, anchored at ``models``.
+
+        Ensures the cached grounding can express ``models`` (re-grounding
+        if the tuple escaped it), then hands out the oracle attached to
+        the shared solver — or ``None`` when the grounding cannot
+        tabulate its atoms. An unanchorable tuple gets a standalone
+        distance-free oracle (the historical ``try_build`` grounding),
+        which declines the problematic states per query as before.
+        """
+        original = self._bound(models)
+        if self._ensure(original) is None:
+            return ConsistencyOracle.try_build(
+                self.checker,
+                original,
+                self.targets,
+                self._scope_for(original),
+                share=False,
+            )
+        return self._oracle
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _bound(self, models: Mapping[str, Model]) -> dict[str, Model]:
+        missing = set(self._params) - set(models)
+        if missing:
+            raise EnforcementError(
+                f"no models bound to parameters {sorted(missing)}"
+            )
+        return {param: models[param] for param in self._params}
+
+    def _ensure(self, original: Mapping[str, Model]) -> list[Lit] | None:
+        """Origin assumptions for ``original``, re-grounding if needed.
+
+        ``None`` means the tuple cannot anchor a retargetable grounding
+        at all — an undeclared feature, a dangling reference, a value
+        outside its attribute's type domain on a weighted target — and
+        the caller must serve the question standalone (the historical
+        per-call path repairs such tuples just fine; only the
+        origin-variable representation cannot express them). The
+        anchorability pre-check runs *before* re-grounding so
+        unanchorable tuples never pollute the shared context.
+        """
+        assumptions = self._activate(original)
+        if assumptions is not None:
+            return assumptions
+        return self._ground_fresh(original)
+
+    def _ground_fresh(self, original: Mapping[str, Model]) -> list[Lit] | None:
+        """Ground a new generation for ``original`` (no retained
+        generation fits — callers already probed); ``None`` when the
+        tuple is unanchorable."""
+        if not self._anchorable(original):
+            return None
+        self._reground(original)
+        assumptions = self._grounding.origin_assumptions(original)
+        if assumptions is None:
+            raise EnforcementError(
+                "model tuple cannot anchor its own grounding; this is a bug"
+            )
+        return assumptions
+
+    def _anchorable(self, original: Mapping[str, Model]) -> bool:
+        """Whether every weighted target can anchor a fresh grounding of
+        itself — the :func:`~repro.solver.bounded.encode_state` decline
+        rules, decided from the models alone."""
+        for param in sorted(self.targets.params):
+            if self.metric.weight(param) == 0:
+                continue
+            model = original[param]
+            mm = model.metamodel
+            ids = {o.oid for o in model.objects}
+            classes = {o.oid: o.cls for o in model.objects}
+            for obj in model.objects:
+                if not mm.has_class(obj.cls):
+                    return False
+                attrs = mm.all_attributes(obj.cls)
+                refs = mm.all_references(obj.cls)
+                for name, value in obj.attrs:
+                    attr = attrs.get(name)
+                    if attr is None or not _value_in_pool_domain(
+                        value, attr.type
+                    ):
+                        return False
+                for name, _targets in obj.refs:
+                    ref = refs.get(name)
+                    if ref is None:
+                        return False
+                    for target in obj.targets(name):
+                        if target not in ids or not mm.is_subclass(
+                            classes[target], ref.target
+                        ):
+                            return False
+        return True
+
+    def _scope_for(self, original: Mapping[str, Model]) -> Scope:
+        return self.scope if self.scope is not None else adaptive_scope(original)
+
+    def _standalone(self, original, max_distance, mode):
+        """The historical per-call path for unanchorable tuples."""
+        from repro.enforce.satengine import enforce_sat
+
+        return enforce_sat(
+            self.checker,
+            original,
+            self.targets,
+            metric=self.metric,
+            scope=self._scope_for(original),
+            mode=mode or self.mode,
+            max_distance=max_distance,
+            share=False,
+        )
+
+    def _activate(self, original: Mapping[str, Model]) -> list[Lit] | None:
+        """Origin assumptions from the first retained generation able to
+        express ``original`` (most recent first), or ``None``.
+
+        A hit makes that generation the active one — oscillating frozen
+        drifts switch between retained groundings instead of paying a
+        re-ground per flip."""
+        for generation in reversed(self._generations):
+            if not self._frozen_matches(generation.frozen, original):
+                continue
+            assumptions = generation.grounding.origin_assumptions(original)
+            if assumptions is None:
+                continue
+            self.reuses += 1
+            if generation is not self._generations[-1]:
+                self._generations.remove(generation)
+                self._generations.append(generation)
+            self._set_active(generation)
+            return assumptions
+        return None
+
+    def _set_active(self, generation: _Generation) -> None:
+        self._active = generation
+        self._grounder = generation.grounder
+        self._grounding = generation.grounding
+        self._maxsat = generation.maxsat
+        self._oracle = generation.oracle
+        self._frozen = generation.frozen
+
+    def _symmetry_ok(self, original: Mapping[str, Model]) -> bool:
+        """Whether the active generation may assume its symmetry chain.
+
+        Sound only while ``original`` leaves every fresh slot empty —
+        see :class:`_Generation.fresh`."""
+        for param, fresh in self._active.fresh.items():
+            if fresh and not fresh.isdisjoint(original[param].object_ids()):
+                return False
+        return True
+
+    def _no_repair(self, max_distance: int | None) -> NoRepairFound:
+        scope = self.scope if self.scope is not None else "adaptive scope"
+        return NoRepairFound(
+            f"no consistent tuple within scope {scope} "
+            f"for targets {self.targets}"
+            + (
+                f" and distance cap {max_distance}"
+                if max_distance is not None
+                else ""
+            ),
+            explored_distance=max_distance,
+        )
+
     def _untouched(self, original: Mapping[str, Model]) -> Repair:
         return Repair(
             models=dict(original),
@@ -218,15 +601,30 @@ class EnforcementSession:
                 return False
         return self.checker.is_consistent(original)
 
-    def _frozen_matches(self, original: Mapping[str, Model]) -> bool:
-        for param, grounded in self._frozen.items():
+    def _frozen_matches(
+        self, frozen: Mapping[str, Model], original: Mapping[str, Model]
+    ) -> bool:
+        for param, grounded in frozen.items():
             current = original[param]
             if current is not grounded and current != grounded:
                 return False
         return True
 
     def _reground(self, models: Mapping[str, Model]) -> None:
-        """Build grounding, MaxSAT session and oracle on one solver."""
+        """Build grounding, MaxSAT session and oracle on one solver.
+
+        With ``cache=True`` the grounder writes onto this session's
+        persistent :class:`~repro.solver.bounded.GroundingContext`:
+        re-grounds reuse every previously translated sub-formula and
+        totalizer, and symmetry-breaking chains are emitted
+        selector-guarded so optimum solves can assume them while oracle
+        queries must not. Without a context the historical standalone
+        grounding (no symmetry, plain assertions) is built.
+        """
+        if self._fragment_error is not None:
+            # This question shape can never ground; don't rebuild (and,
+            # on a shared context, re-leak) anything per call.
+            raise self._fragment_error
         scope = self.scope if self.scope is not None else adaptive_scope(models)
         grounder = _ground(
             self.checker,
@@ -234,20 +632,110 @@ class EnforcementSession:
             self.targets,
             self.metric,
             scope,
-            symmetry_breaking=False,
+            symmetry_breaking=self._context is not None,
             retarget=True,
+            prune=self.prune,
+            context=self._context,
         )
-        grounding = grounder.ground()
-        self._grounder = grounder
-        self._grounding = grounding
-        self._maxsat = grounding.session()
+        try:
+            grounding = grounder.ground()
+        except SatFragmentError as error:
+            self._fragment_error = error
+            raise
+        maxsat = grounding.session()
         oracle = ConsistencyOracle(
-            grounding, frozenset(self.targets.params), self._maxsat.solver
+            grounding, frozenset(self.targets.params), maxsat.solver
         )
-        self._oracle = oracle if oracle.complete else None
-        self._frozen = {
-            param: gm.model
-            for param, gm in grounding.ground_models.items()
-            if not gm.symbolic
-        }
+        generation = _Generation(
+            grounder=grounder,
+            grounding=grounding,
+            maxsat=maxsat,
+            oracle=oracle if oracle.complete else None,
+            frozen={
+                param: gm.model
+                for param, gm in grounding.ground_models.items()
+                if not gm.symbolic
+            },
+            fresh={
+                param: frozenset(
+                    oid for oid in gm.universe if gm.is_fresh(oid)
+                )
+                for param, gm in grounding.ground_models.items()
+                if gm.symbolic
+            },
+        )
+        limit = self.GENERATION_LIMIT if self._context is not None else 1
+        self._generations.append(generation)
+        del self._generations[:-limit]
+        self._set_active(generation)
         self.groundings += 1
+
+
+#: The small grounding cache of the session/tool layer: live sessions
+#: keyed by question shape, LRU-evicted. Sized so a workspace's
+#: realistic mix of transformations x target directions x modes stays
+#: resident — an evicted shape is not wrong, but a caller that retained
+#: the old session (Echo does) and a fresh cache entry would each hold a
+#: full grounding, quietly doubling work for that shape.
+SHARED_SESSION_LIMIT = 32
+
+_shared_sessions: "OrderedDict[tuple, tuple[object, EnforcementSession]]" = (
+    OrderedDict()
+)
+
+
+def shared_session(
+    transformation,
+    targets: TargetSelection | Iterable[str],
+    semantics: str = EXTENDED,
+    metric: TupleMetric = TupleMetric(),
+    scope: Scope | None = None,
+    mode: str = INCREASING,
+) -> EnforcementSession:
+    """The cached :class:`EnforcementSession` for this question shape.
+
+    Keyed by (transformation identity, targets, semantics, metric
+    weights, scope, mode): every SAT-fragment entry point —
+    :func:`~repro.enforce.satengine.enforce_sat`,
+    :func:`~repro.enforce.satengine.enumerate_repairs`,
+    :meth:`~repro.enforce.satengine.ConsistencyOracle.try_build`, the
+    Echo tool — resolves the same shape to the same session, and with it
+    to one shared retargetable grounding and one incremental solver.
+    Transformation identity (not equality) keys the cache so tests and
+    benchmarks that build a fresh transformation get a deterministic
+    fresh session; the cached session keeps the transformation alive, so
+    ids cannot be recycled while an entry lives.
+    """
+    selection = (
+        targets if isinstance(targets, TargetSelection) else TargetSelection(targets)
+    )
+    key = (
+        id(transformation),
+        frozenset(selection.params),
+        semantics,
+        tuple(sorted(metric.weights.items())),
+        scope,
+        mode,
+    )
+    entry = _shared_sessions.get(key)
+    if entry is not None and entry[0] is transformation:
+        _shared_sessions.move_to_end(key)
+        return entry[1]
+    session = EnforcementSession(
+        transformation,
+        selection,
+        semantics=semantics,
+        metric=metric,
+        scope=scope,
+        mode=mode,
+    )
+    _shared_sessions[key] = (transformation, session)
+    _shared_sessions.move_to_end(key)
+    while len(_shared_sessions) > SHARED_SESSION_LIMIT:
+        _shared_sessions.popitem(last=False)
+    return session
+
+
+def clear_shared_sessions() -> None:
+    """Drop every cached shared session (test isolation hook)."""
+    _shared_sessions.clear()

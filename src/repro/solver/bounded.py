@@ -21,12 +21,58 @@ Supported fragment: flat templates whose properties equate *attributes*
 to variables or literals, with no when/where clauses (see
 :class:`~repro.errors.SatFragmentError`). The paper's ``MF``/``OF``
 relations live comfortably inside it.
+
+Pruning contract
+----------------
+
+``Grounder(prune=True)`` (the default) never enumerates a symbolic
+binding whose guard a frozen model already refutes. Frozen (non-target)
+source patterns are *matched* against their model — attribute-to-literal
+equations filter the object pool, attribute-to-variable equations pin
+the variable to the object's actual value — and only the joined matches
+extend into the symbolic product, so the enumerated space shrinks from
+``|universe|^k x |pools|^m`` to the type- and guard-feasible subset.
+Frozen *target* patterns short-circuit the conclusion disjunction to a
+constant by direct matching. The pruned grounder asserts exactly the
+same implications (with the same multiplicity) as ``prune=False``: the
+skipped bindings are precisely those whose guard constant-folds to
+``PFALSE``, which the naive loop enumerates only to discard.
+``Grounder.bindings_enumerated`` counts candidate bindings process-wide
+so ablation A7 and the CI gate can compare arms.
+
+Caching contract
+----------------
+
+A :class:`GroundingContext` carries CNF, variable pool, Tseitin
+structural-hash cache and totalizer cache *across* groundings of one
+question shape (transformation, targets, metamodels, scope, weights).
+Re-grounding onto a context only pays for sub-formulas, atoms and
+counters the context has never seen; everything else is a cache hit.
+Soundness is split by clause kind:
+
+* **definitional and monotone clauses** (Tseitin definitions, totalizer
+  counters, value-implies-alive, reference-implies-alive, at-most
+  bounds, the retargetable ``diff <-> atom XOR origin`` wiring) are
+  valid for every generation and are emitted once, deduplicated;
+* **generation-dependent assertions** (consistency implications,
+  mandatory-attribute completeness, reference lower bounds) quantify
+  over the *current* universe/pools and are guarded by a per-generation
+  **selector** literal — solvers must assume
+  :meth:`GroundingResult.base_assumptions`, and a re-ground retires the
+  previous generation by switching selectors;
+* **symmetry-breaking chains** are guarded by a separate per-generation
+  selector (``GroundingResult.symmetry``) so optimum searches can
+  assume them while oracle-style queries — which pin arbitrary
+  in-universe states — must not.
+
+Without a context the grounder behaves exactly as before: private CNF,
+plain assertions, no selectors.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from collections.abc import Mapping, Sequence
 
 from repro.deps.dependency import Dependency
@@ -41,7 +87,7 @@ from repro.metamodel.types import (
     Value,
 )
 from repro.qvtr.ast import Domain, Relation, Transformation
-from repro.solver.card import Totalizer, at_most_one_pairwise
+from repro.solver.card import Totalizer, TotalizerCache, at_most_one_pairwise
 from repro.solver.cnf import CNF, Lit, VarPool
 from repro.solver.maxsat import MaxSatSession, SoftClause
 from repro.solver.tseitin import (
@@ -52,7 +98,6 @@ from repro.solver.tseitin import (
     Tseitin,
     pand,
     pimplies,
-    pnot,
     por,
 )
 
@@ -153,18 +198,27 @@ class GroundModel:
                     universe.append(oid)
                     self._class_of[oid] = class_name
         self.universe = tuple(sorted(universe))
+        self._objects_of: dict[str, list[str]] = {}
 
     # ------------------------------------------------------------------
     # Universe queries
     # ------------------------------------------------------------------
     def objects_of(self, class_name: str) -> list[str]:
-        """Universe object ids whose class conforms to ``class_name``."""
-        return [
-            oid
-            for oid in self.universe
-            if self.metamodel.has_class(self._class_of[oid])
-            and self.metamodel.is_subclass(self._class_of[oid], class_name)
-        ]
+        """Universe object ids whose class conforms to ``class_name``.
+
+        Memoised: the universe is immutable and the grounding walks ask
+        for the same classes thousands of times.
+        """
+        cached = self._objects_of.get(class_name)
+        if cached is None:
+            cached = [
+                oid
+                for oid in self.universe
+                if self.metamodel.has_class(self._class_of[oid])
+                and self.metamodel.is_subclass(self._class_of[oid], class_name)
+            ]
+            self._objects_of[class_name] = cached
+        return cached
 
     def class_of(self, oid: str) -> str:
         return self._class_of[oid]
@@ -209,6 +263,177 @@ def _same_value(actual: Value, value: Value) -> bool:
     return actual == value and isinstance(actual, bool) == isinstance(value, bool)
 
 
+class GroundingContext:
+    """Shared translation state across groundings of one question shape.
+
+    Holds the CNF, variable pool, Tseitin structural-hash cache,
+    totalizer cache and a clause-dedup set, so a re-ground after an
+    out-of-universe edit only encodes genuinely new sub-formulas (see
+    the module docstring's caching contract). One context must only
+    serve groundings of one (transformation, targets, metamodels,
+    scope, weights) shape — atom names must keep meaning the same thing.
+    """
+
+    def __init__(self) -> None:
+        self.cnf = CNF()
+        self.pool = VarPool(self.cnf)
+        self.tseitin = Tseitin(self.cnf, self.pool)
+        self.totalizers = TotalizerCache(self.cnf)
+        self.generations = 0
+        self._seen: set[tuple[Lit, ...]] = set()
+
+    def new_selector(self) -> Lit:
+        return self.cnf.new_var()
+
+    def begin_generation(self) -> Lit:
+        """Start a grounding generation; returns its selector literal."""
+        self.generations += 1
+        return self.new_selector()
+
+    def add_unique(self, clause: Sequence[Lit]) -> None:
+        """Add a generation-independent clause, deduplicated."""
+        key = tuple(sorted(clause))
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.cnf.add_clause(clause)
+
+
+@dataclass(frozen=True)
+class AtomEntry:
+    """One universe object's variables, pretabulated for state encoding."""
+
+    oid: str
+    cls: str
+    alive: int
+    attr_names: frozenset[str]
+    ref_names: frozenset[str]
+    attrs: tuple[tuple[str, tuple[tuple[Value, int], ...]], ...]
+    refs: tuple[tuple[str, tuple[tuple[str, int], ...], frozenset[str]], ...]
+
+
+@dataclass(frozen=True)
+class StateTable:
+    """One parameter's atom (or origin) variables over its universe."""
+
+    param: str
+    universe: frozenset[str]
+    entries: tuple[AtomEntry, ...]
+
+
+def _build_state_tables(
+    grounding: "GroundingResult", params: Sequence[str], prefix: tuple
+) -> dict[str, StateTable] | None:
+    """Tabulate per-object variables for ``params``; None if any expected
+    variable is missing from the grounding's pool."""
+    pool = grounding.pool
+    tables: dict[str, StateTable] = {}
+    for param in params:
+        gm = grounding.ground_models[param]
+        mm = gm.metamodel
+        entries: list[AtomEntry] = []
+        for oid in gm.universe:
+            cls = gm.class_of(oid)
+            name = prefix + ("obj", param, oid)
+            if not pool.has(name):
+                return None
+            alive = pool.var(name)
+            attr_entries = []
+            for attr_name, attr in sorted(mm.all_attributes(cls).items()):
+                pairs = []
+                for value in gm.pools.candidates(attr.type):
+                    vname = prefix + (
+                        "attr",
+                        param,
+                        oid,
+                        attr_name,
+                        _value_key(value),
+                    )
+                    if not pool.has(vname):
+                        return None
+                    pairs.append((value, pool.var(vname)))
+                attr_entries.append((attr_name, tuple(pairs)))
+            ref_entries = []
+            for ref_name, ref in sorted(mm.all_references(cls).items()):
+                pairs = []
+                for target in gm.objects_of(ref.target):
+                    rname = prefix + ("ref", param, oid, ref_name, target)
+                    if not pool.has(rname):
+                        return None
+                    pairs.append((target, pool.var(rname)))
+                ref_entries.append(
+                    (ref_name, tuple(pairs), frozenset(t for t, _ in pairs))
+                )
+            entries.append(
+                AtomEntry(
+                    oid,
+                    cls,
+                    alive,
+                    frozenset(n for n, _ in attr_entries),
+                    frozenset(n for n, _, _ in ref_entries),
+                    tuple(attr_entries),
+                    tuple(ref_entries),
+                )
+            )
+        tables[param] = StateTable(param, frozenset(gm.universe), tuple(entries))
+    return tables
+
+
+def encode_state(
+    tables: Mapping[str, StateTable],
+    params: Sequence[str],
+    state: Mapping[str, Model],
+) -> list[Lit] | None:
+    """Literals fixing every tabulated variable to ``state``'s atom values.
+
+    The single state-encoding walk shared by
+    :meth:`GroundingResult.origin_assumptions` (over origin variables)
+    and :class:`repro.enforce.satengine.ConsistencyOracle` (over atom
+    variables), so their decline rules stay in lockstep by construction.
+    Returns ``None`` when ``state`` cannot be expressed over the tables:
+    an object outside the bounded universe, a class mismatch, an
+    undeclared feature, an attribute value outside the candidate pools,
+    or a reference target outside the universe — the caller must
+    re-ground (or fall back to the real checker).
+    """
+    lits: list[Lit] = []
+    for param in params:
+        table = tables[param]
+        model = state[param]
+        universe = table.universe
+        for oid in model.object_ids():
+            if oid not in universe:
+                return None  # state escaped the bounded universe
+        for entry in table.entries:
+            obj = model.get_or_none(entry.oid)
+            if obj is not None and obj.cls != entry.cls:
+                return None
+            lits.append(entry.alive if obj is not None else -entry.alive)
+            if obj is not None:
+                # Undeclared features have no tabulated variables.
+                if any(a not in entry.attr_names for a, _ in obj.attrs):
+                    return None
+                if any(r not in entry.ref_names for r, _ in obj.refs):
+                    return None
+            for attr_name, pairs in entry.attrs:
+                current = obj.attr_or(attr_name) if obj is not None else None
+                matched = current is None
+                for value, var in pairs:
+                    same = current is not None and _same_value(current, value)
+                    if same:
+                        matched = True
+                    lits.append(var if same else -var)
+                if not matched:
+                    return None  # value outside the candidate pool
+            for ref_name, pairs, target_set in entry.refs:
+                had = set(obj.targets(ref_name)) if obj is not None else set()
+                if not had <= target_set:
+                    return None  # reference target outside the universe
+                for target, var in pairs:
+                    lits.append(var if target in had else -var)
+    return lits
+
+
 @dataclass(frozen=True)
 class GroundingResult:
     """Everything a solver call needs, plus the decode hooks.
@@ -223,6 +448,12 @@ class GroundingResult:
     enforcement session follow an *evolving* model tuple on one
     encoding and one learnt-clause-laden solver, instead of re-grounding
     after every edit.
+
+    ``selector``/``symmetry`` are only set for context-backed groundings
+    (see the module docstring): every solve over such a grounding must
+    assume :meth:`base_assumptions`, opting into the symmetry-breaking
+    chain only for optimum searches — never for oracle queries that pin
+    arbitrary in-universe states.
     """
 
     cnf: CNF
@@ -230,6 +461,9 @@ class GroundingResult:
     soft: tuple[SoftClause, ...]
     ground_models: Mapping[str, GroundModel]
     origins: frozenset[str] = frozenset()
+    selector: Lit | None = None
+    symmetry: Lit | None = None
+    _tables: dict = field(default_factory=dict, compare=False, repr=False)
 
     def session(
         self, incremental: bool = True, solver_kwargs: dict | None = None
@@ -239,7 +473,8 @@ class GroundingResult:
         The relaxation/totalizer encoding is translated exactly once and
         one incremental solver serves every subsequent query (distance
         bounds, repair enumeration blocking clauses), instead of the
-        historical full re-translation per SAT call.
+        historical full re-translation per SAT call. On context-backed
+        groundings every query must include :meth:`base_assumptions`.
         """
         return MaxSatSession(
             self.cnf,
@@ -248,83 +483,49 @@ class GroundingResult:
             solver_kwargs=solver_kwargs,
         )
 
+    def base_assumptions(self, symmetry: bool = False) -> list[Lit]:
+        """Assumptions activating this generation's guarded constraints."""
+        lits: list[Lit] = []
+        if self.selector is not None:
+            lits.append(self.selector)
+        if symmetry and self.symmetry is not None:
+            lits.append(self.symmetry)
+        return lits
+
+    def atom_tables(self) -> dict[str, StateTable] | None:
+        """Per-target atom-variable tables (built once, then cached)."""
+        if "atom" not in self._tables:
+            symbolic = sorted(
+                param for param, gm in self.ground_models.items() if gm.symbolic
+            )
+            self._tables["atom"] = _build_state_tables(self, symbolic, ())
+        return self._tables["atom"]
+
+    def origin_tables(self) -> dict[str, StateTable] | None:
+        """Per-origin origin-variable tables (built once, then cached)."""
+        if "origin" not in self._tables:
+            self._tables["origin"] = _build_state_tables(
+                self, sorted(self.origins), ("origin",)
+            )
+        return self._tables["origin"]
+
     def origin_assumptions(
         self, state: Mapping[str, Model]
     ) -> list[Lit] | None:
         """Assumption literals pinning the distance origin to ``state``.
 
         Only meaningful on retargetable groundings. Returns ``None``
-        when ``state`` cannot serve as an origin of this grounding — an
-        object outside the bounded universe, a class mismatch, an
-        attribute value outside the candidate pools, a reference target
-        outside the universe, or an undeclared feature — in which case
-        the caller must re-ground. The walk mirrors the iteration order
-        of the distance grounding exactly, so every named origin
-        variable already exists; its decline rules must stay in
-        lockstep with ``ConsistencyOracle._assumptions_for``
-        (:mod:`repro.enforce.satengine`), which encodes the same state
-        over the atom variables instead of the origin variables.
+        when ``state`` cannot serve as an origin of this grounding (see
+        :func:`encode_state` for the decline rules, which are shared
+        with ``ConsistencyOracle`` by construction) — in which case the
+        caller must re-ground. The tables are precomputed once per
+        grounding, so per-solve retargeting is a table walk with no
+        pool lookups.
         """
-        lits: list[Lit] = []
-        pool = self.pool
-        for param in sorted(self.origins):
-            gm = self.ground_models[param]
-            model = state[param]
-            universe = set(gm.universe)
-            for oid in model.object_ids():
-                if oid not in universe:
-                    return None
-            mm = gm.metamodel
-            for oid in gm.universe:
-                cls = gm.class_of(oid)
-                obj = model.get_or_none(oid)
-                if obj is not None and obj.cls != cls:
-                    return None
-                attrs = mm.all_attributes(cls)
-                refs = mm.all_references(cls)
-                if obj is not None:
-                    # Undeclared features have no atom variables.
-                    if any(a not in attrs for a, _ in obj.attrs):
-                        return None
-                    if any(r not in refs for r, _ in obj.refs):
-                        return None
-                name = ("origin", "obj", param, oid)
-                if not pool.has(name):
-                    return None
-                lits.append(pool.var(name) if obj is not None else -pool.var(name))
-                for attr_name, attr in sorted(attrs.items()):
-                    current = obj.attr_or(attr_name) if obj is not None else None
-                    matched = current is None
-                    for value in gm.pools.candidates(attr.type):
-                        same = current is not None and _same_value(current, value)
-                        if same:
-                            matched = True
-                        name = (
-                            "origin",
-                            "attr",
-                            param,
-                            oid,
-                            attr_name,
-                            _value_key(value),
-                        )
-                        if not pool.has(name):
-                            return None
-                        lits.append(pool.var(name) if same else -pool.var(name))
-                    if not matched:
-                        return None  # value outside the candidate pool
-                for ref_name, ref in sorted(refs.items()):
-                    targets = gm.objects_of(ref.target)
-                    had = set(obj.targets(ref_name)) if obj is not None else set()
-                    if not had <= set(targets):
-                        return None  # target outside the universe
-                    for target in targets:
-                        name = ("origin", "ref", param, oid, ref_name, target)
-                        if not pool.has(name):
-                            return None
-                        lits.append(
-                            pool.var(name) if target in had else -pool.var(name)
-                        )
-        return lits
+        tables = self.origin_tables()
+        if tables is None:
+            return None
+        return encode_state(tables, sorted(self.origins), state)
 
 
 class Grounder:
@@ -333,6 +534,12 @@ class Grounder:
     #: Process-wide count of :meth:`ground` runs; the translation-count
     #: tests read deltas to pin "one grounding per enforcement question".
     translations = 0
+
+    #: Process-wide count of candidate bindings enumerated while
+    #: grounding directional checks (source products and conclusion
+    #: disjuncts). Ablation A7 and the CI gate read deltas to assert the
+    #: pruned arm never enumerates more than the naive arm.
+    bindings_enumerated = 0
 
     def __init__(
         self,
@@ -344,6 +551,8 @@ class Grounder:
         weights: Mapping[str, int] | None = None,
         symmetry_breaking: bool = True,
         retarget: bool = False,
+        prune: bool = True,
+        context: GroundingContext | None = None,
     ) -> None:
         self.transformation = transformation
         self.models = dict(models)
@@ -356,11 +565,24 @@ class Grounder:
         self.weights = dict(weights or {})
         self.symmetry_breaking = symmetry_breaking
         self.retarget = retarget
+        self.prune = prune
         self.origin_params: set[str] = set()
         self.pools = ValuePools(models, scope)
-        self.cnf = CNF()
-        self.var_pool = VarPool(self.cnf)
-        self.tseitin = Tseitin(self.cnf, self.var_pool)
+        self._context = context
+        if context is not None:
+            self.cnf = context.cnf
+            self.var_pool = context.pool
+            self.tseitin = context.tseitin
+            self.selector: Lit | None = context.begin_generation()
+            self.symmetry_selector: Lit | None = (
+                context.new_selector() if symmetry_breaking else None
+            )
+        else:
+            self.cnf = CNF()
+            self.var_pool = VarPool(self.cnf)
+            self.tseitin = Tseitin(self.cnf, self.var_pool)
+            self.selector = None
+            self.symmetry_selector = None
         self.soft: list[SoftClause] = []
         self.ground_models = {
             param: GroundModel(
@@ -374,10 +596,37 @@ class Grounder:
         }
 
     # ------------------------------------------------------------------
+    # Clause emission (see the module docstring's caching contract)
+    # ------------------------------------------------------------------
+    def _assert_hard(self, clause: Sequence[Lit]) -> None:
+        """A generation-independent clause (deduplicated under a context)."""
+        if self._context is not None:
+            self._context.add_unique(clause)
+        else:
+            self.cnf.add_clause(clause)
+
+    def _assert_scoped(self, clause: Sequence[Lit]) -> None:
+        """A generation-dependent assertion (selector-guarded under a context)."""
+        if self.selector is not None:
+            self.cnf.add_clause([-self.selector] + list(clause))
+        else:
+            self.cnf.add_clause(clause)
+
+    def _totalizer(self, literals: Sequence[Lit]) -> Totalizer:
+        if self._context is not None:
+            return self._context.totalizers.get(literals)
+        return Totalizer(self.cnf, literals)
+
+    # ------------------------------------------------------------------
     # Top level
     # ------------------------------------------------------------------
     def ground(self) -> GroundingResult:
         """Produce the CNF, soft clauses and decode hooks."""
+        # Validate the whole fragment up front: a SatFragmentError must
+        # not leave a partially emitted generation behind on a shared
+        # (long-lived) GroundingContext.
+        for relation, _dependency in self.directions:
+            _require_fragment(relation)
         Grounder.translations += 1
         for param in sorted(self.targets):
             self._ground_structure(self.ground_models[param])
@@ -390,6 +639,8 @@ class Grounder:
             tuple(self.soft),
             dict(self.ground_models),
             frozenset(self.origin_params),
+            selector=self.selector,
+            symmetry=self.symmetry_selector,
         )
 
     # ------------------------------------------------------------------
@@ -412,39 +663,50 @@ class Grounder:
                 ]
                 # At most one value, value implies alive, alive implies a
                 # value for mandatory attributes.
-                at_most_one_pairwise(self.cnf, value_lits)
+                at_most_one_pairwise(self.cnf, value_lits, emit=self._assert_hard)
                 for lit in value_lits:
-                    self.cnf.add_clause([-lit, alive])
+                    self._assert_hard([-lit, alive])
                 if not attr.optional:
-                    self.cnf.add_clause([-alive] + value_lits)
+                    # Completeness over the *current* pool: generation-scoped.
+                    self._assert_scoped([-alive] + value_lits)
             for ref_name, ref in sorted(mm.all_references(cls).items()):
                 target_lits = []
                 for target in gm.objects_of(ref.target):
                     lit = self.tseitin.literal(gm.ref_has(oid, ref_name, target))
                     target_lits.append(lit)
-                    self.cnf.add_clause([-lit, alive])
-                    self.cnf.add_clause(
+                    self._assert_hard([-lit, alive])
+                    self._assert_hard(
                         [-lit, self.tseitin.literal(gm.alive(target))]
                     )
                 if ref.lower >= 1 and target_lits:
+                    # Lower bounds quantify over the current target set:
+                    # generation-scoped.
                     if ref.lower == 1:
-                        self.cnf.add_clause([-alive] + target_lits)
+                        self._assert_scoped([-alive] + target_lits)
                     else:
-                        totalizer = Totalizer(self.cnf, target_lits)
+                        totalizer = self._totalizer(target_lits)
                         for assumption in totalizer.at_least_assumption(ref.lower):
-                            self.cnf.add_clause([-alive, assumption])
+                            self._assert_scoped([-alive, assumption])
                 elif ref.lower >= 1:
                     # No candidate targets at all: object cannot be alive.
-                    self.cnf.add_clause([-alive])
+                    self._assert_scoped([-alive])
                 if ref.upper != UNBOUNDED and target_lits:
+                    # Upper bounds over a subset stay valid when the
+                    # universe grows: generation-independent.
                     if ref.upper == 1:
-                        at_most_one_pairwise(self.cnf, target_lits)
+                        at_most_one_pairwise(
+                            self.cnf, target_lits, emit=self._assert_hard
+                        )
                     elif ref.upper < len(target_lits):
-                        totalizer = Totalizer(self.cnf, target_lits)
-                        totalizer.assert_at_most(ref.upper)
+                        totalizer = self._totalizer(target_lits)
+                        for lit in totalizer.at_most_assumption(ref.upper):
+                            self._assert_hard([lit])
         # Symmetry breaking: the i-th fresh object of a class may only be
-        # alive if the (i-1)-th is.
-        if not self.symmetry_breaking:
+        # alive if the (i-1)-th is. Context-backed groundings guard the
+        # chain with a selector so oracle queries can opt out.
+        if self._context is None and not self.symmetry_breaking:
+            return
+        if self._context is not None and self.symmetry_selector is None:
             return
         for class_name in mm.concrete_classes():
             previous = None
@@ -454,7 +716,12 @@ class Grounder:
                     continue
                 current = self.tseitin.literal(gm.alive(oid))
                 if previous is not None:
-                    self.cnf.add_clause([-current, previous])
+                    if self.symmetry_selector is not None:
+                        self.cnf.add_clause(
+                            [-self.symmetry_selector, -current, previous]
+                        )
+                    else:
+                        self.cnf.add_clause([-current, previous])
                 previous = current
 
     # ------------------------------------------------------------------
@@ -510,10 +777,10 @@ class Grounder:
         assert isinstance(formula, PVar), "distance atoms are symbolic"
         origin = self.var_pool.var(("origin",) + formula.name)
         diff = self.var_pool.var(("diff",) + formula.name)
-        self.cnf.add_clause([-diff, lit, origin])
-        self.cnf.add_clause([-diff, -lit, -origin])
-        self.cnf.add_clause([diff, -lit, origin])
-        self.cnf.add_clause([diff, lit, -origin])
+        self._assert_hard([-diff, lit, origin])
+        self._assert_hard([-diff, -lit, -origin])
+        self._assert_hard([diff, -lit, origin])
+        self._assert_hard([diff, lit, -origin])
         self.soft.append(SoftClause((-diff,), weight))
 
     # ------------------------------------------------------------------
@@ -527,6 +794,85 @@ class Grounder:
         target_domain = relation.domain_for(dependency.target)
         var_pools = self._pattern_var_pools(source_domains + [target_domain])
         source_vars = self._vars_of(source_domains)
+        if not self.prune:
+            self._ground_direction_naive(
+                source_domains, target_domain, var_pools, source_vars
+            )
+            return
+        frozen_domains = [
+            d
+            for d in source_domains
+            if not self.ground_models[d.model_param].symbolic
+        ]
+        symbolic_domains = [
+            d for d in source_domains if self.ground_models[d.model_param].symbolic
+        ]
+        match_lists = [
+            self._frozen_domain_matches(d, var_pools) for d in frozen_domains
+        ]
+        symbolic_root_spaces = [
+            self.ground_models[d.model_param].objects_of(d.template.class_name)
+            for d in symbolic_domains
+        ]
+        # The conclusion depends only on the values bound to the target
+        # pattern's variables (free ones are enumerated inside), so
+        # bindings differing elsewhere share one memoised formula.
+        target_vars = [
+            p.expr.name
+            for p in target_domain.template.properties
+            if isinstance(p.expr, e.Var)
+        ]
+        conclusion_memo: dict[tuple, PFormula] = {}
+        _unbound = object()
+        for matches in itertools.product(*match_lists):
+            binding: dict[str, Value] = {}
+            joinable = True
+            for _root, partial in matches:
+                for var, value in partial.items():
+                    if var in binding:
+                        if not _same_value(binding[var], value):
+                            joinable = False
+                            break
+                    else:
+                        binding[var] = value
+                if not joinable:
+                    break
+            if not joinable:
+                continue
+            free = [v for v in source_vars if v not in binding]
+            for roots in itertools.product(*symbolic_root_spaces):
+                for values in itertools.product(*(var_pools[v] for v in free)):
+                    Grounder.bindings_enumerated += 1
+                    full = dict(binding)
+                    full.update(zip(free, values))
+                    # Frozen guard parts are PTRUE by construction of the
+                    # matches; only symbolic patterns remain in the guard.
+                    guard = pand(
+                        self._template_formula(domain, root, full)
+                        for domain, root in zip(symbolic_domains, roots)
+                    )
+                    memo_key = tuple(
+                        _value_key(full[v]) if v in full else _unbound
+                        for v in target_vars
+                    )
+                    conclusion = conclusion_memo.get(memo_key)
+                    if conclusion is None:
+                        conclusion = self._target_formula(
+                            target_domain, full, var_pools
+                        )
+                        conclusion_memo[memo_key] = conclusion
+                    self.tseitin.assert_formula(
+                        pimplies(guard, conclusion), self.selector
+                    )
+
+    def _ground_direction_naive(
+        self,
+        source_domains: Sequence[Domain],
+        target_domain: Domain,
+        var_pools: Mapping[str, tuple[Value, ...]],
+        source_vars: Sequence[str],
+    ) -> None:
+        """The unpruned product enumeration (ablation arm of A7)."""
         root_spaces = [
             self.ground_models[d.model_param].objects_of(d.template.class_name)
             for d in source_domains
@@ -534,6 +880,7 @@ class Grounder:
         value_spaces = [var_pools[v] for v in source_vars]
         for roots in itertools.product(*root_spaces):
             for values in itertools.product(*value_spaces):
+                Grounder.bindings_enumerated += 1
                 binding = dict(zip(source_vars, values))
                 guard_parts = []
                 for domain, root in zip(source_domains, roots):
@@ -546,7 +893,55 @@ class Grounder:
                 conclusion = self._target_formula(
                     target_domain, binding, var_pools
                 )
-                self.tseitin.assert_formula(pimplies(guard, conclusion))
+                self.tseitin.assert_formula(
+                    pimplies(guard, conclusion), self.selector
+                )
+
+    def _frozen_domain_matches(
+        self, domain: Domain, var_pools: Mapping[str, tuple[Value, ...]]
+    ) -> list[tuple[str, dict[str, Value]]]:
+        """``(root, partial binding)`` pairs a frozen pattern matches.
+
+        Attribute-to-literal equations filter the object pool directly;
+        attribute-to-variable equations pin the variable to the object's
+        actual value — declined when that value falls outside the
+        variable's candidate pool, because the naive enumeration would
+        never propose it either.
+        """
+        gm = self.ground_models[domain.model_param]
+        matches: list[tuple[str, dict[str, Value]]] = []
+        for oid in gm.objects_of(domain.template.class_name):
+            obj = gm.model.get_or_none(oid)
+            if obj is None:
+                continue
+            partial: dict[str, Value] = {}
+            ok = True
+            for prop in domain.template.properties:
+                actual = obj.attr_or(prop.feature)
+                if actual is None:
+                    ok = False
+                    break
+                if isinstance(prop.expr, e.Var):
+                    name = prop.expr.name
+                    if name in partial:
+                        if not _same_value(partial[name], actual):
+                            ok = False
+                            break
+                    elif any(
+                        _same_value(actual, v) for v in var_pools[name]
+                    ):
+                        partial[name] = actual
+                    else:
+                        ok = False  # value outside the candidate pool
+                        break
+                else:
+                    assert isinstance(prop.expr, e.Lit)
+                    if not _same_value(actual, prop.expr.value):
+                        ok = False
+                        break
+            if ok:
+                matches.append((oid, partial))
+        return matches
 
     def _target_formula(
         self,
@@ -561,16 +956,67 @@ class Grounder:
             if isinstance(p.expr, e.Var) and p.expr.name not in binding
         ]
         free = list(dict.fromkeys(free))
+        if self.prune and not gm.symbolic:
+            # Frozen conclusion: every disjunct is a constant, so match
+            # directly and short-circuit instead of enumerating the
+            # object x free-value product only to constant-fold it.
+            for oid in gm.objects_of(domain.template.class_name):
+                Grounder.bindings_enumerated += 1
+                obj = gm.model.get_or_none(oid)
+                if obj is not None and self._frozen_object_matches(
+                    obj, domain, binding, var_pools
+                ):
+                    return PTRUE
+            return PFALSE
         disjuncts = []
         for oid in gm.objects_of(domain.template.class_name):
             if not free:
+                Grounder.bindings_enumerated += 1
                 disjuncts.append(self._template_formula(domain, oid, binding))
                 continue
             for values in itertools.product(*(var_pools[v] for v in free)):
+                Grounder.bindings_enumerated += 1
                 extended = dict(binding)
                 extended.update(zip(free, values))
                 disjuncts.append(self._template_formula(domain, oid, extended))
         return por(disjuncts)
+
+    def _frozen_object_matches(
+        self,
+        obj: ModelObject,
+        domain: Domain,
+        binding: Mapping[str, Value],
+        var_pools: Mapping[str, tuple[Value, ...]],
+    ) -> bool:
+        """Whether a frozen object satisfies the pattern under ``binding``.
+
+        Free pattern variables match iff the object's actual value lies
+        in the variable's candidate pool (the naive enumeration draws
+        free values from exactly that pool) and repeated occurrences of
+        one variable agree.
+        """
+        local: dict[str, Value] = {}
+        for prop in domain.template.properties:
+            actual = obj.attr_or(prop.feature)
+            if actual is None:
+                return False
+            if isinstance(prop.expr, e.Var):
+                name = prop.expr.name
+                if name in binding:
+                    if not _same_value(binding[name], actual):
+                        return False
+                elif name in local:
+                    if not _same_value(local[name], actual):
+                        return False
+                elif any(_same_value(actual, v) for v in var_pools[name]):
+                    local[name] = actual
+                else:
+                    return False
+            else:
+                assert isinstance(prop.expr, e.Lit)
+                if not _same_value(actual, prop.expr.value):
+                    return False
+        return True
 
     def _template_formula(
         self, domain: Domain, oid: str, binding: Mapping[str, Value]

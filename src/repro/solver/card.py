@@ -100,11 +100,48 @@ class Totalizer:
             self._cnf.add_clause([lit])
 
 
-def at_most_one_pairwise(cnf: CNF, literals: Sequence[Lit]) -> None:
-    """The quadratic at-most-one encoding (fine for small groups)."""
+class TotalizerCache:
+    """Memoised totalizer builds over one shared CNF.
+
+    A totalizer's counter tree is *definitional* — the clauses tie the
+    output literals to the input count and assert nothing by themselves
+    — so a build over the same input literals can be reused by any later
+    grounding onto the same CNF. :class:`repro.solver.bounded.GroundingContext`
+    keeps one of these so re-grounding a question (after an
+    out-of-universe edit) only builds counters for literal sets it has
+    never seen.
+    """
+
+    def __init__(self, cnf: CNF) -> None:
+        self._cnf = cnf
+        self._built: dict[tuple[Lit, ...], Totalizer] = {}
+
+    def get(self, literals: Sequence[Lit]) -> Totalizer:
+        """The totalizer over ``literals``, built at most once."""
+        key = tuple(literals)
+        totalizer = self._built.get(key)
+        if totalizer is None:
+            totalizer = Totalizer(self._cnf, key)
+            self._built[key] = totalizer
+        return totalizer
+
+    def __len__(self) -> int:
+        return len(self._built)
+
+
+def at_most_one_pairwise(
+    cnf: CNF, literals: Sequence[Lit], emit=None
+) -> None:
+    """The quadratic at-most-one encoding (fine for small groups).
+
+    ``emit`` overrides how each clause is added — e.g. the grounder's
+    deduplicating context-aware sink — and defaults to
+    ``cnf.add_clause``.
+    """
+    add = cnf.add_clause if emit is None else emit
     for i in range(len(literals)):
         for j in range(i + 1, len(literals)):
-            cnf.add_clause([-literals[i], -literals[j]])
+            add([-literals[i], -literals[j]])
 
 
 def exactly_one(cnf: CNF, literals: Sequence[Lit]) -> None:

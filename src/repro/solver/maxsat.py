@@ -130,6 +130,20 @@ class MaxSatSession:
         if self._solver is not None:
             self._solver.add_clause(clause)
 
+    def new_var(self) -> int:
+        """Allocate a fresh session variable (e.g. a retraction selector).
+
+        Clauses can never be removed from the session, so callers that
+        need *retractable* constraints — shared enforcement groundings
+        whose enumeration blocking clauses must not outlive one
+        enumeration — guard them with a fresh selector variable and
+        assume it only while the constraint should bind.
+        """
+        var = self._working.new_var()
+        if self._solver is not None:
+            self._solver.ensure_vars(var)
+        return var
+
     def at_most(self, bound: int) -> list[Lit]:
         """Assumption literals capping the violated weight at ``bound``."""
         if self._totalizer is None:

@@ -56,6 +56,9 @@ as ``SatResult.stats``. Fields:
 * ``reductions`` — learnt-database GC sweeps;
 * ``learnts_kept`` / ``learnts_dropped`` — learnt clauses surviving /
   deleted across those sweeps (locked and glue clauses are always kept);
+* ``minimised_literals`` — literals removed from learnt clauses by
+  binary self-subsuming resolution (a learnt clause ``p | q1 | ... | qn``
+  resolved against a database binary clause ``p | ~qi`` drops ``qi``);
 * ``solves`` / ``solver_builds`` — API-level call and construction
   counts (the incrementality ablations read these).
 
@@ -110,6 +113,7 @@ class SolverStats:
     reductions: int = 0
     learnts_kept: int = 0
     learnts_dropped: int = 0
+    minimised_literals: int = 0
     solves: int = 0
     solver_builds: int = 0
 
@@ -197,6 +201,8 @@ class IncrementalSolver:
     GLUE_LBD = 2
     GC_FIRST = 300
     GC_GROWTH = 1.3
+    BIN_MIN_CLAUSE = 30
+    BIN_MIN_WATCHES = 256
 
     def __init__(
         self,
@@ -511,6 +517,7 @@ class IncrementalSolver:
             self._bump_clause(reason_index)
             reason_clause = [q for q in self.clauses[reason_index] if q != lit]
         learnt = [-lit] + self._minimise(learnt, seen)
+        learnt = self._minimise_binary(learnt)
         if len(learnt) == 1:
             return learnt, 0
         # Backjump to the second-highest level in the clause.
@@ -543,6 +550,42 @@ class IncrementalSolver:
             if not redundant:
                 kept.append(lit)
         return kept
+
+    def _minimise_binary(self, learnt: list[Lit]) -> list[Lit]:
+        """Shrink the learnt clause by binary self-subsuming resolution.
+
+        For the asserting literal ``p = learnt[0]``, every binary
+        database clause ``(p | x)`` resolves with the learnt clause on
+        ``~x``: the resolvent drops ``~x`` and adds nothing new (``p``
+        is already present), so any learnt literal whose negation is
+        binary-implied by ``~p`` can be deleted. This is the Glucose
+        ``binResMinimize`` step; it composes with the reason-based
+        minimisation of :meth:`_minimise`, which cannot see clauses off
+        the current trail.
+
+        Gated like Glucose: only small learnt clauses are worth the
+        scan, and a hub literal watched by thousands of long clauses
+        must not turn the conflict hot path into a linear sweep.
+        """
+        if len(learnt) < 2 or len(learnt) > self.BIN_MIN_CLAUSE:
+            return learnt
+        asserting = learnt[0]
+        watch_list = self.watches.get(asserting, ())
+        if len(watch_list) > self.BIN_MIN_WATCHES:
+            return learnt
+        marked = set(learnt[1:])
+        removable: set[Lit] = set()
+        for index in watch_list:
+            clause = self.clauses[index]
+            if len(clause) != 2:
+                continue
+            other = clause[1] if clause[0] == asserting else clause[0]
+            if -other in marked:
+                removable.add(-other)
+        if not removable:
+            return learnt
+        self.stats.minimised_literals += len(removable)
+        return [asserting] + [q for q in learnt[1:] if q not in removable]
 
     def _analyze_final(self, failed: Lit) -> tuple[Lit, ...]:
         """The failed-assumption core behind an implied ``-failed``.

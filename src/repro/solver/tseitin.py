@@ -8,6 +8,28 @@ CNF introducing one auxiliary variable per distinct sub-formula
 Constant folding happens at construction time via the ``pand``/``por``/
 ``pnot``/``pimplies`` smart constructors, so grounding over frozen
 (non-target) models collapses to constants for free.
+
+Caching contract
+----------------
+
+A :class:`Tseitin` instance is a *persistent translation cache*: its
+structural-hash table maps every sub-formula ever translated to its
+auxiliary literal, and the definitional clauses of that literal
+(``aux <-> sub-formula``) are emitted exactly once per instance
+lifetime. Definitional clauses are universally valid, so one instance
+may safely serve many groundings over one shared CNF/VarPool pair —
+a formula re-asserted by a later grounding costs a dictionary hit, not
+a re-encoding. This is what :class:`repro.solver.bounded.GroundingContext`
+relies on.
+
+*Assertions* are different: ``assert_formula(f)`` adds unit clauses
+that constrain the whole CNF forever, which is wrong for callers whose
+constraint set changes between groundings (a grown value pool widens
+"the attribute takes some pool value"). Such callers pass a
+``selector`` literal: the assertion is emitted as ``selector -> f`` and
+only binds solves that *assume* the selector, so each grounding
+generation can retire its predecessor's assertions by switching
+selectors instead of rebuilding the translation state.
 """
 
 from __future__ import annotations
@@ -158,11 +180,20 @@ class Tseitin:
         self._pool = pool
         self._cache: dict[PFormula, int] = {}
 
-    def assert_formula(self, formula: PFormula) -> None:
-        """Constrain ``formula`` to hold."""
+    def assert_formula(self, formula: PFormula, selector: int | None = None) -> None:
+        """Constrain ``formula`` to hold.
+
+        With a ``selector`` literal the assertion is conditional —
+        ``selector -> formula`` — and only binds solves assuming the
+        selector (see the module docstring's caching contract).
+        """
         if isinstance(formula, PTrue):
             return
         if isinstance(formula, PFalse):
+            if selector is not None:
+                # Assuming this generation's selector is unsatisfiable.
+                self._cnf.add_clause([-selector])
+                return
             # An explicitly unsatisfiable assertion.
             fresh = self._cnf.new_var()
             self._cnf.add_clause([fresh])
@@ -170,9 +201,13 @@ class Tseitin:
             return
         if isinstance(formula, PAnd):
             for op in formula.operands:
-                self.assert_formula(op)
+                self.assert_formula(op, selector)
             return
-        self._cnf.add_clause([self.literal(formula)])
+        lit = self.literal(formula)
+        if selector is None:
+            self._cnf.add_clause([lit])
+        else:
+            self._cnf.add_clause([-selector, lit])
 
     def literal(self, formula: PFormula) -> int:
         """A literal equisatisfiably representing ``formula``."""
