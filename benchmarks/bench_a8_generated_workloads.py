@@ -1,0 +1,200 @@
+"""A8 (differential) — generated workloads across every engine.
+
+Three arms over seeded generated scenarios (:mod:`repro.gen`):
+
+* **differential** — every scenario is replayed through the exact
+  engines (brute checker-only search, oracle-accelerated search, shared
+  SAT, per-call SAT, naive-session SAT) plus the guided heuristic.
+  Acceptance: **zero disagreements** on verdicts and optimal costs
+  (guided: never beats the optimum, never touches a consistent state),
+  with all three consensus outcomes represented.
+* **determinism** — a sample of scenarios is regenerated and compared
+  bit-for-bit (canonical model serialisations, transformation
+  equality): the seed is the reproduction token, so any drift here
+  would silently detach failures from their seeds.
+* **sessions** — oscillating frozen-drift streams through one
+  persistent session, each step differentially checked against per-call
+  SAT; generation retention must absorb the flips (2 groundings for any
+  number of rounds).
+
+The full run sweeps >= 200 seeds (the PR-4 acceptance bar); ``--smoke``
+runs the fixed CI seed list in a few seconds (see ``scripts/ci.sh``).
+"""
+
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _p in (str(_ROOT), str(_ROOT / "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+from repro.gen import (
+    CONSISTENT,
+    EXACT_ENGINES,
+    NO_REPAIR,
+    REPAIRED,
+    DifferentialReport,
+    EngineVerdict,
+    oscillating_tuples,
+    random_scenario,
+    run_engine,
+    session_differential,
+)
+from repro.metamodel.serialize import canonical_text
+from repro.util.text import render_table
+
+from benchmarks._common import bench_cli, record
+
+#: The CI smoke seed list — identical to tests/test_differential_engines.py.
+SMOKE_SEEDS = tuple(range(25))
+FULL_SEEDS = tuple(range(200))
+
+#: Pinned oscillation streams for the session arm (seed, frozen param).
+SESSION_STREAMS = ((3, "m2"), (5, "m1"), (18, "m1"))
+
+
+def bench_differential(seeds, rows: list) -> dict:
+    engines = EXACT_ENGINES + ("guided",)
+    time_per_engine = {engine: 0.0 for engine in engines}
+    outcomes: Counter = Counter()
+    disagreements: list[str] = []
+    generate_time = 0.0
+    for seed in seeds:
+        start = time.perf_counter()
+        scenario = random_scenario(seed)
+        generate_time += time.perf_counter() - start
+        verdicts: dict[str, EngineVerdict] = {}
+        for engine in engines:
+            start = time.perf_counter()
+            verdicts[engine] = run_engine(engine, scenario)
+            time_per_engine[engine] += time.perf_counter() - start
+        report = DifferentialReport(
+            seed,
+            tuple(verdicts[engine] for engine in EXACT_ENGINES),
+            verdicts["guided"],
+        )
+        outcomes[report.consensus.outcome] += 1
+        for problem in report.disagreements():
+            disagreements.append(f"seed {seed}: {problem}")
+    for engine in engines:
+        rows.append(
+            ["differential", engine, f"{len(seeds)} scenarios",
+             "exact" if engine in EXACT_ENGINES else "heuristic",
+             f"{time_per_engine[engine] * 1e3:.0f} ms"]
+        )
+    rows.append(
+        ["differential: TOTAL",
+         f"{len(disagreements)} disagreements",
+         " ".join(f"{k}={v}" for k, v in sorted(outcomes.items())),
+         f"gen {generate_time * 1e3:.0f} ms", ""]
+    )
+    return {
+        "scenarios": len(seeds),
+        "disagreements": disagreements,
+        "outcomes": dict(outcomes),
+        "generate_time_s": generate_time,
+        "engine_time_s": {k: round(v, 4) for k, v in time_per_engine.items()},
+    }
+
+
+def bench_determinism(seeds, rows: list) -> dict:
+    mismatches = []
+    start = time.perf_counter()
+    for seed in seeds:
+        a = random_scenario(seed)
+        b = random_scenario(seed)
+        same = (
+            a.transformation == b.transformation
+            and a.targets == b.targets
+            and a.max_distance == b.max_distance
+            and all(
+                canonical_text(a.models[p]) == canonical_text(b.models[p])
+                and canonical_text(a.before[p]) == canonical_text(b.before[p])
+                for p in a.params()
+            )
+        )
+        if not same:
+            mismatches.append(seed)
+    elapsed = time.perf_counter() - start
+    rows.append(
+        ["determinism", f"{len(seeds)} regenerated",
+         f"{len(mismatches)} mismatches", "", f"{elapsed * 1e3:.0f} ms"]
+    )
+    return {"checked": len(seeds), "mismatches": mismatches}
+
+
+def bench_sessions(rows: list) -> dict:
+    streams = {}
+    for seed, frozen_param in SESSION_STREAMS:
+        scenario = random_scenario(seed)
+        stream = oscillating_tuples(
+            seed, scenario.models, frozen_param, rounds=6
+        )
+        start = time.perf_counter()
+        verdicts, session = session_differential(scenario, stream)
+        elapsed = time.perf_counter() - start
+        streams[seed] = {
+            "rounds": len(stream),
+            "groundings": session.groundings,
+            "reuses": session.reuses,
+            "outcomes": [v.outcome for v in verdicts],
+        }
+        rows.append(
+            [f"sessions: seed {seed} ({frozen_param} oscillates)",
+             "session vs per-call",
+             f"{session.groundings} groundings / {len(stream)} rounds",
+             f"{session.reuses} retained switches",
+             f"{elapsed * 1e3:.0f} ms"]
+        )
+    return streams
+
+
+def run(smoke: bool = False) -> dict:
+    seeds = SMOKE_SEEDS if smoke else FULL_SEEDS
+    rows: list = []
+    metrics = {
+        "differential": bench_differential(seeds, rows),
+        "determinism": bench_determinism(seeds[:: max(1, len(seeds) // 10)], rows),
+        "sessions": bench_sessions(rows),
+    }
+    table = render_table(
+        ["workload", "arm", "work", "detail", "time"],
+        rows,
+        title="A8: generated workloads — cross-engine differential oracle"
+        + (" [smoke]" if smoke else ""),
+    )
+    record(
+        "a8_generated_workloads" + ("_smoke" if smoke else ""),
+        table,
+        metrics=metrics,
+    )
+    # Gates (the CI smoke contract):
+    diff = metrics["differential"]
+    assert not diff["disagreements"], diff["disagreements"]
+    assert diff["outcomes"].get(REPAIRED, 0) > 0, (
+        f"seed list must contain repair questions: {diff['outcomes']}"
+    )
+    assert diff["outcomes"].get(CONSISTENT, 0) > 0, (
+        f"seed list must contain hippocratic questions: {diff['outcomes']}"
+    )
+    if not smoke:
+        assert diff["scenarios"] >= 200
+        assert diff["outcomes"].get(NO_REPAIR, 0) > 0, (
+            f"full sweep must contain unrepairable questions: {diff['outcomes']}"
+        )
+    assert not metrics["determinism"]["mismatches"], metrics["determinism"]
+    for seed, stream in metrics["sessions"].items():
+        assert stream["groundings"] <= 2, (
+            f"oscillation must be absorbed by generation retention: {stream}"
+        )
+    return metrics
+
+
+if __name__ == "__main__":
+    args = bench_cli(__doc__.splitlines()[0])
+    start = time.perf_counter()
+    run(smoke=args.smoke)
+    print(f"\ntotal bench time: {time.perf_counter() - start:.2f} s")

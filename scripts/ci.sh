@@ -8,7 +8,10 @@
 # asserts the grounding fast
 # path (pruning never enumerates more bindings than the naive arm and
 # never changes a verdict; re-grounds reuse cached translations; the
-# SAT entry points share one grounding).
+# SAT entry points share one grounding), a8 replays a fixed seed list
+# of *generated* scenarios (random metamodels/transformations/tuples)
+# through every engine and asserts zero verdict/cost disagreements,
+# bit-for-bit generator determinism and oscillation absorption.
 #
 # Usage: scripts/ci.sh  (from anywhere; finishes in well under a minute)
 set -euo pipefail
@@ -29,5 +32,12 @@ python benchmarks/bench_a6_solver_hotloop.py --smoke
 
 echo "== a7 grounding fast-path smoke guard =="
 python benchmarks/bench_a7_grounding.py --smoke
+
+# The seeded differential-oracle smoke (fixed seed list 0..24, <10 s)
+# already runs inside the tier-1 pytest above
+# (tests/test_differential_engines.py); a8 re-drives the same seeds in
+# script mode with its own gates and emits the trajectory JSON.
+echo "== a8 generated-workloads differential smoke benchmark =="
+python benchmarks/bench_a8_generated_workloads.py --smoke
 
 echo "CI OK"

@@ -112,10 +112,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(report.summary())
         return 0 if report.consistent else 1
     # enforce
-    weights = {}
-    for item in args.weight:
-        param, _, value = item.partition("=")
-        weights[param] = int(value)
+    weights = _parse_weights(args.weight)
     repair = echo.enforce(
         args.transformation,
         binding,
@@ -185,6 +182,20 @@ def _explain(workspace: Workspace, name: str) -> int:
         for site in sites:
             print(f"  {site.caller} -> {site.callee} ({site.clause})")
     return 0
+
+
+def _parse_weights(items: Sequence[str]) -> dict[str, int]:
+    weights: dict[str, int] = {}
+    for item in items:
+        param, sep, value = item.partition("=")
+        try:
+            weight = int(value)
+        except ValueError:
+            weight = None
+        if not sep or not param or weight is None:
+            raise SystemExit(f"bad --weight entry {item!r}, expected PARAM=N")
+        weights[param] = weight
+    return weights
 
 
 def _parse_binding(items: Sequence[str]) -> dict[str, str]:

@@ -40,7 +40,7 @@ from repro.check.engine import Checker
 from repro.enforce.metrics import TupleMetric
 from repro.enforce.satengine import ConsistencyOracle
 from repro.enforce.targets import TargetSelection
-from repro.errors import EnforcementError, NoRepairFound
+from repro.errors import EnforcementError, NoRepairFound, SearchBudgetExhausted
 from repro.metamodel.conformance import is_conformant
 from repro.metamodel.distance import distance
 from repro.metamodel.model import Model, ModelObject
@@ -134,7 +134,7 @@ def enforce_search(
                 popped, counter, max_reached, *_oracle_counts(oracle)
             )
         if popped >= max_states:
-            raise NoRepairFound(
+            raise SearchBudgetExhausted(
                 f"search budget of {max_states} states exhausted "
                 f"(deepest distance reached: {max_reached})",
                 explored_distance=max_reached,

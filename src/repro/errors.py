@@ -112,5 +112,17 @@ class NoRepairFound(EnforcementError):
         self.explored_distance = explored_distance
 
 
+class SearchBudgetExhausted(NoRepairFound):
+    """The explicit-search engine ran out of *state budget* — distinct
+    from proving no repair exists within the bounded space. Differential
+    consumers must not treat this as a genuine NO_REPAIR verdict."""
+
+
 class WorkspaceError(ReproError):
     """Raised by the Echo workspace for missing or inconsistent artefacts."""
+
+
+class GenerationError(ReproError):
+    """Raised by :mod:`repro.gen` when a generator cannot satisfy its
+    validity filter (e.g. no well-typed transformation within the retry
+    budget)."""

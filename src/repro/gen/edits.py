@@ -1,0 +1,221 @@
+"""Seeded random edit streams over model tuples.
+
+Edits are the user's face of the Echo loop: drift an attribute, rename
+an anchor, delete or create an object, rewire a reference. The
+generators here produce *applicable* edits (every edit is valid on the
+model it targets, per :func:`repro.metamodel.edits.apply_edit`) but make
+no conformance or consistency promises — breaking consistency is the
+point, that is what enforcement questions are made of.
+
+Two stream shapes matter to the enforcement-session machinery:
+
+* :func:`perturb` — a handful of edits spread over the tuple, producing
+  one enforcement question from a consistent base state;
+* :func:`oscillating_tuples` — a frozen (non-target) model flipping
+  between two variants, the access pattern that exercises
+  :class:`~repro.enforce.session.EnforcementSession` generation
+  retention (each flip escapes the active grounding but anchors a
+  retained one).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.errors import GenerationError
+from repro.gen.instances import INT_POOL, STRING_POOL, random_value
+from repro.metamodel.edits import (
+    AddObject,
+    AddRef,
+    Edit,
+    RemoveObject,
+    RemoveRef,
+    SetAttr,
+    UnsetAttr,
+    apply_edit,
+)
+from repro.metamodel.model import Model
+from repro.metamodel.types import PrimitiveType
+from repro.util.seeding import rng_from_seed
+
+
+def random_edit(
+    rng: random.Random,
+    model: Model,
+    *,
+    string_pool: Sequence[str] = STRING_POOL,
+    int_pool: Sequence[int] = INT_POOL,
+    p_fresh_value: float = 0.2,
+) -> Edit | None:
+    """One applicable random edit on ``model`` (or ``None`` if the model
+    admits no edit at all — an empty model of a class-less metamodel).
+
+    ``p_fresh_value`` is the chance a ``SetAttr`` drifts to a string
+    *outside* the pools — the out-of-universe drift that forces cached
+    groundings to re-ground.
+    """
+    mm = model.metamodel
+    candidates: list[Edit] = []
+    for obj in model.objects:
+        attrs = mm.all_attributes(obj.cls)
+        for attr_name, attr in sorted(attrs.items()):
+            if attr.type is PrimitiveType.STRING and rng.random() < p_fresh_value:
+                candidates.append(
+                    SetAttr(obj.oid, attr_name, f"z{rng.randint(0, 99)}")
+                )
+                continue
+            value = random_value(rng, attr.type, string_pool, int_pool)
+            current = obj.attr_or(attr_name)
+            if current is None or value != current or (
+                isinstance(value, bool) != isinstance(current, bool)
+            ):
+                candidates.append(SetAttr(obj.oid, attr_name, value))
+            if attr.optional and obj.has_attr(attr_name):
+                candidates.append(UnsetAttr(obj.oid, attr_name))
+        refs = mm.all_references(obj.cls)
+        for ref_name, ref in sorted(refs.items()):
+            present = obj.targets(ref_name)
+            for target in present:
+                candidates.append(RemoveRef(obj.oid, ref_name, target))
+            for target in model.objects_of(ref.target):
+                if target.oid not in present:
+                    candidates.append(AddRef(obj.oid, ref_name, target.oid))
+        candidates.append(RemoveObject(obj.oid))
+    taken = set(model.object_ids())
+    for class_name in mm.concrete_classes():
+        oid = next(
+            (
+                f"{class_name.lower()}{i}"
+                for i in range(len(taken) + 1)
+                if f"{class_name.lower()}{i}" not in taken
+            ),
+            None,
+        )
+        if oid is None:
+            continue
+        attrs = {
+            name: random_value(rng, attr.type, string_pool, int_pool)
+            for name, attr in sorted(mm.all_attributes(class_name).items())
+            if not attr.optional
+        }
+        candidates.append(AddObject.create(oid, class_name, attrs))
+    if not candidates:
+        return None
+    return rng.choice(candidates)
+
+
+def anchor_rename(
+    rng: random.Random,
+    model: Model,
+    *,
+    string_pool: Sequence[str] = STRING_POOL,
+) -> Edit | None:
+    """Rename one object's ``name`` anchor attribute (or ``None``).
+
+    The anchor is what generated relations bind across domains, so this
+    is the single most consistency-breaking edit shape — perturbations
+    lean on it to keep generated enforcement questions non-trivial.
+    """
+    mm = model.metamodel
+    renameable = [
+        obj
+        for obj in model.objects
+        if mm.has_class(obj.cls) and "name" in mm.all_attributes(obj.cls)
+    ]
+    if not renameable:
+        return None
+    obj = rng.choice(renameable)
+    current = obj.attr_or("name")
+    choices = [v for v in string_pool if v != current]
+    if not choices:
+        return None
+    return SetAttr(obj.oid, "name", rng.choice(choices))
+
+
+def random_edits(
+    seed: int | random.Random | None,
+    model: Model,
+    length: int,
+    *,
+    string_pool: Sequence[str] = STRING_POOL,
+    int_pool: Sequence[int] = INT_POOL,
+) -> list[Edit]:
+    """An applicable edit script of ``length`` edits (applied cumulatively)."""
+    rng = rng_from_seed(seed)
+    script: list[Edit] = []
+    for _ in range(length):
+        edit = random_edit(rng, model, string_pool=string_pool, int_pool=int_pool)
+        if edit is None:
+            break
+        model = apply_edit(model, edit)
+        script.append(edit)
+    return script
+
+
+def perturb(
+    rng: random.Random,
+    models: dict[str, Model],
+    n_edits: int,
+    *,
+    params: Sequence[str] | None = None,
+    string_pool: Sequence[str] = STRING_POOL,
+    int_pool: Sequence[int] = INT_POOL,
+    p_anchor_rename: float = 0.45,
+) -> tuple[dict[str, Model], frozenset[str]]:
+    """Apply ``n_edits`` random edits across the tuple.
+
+    Returns the edited tuple and the set of parameters actually edited.
+    Parameters are drawn from ``params`` (default: all of them); each
+    edit is an anchor rename with ``p_anchor_rename`` (falling back to
+    an arbitrary edit when the model has nothing to rename).
+    """
+    pool = sorted(params if params is not None else models)
+    edited: set[str] = set()
+    out = dict(models)
+    for _ in range(n_edits):
+        param = rng.choice(pool)
+        edit = None
+        if rng.random() < p_anchor_rename:
+            edit = anchor_rename(rng, out[param], string_pool=string_pool)
+        if edit is None:
+            edit = random_edit(
+                rng, out[param], string_pool=string_pool, int_pool=int_pool
+            )
+        if edit is None:
+            continue
+        out[param] = apply_edit(out[param], edit)
+        edited.add(param)
+    return out, frozenset(edited)
+
+
+def oscillating_tuples(
+    seed: int | random.Random | None,
+    models: dict[str, Model],
+    param: str,
+    rounds: int,
+    *,
+    string_pool: Sequence[str] = STRING_POOL,
+    int_pool: Sequence[int] = INT_POOL,
+) -> list[dict[str, Model]]:
+    """``rounds`` tuples whose ``param`` model flips between two variants.
+
+    The first variant is ``models[param]`` itself; the second is one
+    random edit away. When ``param`` is frozen (not an enforcement
+    target) every flip drifts the frozen side of a cached grounding —
+    the generation-retention workload.
+    """
+    rng = rng_from_seed(seed)
+    variant_a = models[param]
+    edit = random_edit(
+        rng, variant_a, string_pool=string_pool, int_pool=int_pool
+    )
+    if edit is None:
+        raise GenerationError(f"model {param!r} admits no oscillation edit")
+    variant_b = apply_edit(variant_a, edit)
+    stream = []
+    for i in range(rounds):
+        tuple_ = dict(models)
+        tuple_[param] = variant_a if i % 2 == 0 else variant_b
+        stream.append(tuple_)
+    return stream

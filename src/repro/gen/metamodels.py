@@ -1,0 +1,82 @@
+"""Seeded random metamodel generation.
+
+Every generated metamodel is valid by construction (class-name
+uniqueness, known reference targets, no inheritance cycles — trivially,
+since generated classes are flat) and every class carries a mandatory
+``name : String`` attribute. That anchor attribute is what lets the
+transformation generator (:mod:`repro.gen.transformations`) always build
+a pattern variable shared across domains, exactly like the paper's
+``MF``/``OF`` relations share ``n``.
+
+Determinism contract: given the same seed (or an equally-advanced
+:class:`random.Random`), the generator returns a structurally identical
+metamodel — all iteration happens over explicitly ordered sequences and
+all randomness flows through the one ``rng``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.metamodel.meta import UNBOUNDED, Attribute, Class, Metamodel, Reference
+from repro.metamodel.types import BOOLEAN, INTEGER, STRING, AttrType
+from repro.util.seeding import rng_from_seed
+
+#: Class names handed out in order; generated metamodels stay small.
+_CLASS_NAMES = ("Alpha", "Beta", "Gamma", "Delta")
+
+#: Extra-attribute types drawn uniformly.
+_ATTR_TYPES: tuple[AttrType, ...] = (STRING, INTEGER, BOOLEAN)
+
+
+def random_metamodel(
+    seed: int | random.Random | None,
+    *,
+    name: str = "GenMM",
+    max_classes: int = 2,
+    max_extra_attrs: int = 2,
+    max_refs: int = 1,
+    p_optional: float = 0.4,
+    p_ref_lower: float = 0.15,
+) -> Metamodel:
+    """A small random metamodel; see the module docstring for guarantees.
+
+    Classes are flat (no inheritance) and concrete; each declares the
+    ``name : String`` anchor, up to ``max_extra_attrs`` further
+    attributes of random primitive type (optional with ``p_optional``),
+    and up to ``max_refs`` references to random classes of the same
+    metamodel (lower bound 1 with probability ``p_ref_lower``, otherwise
+    0; upper bound unbounded or a small constant).
+    """
+    rng = rng_from_seed(seed)
+    n_classes = rng.randint(1, max(1, max_classes))
+    class_names = _CLASS_NAMES[:n_classes]
+    classes = []
+    for index, class_name in enumerate(class_names):
+        attrs = [Attribute("name", STRING)]
+        for a in range(rng.randint(0, max_extra_attrs)):
+            attrs.append(
+                Attribute(
+                    f"a{a}",
+                    rng.choice(_ATTR_TYPES),
+                    optional=rng.random() < p_optional,
+                )
+            )
+        refs = []
+        for r in range(rng.randint(0, max_refs)):
+            lower = 1 if rng.random() < p_ref_lower else 0
+            upper = rng.choice((UNBOUNDED, UNBOUNDED, 2))
+            if upper != UNBOUNDED and upper < lower:
+                upper = UNBOUNDED
+            refs.append(
+                Reference(
+                    f"r{r}",
+                    rng.choice(class_names),
+                    lower=lower,
+                    upper=upper,
+                )
+            )
+        classes.append(
+            Class(class_name, attributes=tuple(attrs), references=tuple(refs))
+        )
+    return Metamodel(name, tuple(classes))

@@ -1,0 +1,167 @@
+"""Seeded random QVT-R transformations, well-typed by construction *and*
+by filter.
+
+Generated relations follow the paper's template fragment — flat object
+templates whose properties equate attributes to shared variables or
+literals, no when/where clauses — so they are groundable by the SAT
+engine (:mod:`repro.solver.bounded`) and checkable by every other
+engine. Structure:
+
+* every domain binds the metamodel-guaranteed ``name`` anchor attribute
+  to one variable shared across all domains (the ``MF``/``OF`` shape);
+* extra properties equate a random attribute to a literal of the right
+  type (a guard) or to a domain-local variable (a binder);
+* dependency sets are either left implicit (the QVT-R standard default)
+  or drawn as a random declared set over the relation's parameters —
+  including multi-source dependencies like the paper's
+  ``CF1 ... CFk -> FM``.
+
+Every candidate is passed through the repo's own static analyser
+(:func:`repro.qvtr.analysis.analyse`, which folds in the
+direction-typing rules of :mod:`repro.deps.typecheck`) as the validity
+filter; a candidate failing it is discarded and regenerated.
+:class:`~repro.errors.GenerationError` is raised when the retry budget
+is exhausted, so a silently shrinking universe cannot masquerade as
+coverage.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+
+from repro.deps.dependency import Dependency
+from repro.errors import GenerationError
+from repro.expr.ast import Lit, Var
+from repro.gen.instances import INT_POOL, STRING_POOL, random_value
+from repro.metamodel.meta import Metamodel
+from repro.metamodel.types import type_name
+from repro.qvtr.analysis import analyse
+from repro.qvtr.ast import (
+    Domain,
+    ModelParam,
+    ObjectTemplate,
+    PropertyConstraint,
+    Relation,
+    Transformation,
+    VarDecl,
+)
+from repro.util.seeding import rng_from_seed
+
+#: How many candidates to draw before giving up. The construction is
+#: safe by design, so in practice the first candidate passes; the budget
+#: guards future generator extensions.
+_ATTEMPTS = 25
+
+
+def random_dependencies(
+    rng: random.Random, params: Sequence[str]
+) -> frozenset[Dependency] | None:
+    """A declared dependency set over ``params``, or ``None`` (standard).
+
+    Half the time the relation keeps the QVT-R standard default; the
+    other half it declares 1..k dependencies whose sources are random
+    non-empty subsets of the remaining parameters (so multi-source
+    directions occur regularly, like the paper's ``CF^k -> FM``).
+    """
+    if len(params) < 2 or rng.random() < 0.5:
+        return None
+    deps: set[Dependency] = set()
+    for _ in range(rng.randint(1, len(params))):
+        target = rng.choice(tuple(params))
+        others = [p for p in params if p != target]
+        sources = rng.sample(others, rng.randint(1, len(others)))
+        deps.add(Dependency(sources, target))
+    return frozenset(deps)
+
+
+def _random_relation(
+    rng: random.Random,
+    index: int,
+    metamodels_by_param: Mapping[str, Metamodel],
+    string_pool: Sequence[str],
+    int_pool: Sequence[int],
+    p_extra_property: float,
+    p_literal: float,
+) -> Relation:
+    params = sorted(metamodels_by_param)
+    shared = f"n{index}"
+    variables = [VarDecl(shared, "String")]
+    domains = []
+    for d, param in enumerate(params):
+        metamodel = metamodels_by_param[param]
+        class_name = rng.choice(metamodel.concrete_classes())
+        properties = [PropertyConstraint("name", Var(shared))]
+        extras = sorted(
+            name
+            for name in metamodel.all_attributes(class_name)
+            if name != "name"
+        )
+        if extras and rng.random() < p_extra_property:
+            attr_name = rng.choice(extras)
+            attr = metamodel.attribute(class_name, attr_name)
+            if rng.random() < p_literal:
+                expr = Lit(random_value(rng, attr.type, string_pool, int_pool))
+            else:
+                local = f"v{index}_{d}"
+                variables.append(VarDecl(local, type_name(attr.type)))
+                expr = Var(local)
+            properties.append(PropertyConstraint(attr_name, expr))
+        domains.append(
+            Domain(
+                param,
+                ObjectTemplate(f"x{index}_{d}", class_name, tuple(properties)),
+            )
+        )
+    return Relation(
+        name=f"R{index}",
+        domains=tuple(domains),
+        variables=tuple(variables),
+        dependencies=random_dependencies(rng, params),
+    )
+
+
+def random_transformation(
+    seed: int | random.Random | None,
+    metamodels_by_param: Mapping[str, Metamodel],
+    *,
+    name: str = "GenT",
+    max_relations: int = 2,
+    string_pool: Sequence[str] = STRING_POOL,
+    int_pool: Sequence[int] = INT_POOL,
+    p_extra_property: float = 0.6,
+    p_literal: float = 0.5,
+) -> Transformation:
+    """A random well-typed transformation over the given parameters.
+
+    ``metamodels_by_param`` maps model-parameter name to its metamodel
+    (metamodel *names* must be unique across distinct metamodels).
+    The result always passes :func:`repro.qvtr.analysis.analyse` against
+    those metamodels — the filter the checking engine itself applies.
+    """
+    rng = rng_from_seed(seed)
+    by_name = {mm.name: mm for mm in metamodels_by_param.values()}
+    model_params = tuple(
+        ModelParam(param, metamodels_by_param[param].name)
+        for param in sorted(metamodels_by_param)
+    )
+    for _ in range(_ATTEMPTS):
+        relations = tuple(
+            _random_relation(
+                rng,
+                index,
+                metamodels_by_param,
+                string_pool,
+                int_pool,
+                p_extra_property,
+                p_literal,
+            )
+            for index in range(1, rng.randint(1, max_relations) + 1)
+        )
+        candidate = Transformation(name, model_params, relations)
+        if analyse(candidate, by_name).ok():
+            return candidate
+    raise GenerationError(
+        f"no well-typed transformation over {sorted(metamodels_by_param)} "
+        f"within {_ATTEMPTS} attempts"
+    )

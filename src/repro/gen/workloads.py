@@ -1,0 +1,103 @@
+"""Seeded random solver- and dependency-level workloads.
+
+The small fixed-universe generators the property tests used to inline
+(random CNFs, random dependency sets) live here now, seeded and
+reusable outside hypothesis — the solver metamorphic tests and the A8
+generated-workload benchmark draw from the same source as the test
+strategies.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.deps.dependency import Dependency
+from repro.solver.cnf import CNF
+from repro.util.seeding import rng_from_seed
+
+#: The dependency-domain universe the property tests pin.
+DOMAINS: tuple[str, ...] = ("m1", "m2", "m3", "m4")
+
+
+def random_cnf(
+    seed: int | random.Random | None,
+    *,
+    max_vars: int = 6,
+    max_clauses: int = 12,
+    max_clause_size: int = 4,
+) -> CNF:
+    """A random small CNF (possibly with duplicate or unit clauses)."""
+    rng = rng_from_seed(seed)
+    num_vars = rng.randint(1, max_vars)
+    cnf = CNF(num_vars)
+    for _ in range(rng.randint(0, max_clauses)):
+        size = rng.randint(1, max_clause_size)
+        clause = []
+        for _ in range(size):
+            var = rng.randint(1, num_vars)
+            clause.append(var if rng.random() < 0.5 else -var)
+        cnf.add_clause(clause)
+    return cnf
+
+
+def random_hard_cnf(
+    seed: int | random.Random | None,
+    *,
+    num_vars: int = 40,
+    ratio: float = 4.3,
+) -> CNF:
+    """Uniform random 3-SAT near the phase transition.
+
+    Three *distinct* variables per clause and a clauses-to-variables
+    ratio around 4.3 — the regime where CDCL actually works (conflicts,
+    restarts, learnt-database pressure). :func:`random_cnf` instances
+    are propagation-trivial by comparison; GC and restart stress tests
+    need this shape.
+    """
+    rng = rng_from_seed(seed)
+    cnf = CNF(num_vars)
+    for _ in range(int(num_vars * ratio)):
+        chosen = rng.sample(range(1, num_vars + 1), 3)
+        cnf.add_clause([v if rng.random() < 0.5 else -v for v in chosen])
+    return cnf
+
+
+def random_assumptions(
+    rng: random.Random, num_vars: int, max_size: int = 3
+) -> list[int]:
+    """A random assumption list over ``1..num_vars``."""
+    out = []
+    for _ in range(rng.randint(0, max_size)):
+        var = rng.randint(1, num_vars)
+        out.append(var if rng.random() < 0.5 else -var)
+    return out
+
+
+def random_dependency(
+    seed: int | random.Random | None,
+    domains: Sequence[str] = DOMAINS,
+    *,
+    max_sources: int = 3,
+) -> Dependency:
+    """A single random dependency over ``domains``."""
+    rng = rng_from_seed(seed)
+    target = rng.choice(tuple(domains))
+    others = [d for d in domains if d != target]
+    sources = rng.sample(others, rng.randint(0, min(max_sources, len(others))))
+    return Dependency(sources, target)
+
+
+def random_dependency_set(
+    seed: int | random.Random | None,
+    domains: Sequence[str] = DOMAINS,
+    *,
+    max_size: int = 6,
+    max_sources: int = 3,
+) -> frozenset[Dependency]:
+    """A random dependency set over ``domains``."""
+    rng = rng_from_seed(seed)
+    return frozenset(
+        random_dependency(rng, domains, max_sources=max_sources)
+        for _ in range(rng.randint(0, max_size))
+    )

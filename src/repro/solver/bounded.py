@@ -199,6 +199,7 @@ class GroundModel:
                     self._class_of[oid] = class_name
         self.universe = tuple(sorted(universe))
         self._objects_of: dict[str, list[str]] = {}
+        self._attr_pool: dict[tuple[str, str], tuple[Value, ...]] = {}
 
     # ------------------------------------------------------------------
     # Universe queries
@@ -243,7 +244,25 @@ class GroundModel:
             if actual is None:
                 return PFALSE
             return PTRUE if _same_value(actual, value) else PFALSE
+        if not self._expressible(oid, attr, value):
+            # The decoded model can never carry this slot/value (value
+            # outside the candidate pools, or attribute undeclared for
+            # the class): the equation is constantly false. A fresh
+            # variable here would be unconstrained by the structural
+            # encoding — the solver could satisfy a pattern the decoded
+            # model violates.
+            return PFALSE
         return PVar(("attr", self.param, oid, attr, _value_key(value)))
+
+    def _expressible(self, oid: str, attr: str, value: Value) -> bool:
+        """Whether a decoded object ``oid`` could hold ``attr = value``."""
+        key = (self.class_of(oid), attr)
+        allowed = self._attr_pool.get(key)
+        if allowed is None:
+            declared = self.metamodel.all_attributes(key[0]).get(attr)
+            allowed = () if declared is None else self.pools.candidates(declared.type)
+            self._attr_pool[key] = allowed
+        return any(_same_value(value, v) for v in allowed)
 
     def ref_has(self, source: str, ref: str, target: str) -> PFormula:
         if not self.symbolic:

@@ -13,7 +13,12 @@ Conflict-driven clause learning with the standard modern ingredients:
 * learnt-clause database reduction: each learnt clause carries its LBD
   (literal block distance) and an activity; when the database outgrows
   its budget the weakest half is dropped — never glue clauses (LBD <= 2)
-  and never *locked* clauses (reasons of current assignments).
+  and never *locked* clauses (reasons of current assignments). The
+  reduction is *assumption-aware and mid-search*: it fires the moment
+  the budget overflows, at whatever decision level the search is at
+  (assumption-implied assignments lock their reasons exactly like root
+  facts), instead of waiting for the next restart boundary — which
+  matters for the long assumption-laden solves of MaxSAT bound sweeps.
 
 The implementation favours clarity over raw speed — it is the engine
 behind bounded model finding for *model transformation* instances, whose
@@ -53,7 +58,8 @@ as ``SatResult.stats``. Fields:
 
 * ``propagations`` — literals dequeued by unit propagation;
 * ``conflicts`` / ``decisions`` / ``restarts`` — search-loop work;
-* ``reductions`` — learnt-database GC sweeps;
+* ``reductions`` — learnt-database GC sweeps (``midsearch_reductions``
+  counts the subset that fired away from the root level);
 * ``learnts_kept`` / ``learnts_dropped`` — learnt clauses surviving /
   deleted across those sweeps (locked and glue clauses are always kept);
 * ``minimised_literals`` — literals removed from learnt clauses by
@@ -111,6 +117,7 @@ class SolverStats:
     decisions: int = 0
     restarts: int = 0
     reductions: int = 0
+    midsearch_reductions: int = 0
     learnts_kept: int = 0
     learnts_dropped: int = 0
     minimised_literals: int = 0
@@ -349,13 +356,17 @@ class IncrementalSolver:
     def _reduce_learnts(self) -> None:
         """Drop the weakest half of the deletable learnt clauses.
 
-        Runs at the root level only (restart boundaries), where the
-        locked set is exactly the reason clauses of level-0 assignments.
-        Locked clauses, glue clauses (LBD <= ``GLUE_LBD``) and problem
-        clauses are never deleted. Surviving indices are compacted and
-        every index-bearing structure (watches, reasons) is remapped.
+        Runs at *any* decision level — mid-search, under assumptions —
+        not only at restart boundaries: the locked set is the reason
+        clauses of every literal currently on the trail, which covers
+        assumption-implied assignments at their levels exactly like
+        root-level facts (assumption awareness). Locked clauses, glue
+        clauses (LBD <= ``GLUE_LBD``) and problem clauses are never
+        deleted. Watched-literal positions are preserved (survivors keep
+        watching positions 0 and 1), so the propagation invariants hold
+        without backtracking; surviving indices are compacted and every
+        index-bearing structure (watches, reasons) is remapped.
         """
-        assert self._decision_level() == 0
         locked = {
             self.reasons[abs(lit)]
             for lit in self.trail
@@ -398,6 +409,8 @@ class IncrementalSolver:
                 self.reasons[var] = remap[reason]
         self.num_learnts -= len(drop)
         self.stats.reductions += 1
+        if self._decision_level() > 0:
+            self.stats.midsearch_reductions += 1
         self.stats.learnts_dropped += len(drop)
         self.stats.learnts_kept += self.num_learnts
         self.max_learnts *= self.GC_GROWTH
@@ -791,6 +804,13 @@ class IncrementalSolver:
                         self._assign(learnt[0], index)
                 self.activity_inc /= self.ACTIVITY_DECAY
                 self.clause_inc /= self.CLAUSE_DECAY
+                if self.gc and self.num_learnts >= self.max_learnts:
+                    # Assumption-aware mid-search reduction: shed the
+                    # weakest learnts the moment the budget overflows,
+                    # instead of dragging the oversized database to the
+                    # next restart boundary (current reasons — including
+                    # assumption-implied ones — stay locked).
+                    self._reduce_learnts()
                 if conflicts >= conflict_budget:
                     return None  # restart
                 continue

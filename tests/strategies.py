@@ -1,18 +1,34 @@
-"""Shared hypothesis strategies for property-based tests."""
+"""Shared hypothesis strategies for property-based tests.
+
+Since PR 4 these strategies are thin bridges into the seeded generators
+of :mod:`repro.gen`: each strategy draws one integer seed and delegates,
+so a failing property test shrinks to a reproducible seed and the exact
+same generator code serves hypothesis runs, the differential oracle and
+the A8 benchmark. The *universes* stay pinned here (``GRAPH_MM``, the
+feature/dependency/CNF pools) — regression tests need a universe that
+never drifts; generated universes belong to the differential and fuzz
+runs (see the :mod:`repro.gen` package docstring).
+"""
 
 from __future__ import annotations
 
 from hypothesis import strategies as st
 
-from repro.deps.dependency import Dependency
 from repro.featuremodels.instances import configuration, feature_model
-from repro.metamodel.builder import ModelBuilder
+from repro.gen.instances import random_model
+from repro.gen.workloads import (
+    DOMAINS,
+    random_cnf,
+    random_dependency,
+    random_dependency_set,
+)
 from repro.metamodel.meta import Attribute, Class, Metamodel, Reference
 from repro.metamodel.types import BOOLEAN, INTEGER, STRING
-from repro.solver.cnf import CNF
+from repro.util.seeding import rng_from_seed
 
 #: A small, fixed metamodel rich enough to exercise diff/distance:
 #: nodes with three attribute types and a many-valued self reference.
+#: Pinned forever — the regression universe of the metamodel layer.
 GRAPH_MM = Metamodel(
     "Graph",
     (
@@ -32,28 +48,23 @@ _LABELS = ("a", "b", "c")
 _WEIGHTS = (0, 1, 2)
 _NODE_IDS = ("n1", "n2", "n3", "n4")
 
+#: Seeds drawn by the delegating strategies. Hypothesis shrinks towards
+#: 0, so failures report small reproducible seeds.
+_seeds = st.integers(0, 2**48 - 1)
+
 
 @st.composite
 def graph_models(draw):
-    """Random small Graph models over a fixed universe."""
-    present = draw(
-        st.lists(st.sampled_from(_NODE_IDS), unique=True, max_size=len(_NODE_IDS))
+    """Random small Graph models over the fixed ``GRAPH_MM`` universe."""
+    return random_model(
+        GRAPH_MM,
+        rng_from_seed(draw(_seeds)),
+        name="g",
+        oids={"Node": _NODE_IDS},
+        string_pool=_LABELS,
+        int_pool=_WEIGHTS,
+        p_link=0.125,
     )
-    builder = ModelBuilder(GRAPH_MM, name="g")
-    for oid in present:
-        builder.add(
-            "Node",
-            oid=oid,
-            label=draw(st.sampled_from(_LABELS)),
-            weight=draw(st.sampled_from(_WEIGHTS)),
-        )
-        if draw(st.booleans()):
-            builder.set(oid, active=draw(st.booleans()))
-    for source in present:
-        for target in present:
-            if draw(st.booleans()) and draw(st.integers(0, 3)) == 0:
-                builder.link(source, "next", target)
-    return builder.build()
 
 
 _FEATURES = ("core", "log", "ui", "net")
@@ -62,18 +73,20 @@ _FEATURES = ("core", "log", "ui", "net")
 @st.composite
 def feature_models(draw):
     """Random feature models over a fixed feature universe."""
-    chosen = draw(
-        st.dictionaries(st.sampled_from(_FEATURES), st.booleans(), max_size=4)
-    )
+    rng = rng_from_seed(draw(_seeds))
+    chosen = {
+        feature: rng.random() < 0.5
+        for feature in _FEATURES
+        if rng.random() < 0.6
+    }
     return feature_model(chosen)
 
 
 @st.composite
 def configurations(draw, name: str = "cf"):
     """Random configurations over the same feature universe."""
-    selected = draw(
-        st.lists(st.sampled_from(_FEATURES), unique=True, max_size=4)
-    )
+    rng = rng_from_seed(draw(_seeds))
+    selected = [feature for feature in _FEATURES if rng.random() < 0.4]
     return configuration(selected, name=name)
 
 
@@ -89,47 +102,22 @@ def model_tuples(draw, k: int = 2):
 @st.composite
 def cnfs(draw, max_vars: int = 6, max_clauses: int = 12):
     """Random small CNFs (including empty clauses occasionally)."""
-    num_vars = draw(st.integers(1, max_vars))
-    cnf = CNF(num_vars)
-    n_clauses = draw(st.integers(0, max_clauses))
-    literal = st.integers(1, num_vars).flatmap(
-        lambda v: st.sampled_from([v, -v])
+    return random_cnf(
+        draw(_seeds), max_vars=max_vars, max_clauses=max_clauses
     )
-    for _ in range(n_clauses):
-        clause = draw(st.lists(literal, min_size=1, max_size=4))
-        cnf.add_clause(clause)
-    return cnf
 
 
-_DOMAINS = ("m1", "m2", "m3", "m4")
+#: The pinned dependency-domain universe (now owned by repro.gen).
+_DOMAINS = DOMAINS
 
 
 @st.composite
 def dependency_sets(draw, max_size: int = 6):
     """Random dependency sets over a fixed domain universe."""
-    deps = set()
-    for _ in range(draw(st.integers(0, max_size))):
-        target = draw(st.sampled_from(_DOMAINS))
-        sources = draw(
-            st.lists(
-                st.sampled_from([d for d in _DOMAINS if d != target]),
-                unique=True,
-                max_size=3,
-            )
-        )
-        deps.add(Dependency(sources, target))
-    return frozenset(deps)
+    return random_dependency_set(draw(_seeds), _DOMAINS, max_size=max_size)
 
 
 @st.composite
 def dependencies(draw):
     """A single random dependency."""
-    target = draw(st.sampled_from(_DOMAINS))
-    sources = draw(
-        st.lists(
-            st.sampled_from([d for d in _DOMAINS if d != target]),
-            unique=True,
-            max_size=3,
-        )
-    )
-    return Dependency(sources, target)
+    return random_dependency(draw(_seeds), _DOMAINS)

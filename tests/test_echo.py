@@ -266,6 +266,96 @@ class TestCli:
         assert rc == 2
         assert "error" in capsys.readouterr().err
 
+    def test_unknown_verb_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["repair-all-the-things", "--workspace", "ws"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_no_verb_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+    def test_missing_workspace_dir(self, tmp_path, capsys):
+        rc = main(
+            [
+                "check",
+                "--workspace", str(tmp_path / "nope"),
+                "-t", "F",
+                "--bind", "fm=fm",
+            ]
+        )
+        assert rc == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_malformed_model_file(self, workspace_dir, capsys):
+        (workspace_dir / "models" / "alpha.json").write_text("{broken")
+        rc = main(["validate", "--workspace", str(workspace_dir)])
+        assert rc == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_model_file_with_unknown_metamodel(self, workspace_dir, capsys):
+        (workspace_dir / "models" / "odd.json").write_text(
+            json.dumps({"kind": "model", "metamodel": "Ghost", "objects": []})
+        )
+        rc = main(["validate", "--workspace", str(workspace_dir)])
+        assert rc == 2
+        assert "unknown metamodel" in capsys.readouterr().err
+
+    def test_bind_to_missing_model(self, workspace_dir, capsys):
+        rc = main(
+            [
+                "check",
+                "--workspace", str(workspace_dir),
+                "-t", "F",
+                "--bind", "fm=fm", "cf1=ghost", "cf2=beta",
+            ]
+        )
+        assert rc == 2
+        assert "no model" in capsys.readouterr().err
+
+    def test_bind_out_of_universe_model(self, workspace_dir, capsys):
+        """Binding a model of the wrong metamodel is rejected cleanly."""
+        rc = main(
+            [
+                "check",
+                "--workspace", str(workspace_dir),
+                "-t", "F",
+                "--bind", "fm=fm", "cf1=fm", "cf2=beta",
+            ]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error" in err and "metamodel" in err
+
+    def test_enforce_unknown_target(self, workspace_dir, capsys):
+        rc = main(
+            [
+                "enforce",
+                "--workspace", str(workspace_dir),
+                "-t", "F",
+                "--bind", "fm=fm", "cf1=alpha", "cf2=beta",
+                "--target", "ghost",
+            ]
+        )
+        assert rc == 2
+        assert "unknown parameters" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bad", ["cf2", "cf2=", "=3", "cf2=three"])
+    def test_bad_weight_entry(self, workspace_dir, bad):
+        with pytest.raises(SystemExit, match="bad --weight entry"):
+            main(
+                [
+                    "enforce",
+                    "--workspace", str(workspace_dir),
+                    "-t", "F",
+                    "--bind", "fm=fm", "cf1=alpha", "cf2=beta",
+                    "--target", "cf2",
+                    "--weight", bad,
+                ]
+            )
+
     def test_validate_reports_failures(self, workspace_dir, capsys):
         bad = """
         transformation Bad (a : FM) {

@@ -8,11 +8,19 @@ edits. Out-of-universe edits (new attribute values, drifted frozen
 models) must transparently re-ground, never mis-answer.
 """
 
+import gc
+import weakref
+
 import pytest
 
 from repro.echo.tool import Echo
 from repro.echo.workspace import Workspace
 from repro.enforce import EnforcementSession, TargetSelection, enforce
+from repro.enforce.session import (
+    SHARED_SESSION_LIMIT,
+    clear_shared_sessions,
+    shared_session,
+)
 from repro.errors import EnforcementError, NoRepairFound
 from repro.featuremodels import (
     configuration,
@@ -207,6 +215,85 @@ class TestSessionReuse:
         repair = session.enforce(_tuple({"core": True}, ["core"], ["core"]))
         assert repair.engine == "none"
         assert session.groundings == 0
+
+
+class TestSharedSessionEviction:
+    """LRU eviction of the shared grounding cache must actually release.
+
+    A cached session holds a full grounding, a MaxSAT session and an
+    incremental solver; if eviction left a hidden strong reference, a
+    long-running workspace cycling through many question shapes would
+    leak one solver per shape.
+    """
+
+    def setup_method(self):
+        clear_shared_sessions()
+
+    def teardown_method(self):
+        clear_shared_sessions()
+
+    def test_eviction_releases_the_session(self):
+        transformations = [
+            paper_transformation(k=2) for _ in range(SHARED_SESSION_LIMIT + 1)
+        ]
+        first = shared_session(
+            transformations[0], TargetSelection(["cf1", "cf2"]), scope=SCOPE
+        )
+        models = _tuple({"core": True}, [], ["core"])
+        first.enforce(models)  # make it hold a live grounding + solver
+        graveyard = (
+            weakref.ref(first),
+            weakref.ref(first._maxsat),
+            weakref.ref(first._maxsat.solver),
+            weakref.ref(first._grounding),
+        )
+        del first, models
+        # Fill the cache past its limit with distinct question shapes
+        # (transformation identity keys the cache): the LRU entry above
+        # must be evicted and everything it owned collected.
+        for transformation in transformations[1:]:
+            shared_session(
+                transformation, TargetSelection(["cf1", "cf2"]), scope=SCOPE
+            )
+        gc.collect()
+        leaked = [ref() for ref in graveyard if ref() is not None]
+        assert not leaked, f"evicted session still alive: {leaked}"
+
+    def test_evicted_shape_regrounds_exactly_once_on_return(self):
+        transformation = paper_transformation(k=2)
+        targets = TargetSelection(["cf1", "cf2"])
+        models = _tuple({"core": True}, ["core"], [])
+        first = shared_session(transformation, targets, scope=SCOPE)
+        first.enforce(models)
+        assert first.groundings == 1
+        fillers = [
+            paper_transformation(k=2) for _ in range(SHARED_SESSION_LIMIT)
+        ]
+        for filler in fillers:
+            shared_session(filler, targets, scope=SCOPE)
+        # The shape was evicted: returning to it builds a fresh session …
+        before = Grounder.translations
+        again = shared_session(transformation, targets, scope=SCOPE)
+        assert again is not first
+        repair = again.enforce(models)
+        assert repair.distance == first.enforce(models).distance
+        # … which grounds exactly once and then reuses, like any session:
+        # the follow-up edit stays inside the re-grounded universe.
+        again.enforce(_tuple({"core": True}, [], []))
+        assert again.groundings == 1
+        assert Grounder.translations - before == 1
+
+    def test_same_shape_stays_cached_until_evicted(self):
+        transformation = paper_transformation(k=2)
+        targets = TargetSelection(["cf1", "cf2"])
+        first = shared_session(transformation, targets, scope=SCOPE)
+        assert shared_session(transformation, targets, scope=SCOPE) is first
+        # A different mode is a different shape, not a replacement.
+        other = shared_session(
+            transformation, targets, scope=SCOPE, mode="decreasing"
+        )
+        assert other is not first
+        assert shared_session(transformation, targets, scope=SCOPE) is first
 
 
 class TestEchoIntegration:

@@ -222,6 +222,94 @@ class TestTieBreaking:
         assert runs[0] == runs[1]
 
 
+class TestMidSearchGc:
+    """Assumption-aware mid-search reduction (the PR-3 open follow-up).
+
+    The learnt database is now reduced the moment it overflows — at any
+    decision level, under assumptions — instead of waiting for a restart
+    boundary. Metamorphic property on a generated workload: forcing
+    constant mid-search reductions changes no verdict, no model
+    validity, no core soundness.
+    """
+
+    def _generated_workload(self, seed):
+        from repro.gen.workloads import random_assumptions, random_hard_cnf
+        from repro.util.seeding import rng_from_seed
+
+        rng = rng_from_seed(seed)
+        cnf = random_hard_cnf(rng, num_vars=30)
+        queries = [
+            random_assumptions(rng, cnf.num_vars, max_size=4)
+            for _ in range(4)
+        ]
+        return cnf, queries
+
+    def test_forced_midsearch_reductions_change_no_verdicts(self):
+        fired = 0
+        for seed in range(10):
+            cnf, queries = self._generated_workload(seed)
+            stressed = IncrementalSolver(cnf)
+            stressed.max_learnts = 1.0
+            stressed.GC_GROWTH = 1.01
+            stressed.LUBY_UNIT = 8
+            plain = IncrementalSolver(cnf, gc=False)
+            mirror = cnf.copy()
+            for assumptions in queries:
+                result = stressed.solve(assumptions)
+                assert (
+                    result.satisfiable
+                    == plain.solve(assumptions).satisfiable
+                )
+                if result.satisfiable:
+                    assert check_assignment(mirror, result.assignment)
+                    for lit in assumptions:
+                        assert result.assignment[abs(lit)] == (lit > 0)
+                else:
+                    assert result.core is not None
+                    assert set(result.core) <= set(assumptions)
+                _check_database(stressed)
+            fired += stressed.stats.midsearch_reductions
+        assert fired > 0, "the stress settings must actually reduce mid-search"
+
+    def test_midsearch_reduction_keeps_nonroot_locked_reasons(self):
+        """Reduce at a non-root decision level directly: every reason
+        clause of the live trail — including assumption-implied
+        assignments above level 0 — survives."""
+        cnf = CNF(6)
+        cnf.add_clause([-1, 2])   # 1 assumed -> 2 implied (level 1 reason)
+        cnf.add_clause([-2, 3])
+        cnf.add_clause([3, 4])    # filler the GC may drop
+        cnf.add_clause([4, 5])
+        cnf.add_clause([-4, 5, 6])
+        solver = IncrementalSolver(cnf)
+        # A SAT answer leaves the trail at its final (non-root) levels,
+        # with clause [-1, 2] locked as the reason of the assumption-
+        # implied literal 2.
+        assert solver.solve([1]).satisfiable
+        assert solver._decision_level() > 0
+        for index in range(len(solver.clauses)):
+            solver.clause_lbd[index] = 9
+            solver.clause_act[index] = 0.0
+        solver.num_learnts = len(solver.clauses)
+        locked_before = {
+            tuple(solver.clauses[solver.reasons[abs(lit)]])
+            for lit in solver.trail
+            if solver.reasons[abs(lit)] is not None
+        }
+        assert locked_before, "scenario must lock a non-root reason"
+        solver._reduce_learnts()
+        assert solver.stats.midsearch_reductions == 1
+        locked_after = {
+            tuple(solver.clauses[solver.reasons[abs(lit)]])
+            for lit in solver.trail
+            if solver.reasons[abs(lit)] is not None
+        }
+        assert locked_after == locked_before
+        _check_database(solver)
+        solver._backtrack(0)
+        assert solver.solve([1]).satisfiable
+
+
 class TestGcSafety:
     def test_locked_reason_clauses_survive_reduction(self):
         """A mid-solve reduction never deletes a clause that is the
