@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Import-check the code blocks in README.md and docs/*.md.
+
+Documentation rots silently: a renamed module or function leaves the
+prose intact and every snippet broken. This script keeps the docs
+honest the cheap way — it extracts every fenced ``python`` code block,
+collects its ``import`` statements, and verifies that the imported
+modules exist and export the imported names. Snippets are *not*
+executed (they are fragments with free variables by design); the import
+surface is the part that rots, so that is the part CI pins.
+
+Exit code 1 lists every stale reference with its file and line.
+
+Usage: PYTHONPATH=src python scripts/check_docs.py [files...]
+       (no arguments: README.md and docs/**/*.md from the repo root)
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def code_blocks(text: str):
+    """Yield (start line, language, code) for every fenced block."""
+    lines = text.splitlines()
+    block: list[str] | None = None
+    language = ""
+    start = 0
+    for number, line in enumerate(lines, start=1):
+        match = FENCE.match(line.strip())
+        if match and block is None:
+            block = []
+            language = match.group(1).lower()
+            start = number
+        elif line.strip() == "```" and block is not None:
+            yield start, language, "\n".join(block)
+            block = None
+        elif block is not None:
+            block.append(line)
+
+
+def import_targets(code: str, line_offset: int):
+    """(line, module, name-or-None) for every import in ``code``.
+
+    Snippets are fragments; if one fails to parse as a module (rare —
+    e.g. prose ellipses), fall back to scanning line by line so the
+    intact import lines still get checked.
+    """
+    try:
+        tree = ast.parse(code)
+    except SyntaxError:
+        for index, line in enumerate(code.splitlines()):
+            stripped = line.strip()
+            if stripped.startswith(("import ", "from ")):
+                try:
+                    tree = ast.parse(stripped)
+                except SyntaxError:
+                    continue
+                yield from import_targets(
+                    stripped, line_offset + index
+                )
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield line_offset + node.lineno, alias.name, None
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            assert node.module is not None
+            for alias in node.names:
+                yield line_offset + node.lineno, node.module, alias.name
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    for start, language, code in code_blocks(path.read_text()):
+        if language not in ("python", "py"):
+            continue
+        for line, module, name in import_targets(code, start):
+            try:
+                shown = path.relative_to(ROOT)
+            except ValueError:
+                shown = path
+            where = f"{shown}:{line}"
+            try:
+                imported = importlib.import_module(module)
+            except ImportError as exc:
+                problems.append(f"{where}: cannot import {module!r} ({exc})")
+                continue
+            if name is not None and name != "*" and not hasattr(imported, name):
+                problems.append(
+                    f"{where}: module {module!r} has no attribute {name!r}"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(arg).resolve() for arg in argv]
+    else:
+        files = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("**/*.md"))
+    missing = [f for f in files if not f.is_file()]
+    if missing:
+        print(f"error: no such file(s): {', '.join(map(str, missing))}")
+        return 1
+    problems = []
+    checked = 0
+    for path in files:
+        checked += 1
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(
+        f"checked {checked} file(s): "
+        + (f"{len(problems)} stale reference(s)" if problems else "all imports resolve")
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,9 +11,15 @@
 # SAT entry points share one grounding), a8 replays a fixed seed list
 # of *generated* scenarios (random metamodels/transformations/tuples)
 # through every engine and asserts zero verdict/cost disagreements,
-# bit-for-bit generator determinism and oscillation absorption.
+# bit-for-bit generator determinism and oscillation absorption, and a9
+# asserts the batch service answers shards verdict/cost-identically to
+# sequential per-call SAT with one grounding per shape per worker and
+# worker-count-independent results (the >= 2x throughput gate runs in
+# the full, non-smoke sweep). Docs can't rot silently: every example
+# runs as a smoke stage, the code blocks in README.md and docs/ are
+# import-checked, and the audited public modules' doctests execute.
 #
-# Usage: scripts/ci.sh  (from anywhere; finishes in well under a minute)
+# Usage: scripts/ci.sh  (from anywhere; finishes in about a minute)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -39,5 +45,24 @@ python benchmarks/bench_a7_grounding.py --smoke
 # script mode with its own gates and emits the trajectory JSON.
 echo "== a8 generated-workloads differential smoke benchmark =="
 python benchmarks/bench_a8_generated_workloads.py --smoke
+
+echo "== a9 batch-service smoke benchmark =="
+python benchmarks/bench_a9_batch_service.py --smoke
+
+echo "== examples smoke =="
+for example in examples/*.py; do
+  echo "-- $example"
+  python "$example" > /dev/null
+done
+
+echo "== docs code-block import check =="
+python scripts/check_docs.py
+
+echo "== public-surface doctests =="
+python -m doctest \
+  src/repro/solver/sat.py \
+  src/repro/enforce/api.py \
+  src/repro/enforce/session.py \
+  src/repro/echo/tool.py
 
 echo "CI OK"

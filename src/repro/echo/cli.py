@@ -1,14 +1,19 @@
 """The ``repro-echo`` command line.
 
-Three subcommands over a file workspace (see
-:mod:`repro.echo.workspace` for the layout):
+Subcommands over a file workspace (see :mod:`repro.echo.workspace` for
+the layout):
 
 * ``validate`` — static analysis of every transformation (well-formedness,
   safety, invocation direction typing);
+* ``explain`` — one transformation's dependencies, derivable directions
+  and call sites;
 * ``check`` — consistency of a model binding, standard or extended
   semantics; exit code 1 signals inconsistency;
 * ``enforce`` — least-change repair towards ``--target`` models, with
-  ``--write`` to persist the repaired models back into the workspace.
+  ``--write`` to persist the repaired models back into the workspace;
+* ``batch`` — answer a whole JSON file of enforcement requests through
+  the sharded batch service (:mod:`repro.serve`); exit code 1 signals
+  at least one unanswered request.
 
 Examples::
 
@@ -16,19 +21,45 @@ Examples::
     repro-echo check --workspace ws -t F --bind fm=fm cf1=alpha cf2=beta
     repro-echo enforce --workspace ws -t F --bind fm=fm cf1=alpha cf2=beta \\
         --target cf1 --target cf2 --engine sat --write
+    repro-echo batch --workspace ws --requests batch.json --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.echo.tool import Echo
 from repro.echo.workspace import Workspace
 from repro.enforce.metrics import TupleMetric
-from repro.errors import ReproError
+from repro.errors import ReproError, WorkspaceError
 from repro.qvtr.analysis import analyse
+
+#: The batch verb's --help epilog doubles as the batch-file reference.
+_BATCH_EPILOG = """\
+The batch file is a JSON array; every entry is one enforcement request
+over workspace artefacts:
+
+    [{"transformation": "F",
+      "bind": {"fm": "fm", "cf1": "alpha", "cf2": "beta"},
+      "targets": ["cf1", "cf2"],
+      "semantics": "extended",
+      "mode": "increasing",
+      "max_distance": 3,
+      "weights": {"cf1": 2}}]
+
+Only "transformation", "bind" and "targets" are required. Requests are
+sharded by question shape and answered on a process pool; responses
+print in submission order regardless of worker interleaving. Keep the
+batch file OUTSIDE the workspace root — the workspace loader scans
+every *.json under it.
+
+example:
+    repro-echo batch --workspace ws --requests batch.json --workers 4 --write
+"""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +103,39 @@ def build_parser() -> argparse.ArgumentParser:
     enf.add_argument(
         "--write", action="store_true", help="persist repaired models to the workspace"
     )
+
+    batch = sub.add_parser(
+        "batch",
+        help="answer a JSON file of enforcement requests via the batch service",
+        description="Sharded batch enforcement over workspace artefacts.",
+        epilog=_BATCH_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    batch.add_argument("--workspace", required=True)
+    batch.add_argument(
+        "--requests",
+        required=True,
+        help="path to the JSON batch file (see the epilog for the format)",
+    )
+    from repro.serve import DEFAULT_WORKERS
+
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_WORKERS,
+        help="process-pool size; 0 answers inline in this process "
+        f"(default: {DEFAULT_WORKERS})",
+    )
+    batch.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race luby vs geometric restart schedules per shard",
+    )
+    batch.add_argument(
+        "--write",
+        action="store_true",
+        help="persist every repaired model back into the workspace",
+    )
     return parser
 
 
@@ -105,6 +169,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _validate(workspace)
     if args.command == "explain":
         return _explain(workspace, args.transformation)
+    if args.command == "batch":
+        return _batch(workspace, args)
     echo = workspace.echo()
     binding = _parse_binding(args.bind)
     if args.command == "check":
@@ -130,6 +196,57 @@ def _dispatch(args: argparse.Namespace) -> int:
             path = workspace.save_model(args.workspace, binding[param])
             print(f"wrote {path}")
     return 0
+
+
+def _batch(workspace: Workspace, args: argparse.Namespace) -> int:
+    """The ``batch`` verb: file of requests -> submission-ordered answers."""
+    path = Path(args.requests)
+    try:
+        entries = json.loads(path.read_text())
+    except OSError as exc:
+        raise WorkspaceError(f"cannot read batch file {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise WorkspaceError(f"{path}: not UTF-8 text ({exc})") from exc
+    except json.JSONDecodeError as exc:
+        raise WorkspaceError(f"{path}: invalid JSON ({exc})") from exc
+    result = workspace.serve(
+        entries, workers=args.workers, portfolio=args.portfolio
+    )
+    ok = True
+    written_by: dict[str, int] = {}
+    for index, (entry, response) in enumerate(zip(entries, result.responses)):
+        print(f"[{index}] {entry.get('transformation')}: {response.summary()}")
+        if not response.ok:
+            ok = False
+        elif args.write and response.changed:
+            bind = entry["bind"]
+            for param in sorted(response.changed):
+                name = bind[param]
+                workspace.models[name] = response.models[param].renamed(name)
+                written = workspace.save_model(args.workspace, name)
+                print(f"  wrote {written}")
+                if name in written_by:
+                    # Every request was answered against the workspace
+                    # *snapshot*; a later write to the same model wins
+                    # and may invalidate the earlier repair's verdict.
+                    print(
+                        f"  warning: {name!r} was already written by "
+                        f"request {written_by[name]}; this write replaces "
+                        "it (repairs were computed against the original "
+                        "workspace state)",
+                        file=sys.stderr,
+                    )
+                written_by[name] = index
+    outcomes = ", ".join(
+        f"{outcome}={count}" for outcome, count in sorted(result.outcomes().items())
+    )
+    print(
+        f"{len(result.responses)} requests in {len(result.shards)} shards "
+        f"({outcomes}) — workers={result.workers}"
+        + (" portfolio" if result.portfolio else "")
+        + f", {result.elapsed:.2f}s"
+    )
+    return 0 if ok else 1
 
 
 def _validate(workspace: Workspace) -> int:

@@ -9,7 +9,12 @@ again — so the façade keeps one persistent
 binding, targets, semantics) for the SAT engine: repeated ``enforce()``
 calls over an evolving registry patch the cached grounding instead of
 re-grounding the whole question, and keep profiting from the solver
-state earlier repairs built up.
+state earlier repairs built up. Since the grounding fast path (PR 3)
+those sessions resolve through the process-wide
+:func:`~repro.enforce.session.shared_session` cache, so mixing the
+façade with direct ``enforce_sat`` / ``enumerate_repairs`` calls over
+the same question shape still grounds exactly once. For *batches* of
+independent questions, see :mod:`repro.serve`.
 """
 
 from __future__ import annotations
@@ -58,14 +63,23 @@ class Echo:
     # Registry
     # ------------------------------------------------------------------
     def add_metamodel(self, metamodel: Metamodel) -> None:
+        """Register ``metamodel`` under its own name (latest wins)."""
         self._metamodels[metamodel.name] = metamodel
 
     def add_model(self, name: str, model: Model) -> None:
+        """Register ``model`` as ``name``, registering its metamodel too."""
         if model.metamodel.name not in self._metamodels:
             self.add_metamodel(model.metamodel)
         self._models[name] = model.renamed(name)
 
     def add_transformation(self, transformation: Transformation | str) -> None:
+        """Register a transformation (object or QVT-R source text).
+
+        Static analysis runs at registration —
+        :class:`~repro.errors.QvtStaticError` surfaces here, not at the
+        first check. Re-registering a name drops its cached enforcement
+        sessions.
+        """
         if isinstance(transformation, str):
             transformation = parse_transformation(transformation)
         report = analyse(transformation, self._metamodels or None)
@@ -79,18 +93,22 @@ class Echo:
         }
 
     def model(self, name: str) -> Model:
+        """The registered model called ``name`` (its *current* state —
+        repairs applied by :meth:`enforce` are visible here)."""
         try:
             return self._models[name]
         except KeyError:
             raise WorkspaceError(f"no model named {name!r}") from None
 
     def transformation(self, name: str) -> Transformation:
+        """The registered transformation called ``name``."""
         try:
             return self._transformations[name]
         except KeyError:
             raise WorkspaceError(f"no transformation named {name!r}") from None
 
     def model_names(self) -> list[str]:
+        """Every registered model name, sorted."""
         return sorted(self._models)
 
     # ------------------------------------------------------------------

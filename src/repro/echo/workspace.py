@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.errors import SerializationError, WorkspaceError
+from repro.errors import ReproError, SerializationError, WorkspaceError
 from repro.metamodel.meta import Metamodel
 from repro.metamodel.model import Model
 from repro.metamodel.serialize import (
@@ -84,6 +84,117 @@ class Workspace:
         """Drop the cached tool bridge (after metamodel/transformation edits)."""
         self._echo = None
         self._echo_synced = {}
+
+    def serve(
+        self,
+        entries: list,
+        workers: int | None = None,
+        portfolio: bool = False,
+    ) -> "BatchResult":
+        """Answer a batch of enforcement requests over workspace artefacts.
+
+        ``entries`` is the parsed batch file of the ``repro-echo batch``
+        verb: a non-empty list of request objects, each naming a
+        registered ``transformation``, a ``bind`` of its parameters to
+        workspace model names, and the ``targets`` to repair; optional
+        keys — ``semantics``, ``weights``, ``scope``, ``mode``,
+        ``max_distance`` — mirror :meth:`~repro.echo.tool.Echo.enforce`.
+        Entries are resolved strictly (an unknown name or malformed
+        entry raises :class:`~repro.errors.WorkspaceError` before
+        anything is dispatched) and then served by
+        :func:`repro.serve.serve_batch`: sharded by question shape,
+        answered on a process pool of ``workers`` (0 = inline), merged
+        in submission order. The workspace itself is not mutated — the
+        CLI decides what to persist from the returned
+        :class:`~repro.serve.BatchResult`.
+        """
+        from repro.serve import DEFAULT_WORKERS, EnforceRequest, serve_batch
+        from repro.serve.requests import scope_from_dict
+
+        if workers is None:
+            workers = DEFAULT_WORKERS
+        if not isinstance(entries, list):
+            raise WorkspaceError("batch must be a JSON array of requests")
+        if not entries:
+            raise WorkspaceError("batch contains no requests")
+        requests = []
+        for index, entry in enumerate(entries):
+            label = f"batch entry {index}"
+            if not isinstance(entry, dict):
+                raise WorkspaceError(f"{label}: expected a JSON object")
+            name = entry.get("transformation")
+            if not isinstance(name, str):
+                raise WorkspaceError(
+                    f"{label}: 'transformation' must be a name (string)"
+                )
+            transformation = self.transformations.get(name)
+            if transformation is None:
+                raise WorkspaceError(
+                    f"{label}: workspace has no transformation {name!r}"
+                )
+            bind = entry.get("bind")
+            if not isinstance(bind, dict) or not all(
+                isinstance(key, str) and isinstance(value, str)
+                for key, value in bind.items()
+            ):
+                raise WorkspaceError(
+                    f"{label}: 'bind' must map parameters to model names"
+                )
+            missing = set(transformation.param_names()) - set(bind)
+            if missing:
+                raise WorkspaceError(
+                    f"{label}: binding misses parameters {sorted(missing)}"
+                )
+            models = {}
+            for param in transformation.param_names():
+                model = self.models.get(bind[param])
+                if model is None:
+                    raise WorkspaceError(
+                        f"{label}: workspace has no model {bind[param]!r}"
+                    )
+                models[param] = model.renamed(param)
+            targets = entry.get("targets")
+            if (
+                not isinstance(targets, list)
+                or not targets
+                or not all(isinstance(target, str) for target in targets)
+            ):
+                raise WorkspaceError(
+                    f"{label}: 'targets' must be a non-empty list of parameters"
+                )
+            unknown = set(targets) - set(transformation.param_names())
+            if unknown:
+                raise WorkspaceError(
+                    f"{label}: targets name unknown parameters {sorted(unknown)}"
+                )
+            max_distance = entry.get("max_distance")
+            if max_distance is not None and not isinstance(max_distance, int):
+                raise WorkspaceError(f"{label}: 'max_distance' must be an int")
+            weights = entry.get("weights", {})
+            if not isinstance(weights, dict) or not all(
+                isinstance(key, str) and isinstance(value, int)
+                and not isinstance(value, bool)
+                for key, value in weights.items()
+            ):
+                raise WorkspaceError(
+                    f"{label}: 'weights' must map parameters to integers"
+                )
+            try:
+                requests.append(
+                    EnforceRequest.build(
+                        transformation,
+                        models,
+                        targets,
+                        semantics=entry.get("semantics", "extended"),
+                        weights=weights,
+                        scope=scope_from_dict(entry.get("scope")),
+                        mode=entry.get("mode", "increasing"),
+                        max_distance=max_distance,
+                    )
+                )
+            except ReproError as exc:
+                raise WorkspaceError(f"{label}: {exc}") from exc
+        return serve_batch(requests, workers=workers, portfolio=portfolio)
 
     # ------------------------------------------------------------------
     # Loading

@@ -32,7 +32,14 @@ GUIDED_ENGINE = "guided"
 
 @dataclass(frozen=True)
 class Repair:
-    """The outcome of an enforcement run."""
+    """The outcome of an enforcement run.
+
+    ``models`` is the full repaired tuple (non-targets unchanged),
+    ``distance`` the weighted tuple distance actually paid, ``changed``
+    the parameters that differ from the input, and ``engine`` the
+    engine that produced the repair — ``"none"`` for the hippocratic
+    case (the input was already consistent and came back untouched).
+    """
 
     models: dict[str, Model]
     distance: int
@@ -41,9 +48,11 @@ class Repair:
     targets: frozenset[str]
 
     def model(self, param: str) -> Model:
+        """The repaired model bound to ``param``."""
         return self.models[param]
 
     def summary(self) -> str:
+        """A one-line, human-readable account of the repair."""
         changed = ", ".join(sorted(self.changed)) if self.changed else "nothing"
         return (
             f"repair via {self.engine}: distance {self.distance}, "
@@ -90,6 +99,19 @@ def enforce(
     restore consistency within bounds — the paper's closing caveat that
     *"not all update directions are able to restore the consistency of
     the system"*.
+
+    >>> from repro.featuremodels import (paper_transformation,
+    ...     feature_model, configuration)
+    >>> models = {"fm": feature_model({"core": True, "log": True}),
+    ...           "cf1": configuration(["core", "log"], name="cf1"),
+    ...           "cf2": configuration(["core"], name="cf2")}
+    >>> repair = enforce(paper_transformation(k=2), models,
+    ...                  TargetSelection(["cf1", "cf2"]), share=False)
+    >>> repair.distance, sorted(repair.changed)
+    (2, ['cf2'])
+    >>> enforce(paper_transformation(k=2), repair.models,
+    ...         TargetSelection(["cf1", "cf2"]), share=False).engine
+    'none'
     """
     if engine not in (SEARCH_ENGINE, SAT_ENGINE, GUIDED_ENGINE):
         raise EnforcementError(f"unknown engine {engine!r}")

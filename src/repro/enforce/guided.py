@@ -62,7 +62,7 @@ from repro.metamodel.edits import (
 from repro.metamodel.model import Model
 from repro.metamodel.types import default_value
 from repro.qvtr.ast import Domain, Relation
-from repro.solver.bounded import Scope, ValuePools, fresh_oid
+from repro.solver.bounded import Scope, ValuePools, fresh_slots_for
 
 #: A candidate repair step: which model to edit, and how.
 Candidate = tuple[str, tuple[Edit, ...]]
@@ -88,6 +88,13 @@ def enforce_guided(
     original = dict(models)
     state = dict(models)
     pools = ValuePools(original, scope)
+    # Creatable fresh ids per target, anchored at the *original* model —
+    # the same bounded universe the SAT and search engines use (shared
+    # allocation rule, see fresh_slots_for).
+    fresh = {
+        param: fresh_slots_for(original[param], scope)
+        for param in sorted(targets.params)
+    }
     oracle = (
         ConsistencyOracle.try_build(
             checker, original, targets, scope, metric=metric, share=share_oracle
@@ -126,7 +133,7 @@ def enforce_guided(
         pending: list[Candidate] = []
         for relation, violation in violations:
             pending.extend(
-                _candidates(relation, violation, state, targets, pools, scope)
+                _candidates(relation, violation, state, targets, pools, fresh)
             )
         if debt:
             pending.extend(_conformance_candidates(state, targets, pools))
@@ -186,7 +193,7 @@ def _candidates(
     state: Mapping[str, Model],
     targets: TargetSelection,
     pools: ValuePools,
-    scope: Scope,
+    fresh: Mapping[str, dict[str, tuple[str, ...]]],
 ) -> Iterator[Candidate]:
     """Candidate edit scripts for one violation, most promising first."""
     env = violation.env()
@@ -194,7 +201,11 @@ def _candidates(
     if target_param in targets:
         augmented = _augment_from_where(relation, dict(env), state)
         yield from _satisfy_target(
-            relation.domain_for(target_param), augmented, state, pools, scope
+            relation.domain_for(target_param),
+            augmented,
+            state,
+            pools,
+            fresh[target_param],
         )
     for source_param in sorted(violation.dependency.sources):
         if source_param not in targets:
@@ -250,7 +261,7 @@ def _satisfy_target(
     env: Env,
     state: Mapping[str, Model],
     pools: ValuePools,
-    scope: Scope,
+    fresh_slots: dict[str, tuple[str, ...]],
 ) -> Iterator[Candidate]:
     """Scripts making some object of the target model match the template."""
     model = state[domain.model_param]
@@ -289,14 +300,17 @@ def _satisfy_target(
         if feasible and edits:
             yield domain.model_param, tuple(edits)
 
-    # Option 2: create a fresh object.
+    # Option 2: create a fresh object on the next unused fresh slot
+    # (the SAT/search universe's allocation, fixed by the original).
     taken = set(model.object_ids())
-    oid = None
-    for i in range(1, scope.extra_objects + 16):
-        candidate_oid = fresh_oid(template.class_name, i)
-        if candidate_oid not in taken:
-            oid = candidate_oid
-            break
+    oid = next(
+        (
+            candidate
+            for candidate in fresh_slots.get(template.class_name, ())
+            if candidate not in taken
+        ),
+        None,
+    )
     if oid is None:
         return
     attrs = dict(wanted_attrs)

@@ -44,7 +44,7 @@ from repro.errors import EnforcementError, NoRepairFound, SearchBudgetExhausted
 from repro.metamodel.conformance import is_conformant
 from repro.metamodel.distance import distance
 from repro.metamodel.model import Model, ModelObject
-from repro.solver.bounded import Scope, ValuePools, fresh_oid
+from repro.solver.bounded import Scope, ValuePools, fresh_slots_for
 
 #: Cap on attribute-combinations when materialising a fresh object.
 _MAX_CREATION_VARIANTS = 1024
@@ -82,6 +82,14 @@ def enforce_search(
     original = dict(models)
     pools = ValuePools(original, scope)
     target_list = sorted(targets.params)
+    # The creatable fresh ids per target, fixed by the *original* model
+    # exactly like the SAT grounder's universe — so both engines answer
+    # the same bounded question even when the original occupies
+    # reserved ``new_*`` ids (an earlier repair, evolved further).
+    fresh = {
+        param: fresh_slots_for(original[param], scope)
+        for param in target_list
+    }
     oracle = (
         ConsistencyOracle.try_build(
             checker, original, targets, scope, metric=metric, share=share_oracle
@@ -140,7 +148,9 @@ def enforce_search(
                 explored_distance=max_reached,
             )
         for param in target_list:
-            for successor_model in _successors(state[param], pools, scope):
+            for successor_model in _successors(
+                state[param], pools, fresh[param]
+            ):
                 successor = dict(state)
                 successor[param] = successor_model
                 new_cost = cost
@@ -164,8 +174,13 @@ def _oracle_counts(oracle: ConsistencyOracle | None) -> tuple[int, int]:
     return oracle.queries, oracle.fallbacks
 
 
-def _successors(model: Model, pools: ValuePools, scope: Scope) -> Iterator[Model]:
-    """All single-edit neighbours of ``model`` within the bounded universe."""
+def _successors(
+    model: Model, pools: ValuePools, fresh_slots: dict[str, tuple[str, ...]]
+) -> Iterator[Model]:
+    """All single-edit neighbours of ``model`` within the bounded universe.
+
+    ``fresh_slots`` names the creatable object ids per class, fixed by
+    the enforcement question's original model (the SAT universe)."""
     mm = model.metamodel
     # Attribute flips and unsets.
     for obj in model.objects:
@@ -199,16 +214,18 @@ def _successors(model: Model, pools: ValuePools, scope: Scope) -> Iterator[Model
         if obj.refs or obj.oid in referenced:
             continue
         yield model.without_object(obj.oid)
-    # Object creation — first unused fresh id per class, all mandatory
+    # Object creation — first unused fresh slot per class, all mandatory
     # attribute combinations.
     taken = set(model.object_ids())
     for class_name in mm.concrete_classes():
-        oid = None
-        for i in range(1, scope.extra_objects + 1):
-            candidate = fresh_oid(class_name, i)
-            if candidate not in taken:
-                oid = candidate
-                break
+        oid = next(
+            (
+                candidate
+                for candidate in fresh_slots.get(class_name, ())
+                if candidate not in taken
+            ),
+            None,
+        )
         if oid is None:
             continue
         mandatory = [

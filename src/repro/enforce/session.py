@@ -139,11 +139,30 @@ class EnforcementSession:
     ``prune``/``cache`` toggle the grounding fast path (binding-space
     pruning, cross-grounding translation caching); both default on and
     exist as the naive arms of ablation A7 and the equivalence property
-    tests.
+    tests. ``solver_kwargs`` forwards hot-loop knobs (``decision``,
+    ``restart``, ``gc`` — see :class:`~repro.solver.sat.IncrementalSolver`)
+    to every solver this session builds; the batch service's portfolio
+    mode (:mod:`repro.serve`) uses it to race restart schedules.
 
     Counters: ``calls`` (enforce calls), ``groundings`` (full grounding
     builds), ``reuses`` (queries served by patching the cached
     grounding).
+
+    >>> from repro.featuremodels import (paper_transformation,
+    ...     feature_model, configuration)
+    >>> session = EnforcementSession(paper_transformation(k=2),
+    ...                              ["cf1", "cf2"])
+    >>> models = {"fm": feature_model({"core": True, "log": True}),
+    ...           "cf1": configuration(["core", "log"], name="cf1"),
+    ...           "cf2": configuration(["core"], name="cf2")}
+    >>> session.enforce(models).distance        # grounds once, repairs
+    2
+    >>> drifted = dict(models,
+    ...     cf1=configuration(["core"], name="cf1"))
+    >>> session.enforce(drifted).distance       # patched, not re-ground
+    4
+    >>> session.groundings, session.reuses
+    (1, 1)
     """
 
     def __init__(
@@ -156,6 +175,7 @@ class EnforcementSession:
         mode: str = INCREASING,
         prune: bool = True,
         cache: bool = True,
+        solver_kwargs: Mapping | None = None,
     ) -> None:
         self.transformation = transformation
         self.targets = (
@@ -172,6 +192,7 @@ class EnforcementSession:
         self.scope = scope
         self.mode = mode
         self.prune = prune
+        self.solver_kwargs = dict(solver_kwargs) if solver_kwargs else None
         self._context = GroundingContext() if cache else None
         self._params = transformation.param_names()
         # Retained grounding generations, least-recently-used first. A
@@ -350,7 +371,9 @@ class EnforcementSession:
             # inert but still cost watch-list traffic; rebuild the
             # MaxSAT session (the grounding itself is untouched) so a
             # long-lived shared session stays bounded.
-            self._active.maxsat = self._grounding.session()
+            self._active.maxsat = self._grounding.session(
+                solver_kwargs=self.solver_kwargs
+            )
             oracle = ConsistencyOracle(
                 self._grounding,
                 frozenset(self.targets.params),
@@ -642,7 +665,7 @@ class EnforcementSession:
         except SatFragmentError as error:
             self._fragment_error = error
             raise
-        maxsat = grounding.session()
+        maxsat = grounding.session(solver_kwargs=self.solver_kwargs)
         oracle = ConsistencyOracle(
             grounding, frozenset(self.targets.params), maxsat.solver
         )

@@ -126,3 +126,11 @@ class GenerationError(ReproError):
     """Raised by :mod:`repro.gen` when a generator cannot satisfy its
     validity filter (e.g. no well-typed transformation within the retry
     budget)."""
+
+
+class ServeError(ReproError):
+    """Raised by the batch service (:mod:`repro.serve`) for scheduler
+    misuse — invalid worker counts, portfolio without a pool, or a shard
+    that produced no response. Per-request failures never raise; they
+    come back as ``error`` responses so one bad request cannot kill its
+    batch."""

@@ -52,6 +52,7 @@ and platforms.
 
 from repro.gen.edits import (
     anchor_rename,
+    in_universe_stream,
     oscillating_tuples,
     perturb,
     random_edit,
@@ -76,6 +77,7 @@ from repro.gen.scenarios import (
     SCENARIO_SCOPE,
     GeneratedScenario,
     random_scenario,
+    scenario_requests,
 )
 from repro.gen.transformations import random_dependencies, random_transformation
 from repro.gen.workloads import (
@@ -103,6 +105,7 @@ __all__ = [
     "GeneratedScenario",
     "anchor_rename",
     "differential",
+    "in_universe_stream",
     "oscillating_tuples",
     "perturb",
     "random_assumptions",
@@ -117,6 +120,7 @@ __all__ = [
     "random_model",
     "random_scenario",
     "random_transformation",
+    "scenario_requests",
     "random_value",
     "run_engine",
     "session_differential",

@@ -7,7 +7,7 @@ model it targets, per :func:`repro.metamodel.edits.apply_edit`) but make
 no conformance or consistency promises — breaking consistency is the
 point, that is what enforcement questions are made of.
 
-Two stream shapes matter to the enforcement-session machinery:
+Three stream shapes matter to the enforcement-session machinery:
 
 * :func:`perturb` — a handful of edits spread over the tuple, producing
   one enforcement question from a consistent base state;
@@ -15,7 +15,13 @@ Two stream shapes matter to the enforcement-session machinery:
   between two variants, the access pattern that exercises
   :class:`~repro.enforce.session.EnforcementSession` generation
   retention (each flip escapes the active grounding but anchors a
-  retained one).
+  retained one);
+* :func:`in_universe_stream` — target models drifting strictly *inside*
+  the grounding universe of the starting tuple (attribute values from
+  the tuple's own active domain, reference rewires between existing
+  objects, deletions — never additions or fresh values), the batch
+  access pattern of :mod:`repro.serve` where one grounding must serve a
+  whole shard of requests.
 """
 
 from __future__ import annotations
@@ -36,7 +42,7 @@ from repro.metamodel.edits import (
     apply_edit,
 )
 from repro.metamodel.model import Model
-from repro.metamodel.types import PrimitiveType
+from repro.metamodel.types import EnumType, PrimitiveType
 from repro.util.seeding import rng_from_seed
 
 
@@ -187,6 +193,140 @@ def perturb(
         out[param] = apply_edit(out[param], edit)
         edited.add(param)
     return out, frozenset(edited)
+
+
+def _in_universe_edit(
+    rng: random.Random,
+    model: Model,
+    pools: dict[PrimitiveType, list],
+    counts: dict,
+) -> Edit | None:
+    """One applicable edit on ``model`` that preserves the tuple's
+    grounding universe: same object sets, same tuple-wide value domain.
+
+    Candidates: ``SetAttr`` to a value the tuple already contains (enum
+    literals and booleans are always complete candidate pools) and
+    reference rewires between existing objects. A string/int value may
+    only be overwritten or unset while ``counts`` says another
+    occurrence survives elsewhere in the tuple — otherwise the value
+    would leave the active domain, and a grounding anchored at the
+    edited tuple could no longer express its predecessors (or answer
+    the same bounded question the anchor's grounding answers). Objects
+    are never added or removed for the same reason.
+    """
+    mm = model.metamodel
+    candidates: list[Edit] = []
+    for obj in model.objects:
+        for attr_name, attr in sorted(mm.all_attributes(obj.cls).items()):
+            if isinstance(attr.type, EnumType):
+                # Only literals the tuple already carries: enum literals
+                # are strings, and a literal new to the tuple would grow
+                # the active string domain of any later-anchored
+                # grounding — the same universe drift the droppable
+                # guard below prevents in the other direction.
+                values = [
+                    literal
+                    for literal in attr.type.literals
+                    if counts.get(literal, 0) > 0
+                ]
+            elif attr.type is PrimitiveType.BOOLEAN:
+                values = [True, False]
+            else:
+                values = pools.get(attr.type, [])
+            current = obj.attr_or(attr_name)
+            # The current value may only be overwritten/unset while
+            # another occurrence keeps it in the tuple's active domain.
+            # This covers *enum* values too: enum literals are strings,
+            # and the grounder's string pool collects every string
+            # attribute value regardless of the attribute's declared
+            # type — dropping the last occurrence would shrink the
+            # universe. Booleans feed no pool and are always free.
+            droppable = (
+                current is None
+                or isinstance(current, bool)
+                or counts.get(current, 0) >= 2
+            )
+            if not droppable:
+                continue
+            for value in values:
+                if current is None or value != current or (
+                    isinstance(value, bool) != isinstance(current, bool)
+                ):
+                    candidates.append(SetAttr(obj.oid, attr_name, value))
+            if attr.optional and obj.has_attr(attr_name):
+                candidates.append(UnsetAttr(obj.oid, attr_name))
+        for ref_name, ref in sorted(mm.all_references(obj.cls).items()):
+            present = obj.targets(ref_name)
+            for target in present:
+                candidates.append(RemoveRef(obj.oid, ref_name, target))
+            for target in model.objects_of(ref.target):
+                if target.oid not in present:
+                    candidates.append(AddRef(obj.oid, ref_name, target.oid))
+    if not candidates:
+        return None
+    return rng.choice(candidates)
+
+
+def in_universe_stream(
+    seed: int | random.Random | None,
+    models: dict[str, Model],
+    params: Sequence[str],
+    rounds: int,
+) -> list[dict[str, Model]]:
+    """``rounds`` tuples drifting the ``params`` models inside the universe.
+
+    The first tuple is ``models`` itself; each following tuple is one
+    universe-preserving edit (see :func:`_in_universe_edit`) away from
+    its predecessor, applied to one of the ``params`` models. Object
+    sets and the tuple-wide active value domain are invariant along the
+    stream, so every tuple grounds to the *same* bounded universe: a
+    retargetable grounding anchored at any tuple of the stream serves
+    all the others by origin assumptions alone, and a fresh per-call
+    grounding of any tuple answers exactly the same bounded question.
+    This is the shard access pattern of the batch service
+    (:mod:`repro.serve`) — one grounding per question shape serves the
+    whole stream, differentially checkable against per-call SAT.
+    """
+    rng = rng_from_seed(seed)
+    stream = [dict(models)]
+    current = dict(models)
+    pool = sorted(params)
+    domains: dict[PrimitiveType, list] = {
+        PrimitiveType.STRING: [],
+        PrimitiveType.INTEGER: [],
+    }
+    counts: dict = {}
+    for model in models.values():
+        for obj in model.objects:
+            for _name, value in obj.attrs:
+                if isinstance(value, bool):
+                    continue
+                if isinstance(value, str):
+                    domains[PrimitiveType.STRING].append(value)
+                elif isinstance(value, int):
+                    domains[PrimitiveType.INTEGER].append(value)
+    pools = {t: sorted(set(vs)) for t, vs in domains.items()}
+    for _ in range(max(0, rounds - 1)):
+        counts = {}
+        for model in current.values():
+            for obj in model.objects:
+                for _name, value in obj.attrs:
+                    if isinstance(value, bool):
+                        continue
+                    counts[value] = counts.get(value, 0) + 1
+        edited = False
+        for param in rng.sample(pool, len(pool)):
+            edit = _in_universe_edit(rng, current[param], pools, counts)
+            if edit is None:
+                continue
+            current = dict(current)
+            current[param] = apply_edit(current[param], edit)
+            edited = True
+            break
+        if not edited:
+            break
+        stream.append(current)
+    return stream
 
 
 def oscillating_tuples(

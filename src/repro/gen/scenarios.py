@@ -225,3 +225,62 @@ def random_scenario(
         max_distance=max_distance,
         edited=edited,
     )
+
+
+def scenario_requests(
+    scenario: GeneratedScenario,
+    rounds: int = 4,
+    prefer_inconsistent: bool = True,
+) -> list:
+    """Same-shape batch requests for ``scenario`` (the A9 workload).
+
+    The first request asks the scenario's own question; each following
+    one drifts the target models strictly inside the grounding universe
+    (:func:`repro.gen.edits.in_universe_stream`), so the whole list maps
+    to **one** shard of the batch service and a worker answering it
+    grounds at most once. With ``prefer_inconsistent`` (default) the
+    drifts are biased towards checker-verified *repair* questions —
+    already-consistent tuples are answered hippocratically for near
+    nothing by every engine, so a batch of them measures nothing; the
+    first tuple is always kept as-is for hippocratic coverage.
+    Deterministic per scenario seed.
+    """
+    from repro.gen.edits import in_universe_stream
+    from repro.serve import EnforceRequest
+
+    stream = in_universe_stream(
+        scenario.seed,
+        scenario.models,
+        sorted(scenario.targets.params),
+        rounds * 4 if prefer_inconsistent else rounds,
+    )
+    if prefer_inconsistent and len(stream) > 1:
+        checker = scenario.checker()
+        drifts = stream[1:]
+        taken = {
+            id(tuple_)
+            for tuple_ in [
+                t for t in drifts if not checker.is_consistent(t)
+            ][: rounds - 1]
+        }
+        for tuple_ in drifts:  # pad when repair drifts are scarce
+            if len(taken) >= rounds - 1:
+                break
+            taken.add(id(tuple_))
+        # Keep drift order for reproducibility of the shard's session
+        # walk; expressibility does not depend on it (the stream's
+        # object sets and active domain are invariant, so any tuple
+        # anchors for all the others).
+        stream = [stream[0]] + [t for t in drifts if id(t) in taken]
+    return [
+        EnforceRequest.build(
+            scenario.transformation,
+            tuple_,
+            scenario.targets.params,
+            semantics=scenario.semantics,
+            weights=scenario.metric.weights,
+            scope=scenario.scope,
+            max_distance=scenario.max_distance,
+        )
+        for tuple_ in stream
+    ]

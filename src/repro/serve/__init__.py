@@ -1,0 +1,78 @@
+"""Sharded batch enforcement: the engine turned into a service.
+
+Every entry point below this package answers *one* question at a time;
+realistic workloads (the GMF migration case, a tool serving many users)
+arrive as **batches** of heterogeneous model tuples. This package is the
+first service layer: :func:`serve_batch` takes a stream of
+:class:`EnforceRequest`\\ s, shards them by **question shape** (the
+:func:`~repro.enforce.session.shared_session` cache key, made
+content-addressable by :func:`shape_key`), and dispatches whole shards
+across a process pool whose workers each keep a warm ``shared_session``
+LRU — so the transformation constraints of a shape are ground once per
+worker and every request of the shard is an assumption-patch on the
+same incremental solver.
+
+Results merge in submission order and are bit-for-bit reproducible
+regardless of worker count (see :mod:`repro.serve.service` for the
+exact contract and the portfolio-mode exception).
+
+When to use what: one question → call
+:func:`~repro.enforce.api.enforce`; an interactive edit/enforce loop →
+hold an :class:`~repro.enforce.session.EnforcementSession` (or let the
+Echo tool do it); **many independent questions at once** → build
+requests and call :func:`serve_batch` (or ``repro-echo batch`` /
+:meth:`~repro.echo.workspace.Workspace.serve` from a workspace).
+Ablation A9 (``benchmarks/bench_a9_batch_service.py``) guards the
+service: verdicts and costs identical to sequential per-call SAT, one
+grounding per shape per worker, >= 2x throughput at 4 workers.
+"""
+
+from repro.serve.requests import (
+    CONSISTENT,
+    ERROR,
+    NO_REPAIR,
+    REPAIRED,
+    EnforceRequest,
+    EnforceResponse,
+    request_from_dict,
+    request_to_dict,
+    request_to_json,
+    response_from_dict,
+    response_to_dict,
+    shape_key,
+    shard_digest,
+)
+from repro.serve.service import (
+    DEFAULT_WORKERS,
+    PORTFOLIO_ARMS,
+    BatchResult,
+    ShardStats,
+    serve_batch,
+    shard_requests,
+)
+from repro.serve.worker import process_shard, reset_worker_state, serve_request
+
+__all__ = [
+    "CONSISTENT",
+    "DEFAULT_WORKERS",
+    "ERROR",
+    "NO_REPAIR",
+    "PORTFOLIO_ARMS",
+    "REPAIRED",
+    "BatchResult",
+    "EnforceRequest",
+    "EnforceResponse",
+    "ShardStats",
+    "process_shard",
+    "request_from_dict",
+    "request_to_dict",
+    "request_to_json",
+    "reset_worker_state",
+    "response_from_dict",
+    "response_to_dict",
+    "serve_batch",
+    "serve_request",
+    "shape_key",
+    "shard_digest",
+    "shard_requests",
+]

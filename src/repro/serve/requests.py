@@ -1,0 +1,335 @@
+"""Batch-service requests and responses, with a stable wire format.
+
+One :class:`EnforceRequest` is one enforcement question, fully
+self-contained: the transformation (as canonical QVT-R source text —
+text, not object identity, is what can cross a process boundary), the
+metamodels and model tuple (riding the JSON format of
+:mod:`repro.metamodel.serialize`), the question shape (targets,
+semantics, metric weights, scope, mode) and the per-call distance cap.
+
+The **question shape** is the sharding key of the service
+(:func:`shape_key`): two requests with the same shape are answered by
+the same warm :func:`~repro.enforce.session.shared_session` in the same
+worker, so the transformation constraints are ground once per shape per
+worker and every request of the shard reuses the encoding. The key
+mirrors the ``shared_session`` cache key field for field, with the
+transformation's canonical text standing in for object identity (ids do
+not survive serialisation; canonical text does — the pretty-printer and
+parser round-trip, see ``tests/test_qvtr_pretty_roundtrip.py``).
+
+:class:`EnforceResponse` carries the verdict (one of
+:data:`CONSISTENT`, :data:`REPAIRED`, :data:`NO_REPAIR`,
+:data:`ERROR`), the weighted distance, and the *changed* models only —
+the caller already holds the unchanged ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.check.engine import EXTENDED
+from repro.enforce.metrics import TupleMetric
+from repro.errors import SerializationError
+from repro.metamodel.meta import Metamodel
+from repro.metamodel.model import Model
+from repro.metamodel.serialize import (
+    metamodel_from_dict,
+    metamodel_to_dict,
+    model_from_dict,
+    model_to_dict,
+)
+from repro.qvtr.ast import Transformation
+from repro.qvtr.pretty import pretty_transformation
+from repro.solver.bounded import Scope
+from repro.solver.maxsat import INCREASING
+
+#: Batch verdicts. The first three mirror the differential oracle's
+#: outcome vocabulary (:mod:`repro.gen.oracle`); ``ERROR`` is the
+#: service-level catch-all that keeps one bad request from killing the
+#: batch it arrived in.
+CONSISTENT = "consistent"
+REPAIRED = "repaired"
+NO_REPAIR = "no-repair"
+ERROR = "error"
+
+REQUEST_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class EnforceRequest:
+    """One self-contained enforcement question.
+
+    Build it with :meth:`build` (from live objects) or
+    :func:`request_from_dict` (from the wire format). ``transformation``
+    is QVT-R source text; ``metamodels`` must cover every model of the
+    tuple.
+    """
+
+    transformation: str
+    metamodels: tuple[Metamodel, ...]
+    models: Mapping[str, Model] = field(compare=False)
+    targets: frozenset[str] = frozenset()
+    semantics: str = EXTENDED
+    weights: Mapping[str, int] = field(default_factory=dict)
+    scope: Scope | None = None
+    mode: str = INCREASING
+    max_distance: int | None = None
+
+    @classmethod
+    def build(
+        cls,
+        transformation: Transformation | str,
+        models: Mapping[str, Model],
+        targets: Iterable[str],
+        semantics: str = EXTENDED,
+        weights: Mapping[str, int] | None = None,
+        scope: Scope | None = None,
+        mode: str = INCREASING,
+        max_distance: int | None = None,
+    ) -> "EnforceRequest":
+        """A request from live objects.
+
+        A :class:`~repro.qvtr.ast.Transformation` is canonicalised
+        through the pretty-printer; metamodels are collected from the
+        models themselves.
+        """
+        if isinstance(transformation, Transformation):
+            transformation = pretty_transformation(transformation)
+        seen: dict[str, Metamodel] = {}
+        for model in models.values():
+            seen.setdefault(model.metamodel.name, model.metamodel)
+        return cls(
+            transformation=transformation,
+            metamodels=tuple(seen[name] for name in sorted(seen)),
+            models=dict(models),
+            targets=frozenset(targets),
+            semantics=semantics,
+            weights=dict(weights or {}),
+            scope=scope,
+            mode=mode,
+            max_distance=max_distance,
+        )
+
+    def metric(self) -> TupleMetric:
+        """The request's distance metric."""
+        return TupleMetric(dict(self.weights))
+
+
+@dataclass(frozen=True)
+class EnforceResponse:
+    """One request's answer.
+
+    ``models`` holds the *changed* models only (empty for
+    :data:`CONSISTENT` and :data:`NO_REPAIR`); ``error`` carries the
+    message for :data:`NO_REPAIR` and :data:`ERROR` outcomes.
+    """
+
+    outcome: str
+    distance: int | None = None
+    models: Mapping[str, Model] = field(default_factory=dict, compare=False)
+    changed: frozenset[str] = frozenset()
+    engine: str | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request was answered (consistent or repaired)."""
+        return self.outcome in (CONSISTENT, REPAIRED)
+
+    def summary(self) -> str:
+        """A one-line, CLI-friendly rendering of the verdict."""
+        if self.outcome == CONSISTENT:
+            return "consistent (distance 0)"
+        if self.outcome == REPAIRED:
+            changed = ", ".join(sorted(self.changed)) or "nothing"
+            return f"repaired: distance {self.distance}, changed {changed}"
+        return f"{self.outcome}: {self.error}"
+
+
+def shape_key(request: EnforceRequest) -> tuple:
+    """The request's question shape — the service's sharding key.
+
+    Field for field the :func:`~repro.enforce.session.shared_session`
+    cache key, with canonical transformation text in place of object
+    identity: requests mapping to one shape resolve (per worker) to one
+    shared session and therefore one retargetable grounding.
+    """
+    return (
+        request.transformation,
+        frozenset(request.targets),
+        request.semantics,
+        tuple(sorted(request.weights.items())),
+        request.scope,
+        request.mode,
+    )
+
+
+def shard_digest(key: tuple) -> str:
+    """A short stable digest of a shape key, for logs and stats.
+
+    Frozensets are sorted first — their ``repr`` order follows string
+    hash randomisation, and the digest must name the same shape across
+    runs and processes.
+    """
+    canonical = tuple(
+        tuple(sorted(part)) if isinstance(part, frozenset) else part
+        for part in key
+    )
+    return hashlib.sha1(repr(canonical).encode()).hexdigest()[:10]
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+def request_to_dict(request: EnforceRequest) -> dict[str, Any]:
+    """The JSON-ready wire form of ``request`` (stable across PRs)."""
+    return {
+        "format": REQUEST_FORMAT,
+        "kind": "enforce-request",
+        "transformation": request.transformation,
+        "metamodels": [metamodel_to_dict(mm) for mm in request.metamodels],
+        "models": {
+            param: model_to_dict(model)
+            for param, model in sorted(request.models.items())
+        },
+        "targets": sorted(request.targets),
+        "semantics": request.semantics,
+        "weights": dict(request.weights),
+        "scope": scope_to_dict(request.scope),
+        "mode": request.mode,
+        "max_distance": request.max_distance,
+    }
+
+
+def request_from_dict(data: Mapping[str, Any]) -> EnforceRequest:
+    """Rebuild a request from :func:`request_to_dict` output.
+
+    Raises :class:`~repro.errors.SerializationError` on malformed input
+    — the error path the batch CLI surfaces per request instead of
+    aborting the whole batch file.
+    """
+    _expect(data, "enforce-request")
+    metamodels = tuple(
+        metamodel_from_dict(mm) for mm in data.get("metamodels", [])
+    )
+    by_name = {mm.name: mm for mm in metamodels}
+    models: dict[str, Model] = {}
+    for param, payload in data.get("models", {}).items():
+        if not isinstance(payload, Mapping):
+            raise SerializationError(
+                f"model for parameter {param!r} must be a JSON object"
+            )
+        name = payload.get("metamodel", "")
+        metamodel = by_name.get(name)
+        if metamodel is None:
+            raise SerializationError(
+                f"model {param!r} references metamodel {name!r}, which the "
+                "request does not carry"
+            )
+        models[param] = model_from_dict(dict(payload), metamodel)
+    targets = data.get("targets", [])
+    if not isinstance(targets, list) or not all(
+        isinstance(t, str) for t in targets
+    ):
+        raise SerializationError("targets must be a list of parameter names")
+    transformation = data.get("transformation")
+    if not isinstance(transformation, str) or not transformation.strip():
+        raise SerializationError("request needs QVT-R transformation text")
+    return EnforceRequest(
+        transformation=transformation,
+        metamodels=metamodels,
+        models=models,
+        targets=frozenset(targets),
+        semantics=data.get("semantics", EXTENDED),
+        weights=dict(data.get("weights", {})),
+        scope=scope_from_dict(data.get("scope")),
+        mode=data.get("mode", INCREASING),
+        max_distance=data.get("max_distance"),
+    )
+
+
+def response_to_dict(response: EnforceResponse) -> dict[str, Any]:
+    """The JSON-ready wire form of ``response``."""
+    return {
+        "format": REQUEST_FORMAT,
+        "kind": "enforce-response",
+        "outcome": response.outcome,
+        "distance": response.distance,
+        "models": {
+            param: model_to_dict(model)
+            for param, model in sorted(response.models.items())
+        },
+        "changed": sorted(response.changed),
+        "engine": response.engine,
+        "error": response.error,
+    }
+
+
+def response_from_dict(
+    data: Mapping[str, Any], metamodels: Iterable[Metamodel]
+) -> EnforceResponse:
+    """Rebuild a response; ``metamodels`` come from the paired request."""
+    _expect(data, "enforce-response")
+    by_name = {mm.name: mm for mm in metamodels}
+    models: dict[str, Model] = {}
+    for param, payload in data.get("models", {}).items():
+        metamodel = by_name.get(payload.get("metamodel", ""))
+        if metamodel is None:
+            raise SerializationError(
+                f"response model {param!r} references an unknown metamodel"
+            )
+        models[param] = model_from_dict(dict(payload), metamodel)
+    return EnforceResponse(
+        outcome=data["outcome"],
+        distance=data.get("distance"),
+        models=models,
+        changed=frozenset(data.get("changed", [])),
+        engine=data.get("engine"),
+        error=data.get("error"),
+    )
+
+
+def request_to_json(request: EnforceRequest) -> str:
+    """Canonical JSON text for ``request`` (sorted keys, no whitespace)."""
+    return json.dumps(
+        request_to_dict(request), sort_keys=True, separators=(",", ":")
+    )
+
+
+def scope_to_dict(scope: Scope | None) -> dict[str, Any] | None:
+    if scope is None:
+        return None
+    return {
+        "extra_objects": scope.extra_objects,
+        "extra_strings": scope.extra_strings,
+        "extra_ints": list(scope.extra_ints),
+    }
+
+
+def scope_from_dict(data: Mapping[str, Any] | None) -> Scope | None:
+    if data is None:
+        return None
+    if not isinstance(data, Mapping):
+        raise SerializationError("scope must be a JSON object or null")
+    return Scope(
+        extra_objects=data.get("extra_objects", 1),
+        extra_strings=data.get("extra_strings", 1),
+        extra_ints=tuple(data.get("extra_ints", (0, 1))),
+    )
+
+
+def _expect(data: Mapping[str, Any], kind: str) -> None:
+    if not isinstance(data, Mapping):
+        raise SerializationError(f"expected a JSON object for an {kind}")
+    if data.get("kind") != kind:
+        raise SerializationError(
+            f"expected kind={kind!r}, got {data.get('kind')!r}"
+        )
+    if data.get("format", REQUEST_FORMAT) != REQUEST_FORMAT:
+        raise SerializationError(
+            f"unsupported request format {data.get('format')!r}"
+        )

@@ -1,0 +1,259 @@
+"""The batch scheduler: shard by shape, dispatch, merge deterministically.
+
+:func:`serve_batch` is the entry point. It takes a *stream* of
+enforcement requests (any mix of transformations, tuples and question
+shapes), groups them into **shards** — all requests of one
+:func:`~repro.serve.requests.shape_key`, in submission order — and
+dispatches whole shards to a bounded process pool. A shard is never
+split: the requests of one shape are answered back to back on one
+worker's warm session, which is where the batch win comes from (the
+transformation constraints ground once per shape per worker; every
+following request of the shard is an origin-assumption patch on the
+same incremental solver, exactly like an interactive
+:class:`~repro.enforce.session.EnforcementSession` across edits).
+
+Determinism contract
+--------------------
+
+Responses merge **in submission order**, whatever the worker
+interleaving. Shard membership and within-shard order are pure
+functions of the request list; each shard is answered by exactly one
+worker in that order; and every pool worker starts from a *clean* slate
+(an initializer drops any session state inherited from the parent on
+fork) — so a pooled batch's full response list (verdicts, costs, *and*
+chosen repairs) is bit-for-bit reproducible and independent of
+``workers`` and of whatever the parent process solved before. The one
+exception is ``portfolio=True``: each shard is raced on two restart
+schedules and the first finisher's responses win — verdicts and
+distances still agree between arms (both are exact engines), but the
+chosen member of the minimum-distance set may differ run to run.
+Batches that must be byte-stable leave portfolio off.
+
+Worker counts: ``workers >= 1`` uses a process pool of that size;
+``workers = 0`` answers every shard inline in the calling process (no
+pool, *sharing* the caller's warm ``shared_session`` LRU — the
+debugging and single-question mode; verdicts and costs are identical
+to the pooled arms, but the chosen optimum may reflect the caller's
+accumulated solver state).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.errors import ServeError
+from repro.serve.requests import (
+    EnforceRequest,
+    EnforceResponse,
+    request_to_dict,
+    response_from_dict,
+    shape_key,
+    shard_digest,
+)
+from repro.serve.worker import process_shard
+
+
+def _fresh_worker() -> None:
+    """Pool initializer: forget any state inherited from the parent.
+
+    With the ``fork`` start method a worker is born with the parent's
+    warm ``shared_session`` LRU and parse caches; answers computed on
+    those inherited solvers would depend on everything the parent
+    happened to solve earlier — byte-level nondeterminism across runs.
+    Starting clean makes a pooled batch a pure function of its request
+    list (and matches the ``spawn`` start method, which is clean by
+    construction).
+    """
+    from repro.enforce.session import clear_shared_sessions
+    from repro.serve.worker import reset_worker_state
+
+    clear_shared_sessions()
+    reset_worker_state()
+
+#: The portfolio's restart schedules, raced per shard (first wins).
+PORTFOLIO_ARMS: tuple[str, ...] = ("luby", "geometric")
+
+#: Default worker-pool size; also the A9 benchmark's batch arm.
+DEFAULT_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """What happened to one shard (one question shape)."""
+
+    shard: str
+    requests: int
+    worker: int
+    groundings: int
+    restart: str | None
+    elapsed: float
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Every response, submission-ordered, plus scheduler stats."""
+
+    responses: tuple[EnforceResponse, ...]
+    shards: tuple[ShardStats, ...] = ()
+    workers: int = 0
+    portfolio: bool = False
+    elapsed: float = 0.0
+    _by_request: tuple = field(default=(), repr=False, compare=False)
+
+    def outcomes(self) -> dict[str, int]:
+        """Outcome -> count over the whole batch."""
+        return dict(Counter(r.outcome for r in self.responses))
+
+    def shard_of(self, index: int) -> str:
+        """The shard digest request ``index`` was routed to."""
+        return self._by_request[index]
+
+
+def shard_requests(
+    requests: Sequence[EnforceRequest],
+) -> list[tuple[str, list[int]]]:
+    """Group request indices by question shape, submission-ordered.
+
+    Returns ``[(shard digest, [indices])]``; shards are ordered by their
+    first submission index and indices inside a shard keep submission
+    order — both facts the merge step and the determinism tests rely on.
+    """
+    by_key: dict[tuple, list[int]] = {}
+    for index, request in enumerate(requests):
+        by_key.setdefault(shape_key(request), []).append(index)
+    shards = sorted(by_key.items(), key=lambda item: item[1][0])
+    return [(shard_digest(key), indices) for key, indices in shards]
+
+
+def serve_batch(
+    requests: Sequence[EnforceRequest],
+    workers: int = DEFAULT_WORKERS,
+    portfolio: bool = False,
+    max_inflight: int | None = None,
+) -> BatchResult:
+    """Answer ``requests`` sharded by question shape (module docstring).
+
+    ``max_inflight`` bounds how many shards are queued on the pool at
+    once (default ``2 * workers``) — the back-pressure that keeps a
+    million-request batch from materialising a million futures.
+    """
+    if workers < 0:
+        raise ServeError(f"workers must be >= 0, got {workers}")
+    if portfolio and workers == 0:
+        raise ServeError("portfolio mode needs a process pool (workers >= 1)")
+    started = time.perf_counter()
+    shards = shard_requests(requests)
+    arms = PORTFOLIO_ARMS if portfolio else (None,)
+
+    def payloads(shard_index: int) -> list[dict]:
+        # Built lazily, per shard, at submission time: the wire form
+        # duplicates every model, and materialising a whole million-
+        # request batch up front would defeat the in-flight bound.
+        digest, indices = shards[shard_index]
+        wire = [[index, request_to_dict(requests[index])] for index in indices]
+        return [
+            {"shard": digest, "restart": arm, "requests": wire} for arm in arms
+        ]
+
+    if workers == 0:
+        outcomes = [
+            _timed(process_shard, payloads(i)[0]) for i in range(len(shards))
+        ]
+    else:
+        outcomes = _run_pool(
+            payloads, len(shards), workers, max_inflight or 2 * workers
+        )
+
+    responses: list[EnforceResponse | None] = [None] * len(requests)
+    by_request: list[str | None] = [None] * len(requests)
+    stats = []
+    for (digest, indices), (result, elapsed) in zip(shards, outcomes):
+        stats.append(
+            ShardStats(
+                shard=digest,
+                requests=len(indices),
+                worker=result["worker"],
+                groundings=result["groundings"],
+                restart=result["restart"],
+                elapsed=elapsed,
+            )
+        )
+        for index, data in result["responses"]:
+            responses[index] = response_from_dict(
+                data, requests[index].metamodels
+            )
+            by_request[index] = digest
+    missing = [i for i, r in enumerate(responses) if r is None]
+    if missing:  # pragma: no cover - scheduler invariant
+        raise ServeError(f"requests {missing} received no response")
+    return BatchResult(
+        responses=tuple(responses),
+        shards=tuple(stats),
+        workers=workers,
+        portfolio=portfolio,
+        elapsed=time.perf_counter() - started,
+        _by_request=tuple(by_request),
+    )
+
+
+def _timed(fn, payload):
+    start = time.perf_counter()
+    result = fn(payload)
+    return result, time.perf_counter() - start
+
+
+def _run_pool(
+    payloads, shard_count: int, workers: int, max_inflight: int
+) -> list[tuple[dict, float]]:
+    """Run shard tasks on a bounded process pool, first arm wins.
+
+    ``payloads(i)`` builds the alternative payloads (portfolio arms) for
+    shard ``i`` — called lazily at submission time. The first completed
+    arm's result is kept; at most ``max_inflight`` shards are on the
+    pool at any time.
+    """
+    results: list[tuple[dict, float] | None] = [None] * shard_count
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_fresh_worker
+    ) as pool:
+        futures: dict = {}
+        next_shard = 0
+
+        def submit_next() -> None:
+            nonlocal next_shard
+            for payload in payloads(next_shard):
+                future = pool.submit(process_shard, payload)
+                futures[future] = (next_shard, time.perf_counter())
+            next_shard += 1
+
+        while next_shard < shard_count and next_shard < max_inflight:
+            submit_next()
+        while futures:
+            done, _pending = wait(set(futures), return_when=FIRST_COMPLETED)
+            for future in done:
+                shard_index, submitted = futures.pop(future)
+                if future.cancelled() or results[shard_index] is not None:
+                    # A reclaimed or outraced losing arm; its outcome —
+                    # even a crash — is irrelevant, the shard is
+                    # answered.
+                    continue
+                outcome = future.result()  # a worker crash fails the batch
+                results[shard_index] = (
+                    outcome,
+                    time.perf_counter() - submitted,
+                )
+                # Reclaim the losing portfolio arm: a still-queued
+                # sibling never starts (a running one finishes and is
+                # discarded above).
+                for sibling, (index, _when) in list(futures.items()):
+                    if index == shard_index:
+                        sibling.cancel()
+                if next_shard < shard_count:
+                    submit_next()
+    complete = [r for r in results if r is not None]
+    assert len(complete) == shard_count
+    return complete

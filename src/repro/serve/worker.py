@@ -1,0 +1,197 @@
+"""Worker-side shard processing for the batch service.
+
+A worker is a long-lived process (one slot of the scheduler's pool, or
+the caller's own process in inline mode) that answers whole *shards* —
+all requests of one question shape, in submission order. Per process it
+keeps two warm layers:
+
+* a parse cache mapping canonical QVT-R text to one
+  :class:`~repro.qvtr.ast.Transformation` instance, so every shard of a
+  shape resolves to the *same* transformation object — which is what
+  makes the process-wide :func:`~repro.enforce.session.shared_session`
+  LRU (keyed by transformation identity) hit across shards and batches;
+* through that LRU, one warm :class:`~repro.enforce.session.EnforcementSession`
+  per shape — the retargetable grounding, MaxSAT session and incremental
+  solver that amortise across every request of the shard exactly like a
+  long-lived interactive session does across edits.
+
+Portfolio arms bypass ``shared_session`` (two arms of one shape must
+not share a solver) and hold their sessions in a worker-local cache
+keyed by (shape, restart schedule) instead.
+
+Everything crossing the process boundary is the plain-JSON wire format
+of :mod:`repro.serve.requests` — workers never receive live objects, so
+fork/spawn differences and unpicklable state cannot bite.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Any
+
+from repro.enforce.session import (
+    SHARED_SESSION_LIMIT,
+    EnforcementSession,
+    shared_session,
+)
+from repro.enforce.targets import TargetSelection
+from repro.errors import NoRepairFound, ReproError
+from repro.qvtr.ast import Transformation
+from repro.qvtr.syntax.parser import parse_transformation
+from repro.serve.requests import (
+    CONSISTENT,
+    ERROR,
+    NO_REPAIR,
+    REPAIRED,
+    EnforceRequest,
+    EnforceResponse,
+    request_from_dict,
+    response_to_dict,
+    shape_key,
+)
+
+#: Canonical text -> parsed transformation, least-recently-used last.
+#: Sized like the shared-session LRU: a transformation evicted here
+#: would re-parse to a *new* identity and miss the session cache.
+_PARSE_CACHE: "OrderedDict[str, Transformation]" = OrderedDict()
+
+#: Portfolio-arm sessions, keyed by (shape key, restart schedule).
+_PORTFOLIO_SESSIONS: "OrderedDict[tuple, EnforcementSession]" = OrderedDict()
+
+
+def _transformation_for(text: str) -> Transformation:
+    cached = _PARSE_CACHE.get(text)
+    if cached is not None:
+        _PARSE_CACHE.move_to_end(text)
+        return cached
+    transformation = parse_transformation(text)
+    _PARSE_CACHE[text] = transformation
+    while len(_PARSE_CACHE) > SHARED_SESSION_LIMIT:
+        _PARSE_CACHE.popitem(last=False)
+    return transformation
+
+
+def _session_for(
+    request: EnforceRequest, restart: str | None
+) -> EnforcementSession:
+    """The warm session answering this request's shape in this process."""
+    transformation = _transformation_for(request.transformation)
+    selection = TargetSelection(request.targets)
+    if restart is None:
+        return shared_session(
+            transformation,
+            selection,
+            semantics=request.semantics,
+            metric=request.metric(),
+            scope=request.scope,
+            mode=request.mode,
+        )
+    key = shape_key(request) + (restart,)
+    session = _PORTFOLIO_SESSIONS.get(key)
+    if session is None:
+        session = EnforcementSession(
+            transformation,
+            selection,
+            semantics=request.semantics,
+            metric=request.metric(),
+            scope=request.scope,
+            mode=request.mode,
+            solver_kwargs={"restart": restart},
+        )
+        _PORTFOLIO_SESSIONS[key] = session
+        while len(_PORTFOLIO_SESSIONS) > SHARED_SESSION_LIMIT:
+            _PORTFOLIO_SESSIONS.popitem(last=False)
+    else:
+        _PORTFOLIO_SESSIONS.move_to_end(key)
+    return session
+
+
+def serve_request(
+    request: EnforceRequest, restart: str | None = None
+) -> EnforceResponse:
+    """Answer one request on its shape's warm session.
+
+    Never raises for per-request problems: an unanswerable request
+    (fragment error, bad binding, no repair within the cap) becomes a
+    :data:`NO_REPAIR` or :data:`ERROR` response so the rest of the batch
+    keeps flowing.
+    """
+    try:
+        session = _session_for(request, restart)
+        repair = session.enforce(
+            request.models, max_distance=request.max_distance
+        )
+    except NoRepairFound as exc:
+        return EnforceResponse(outcome=NO_REPAIR, error=str(exc))
+    except ReproError as exc:
+        return EnforceResponse(outcome=ERROR, error=str(exc))
+    outcome = CONSISTENT if repair.engine == "none" else REPAIRED
+    return EnforceResponse(
+        outcome=outcome,
+        distance=repair.distance,
+        models={param: repair.models[param] for param in repair.changed},
+        changed=repair.changed,
+        engine=repair.engine,
+    )
+
+
+def process_shard(payload: dict[str, Any]) -> dict[str, Any]:
+    """Answer one shard (the pool task body; also the inline-mode path).
+
+    ``payload``: ``{"shard": digest, "restart": schedule-or-None,
+    "requests": [[submission index, request wire dict], ...]}``.
+    Requests are answered strictly in payload (= submission) order, so
+    the session state any request sees is a pure function of the shard's
+    prefix — the scheduler's determinism contract.
+
+    Returns the responses (wire form, paired with their indices) plus
+    shard-level stats: worker pid, grounding delta, session counters.
+    """
+    restart = payload.get("restart")
+    responses: list[list[Any]] = []
+    session: EnforcementSession | None = None
+    groundings_before = 0
+    reuses_before = 0
+    for index, data in payload["requests"]:
+        try:
+            request = request_from_dict(data)
+        except ReproError as exc:
+            responses.append(
+                [index, response_to_dict(EnforceResponse(ERROR, error=str(exc)))]
+            )
+            continue
+        if session is None:
+            try:
+                session = _session_for(request, restart)
+                groundings_before = session.groundings
+                reuses_before = session.reuses
+            except ReproError as exc:
+                responses.append(
+                    [
+                        index,
+                        response_to_dict(EnforceResponse(ERROR, error=str(exc))),
+                    ]
+                )
+                continue
+        responses.append(
+            [index, response_to_dict(serve_request(request, restart))]
+        )
+    return {
+        "shard": payload.get("shard"),
+        "restart": restart,
+        "worker": os.getpid(),
+        "groundings": (
+            session.groundings - groundings_before if session is not None else 0
+        ),
+        "reuses": (
+            session.reuses - reuses_before if session is not None else 0
+        ),
+        "responses": responses,
+    }
+
+
+def reset_worker_state() -> None:
+    """Drop the worker-local caches (test isolation hook)."""
+    _PARSE_CACHE.clear()
+    _PORTFOLIO_SESSIONS.clear()

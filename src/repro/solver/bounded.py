@@ -125,6 +125,31 @@ def fresh_string(index: int) -> str:
     return f"$new{index}"
 
 
+def fresh_slots_for(model: Model, scope: Scope) -> dict[str, tuple[str, ...]]:
+    """The fresh-slot object ids a grounding of ``model`` allocates.
+
+    Per concrete class: the first ``scope.extra_objects`` reserved ids
+    (:func:`fresh_oid`) the model does not already occupy — an accepted
+    repair's fresh object, evolved further by the user, legitimately
+    sits on a reserved id, and allocation simply takes the following
+    indices. Shared by :class:`GroundModel` and the search engine so
+    both explore the *same* bounded universe.
+    """
+    taken = set(model.object_ids())
+    slots: dict[str, tuple[str, ...]] = {}
+    for class_name in model.metamodel.concrete_classes():
+        allocated = []
+        index = 1
+        while len(allocated) < scope.extra_objects:
+            oid = fresh_oid(class_name, index)
+            index += 1
+            if oid in taken:
+                continue
+            allocated.append(oid)
+        slots[class_name] = tuple(allocated)
+    return slots
+
+
 class ValuePools:
     """Per-type candidate value pools: active domain plus synthetics."""
 
@@ -187,16 +212,16 @@ class GroundModel:
         self.metamodel: Metamodel = model.metamodel
         universe = list(model.object_ids())
         self._class_of = {o.oid: o.cls for o in model.objects}
-        if symbolic:
-            for class_name in self.metamodel.concrete_classes():
-                for i in range(1, scope.extra_objects + 1):
-                    oid = fresh_oid(class_name, i)
-                    if oid in self._class_of:
-                        raise SolverError(
-                            f"fresh object id {oid!r} collides with an existing object"
-                        )
-                    universe.append(oid)
-                    self._class_of[oid] = class_name
+        #: Allocated fresh-slot ids per concrete class, in chain order
+        #: (the symmetry-breaking walk follows this order); see
+        #: :func:`fresh_slots_for` for the skip-occupied allocation rule.
+        self.fresh_slots: dict[str, tuple[str, ...]] = (
+            fresh_slots_for(model, scope) if symbolic else {}
+        )
+        for class_name, slots in self.fresh_slots.items():
+            for oid in slots:
+                universe.append(oid)
+                self._class_of[oid] = class_name
         self.universe = tuple(sorted(universe))
         self._objects_of: dict[str, list[str]] = {}
         self._attr_pool: dict[tuple[str, str], tuple[Value, ...]] = {}
@@ -729,10 +754,7 @@ class Grounder:
             return
         for class_name in mm.concrete_classes():
             previous = None
-            for i in range(1, self.scope.extra_objects + 1):
-                oid = fresh_oid(class_name, i)
-                if oid not in gm.universe:
-                    continue
+            for oid in gm.fresh_slots.get(class_name, ()):
                 current = self.tseitin.literal(gm.alive(oid))
                 if previous is not None:
                     if self.symmetry_selector is not None:

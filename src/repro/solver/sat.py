@@ -147,6 +147,7 @@ def global_stats() -> SolverStats:
 
 
 def reset_global_stats() -> None:
+    """Zero the process-wide solver counters (benchmark/test preamble)."""
     for f in fields(SolverStats):
         setattr(GLOBAL_STATS, f.name, 0)
 
@@ -183,6 +184,13 @@ def solve(cnf: CNF, assumptions: Iterable[Lit] = ()) -> SatResult:
     Assumptions are enforced as if unit clauses had been added, without
     mutating ``cnf``. One-shot: builds a fresh solver per call — use
     :class:`IncrementalSolver` directly to amortise across calls.
+
+    >>> cnf = CNF(num_vars=2, clauses=[(1, 2)])
+    >>> solve(cnf).satisfiable
+    True
+    >>> result = solve(cnf, assumptions=[-1, -2])
+    >>> result.satisfiable, result.core
+    (False, (-1, -2))
     """
     return IncrementalSolver(cnf).solve(assumptions)
 
@@ -198,6 +206,16 @@ class IncrementalSolver:
     constraints as assumptions over selector variables instead) — only
     the internal learnt-clause GC deletes, and it only deletes learnt
     clauses that are neither locked (a current reason) nor glue.
+
+    >>> solver = IncrementalSolver(CNF(num_vars=2, clauses=[(1, 2)]))
+    >>> solver.solve([-1]).value(2)
+    True
+    >>> selector = solver.new_var()          # a retractable constraint:
+    >>> solver.add_clause([-selector, -2])   # selector -> not x2
+    >>> solver.solve([-1, selector]).satisfiable
+    False
+    >>> solver.solve([-1]).satisfiable       # retracted: selector unassumed
+    True
     """
 
     RESTART_FIRST = 100

@@ -369,3 +369,209 @@ class TestCli:
         rc = main(["validate", "--workspace", str(workspace_dir)])
         assert rc == 1
         assert "FAILED" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def batch_file(tmp_path_factory):
+    """A batch-file writer rooted OUTSIDE the workspace directory (the
+    workspace loader scans every *.json under its root)."""
+    root = tmp_path_factory.mktemp("batch")
+
+    def write(entries):
+        path = root / "batch.json"
+        path.write_text(
+            entries if isinstance(entries, str) else json.dumps(entries)
+        )
+        return path
+
+    return write
+
+
+class TestCliBatch:
+    ENTRY = {
+        "transformation": "F",
+        "bind": {"fm": "fm", "cf1": "alpha", "cf2": "beta"},
+        "targets": ["cf1", "cf2"],
+    }
+
+    def test_batch_happy_path(self, workspace_dir, batch_file, capsys):
+        path = batch_file([self.ENTRY, dict(self.ENTRY, targets=["fm"])])
+        rc = main(
+            [
+                "batch",
+                "--workspace", str(workspace_dir),
+                "--requests", str(path),
+                "--workers", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[0] F: repaired" in out
+        assert "[1] F: repaired" in out
+        assert "2 requests in 2 shards" in out
+
+    def test_batch_write_persists_repairs(self, workspace_dir, batch_file, capsys):
+        path = batch_file([self.ENTRY])
+        rc = main(
+            [
+                "batch",
+                "--workspace", str(workspace_dir),
+                "--requests", str(path),
+                "--workers", "0",
+                "--write",
+            ]
+        )
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        # the persisted repair makes the binding consistent on reload
+        rc = main(
+            [
+                "check",
+                "--workspace", str(workspace_dir),
+                "-t", "F",
+                "--bind", "fm=fm", "cf1=alpha", "cf2=beta",
+            ]
+        )
+        assert rc == 0
+
+    def test_batch_pooled_matches_inline_verdicts(
+        self, workspace_dir, batch_file, capsys
+    ):
+        path = batch_file([self.ENTRY, dict(self.ENTRY, targets=["fm"])])
+        outputs = []
+        for workers in ("0", "2"):
+            rc = main(
+                [
+                    "batch",
+                    "--workspace", str(workspace_dir),
+                    "--requests", str(path),
+                    "--workers", workers,
+                ]
+            )
+            assert rc == 0
+            lines = capsys.readouterr().out.splitlines()
+            outputs.append([l for l in lines if l.startswith("[")])
+        assert outputs[0] == outputs[1]
+
+    def test_batch_empty_file(self, workspace_dir, batch_file, capsys):
+        path = batch_file([])
+        rc = main(
+            ["batch", "--workspace", str(workspace_dir), "--requests", str(path)]
+        )
+        assert rc == 2
+        assert "no requests" in capsys.readouterr().err
+
+    def test_batch_malformed_json(self, workspace_dir, batch_file, capsys):
+        path = batch_file("{not json")
+        rc = main(
+            ["batch", "--workspace", str(workspace_dir), "--requests", str(path)]
+        )
+        assert rc == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_batch_non_utf8_file(self, workspace_dir, batch_file, capsys):
+        path = batch_file([self.ENTRY])
+        path.write_bytes(b"\xff\xfe\x00broken")
+        rc = main(
+            ["batch", "--workspace", str(workspace_dir), "--requests", str(path)]
+        )
+        assert rc == 2
+        assert "not UTF-8" in capsys.readouterr().err
+
+    def test_batch_not_an_array(self, workspace_dir, batch_file, capsys):
+        path = batch_file("{}")
+        rc = main(
+            ["batch", "--workspace", str(workspace_dir), "--requests", str(path)]
+        )
+        assert rc == 2
+        assert "JSON array" in capsys.readouterr().err
+
+    def test_batch_missing_file(self, workspace_dir, tmp_path, capsys):
+        rc = main(
+            [
+                "batch",
+                "--workspace", str(workspace_dir),
+                "--requests", str(tmp_path / "ghost.json"),
+            ]
+        )
+        assert rc == 2
+        assert "cannot read batch file" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "broken, message",
+        [
+            ({"bind": {}, "targets": ["cf1"]}, "'transformation' must be"),
+            ({"transformation": "Ghost", "bind": {}, "targets": ["cf1"]},
+             "no transformation"),
+            (dict(ENTRY, bind="nope"), "'bind' must map"),
+            (dict(ENTRY, bind={"fm": "fm"}), "misses parameters"),
+            (dict(ENTRY, bind={"fm": "fm", "cf1": "ghost", "cf2": "beta"}),
+             "no model"),
+            (dict(ENTRY, targets=[]), "'targets' must be"),
+            (dict(ENTRY, max_distance="far"), "'max_distance'"),
+            (dict(ENTRY, weights=[1]), "'weights'"),
+            (dict(ENTRY, targets=["ghost"]), "unknown parameters"),
+            ({"transformation": ["F"], "bind": {}, "targets": ["cf1"]},
+             "'transformation' must be"),
+            (dict(ENTRY, bind={"fm": ["fm"], "cf1": "alpha", "cf2": "beta"}),
+             "'bind' must map"),
+            (dict(ENTRY, targets=[1]), "'targets' must be"),
+            (dict(ENTRY, weights={"cf1": "three"}), "'weights' must map"),
+            (dict(ENTRY, weights={"cf1": True}), "'weights' must map"),
+        ],
+    )
+    def test_batch_malformed_entry(
+        self, workspace_dir, batch_file, capsys, broken, message
+    ):
+        path = batch_file([self.ENTRY, broken])
+        rc = main(
+            ["batch", "--workspace", str(workspace_dir), "--requests", str(path)]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "batch entry 1" in err and message in err
+
+    def test_batch_no_repair_exit_code(self, workspace_dir, batch_file, capsys):
+        impossible = dict(
+            self.ENTRY, targets=["cf1"], max_distance=0
+        )
+        path = batch_file([self.ENTRY, impossible])
+        rc = main(
+            [
+                "batch",
+                "--workspace", str(workspace_dir),
+                "--requests", str(path),
+                "--workers", "0",
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "[1] F: no-repair" in out
+
+    def test_batch_write_clobber_warns(self, workspace_dir, batch_file, capsys):
+        """Two requests repairing the same workspace model: last write
+        wins, and the CLI says so (repairs are computed against the
+        workspace snapshot, not each other's output)."""
+        entry = dict(self.ENTRY, targets=["cf2"])
+        path = batch_file([entry, dict(entry, weights={"cf2": 2})])
+        rc = main(
+            [
+                "batch",
+                "--workspace", str(workspace_dir),
+                "--requests", str(path),
+                "--workers", "0",
+                "--write",
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("wrote") == 2
+        assert "already written by request 0" in captured.err
+
+    def test_batch_help_documents_format(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["batch", "--help"])
+        out = capsys.readouterr().out
+        assert "repro-echo batch --workspace ws --requests batch.json" in out
+        assert '"transformation": "F"' in out
+        assert "sharded by question shape" in out

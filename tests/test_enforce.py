@@ -158,6 +158,29 @@ class TestEnginesAgree:
         dec = enforce(t, env, TargetSelection(["cf1", "cf2"]), mode="decreasing")
         assert inc.distance == dec.distance
 
+    def test_agree_when_tuple_occupies_reserved_fresh_ids(self):
+        """A tuple carrying an accepted repair's ``new_*`` object asks
+        the same bounded question of every engine: both skip the
+        occupied slot and allocate the next reserved id (regression —
+        the SAT grounder used to crash on the collision and the search
+        engine silently lost its creation budget)."""
+        from repro.metamodel.model import Model, ModelObject
+
+        t = paper_transformation(2)
+        env = paper_env({"core": True, "log": True}, ["core", "log"], [])
+        # cf2's 'core' selection sits on the grounder's reserved id, as
+        # if a previous repair created it and the user kept editing.
+        cf2 = env["cf2"]
+        env["cf2"] = Model(
+            cf2.metamodel,
+            (ModelObject.create("new_feature_1", "Feature", {"name": "core"}),),
+            name="cf2",
+        )
+        sat = enforce(t, env, TargetSelection(["cf2"]), engine="sat")
+        search = enforce(t, env, TargetSelection(["cf2"]), engine="search")
+        assert sat.distance == search.distance > 0
+        assert sat.models["cf2"].size() == search.models["cf2"].size() == 2
+
 
 class TestScenarios:
     @pytest.mark.parametrize("k", [2, 3])

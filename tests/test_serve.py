@@ -1,0 +1,380 @@
+"""Tests for the sharded batch-enforcement service (:mod:`repro.serve`).
+
+Four concerns, mirroring the service's contract:
+
+* **wire format** — requests and responses survive a JSON round trip;
+* **sharding** — the shape key agrees with the ``shared_session``
+  grounding cache decision for decision (same shape => same live
+  session; any differing shape component => a different one);
+* **determinism** — merged batch results are bit-for-bit identical
+  whatever the worker count (including inline mode), and shards ground
+  at most once on their worker;
+* **differential** — batch answers are verdict/cost-identical to
+  sequential per-call SAT over >= 25 generated seeds.
+"""
+
+import json
+
+import pytest
+
+from repro.check.engine import STANDARD
+from repro.enforce.api import enforce
+from repro.enforce.metrics import TupleMetric
+from repro.enforce.session import clear_shared_sessions, shared_session
+from repro.enforce.targets import TargetSelection
+from repro.errors import NoRepairFound, ServeError
+from repro.featuremodels import (
+    configuration,
+    feature_model,
+    paper_transformation,
+)
+from repro.gen import in_universe_stream, random_scenario, scenario_requests
+from repro.metamodel.serialize import canonical_text
+from repro.qvtr.syntax.parser import parse_transformation
+from repro.serve import (
+    CONSISTENT,
+    NO_REPAIR,
+    REPAIRED,
+    EnforceRequest,
+    request_from_dict,
+    request_to_dict,
+    reset_worker_state,
+    response_from_dict,
+    response_to_dict,
+    serve_batch,
+    serve_request,
+    shape_key,
+    shard_requests,
+)
+from repro.solver.bounded import Scope
+
+#: The differential sweep's seed list (>= 25 seeds, fixed like A8's).
+DIFFERENTIAL_SEEDS = tuple(range(25))
+
+
+@pytest.fixture(autouse=True)
+def _isolate_session_caches():
+    clear_shared_sessions()
+    reset_worker_state()
+    yield
+    clear_shared_sessions()
+    reset_worker_state()
+
+
+def paper_request(**overrides) -> EnforceRequest:
+    """The paper's flipped-'log' repair question as a batch request."""
+    models = {
+        "fm": feature_model({"core": True, "log": True}),
+        "cf1": configuration(["core", "log"], name="cf1"),
+        "cf2": configuration(["core"], name="cf2"),
+    }
+    settings = dict(
+        targets=["cf1", "cf2"],
+        semantics="extended",
+        max_distance=None,
+    )
+    settings.update(overrides)
+    return EnforceRequest.build(paper_transformation(2), models, **settings)
+
+
+def fingerprint(result):
+    return [
+        (
+            response.outcome,
+            response.distance,
+            tuple(sorted(response.changed)),
+            tuple(
+                (param, canonical_text(model))
+                for param, model in sorted(response.models.items())
+            ),
+        )
+        for response in result.responses
+    ]
+
+
+class TestWireFormat:
+    def test_request_roundtrip(self):
+        request = paper_request(weights={"cf1": 2}, scope=Scope(), max_distance=3)
+        rebuilt = request_from_dict(request_to_dict(request))
+        assert rebuilt.transformation == request.transformation
+        assert rebuilt.targets == request.targets
+        assert rebuilt.weights == request.weights
+        assert rebuilt.scope == request.scope
+        assert rebuilt.max_distance == 3
+        assert shape_key(rebuilt) == shape_key(request)
+        for param, model in request.models.items():
+            assert canonical_text(rebuilt.models[param]) == canonical_text(model)
+
+    def test_response_roundtrip(self):
+        request = paper_request()
+        response = serve_request(request)
+        rebuilt = response_from_dict(
+            response_to_dict(response), request.metamodels
+        )
+        assert rebuilt.outcome == response.outcome == REPAIRED
+        assert rebuilt.distance == response.distance
+        assert rebuilt.changed == response.changed
+        for param in response.changed:
+            assert canonical_text(rebuilt.models[param]) == canonical_text(
+                response.models[param]
+            )
+
+    def test_malformed_request_rejected(self):
+        from repro.errors import SerializationError
+
+        with pytest.raises(SerializationError):
+            request_from_dict({"kind": "enforce-request"})  # no transformation
+        with pytest.raises(SerializationError):
+            request_from_dict({"kind": "something-else"})
+        data = request_to_dict(paper_request())
+        data["models"]["fm"]["metamodel"] = "Ghost"
+        with pytest.raises(SerializationError):
+            request_from_dict(data)
+
+    def test_request_json_is_stable_text(self):
+        from repro.serve import request_to_json
+
+        a = request_to_json(paper_request())
+        b = request_to_json(paper_request())
+        assert a == b
+        assert json.loads(a)["kind"] == "enforce-request"
+
+
+class TestSharding:
+    def test_same_shape_same_shard_and_same_session(self):
+        base = paper_request()
+        drifted = paper_request(
+            # a different model tuple, same question shape
+        )
+        object.__setattr__(
+            drifted,
+            "models",
+            {**dict(drifted.models), "cf2": configuration(["core", "log"], name="cf2")},
+        )
+        assert shape_key(base) == shape_key(drifted)
+        shards = shard_requests([base, drifted])
+        assert len(shards) == 1 and shards[0][1] == [0, 1]
+        # ... and shared_session agrees: one live session for the shape.
+        transformation = parse_transformation(base.transformation)
+        first = shared_session(
+            transformation, TargetSelection(base.targets)
+        )
+        second = shared_session(
+            transformation, TargetSelection(drifted.targets)
+        )
+        assert first is second
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"targets": ["fm"]},
+            {"semantics": STANDARD},
+            {"weights": {"cf1": 2}},
+            {"scope": Scope(extra_objects=2)},
+            {"mode": "decreasing"},
+        ],
+    )
+    def test_each_shape_component_splits_the_shard(self, override):
+        base = paper_request()
+        other = paper_request(**override)
+        assert shape_key(base) != shape_key(other)
+        assert len(shard_requests([base, other])) == 2
+        # shared_session splits on the same component
+        transformation = parse_transformation(base.transformation)
+
+        def resolve(request):
+            return shared_session(
+                transformation,
+                TargetSelection(request.targets),
+                semantics=request.semantics,
+                metric=request.metric(),
+                scope=request.scope,
+                mode=request.mode,
+            )
+
+        assert resolve(base) is not resolve(other)
+
+    def test_max_distance_is_not_part_of_the_shape(self):
+        assert shape_key(paper_request()) == shape_key(
+            paper_request(max_distance=1)
+        )
+
+    def test_shards_ordered_by_first_submission(self):
+        a = paper_request()
+        b = paper_request(targets=["fm"])
+        shards = shard_requests([b, a, b, a])
+        assert [indices for _digest, indices in shards] == [[0, 2], [1, 3]]
+
+
+class TestBatchService:
+    def test_submission_order_and_outcomes(self):
+        consistent = paper_request()
+        object.__setattr__(
+            consistent,
+            "models",
+            {
+                "fm": feature_model({"core": True}),
+                "cf1": configuration(["core"], name="cf1"),
+                "cf2": configuration(["core"], name="cf2"),
+            },
+        )
+        impossible = paper_request(targets=["cf1"], max_distance=0)
+        batch = [paper_request(), consistent, impossible]
+        result = serve_batch(batch, workers=0)
+        assert [r.outcome for r in result.responses] == [
+            REPAIRED,
+            CONSISTENT,
+            NO_REPAIR,
+        ]
+        assert result.responses[0].distance == 2
+        assert result.responses[1].distance == 0
+        assert result.responses[2].error is not None
+        assert result.outcomes() == {REPAIRED: 1, CONSISTENT: 1, NO_REPAIR: 1}
+
+    def test_error_response_keeps_batch_alive(self):
+        bad = paper_request()
+        object.__setattr__(bad, "transformation", "transformation Broken {")
+        result = serve_batch([bad, paper_request()], workers=0)
+        assert result.responses[0].outcome == "error"
+        assert result.responses[1].outcome == REPAIRED
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ServeError):
+            serve_batch([paper_request()], workers=-1)
+        with pytest.raises(ServeError):
+            serve_batch([paper_request()], workers=0, portfolio=True)
+
+    def test_one_grounding_per_shard(self):
+        scenario = random_scenario(1)
+        requests = scenario_requests(scenario, rounds=5)
+        result = serve_batch(requests, workers=0)
+        assert len(result.shards) == 1
+        assert result.shards[0].groundings <= 1
+        assert result.shards[0].requests == len(requests)
+
+    def test_determinism_across_worker_counts(self):
+        requests = []
+        for seed in (0, 2, 5, 7):
+            requests.extend(scenario_requests(random_scenario(seed), rounds=4))
+        # Warm the *parent* first (inline run): pooled batches must stay
+        # reproducible even when the parent's session caches are dirty,
+        # because every pool worker starts from a clean slate.
+        inline = serve_batch(requests, workers=0)
+        prints = {
+            workers: fingerprint(serve_batch(requests, workers=workers))
+            for workers in (1, 2, 4)
+        }
+        assert prints[1] == prints[2] == prints[4]
+        # Inline mode shares the caller's solver state, so only verdicts
+        # and costs are promised to match the pooled arms.
+        assert [(r.outcome, r.distance) for r in inline.responses] == [
+            (outcome, distance) for outcome, distance, _c, _m in prints[1]
+        ]
+
+    def test_portfolio_agrees_on_verdicts_and_costs(self):
+        requests = []
+        for seed in (0, 3, 5):
+            requests.extend(scenario_requests(random_scenario(seed), rounds=3))
+        default = serve_batch(requests, workers=2)
+        raced = serve_batch(requests, workers=2, portfolio=True)
+        assert [
+            (r.outcome, r.distance if r.ok else None) for r in raced.responses
+        ] == [
+            (r.outcome, r.distance if r.ok else None)
+            for r in default.responses
+        ]
+        assert {s.restart for s in raced.shards} <= {"luby", "geometric"}
+
+
+class TestDifferentialSweep:
+    def test_batch_matches_sequential_per_call_sat(self):
+        """>= 25 seeds: the batch service vs per-call SAT, request by
+        request (the ISSUE-5 acceptance sweep; A9 re-drives it with
+        throughput gates in script mode)."""
+        requests = []
+        for seed in DIFFERENTIAL_SEEDS:
+            requests.extend(
+                scenario_requests(random_scenario(seed), rounds=3)
+            )
+        result = serve_batch(requests, workers=2)
+        for index, request in enumerate(requests):
+            transformation = parse_transformation(request.transformation)
+            try:
+                repair = enforce(
+                    transformation,
+                    request.models,
+                    TargetSelection(request.targets),
+                    engine="sat",
+                    semantics=request.semantics,
+                    metric=request.metric(),
+                    scope=request.scope,
+                    mode=request.mode,
+                    max_distance=request.max_distance,
+                    share=False,
+                )
+                expected = (
+                    CONSISTENT if repair.engine == "none" else REPAIRED,
+                    repair.distance,
+                )
+            except NoRepairFound:
+                expected = (NO_REPAIR, None)
+            response = result.responses[index]
+            got = (
+                response.outcome,
+                response.distance if response.ok else None,
+            )
+            assert got == expected, f"request {index} (seed stream) diverged"
+        # the sweep must exercise repairs, not only hippocratic answers
+        assert result.outcomes().get(REPAIRED, 0) > 0
+
+
+class TestInUniverseStream:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_stream_preserves_objects_and_domain(self, seed):
+        scenario = random_scenario(seed)
+        stream = in_universe_stream(
+            scenario.seed,
+            scenario.models,
+            sorted(scenario.targets.params),
+            rounds=8,
+        )
+        assert stream[0] == scenario.models
+
+        def universe(tuple_):
+            objects = {
+                param: frozenset(model.object_ids())
+                for param, model in tuple_.items()
+            }
+            values = frozenset(
+                value
+                for model in tuple_.values()
+                for obj in model.objects
+                for _name, value in obj.attrs
+                if not isinstance(value, bool)
+            )
+            return objects, values
+
+        anchor = universe(stream[0])
+        for tuple_ in stream[1:]:
+            assert universe(tuple_) == anchor
+
+    def test_stream_only_touches_target_params(self):
+        scenario = random_scenario(4)
+        params = sorted(scenario.targets.params)
+        stream = in_universe_stream(
+            scenario.seed, scenario.models, params, rounds=6
+        )
+        frozen = [p for p in scenario.params() if p not in params]
+        for tuple_ in stream[1:]:
+            for param in frozen:
+                assert tuple_[param] == scenario.models[param]
+
+    def test_stream_is_deterministic(self):
+        scenario = random_scenario(9)
+        args = (scenario.seed, scenario.models, sorted(scenario.targets.params))
+        first = in_universe_stream(*args, rounds=5)
+        second = in_universe_stream(*args, rounds=5)
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            for param in a:
+                assert canonical_text(a[param]) == canonical_text(b[param])
