@@ -15,7 +15,12 @@
 # asserts the batch service answers shards verdict/cost-identically to
 # sequential per-call SAT with one grounding per shape per worker and
 # worker-count-independent results (the >= 2x throughput gate runs in
-# the full, non-smoke sweep). Docs can't rot silently: every example
+# the full, non-smoke sweep), and a10 asserts the long-lived daemon
+# answers bit-for-bit identically to serve_batch, replays same-shape
+# traffic with zero re-grounding (the >= 2x warm-throughput gate runs
+# in the full sweep), and dead-letters a wedged request within its
+# deadline while its batch siblings complete. Docs can't rot silently:
+# every example
 # runs as a smoke stage, the code blocks in README.md and docs/ are
 # import-checked, and the audited public modules' doctests execute.
 #
@@ -48,6 +53,12 @@ python benchmarks/bench_a8_generated_workloads.py --smoke
 
 echo "== a9 batch-service smoke benchmark =="
 python benchmarks/bench_a9_batch_service.py --smoke
+
+# The daemon lifecycle suite (tests/test_daemon.py) already runs inside
+# the tier-1 pytest above; a10 drives a real socketed daemon with its
+# own gates and emits the trajectory JSON.
+echo "== a10 daemon smoke benchmark =="
+python benchmarks/bench_a10_daemon.py --smoke
 
 echo "== examples smoke =="
 for example in examples/*.py; do

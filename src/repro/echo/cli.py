@@ -13,7 +13,10 @@ the layout):
   ``--write`` to persist the repaired models back into the workspace;
 * ``batch`` — answer a whole JSON file of enforcement requests through
   the sharded batch service (:mod:`repro.serve`); exit code 1 signals
-  at least one unanswered request.
+  at least one unanswered request;
+* ``daemon`` — run the long-lived enforcement daemon
+  (:mod:`repro.serve.daemon`), or with ``--client`` talk to a running
+  one (``--health``, ``--metrics``, or a ``--requests`` batch file).
 
 Examples::
 
@@ -22,6 +25,8 @@ Examples::
     repro-echo enforce --workspace ws -t F --bind fm=fm cf1=alpha cf2=beta \\
         --target cf1 --target cf2 --engine sat --write
     repro-echo batch --workspace ws --requests batch.json --workers 4
+    repro-echo daemon --socket /tmp/repro.sock --workers 4
+    repro-echo daemon --client --socket /tmp/repro.sock --health
 """
 
 from __future__ import annotations
@@ -57,8 +62,39 @@ print in submission order regardless of worker interleaving. Keep the
 batch file OUTSIDE the workspace root — the workspace loader scans
 every *.json under it.
 
+Each shard gets --deadline seconds on the pool (submission to answer);
+a shard that blows it is abandoned and its requests are answered with
+typed "error" responses while the rest of the batch completes. On
+Ctrl-C (or a broken worker pool) the batch stops early but still
+prints every response — completed shards carry their real answers,
+the rest say they were never answered — and exits 1.
+
 example:
     repro-echo batch --workspace ws --requests batch.json --workers 4 --write
+"""
+
+#: The daemon verb's --help epilog.
+_DAEMON_EPILOG = """\
+Serve mode (the default) runs the resident enforcement daemon on a UNIX
+socket (--socket PATH) or TCP endpoint (--host HOST [--port N]); it
+prints one JSON "listening" line when ready and serves until SIGTERM or
+Ctrl-C, which gracefully drains in-flight work and prints a final
+metrics snapshot. Worker sessions stay warm ACROSS batches: repeated
+same-shape traffic grounds once, ever.
+
+Client mode (--client) talks to a running daemon: --health and
+--metrics print the respective reports as JSON; --requests FILE with
+--workspace WS answers a batch file (same format as `repro-echo batch`,
+see its --help) through the daemon. Requests the daemon rejects come
+back with typed outcomes: "overloaded" (per-shape queue full, or
+draining) and "deadline-exceeded" (the per-request deadline elapsed;
+the request was dead-lettered).
+
+examples:
+    repro-echo daemon --socket /tmp/repro.sock --workers 4
+    repro-echo daemon --client --socket /tmp/repro.sock --metrics
+    repro-echo daemon --client --socket /tmp/repro.sock \\
+        --requests batch.json --workspace ws
 """
 
 
@@ -131,10 +167,72 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="race luby vs geometric restart schedules per shard",
     )
+    from repro.serve import DEFAULT_SHARD_DEADLINE
+
+    batch.add_argument(
+        "--deadline",
+        type=float,
+        default=DEFAULT_SHARD_DEADLINE,
+        metavar="SECONDS",
+        help="per-shard deadline on the pool; 0 lifts it "
+        f"(default: {DEFAULT_SHARD_DEADLINE:g})",
+    )
     batch.add_argument(
         "--write",
         action="store_true",
         help="persist every repaired model back into the workspace",
+    )
+
+    daemon = sub.add_parser(
+        "daemon",
+        help="run (or talk to) the long-lived enforcement daemon",
+        description="The resident enforcement service: warm sessions "
+        "across batches, typed backpressure, per-request deadlines.",
+        epilog=_DAEMON_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    daemon.add_argument("--socket", help="UNIX socket path")
+    daemon.add_argument("--host", help="TCP host (alternative to --socket)")
+    daemon.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks one)"
+    )
+    daemon.add_argument(
+        "--workers", type=int, default=2, help="worker processes (default: 2)"
+    )
+    daemon.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="per-shape bound on queued + in-flight requests (default: 64)",
+    )
+    daemon.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request end-to-end deadline (serve mode default: 60; "
+        "client mode default: the daemon's)",
+    )
+    daemon.add_argument(
+        "--client",
+        action="store_true",
+        help="talk to a running daemon instead of serving",
+    )
+    daemon.add_argument(
+        "--health", action="store_true", help="client: print the health report"
+    )
+    daemon.add_argument(
+        "--metrics",
+        action="store_true",
+        help="client: print the metrics snapshot",
+    )
+    daemon.add_argument(
+        "--requests",
+        help="client: JSON batch file to answer through the daemon "
+        "(needs --workspace)",
+    )
+    daemon.add_argument(
+        "--workspace", help="client: workspace resolving the batch file"
     )
     return parser
 
@@ -161,9 +259,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Belt and braces: the batch service converts an interrupt into
+        # partial results itself; anything interrupted elsewhere still
+        # exits cleanly instead of spraying a traceback.
+        print("interrupted", file=sys.stderr)
+        return 1
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "daemon":
+        return _daemon(args)
     workspace = Workspace.load(args.workspace)
     if args.command == "validate":
         return _validate(workspace)
@@ -198,9 +304,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _batch(workspace: Workspace, args: argparse.Namespace) -> int:
-    """The ``batch`` verb: file of requests -> submission-ordered answers."""
-    path = Path(args.requests)
+def _load_batch_file(requests_path: str) -> list:
+    """Read and parse a batch-request JSON file (shared batch/daemon)."""
+    path = Path(requests_path)
     try:
         entries = json.loads(path.read_text())
     except OSError as exc:
@@ -209,8 +315,17 @@ def _batch(workspace: Workspace, args: argparse.Namespace) -> int:
         raise WorkspaceError(f"{path}: not UTF-8 text ({exc})") from exc
     except json.JSONDecodeError as exc:
         raise WorkspaceError(f"{path}: invalid JSON ({exc})") from exc
+    return entries
+
+
+def _batch(workspace: Workspace, args: argparse.Namespace) -> int:
+    """The ``batch`` verb: file of requests -> submission-ordered answers."""
+    entries = _load_batch_file(args.requests)
     result = workspace.serve(
-        entries, workers=args.workers, portfolio=args.portfolio
+        entries,
+        workers=args.workers,
+        portfolio=args.portfolio,
+        deadline=args.deadline or None,
     )
     ok = True
     written_by: dict[str, int] = {}
@@ -246,7 +361,68 @@ def _batch(workspace: Workspace, args: argparse.Namespace) -> int:
         + (" portfolio" if result.portfolio else "")
         + f", {result.elapsed:.2f}s"
     )
+    if result.interrupted:
+        print(
+            "batch interrupted: the responses above are partial — "
+            "completed shards carry real answers, the rest were never "
+            "answered",
+            file=sys.stderr,
+        )
+        return 1
     return 0 if ok else 1
+
+
+def _daemon(args: argparse.Namespace) -> int:
+    """The ``daemon`` verb: serve mode, or --client against a server."""
+    if args.client:
+        return _daemon_client(args)
+    if args.health or args.metrics or args.requests:
+        raise SystemExit(
+            "--health/--metrics/--requests are client options; add --client"
+        )
+    from repro.serve.daemon import DaemonConfig, run_daemon
+
+    config = DaemonConfig(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        **({} if args.deadline is None else {"deadline": args.deadline}),
+    )
+    run_daemon(config)
+    return 0
+
+
+def _daemon_client(args: argparse.Namespace) -> int:
+    from repro.serve.protocol import DaemonClient
+
+    if args.socket is None and args.host is None:
+        raise SystemExit("daemon --client needs --socket or --host/--port")
+    with DaemonClient.connect(
+        path=args.socket, host=args.host, port=args.port or None
+    ) as client:
+        if args.health:
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+            return 0
+        if args.metrics:
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+            return 0
+        if not args.requests or not args.workspace:
+            raise SystemExit(
+                "daemon --client needs --health, --metrics, or "
+                "--requests with --workspace"
+            )
+        workspace = Workspace.load(args.workspace)
+        entries = _load_batch_file(args.requests)
+        requests = workspace.resolve_requests(entries)
+        responses = client.enforce_many(requests, deadline=args.deadline)
+        ok = True
+        for index, (entry, response) in enumerate(zip(entries, responses)):
+            print(f"[{index}] {entry.get('transformation')}: {response.summary()}")
+            if not response.ok:
+                ok = False
+        return 0 if ok else 1
 
 
 def _validate(workspace: Workspace) -> int:

@@ -28,6 +28,10 @@ from repro.metamodel.serialize import (
 from repro.qvtr.ast import Transformation
 from repro.qvtr.syntax.parser import parse_transformation
 
+#: serve()'s "use the service default" marker — distinct from ``None``,
+#: which explicitly lifts the shard deadline.
+_DEFAULT_DEADLINE = object()
+
 
 class Workspace:
     """An in-memory view of a workspace directory."""
@@ -90,29 +94,52 @@ class Workspace:
         entries: list,
         workers: int | None = None,
         portfolio: bool = False,
+        deadline: object = _DEFAULT_DEADLINE,
     ) -> "BatchResult":
         """Answer a batch of enforcement requests over workspace artefacts.
 
         ``entries`` is the parsed batch file of the ``repro-echo batch``
-        verb: a non-empty list of request objects, each naming a
-        registered ``transformation``, a ``bind`` of its parameters to
-        workspace model names, and the ``targets`` to repair; optional
-        keys — ``semantics``, ``weights``, ``scope``, ``mode``,
-        ``max_distance`` — mirror :meth:`~repro.echo.tool.Echo.enforce`.
-        Entries are resolved strictly (an unknown name or malformed
-        entry raises :class:`~repro.errors.WorkspaceError` before
-        anything is dispatched) and then served by
+        verb (resolved by :meth:`resolve_requests`); they are served by
         :func:`repro.serve.serve_batch`: sharded by question shape,
         answered on a process pool of ``workers`` (0 = inline), merged
-        in submission order. The workspace itself is not mutated — the
-        CLI decides what to persist from the returned
+        in submission order. ``deadline`` is the per-shard budget
+        (default :data:`repro.serve.DEFAULT_SHARD_DEADLINE`; ``None``
+        lifts it). The workspace itself is not mutated — the CLI decides
+        what to persist from the returned
         :class:`~repro.serve.BatchResult`.
         """
-        from repro.serve import DEFAULT_WORKERS, EnforceRequest, serve_batch
-        from repro.serve.requests import scope_from_dict
+        from repro.serve import (
+            DEFAULT_SHARD_DEADLINE,
+            DEFAULT_WORKERS,
+            serve_batch,
+        )
 
         if workers is None:
             workers = DEFAULT_WORKERS
+        if deadline is _DEFAULT_DEADLINE:
+            deadline = DEFAULT_SHARD_DEADLINE
+        requests = self.resolve_requests(entries)
+        return serve_batch(
+            requests, workers=workers, portfolio=portfolio, deadline=deadline
+        )
+
+    def resolve_requests(self, entries: list) -> list:
+        """Resolve batch-file entries to :class:`~repro.serve.EnforceRequest`\\ s.
+
+        Each entry names a registered ``transformation``, a ``bind`` of
+        its parameters to workspace model names, and the ``targets`` to
+        repair; optional keys — ``semantics``, ``weights``, ``scope``,
+        ``mode``, ``max_distance`` — mirror
+        :meth:`~repro.echo.tool.Echo.enforce`. Resolution is strict: an
+        unknown name or malformed entry raises
+        :class:`~repro.errors.WorkspaceError` before anything is
+        dispatched. Shared by the ``batch`` verb and the daemon client
+        mode (``repro-echo daemon --client``), so a batch file means the
+        same thing against either service.
+        """
+        from repro.serve import EnforceRequest
+        from repro.serve.requests import scope_from_dict
+
         if not isinstance(entries, list):
             raise WorkspaceError("batch must be a JSON array of requests")
         if not entries:
@@ -194,7 +221,7 @@ class Workspace:
                 )
             except ReproError as exc:
                 raise WorkspaceError(f"{label}: {exc}") from exc
-        return serve_batch(requests, workers=workers, portfolio=portfolio)
+        return requests
 
     # ------------------------------------------------------------------
     # Loading

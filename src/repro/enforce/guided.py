@@ -45,7 +45,7 @@ from repro.check.semantics import DirectionViolation, check_direction
 from repro.enforce.metrics import TupleMetric
 from repro.enforce.satengine import ConsistencyOracle
 from repro.enforce.targets import TargetSelection
-from repro.errors import NoRepairFound
+from repro.errors import EditError, ExprError, NoRepairFound
 from repro.expr import ast as e
 from repro.expr.eval import EvalContext, evaluate
 from repro.expr.free_vars import free_vars
@@ -180,7 +180,11 @@ def _apply(state: Mapping[str, Model], candidate: Candidate):
     param, edits = candidate
     try:
         updated = apply_edits(state[param], edits)
-    except Exception:
+    except EditError:
+        # An inapplicable candidate (duplicate id, dangling target) is
+        # expected — synthesis guesses, application filters. Anything
+        # else (a KeyError, a corrupted model) is a real bug and must
+        # surface, not be scored away as "no candidate".
         return None
     next_state = dict(state)
     next_state[param] = updated
@@ -251,7 +255,11 @@ def _augment_from_where(
                             expr_side, EvalContext(ctx_models, env)
                         )
                         changed = True
-                    except Exception:
+                    except ExprError:
+                        # Unevaluable here (dangling navigation, type
+                        # mismatch under this partial env): skip the
+                        # binding, the verify loop decides. Non-typed
+                        # failures propagate — see `_apply`.
                         pass
     return env
 
@@ -335,7 +343,7 @@ def _required_value(expr: e.Expr, ctx: EvalContext, env: Env):
     if free_vars(expr) <= env.keys():
         try:
             return evaluate(expr, ctx)
-        except Exception:
+        except ExprError:
             return None
     return None
 

@@ -225,6 +225,21 @@ class EnforcementSession:
         """Whether re-grounds reuse one persistent translation context."""
         return self._context is not None
 
+    def counters(self) -> dict:
+        """The session's work counters, as one JSON-ready dict.
+
+        The metrics surface of the enforcement daemon
+        (:mod:`repro.serve.daemon`) aggregates these per worker process;
+        tests use them to pin cross-batch session reuse (a warm shape
+        answers a whole second batch with ``groundings`` unchanged).
+        """
+        return {
+            "calls": self.calls,
+            "groundings": self.groundings,
+            "reuses": self.reuses,
+            "generations": len(self._generations),
+        }
+
     def compatible(
         self,
         semantics: str,
@@ -757,6 +772,17 @@ def shared_session(
     while len(_shared_sessions) > SHARED_SESSION_LIMIT:
         _shared_sessions.popitem(last=False)
     return session
+
+
+def shared_session_counters() -> list[dict]:
+    """Counters of every live shared session, least-recently-used first.
+
+    One :meth:`EnforcementSession.counters` dict per cached shape — the
+    per-process slice of the daemon's ``metrics`` snapshot (grounding
+    builds and patch reuses per shape live in the worker processes, so
+    the worker reports them up with every reply).
+    """
+    return [session.counters() for _t, session in _shared_sessions.values()]
 
 
 def clear_shared_sessions() -> None:

@@ -25,6 +25,16 @@ requests and call :func:`serve_batch` (or ``repro-echo batch`` /
 Ablation A9 (``benchmarks/bench_a9_batch_service.py``) guards the
 service: verdicts and costs identical to sequential per-call SAT, one
 grounding per shape per worker, >= 2x throughput at 4 workers.
+
+For traffic that *keeps arriving* — many batches over hours, the same
+question shapes recurring — run the engine resident instead:
+:mod:`repro.serve.daemon` keeps the warm worker sessions alive across
+batches behind a JSON-lines socket (``repro-echo daemon``), with typed
+backpressure, per-request deadlines and dead-letter metrics. Ablation
+A10 (``benchmarks/bench_a10_daemon.py``) guards it: daemon verdicts
+bit-identical to :func:`serve_batch`, >= 2x throughput on repeated
+same-shape streams via cross-batch reuse, wedged requests dead-lettered
+on deadline while the rest of the traffic completes.
 """
 
 from repro.serve.requests import (
@@ -42,7 +52,23 @@ from repro.serve.requests import (
     shape_key,
     shard_digest,
 )
+from repro.serve.daemon import (
+    DaemonConfig,
+    DaemonHandle,
+    EnforcementDaemon,
+    run_daemon,
+    run_in_thread,
+)
+from repro.serve.metrics import DaemonMetrics
+from repro.serve.protocol import (
+    DEADLINE_EXCEEDED,
+    OVERLOADED,
+    DaemonClient,
+    decode_enforce_reply,
+    wire_shape_key,
+)
 from repro.serve.service import (
+    DEFAULT_SHARD_DEADLINE,
     DEFAULT_WORKERS,
     PORTFOLIO_ARMS,
     BatchResult,
@@ -50,19 +76,34 @@ from repro.serve.service import (
     serve_batch,
     shard_requests,
 )
-from repro.serve.worker import process_shard, reset_worker_state, serve_request
+from repro.serve.worker import (
+    process_shard,
+    reset_worker_state,
+    serve_request,
+    serve_wire,
+    worker_counters,
+)
 
 __all__ = [
     "CONSISTENT",
+    "DEADLINE_EXCEEDED",
+    "DEFAULT_SHARD_DEADLINE",
     "DEFAULT_WORKERS",
     "ERROR",
     "NO_REPAIR",
+    "OVERLOADED",
     "PORTFOLIO_ARMS",
     "REPAIRED",
     "BatchResult",
+    "DaemonClient",
+    "DaemonConfig",
+    "DaemonHandle",
+    "DaemonMetrics",
     "EnforceRequest",
     "EnforceResponse",
+    "EnforcementDaemon",
     "ShardStats",
+    "decode_enforce_reply",
     "process_shard",
     "request_from_dict",
     "request_to_dict",
@@ -70,9 +111,14 @@ __all__ = [
     "reset_worker_state",
     "response_from_dict",
     "response_to_dict",
+    "run_daemon",
+    "run_in_thread",
     "serve_batch",
     "serve_request",
+    "serve_wire",
     "shape_key",
     "shard_digest",
     "shard_requests",
+    "wire_shape_key",
+    "worker_counters",
 ]

@@ -1,0 +1,775 @@
+"""The long-lived enforcement daemon: `repro.serve` as a resident server.
+
+:func:`~repro.serve.serve_batch` answers one batch per process
+invocation — its warm worker sessions die with the pool. The daemon is
+the same engine kept *resident*: an asyncio front-end speaking the
+JSON-lines protocol of :mod:`repro.serve.protocol` over a UNIX or TCP
+socket, routing every request by question shape onto a small pool of
+long-lived worker **processes**, each of which keeps the per-process
+warm layers of :mod:`repro.serve.worker` (parse cache +
+``shared_session`` LRU) alive *across* batches — so repeated same-shape
+traffic grounds once, ever, not once per batch.
+
+Design, front to back:
+
+* **Connections** are handled entirely on the event loop; the daemon
+  never deserialises models there. Routing needs only the question
+  shape, which :func:`~repro.serve.protocol.wire_shape_key` reads
+  straight off the wire dict.
+* **Shapes** map to worker slots by stable digest hash (same shape →
+  same slot → same warm session, across connections and batches). Each
+  shape has a **bounded queue** (``queue_limit`` counts queued +
+  in-flight requests); a request arriving over the bound is rejected
+  immediately with a typed :data:`~repro.serve.protocol.OVERLOADED`
+  reply — backpressure, not unbounded growth.
+* **Workers** are ``multiprocessing`` processes joined to the loop by a
+  pipe (requests dispatched one at a time, per-slot FIFO, so a shape's
+  requests land on its warm session in submission order — the batch
+  service's determinism contract, kept). Worker processes start from a
+  clean slate exactly like :func:`~repro.serve.service._fresh_worker`
+  pool initialisers.
+* **Deadlines** are enforced end to end: a request carries its budget
+  from acceptance, queue wait included. A request that expires in the
+  queue is answered :data:`~repro.serve.protocol.DEADLINE_EXCEEDED`
+  without touching a worker; one that expires *on* a worker gets the
+  same typed reply and the worker — possibly wedged on a pathological
+  instance — is killed and respawned, so the next request of the slot
+  proceeds. Either way the request is **dead-lettered**: a bounded
+  in-memory record (shape, reason, elapsed, attempts) surfaced by the
+  ``metrics`` verb.
+* **Crashes**: a worker that dies mid-request is respawned and the
+  request retried (``retries`` budget, default 1); exhausted retries
+  dead-letter the request and answer a typed ``error``.
+* **Drain** (SIGTERM/SIGINT, or :meth:`EnforcementDaemon.drain`): stop
+  accepting — the listener closes, new enforce envelopes on live
+  connections get typed ``overloaded`` rejections — flush every queued
+  and in-flight request, emit one final metrics snapshot, stop the
+  workers.
+
+The gate is ablation A10 (``benchmarks/bench_a10_daemon.py``): daemon
+verdicts bit-identical to ``serve_batch`` on the same stream, ≥ 2x
+throughput on repeated same-shape traffic via cross-batch session
+reuse, and a deliberately wedged request dead-lettered within its
+deadline while the rest of the batch completes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ReproError, ServeError
+from repro.serve.metrics import DaemonMetrics
+from repro.serve.protocol import (
+    DEADLINE_EXCEEDED,
+    OVERLOADED,
+    decode_envelope,
+    encode_envelope,
+    wire_shape_key,
+)
+from repro.serve.requests import EnforceResponse, response_to_dict, shard_digest
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """How to run one :class:`EnforcementDaemon`.
+
+    Exactly one of ``socket_path`` (UNIX socket) or ``host`` (TCP; with
+    ``port``, 0 = ephemeral) must be set. ``queue_limit`` bounds each
+    *shape's* queued + in-flight requests; ``deadline`` is the default
+    per-request end-to-end budget (a request envelope may override it);
+    ``retries`` is how often a request is resubmitted after a worker
+    crash before it is dead-lettered.
+    """
+
+    socket_path: str | None = None
+    host: str | None = None
+    port: int = 0
+    workers: int = 2
+    queue_limit: int = 64
+    deadline: float = 60.0
+    retries: int = 1
+
+    def validate(self) -> None:
+        if (self.socket_path is None) == (self.host is None):
+            raise ServeError(
+                "daemon needs exactly one of socket_path or host"
+            )
+        if self.workers < 1:
+            raise ServeError(f"daemon needs >= 1 worker, got {self.workers}")
+        if self.queue_limit < 1:
+            raise ServeError(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.deadline <= 0:
+            raise ServeError(f"deadline must be > 0, got {self.deadline}")
+
+
+def _daemon_worker_main(conn) -> None:
+    """One worker process: serve wire requests off a pipe, forever.
+
+    Starts from a clean slate (fork inherits the parent's warm caches;
+    answers computed on them would not be reproducible — the same rule
+    as the batch pool's ``_fresh_worker``). ``{"op": "stop"}`` ends the
+    loop; a closed pipe does too. The ``wedge`` field is the protocol's
+    test hook: sleep before answering, simulating a livelocked request.
+    """
+    from repro.enforce.session import clear_shared_sessions
+    from repro.serve.worker import reset_worker_state, serve_wire
+
+    clear_shared_sessions()
+    reset_worker_state()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if not isinstance(message, dict) or message.get("op") == "stop":
+            break
+        wedge = message.get("wedge") or 0
+        if wedge:
+            time.sleep(wedge)
+        try:
+            reply = serve_wire(message.get("request"))
+        except Exception as exc:  # the service catch-all: a worker
+            # must survive any one request (programming errors included)
+            reply = {
+                "response": response_to_dict(
+                    EnforceResponse("error", error=f"worker failure: {exc!r}")
+                ),
+                "session": None,
+                "counters": None,
+            }
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+
+
+class _WorkerCrash(Exception):
+    """The worker process died before replying."""
+
+
+class _WorkerSlot:
+    """One long-lived worker process and its parent-side pipe end."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.restarts = 0
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent, child = multiprocessing.Pipe()
+        self.conn = parent
+        self.process = multiprocessing.Process(
+            target=_daemon_worker_main, args=(child,), daemon=True
+        )
+        self.process.start()
+        child.close()
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    async def call(self, message: dict, timeout: float | None) -> dict:
+        """One request/reply round trip; :class:`TimeoutError` on expiry.
+
+        Only the slot's drainer task calls this, so the pipe carries at
+        most one outstanding request. The receive blocks a pool thread,
+        not the loop; killing the process unblocks it with EOF.
+        """
+        conn = self.conn
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise _WorkerCrash(f"worker {self.index} pipe closed") from exc
+        loop = asyncio.get_running_loop()
+        reply = await asyncio.wait_for(
+            loop.run_in_executor(None, self._recv, conn), timeout
+        )
+        if reply is None:
+            raise _WorkerCrash(
+                f"worker {self.index} (pid {self.pid}) died mid-request"
+            )
+        return reply
+
+    @staticmethod
+    def _recv(conn) -> dict | None:
+        # Sentinel instead of raising: after a deadline kill this runs
+        # in an abandoned executor future, where an exception would only
+        # make noise.
+        try:
+            return conn.recv()
+        except (EOFError, OSError):
+            return None
+
+    def restart(self) -> None:
+        """Kill the (possibly wedged) process and spawn a fresh one."""
+        self.process.kill()
+        self.process.join(timeout=10)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        self.restarts += 1
+        self._spawn()
+
+    def stop(self) -> None:
+        """Graceful worker shutdown (kill only if it ignores the stop)."""
+        try:
+            self.conn.send({"op": "stop"})
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - stop is graceful
+            self.process.kill()
+            self.process.join(timeout=5)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+@dataclass
+class _Item:
+    """One accepted enforce request, queued for its shape's slot."""
+
+    envelope_id: Any
+    request: dict
+    shape: str
+    deadline_at: float | None
+    accepted_at: float
+    wedge: float | None
+    future: asyncio.Future
+    attempts: int = 0
+
+
+class _ShapeQueue:
+    """One shape's bounded FIFO plus its routing/metrics identity."""
+
+    def __init__(self, digest: str, slot: int) -> None:
+        self.digest = digest
+        self.slot = slot
+        self.items: deque[_Item] = deque()
+        self.inflight = 0
+
+    @property
+    def load(self) -> int:
+        return len(self.items) + self.inflight
+
+
+class EnforcementDaemon:
+    """The resident enforcement server (module docstring has the map).
+
+    Lifecycle: construct with a :class:`DaemonConfig`, ``await start()``,
+    then either ``await wait_drained()`` (the server runs until
+    :meth:`drain` — typically wired to SIGTERM via :func:`run_daemon`)
+    or drive it from tests with a client and call :meth:`drain`
+    directly. After drain, :attr:`final_metrics` holds the last
+    snapshot.
+    """
+
+    def __init__(self, config: DaemonConfig) -> None:
+        config.validate()
+        self.config = config
+        self.metrics = DaemonMetrics(workers=config.workers)
+        self.address: str | tuple[str, int] | None = None
+        self.final_metrics: dict | None = None
+        self._started_at = 0.0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._slots: list[_WorkerSlot] = []
+        self._drainers: list[asyncio.Task] = []
+        self._slot_tokens: list[asyncio.Queue] = []
+        self._shapes: dict[str, _ShapeQueue] = {}
+        self._connections: dict[asyncio.Task, Any] = {}
+        self._pending = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._drain_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and spawn workers + drainer tasks."""
+        self._started_at = time.monotonic()
+        self._loop = asyncio.get_running_loop()
+        self._slots = [
+            _WorkerSlot(index) for index in range(self.config.workers)
+        ]
+        self._slot_tokens = [asyncio.Queue() for _ in self._slots]
+        self._drainers = [
+            asyncio.create_task(self._drain_slot(slot)) for slot in self._slots
+        ]
+        if self.config.socket_path is not None:
+            path = str(self.config.socket_path)
+            if os.path.exists(path):
+                os.unlink(path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=path
+            )
+            self.address = path
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.config.host,
+                port=self.config.port,
+            )
+            sockname = self._server.sockets[0].getsockname()
+            self.address = (sockname[0], sockname[1])
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain (idempotent; signal-handler safe).
+
+        Must run on the daemon's loop thread — from another thread use
+        ``loop.call_soon_threadsafe(daemon.request_drain)`` (which is
+        what :meth:`DaemonHandle.drain` does).
+        """
+        if self._drain_task is None:
+            assert self._loop is not None, "daemon not started"
+            self._drain_task = self._loop.create_task(self.drain())
+
+    async def drain(self) -> dict:
+        """Stop accepting, flush in-flight work, emit final metrics."""
+        if self._drained.is_set():
+            return self.final_metrics or {}
+        self._draining = True
+        self.metrics.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._idle.wait()  # queued + in-flight requests flush
+        # Hang up lingering connections (their enforce work is done;
+        # new envelopes would be rejected anyway) and wait for their
+        # handlers, so loop teardown never cancels one mid-write.
+        for writer in list(self._connections.values()):
+            writer.close()
+        if self._connections:
+            await asyncio.gather(
+                *list(self._connections), return_exceptions=True
+            )
+        for tokens in self._slot_tokens:
+            tokens.put_nowait(None)  # drainer shutdown sentinel
+        for task in self._drainers:
+            await task
+        for slot in self._slots:
+            slot.stop()
+        self.final_metrics = self._snapshot()
+        self._drained.set()
+        if (
+            isinstance(self.address, str)
+            and os.path.exists(self.address)
+        ):  # pragma: no cover - fs cleanup
+            try:
+                os.unlink(self.address)
+            except OSError:
+                pass
+        return self.final_metrics
+
+    async def wait_drained(self) -> None:
+        """Block until a drain (signal or :meth:`drain` call) completes."""
+        await self._drained.wait()
+
+    # ------------------------------------------------------------------
+    # Connections (event-loop side; never touches model payloads)
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        lock = asyncio.Lock()  # replies interleave across request tasks
+        tasks: set[asyncio.Task] = set()
+        me = asyncio.current_task()
+        assert me is not None
+        self._connections[me] = writer
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                await self._handle_envelope(line, writer, lock, tasks)
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            self._connections.pop(me, None)
+            if tasks:  # replies for this connection's in-flight requests
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_envelope(self, line, writer, lock, tasks) -> None:
+        try:
+            envelope = decode_envelope(line)
+        except ReproError as exc:
+            await self._write(
+                writer, lock, {"kind": "protocol-error", "id": None,
+                               "error": str(exc)}
+            )
+            return
+        verb = envelope.get("verb")
+        envelope_id = envelope.get("id")
+        if verb == "health":
+            await self._write(writer, lock, self._health_reply(envelope_id))
+            return
+        if verb == "metrics":
+            await self._write(
+                writer, lock,
+                {"kind": "metrics-reply", "id": envelope_id,
+                 "metrics": self._snapshot()},
+            )
+            return
+        if verb != "enforce":
+            await self._write(
+                writer, lock,
+                {"kind": "protocol-error", "id": envelope_id,
+                 "error": f"unknown verb {verb!r}"},
+            )
+            return
+        reply = self._accept(envelope)
+        if isinstance(reply, dict):  # typed rejection, answered inline
+            await self._write(writer, lock, reply)
+            return
+        task = asyncio.create_task(
+            self._reply_when_done(reply, writer, lock)
+        )
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+
+    def _accept(self, envelope: dict) -> dict | _Item:
+        """Route one enforce envelope: an :class:`_Item`, or a rejection."""
+        envelope_id = envelope.get("id")
+        try:
+            key = wire_shape_key(envelope.get("request"))
+        except ReproError as exc:
+            return self._rejection(envelope_id, "error", str(exc))
+        digest = shard_digest(key)
+        shape = self._shapes.get(digest)
+        if shape is None:
+            slot = int(digest, 16) % len(self._slots)
+            shape = self._shapes[digest] = _ShapeQueue(digest, slot)
+        if self._draining:
+            self.metrics.overloaded += 1
+            self.metrics.shape(digest, shape.slot).overloaded += 1
+            return self._rejection(
+                envelope_id, OVERLOADED, "daemon is draining"
+            )
+        if shape.load >= self.config.queue_limit:
+            self.metrics.overloaded += 1
+            self.metrics.shape(digest, shape.slot).overloaded += 1
+            return self._rejection(
+                envelope_id, OVERLOADED,
+                f"shape {digest} queue is full "
+                f"({self.config.queue_limit} queued or in flight)",
+            )
+        deadline = envelope.get("deadline")
+        if deadline is None:
+            deadline = self.config.deadline
+        now = time.monotonic()
+        item = _Item(
+            envelope_id=envelope_id,
+            request=envelope.get("request"),
+            shape=digest,
+            deadline_at=None if deadline is None else now + float(deadline),
+            accepted_at=now,
+            wedge=envelope.get("wedge"),
+            future=asyncio.get_running_loop().create_future(),
+            attempts=0,
+        )
+        self.metrics.accepted += 1
+        self._pending += 1
+        self._idle.clear()
+        shape.items.append(item)
+        self._slot_tokens[shape.slot].put_nowait(digest)
+        return item
+
+    async def _reply_when_done(self, item: _Item, writer, lock) -> None:
+        reply = await item.future
+        try:
+            await self._write(writer, lock, reply)
+        finally:
+            # A request counts as pending until its reply is *written*
+            # (not merely computed) — drain must not hang up a
+            # connection that still owes the client an answer.
+            self._pending -= 1
+            if self._pending == 0:
+                self._idle.set()
+
+    async def _write(self, writer, lock, envelope: dict) -> None:
+        async with lock:
+            try:
+                writer.write(encode_envelope(envelope))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass  # the client went away; the work is already done
+
+    def _rejection(self, envelope_id, outcome: str, error: str) -> dict:
+        return {
+            "kind": "enforce-reply",
+            "id": envelope_id,
+            "outcome": outcome,
+            "error": error,
+        }
+
+    def _health_reply(self, envelope_id) -> dict:
+        queued, inflight = self._depths()
+        return {
+            "kind": "health-reply",
+            "id": envelope_id,
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "workers": len(self._slots),
+            "queued": queued,
+            "inflight": inflight,
+        }
+
+    def _depths(self) -> tuple[int, int]:
+        queued = sum(len(s.items) for s in self._shapes.values())
+        inflight = sum(s.inflight for s in self._shapes.values())
+        return queued, inflight
+
+    def _snapshot(self) -> dict:
+        queued, inflight = self._depths()
+        return self.metrics.snapshot(
+            uptime_s=time.monotonic() - self._started_at,
+            queued=queued,
+            inflight=inflight,
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch (one drainer task per worker slot)
+    # ------------------------------------------------------------------
+    async def _drain_slot(self, slot: _WorkerSlot) -> None:
+        tokens = self._slot_tokens[slot.index]
+        while True:
+            digest = await tokens.get()
+            if digest is None:  # drain sentinel
+                break
+            shape = self._shapes[digest]
+            if not shape.items:  # a retry token raced the original
+                continue
+            item = shape.items.popleft()
+            shape.inflight += 1
+            try:
+                await self._dispatch(slot, shape, item)
+            finally:
+                shape.inflight -= 1
+
+    async def _dispatch(
+        self, slot: _WorkerSlot, shape: _ShapeQueue, item: _Item
+    ) -> None:
+        metrics = self.metrics.shape(shape.digest, shape.slot)
+        now = time.monotonic()
+        if item.deadline_at is not None and now >= item.deadline_at:
+            # Expired while queued: never reaches a worker.
+            self._finish_deadline(item, metrics, reason="queue", now=now)
+            return
+        timeout = (
+            None if item.deadline_at is None else item.deadline_at - now
+        )
+        item.attempts += 1
+        message = {
+            "op": "enforce",
+            "request": item.request,
+            "wedge": item.wedge,
+        }
+        try:
+            reply = await slot.call(message, timeout)
+        except asyncio.TimeoutError:
+            # The worker is wedged (or the instance pathological): kill
+            # it so the slot's next request proceeds on a fresh process.
+            slot.restart()
+            self.metrics.worker_restarts += 1
+            self._finish_deadline(
+                item, metrics, reason="worker", now=time.monotonic()
+            )
+            return
+        except _WorkerCrash as crash:
+            slot.restart()
+            self.metrics.worker_restarts += 1
+            if item.attempts <= self.config.retries:
+                self.metrics.retries += 1
+                shape.items.appendleft(item)  # keep submission order
+                self._slot_tokens[shape.slot].put_nowait(shape.digest)
+                return
+            elapsed = time.monotonic() - item.accepted_at
+            self.metrics.dead_letter(
+                shape.digest, item.envelope_id, "worker-crashed",
+                str(crash), elapsed, item.attempts,
+            )
+            self._resolve(
+                item,
+                self._rejection(
+                    item.envelope_id, "error",
+                    f"{crash} ({item.attempts} attempts)",
+                ),
+            )
+            return
+        elapsed = time.monotonic() - item.accepted_at
+        session = reply.get("session") or {}
+        counters = reply.get("counters")
+        if counters is not None:
+            self.metrics.worker_counters[slot.index] = counters
+        response = reply.get("response") or {}
+        outcome = response.get("outcome", "error")
+        self.metrics.observe_reply(
+            metrics,
+            elapsed,
+            grounded=bool(session.get("grounded")),
+            ok=outcome in ("consistent", "repaired", "no-repair"),
+        )
+        self._resolve(
+            item,
+            {
+                "kind": "enforce-reply",
+                "id": item.envelope_id,
+                "outcome": outcome,
+                "elapsed_ms": round(elapsed * 1e3, 3),
+                "response": response,
+            },
+        )
+
+    def _finish_deadline(
+        self, item: _Item, metrics, reason: str, now: float
+    ) -> None:
+        elapsed = now - item.accepted_at
+        self.metrics.deadline_exceeded += 1
+        metrics.deadline_exceeded += 1
+        error = (
+            f"deadline exceeded after {elapsed:.3f}s "
+            f"({'expired in queue' if reason == 'queue' else 'worker killed'})"
+        )
+        self.metrics.dead_letter(
+            item.shape, item.envelope_id, f"deadline-{reason}", error,
+            elapsed, item.attempts,
+        )
+        self._resolve(
+            item, self._rejection(item.envelope_id, DEADLINE_EXCEEDED, error)
+        )
+
+    def _resolve(self, item: _Item, reply: dict) -> None:
+        if not item.future.done():  # pragma: no branch
+            item.future.set_result(reply)
+
+
+def run_daemon(config: DaemonConfig) -> dict:
+    """Run a daemon until SIGTERM/SIGINT drains it; returns final metrics.
+
+    The blocking entry point behind ``repro-echo daemon``: binds,
+    prints one ``listening`` line (JSON, machine-readable) to stdout,
+    installs signal handlers for graceful drain, serves, and on drain
+    prints the final metrics snapshot to stdout before returning it.
+    """
+
+    async def _amain() -> dict:
+        daemon = EnforcementDaemon(config)
+        await daemon.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, daemon.request_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-main thread or exotic platform: drain via API
+        address = (
+            daemon.address
+            if isinstance(daemon.address, str)
+            else list(daemon.address)
+        )
+        print(
+            json.dumps(
+                {"listening": address, "workers": config.workers, "pid": os.getpid()}
+            ),
+            flush=True,
+        )
+        await daemon.wait_drained()
+        print(json.dumps({"final_metrics": daemon.final_metrics}), flush=True)
+        return daemon.final_metrics or {}
+
+    return asyncio.run(_amain())
+
+
+class DaemonHandle:
+    """A daemon running on a background thread's event loop.
+
+    The harness behind the tests and benchmark A10: the caller keeps
+    its own (blocking) thread and talks to the daemon through a
+    :class:`~repro.serve.protocol.DaemonClient` on :attr:`address`.
+    :meth:`drain` is the graceful shutdown, returning final metrics.
+    """
+
+    def __init__(
+        self,
+        daemon: EnforcementDaemon,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.daemon = daemon
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def address(self) -> str | tuple[str, int]:
+        assert self.daemon.address is not None
+        return self.daemon.address
+
+    def drain(self, timeout: float = 120.0) -> dict:
+        """Drain the daemon, join its thread, return final metrics."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.daemon.drain(), self.loop
+        )
+        metrics = future.result(timeout)
+        self.thread.join(timeout=30)
+        return metrics
+
+
+def run_in_thread(
+    config: DaemonConfig, startup_timeout: float = 30.0
+) -> DaemonHandle:
+    """Start a daemon on a background thread; returns once it listens.
+
+    Signal handlers are *not* installed (they belong to the main
+    thread's daemon, :func:`run_daemon`); drain through the handle.
+    """
+    started = threading.Event()
+    box: dict = {}
+
+    async def _amain() -> None:
+        try:
+            daemon = EnforcementDaemon(config)
+            await daemon.start()
+        except BaseException as exc:
+            box["error"] = exc
+            started.set()
+            raise
+        box["daemon"] = daemon
+        box["loop"] = asyncio.get_running_loop()
+        started.set()
+        await daemon.wait_drained()
+
+    def _thread_main() -> None:
+        try:
+            asyncio.run(_amain())
+        except BaseException:  # surfaced via box["error"] if pre-start
+            if not started.is_set():  # pragma: no cover - race backstop
+                started.set()
+
+    thread = threading.Thread(
+        target=_thread_main, name="repro-daemon", daemon=True
+    )
+    thread.start()
+    if not started.wait(startup_timeout):  # pragma: no cover
+        raise ServeError("daemon did not start listening in time")
+    error = box.get("error")
+    if error is not None:
+        thread.join(timeout=10)
+        raise error
+    return DaemonHandle(box["daemon"], box["loop"], thread)

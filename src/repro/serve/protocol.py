@@ -1,0 +1,273 @@
+"""The daemon's JSON-lines wire protocol, and a blocking client.
+
+One connection carries any number of **envelopes**, one JSON object per
+``\\n``-terminated line, in either direction. Client-to-daemon envelopes
+name a ``verb``:
+
+* ``{"verb": "enforce", "id": ..., "request": <request wire dict>,
+  "deadline": seconds-or-null}`` — one enforcement question, riding the
+  batch service's request format (:func:`repro.serve.request_to_dict`).
+  ``deadline`` caps the *end-to-end* time (queue wait included); omitted
+  means the daemon's configured default. ``wedge`` (seconds, optional)
+  is a test hook: the worker sleeps that long before answering, which is
+  how the deadline/dead-letter path is exercised deterministically.
+* ``{"verb": "health", "id": ...}`` — liveness and queue depths.
+* ``{"verb": "metrics", "id": ...}`` — the full metrics snapshot
+  (:meth:`repro.serve.metrics.DaemonMetrics.snapshot`).
+
+Daemon-to-client envelopes name a ``kind`` (``enforce-reply``,
+``health-reply``, ``metrics-reply``, or ``protocol-error`` for an
+unreadable envelope) and echo the request's ``id`` — replies may arrive
+out of submission order (requests of different shapes proceed on
+different workers), so the ``id`` is the correlation key. An
+``enforce-reply`` embeds the full response wire dict under
+``"response"`` and mirrors its ``outcome`` at the top level for cheap
+scripting. Beyond the batch service's four outcomes the daemon adds two
+**typed rejections**: :data:`OVERLOADED` (the shape's bounded queue is
+full, or the daemon is draining — resubmit later) and
+:data:`DEADLINE_EXCEEDED` (the request's deadline elapsed before an
+answer; the request is dead-lettered, see the daemon docs).
+
+:class:`DaemonClient` is the blocking client used by the CLI's client
+mode, the tests and benchmark A10 — deliberately plain ``socket`` code
+so scripting against the daemon needs nothing from asyncio.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.errors import SerializationError, ServeError
+from repro.serve.requests import (
+    EnforceRequest,
+    EnforceResponse,
+    request_to_dict,
+    response_from_dict,
+    scope_from_dict,
+    shape_key,
+)
+
+#: Typed daemon rejections, extending the batch service's outcomes.
+OVERLOADED = "overloaded"
+DEADLINE_EXCEEDED = "deadline-exceeded"
+
+#: Envelope verbs a client may send.
+VERBS = ("enforce", "health", "metrics")
+
+
+def encode_envelope(envelope: Mapping[str, Any]) -> bytes:
+    """One protocol envelope as a ``\\n``-terminated JSON line."""
+    return (json.dumps(envelope, separators=(",", ":")) + "\n").encode()
+
+
+def decode_envelope(line: bytes | str) -> dict[str, Any]:
+    """Parse one received line; raises :class:`SerializationError`."""
+    try:
+        data = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SerializationError(f"undecodable protocol line: {exc}") from exc
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"protocol envelope must be a JSON object, got {type(data).__name__}"
+        )
+    return data
+
+
+def wire_shape_key(request: Mapping[str, Any]) -> tuple:
+    """:func:`~repro.serve.requests.shape_key` from the raw wire dict.
+
+    The daemon routes by question shape *without* deserialising models
+    (that work belongs to the worker processes) — every shape component
+    is a plain field of the request wire format. Mirrors
+    :func:`shape_key` exactly: a request round-tripped through
+    :func:`request_from_dict` produces the same key.
+    """
+    if not isinstance(request, Mapping):
+        raise SerializationError("enforce envelope needs a request object")
+    transformation = request.get("transformation")
+    if not isinstance(transformation, str) or not transformation.strip():
+        raise SerializationError("request needs QVT-R transformation text")
+    targets = request.get("targets", [])
+    if not isinstance(targets, list) or not all(
+        isinstance(t, str) for t in targets
+    ):
+        raise SerializationError("targets must be a list of parameter names")
+    weights = request.get("weights", {})
+    if not isinstance(weights, Mapping):
+        raise SerializationError("weights must be a JSON object")
+    from repro.check.engine import EXTENDED
+    from repro.solver.maxsat import INCREASING
+
+    return (
+        transformation,
+        frozenset(targets),
+        request.get("semantics", EXTENDED),
+        tuple(sorted(weights.items())),
+        scope_from_dict(request.get("scope")),
+        request.get("mode", INCREASING),
+    )
+
+
+class DaemonClient:
+    """A blocking JSON-lines client for the enforcement daemon.
+
+    Connect over a UNIX socket (``DaemonClient.connect(path)``) or TCP
+    (``DaemonClient.connect(host=..., port=...)``); use as a context
+    manager or call :meth:`close`. One client drives one connection and
+    is not thread-safe.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        self._next_id = 0
+
+    @classmethod
+    def connect(
+        cls,
+        path: str | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        timeout: float | None = 60.0,
+    ) -> "DaemonClient":
+        """Open a connection to a daemon on a UNIX socket or TCP port."""
+        if path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(str(path))
+        elif host is not None and port is not None:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        else:
+            raise ServeError("DaemonClient.connect needs a path or host+port")
+        return cls(sock)
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    # ------------------------------------------------------------------
+    # Envelope primitives
+    # ------------------------------------------------------------------
+    def send(self, envelope: Mapping[str, Any]) -> Any:
+        """Send one envelope (auto-assigning ``id``); returns the id."""
+        envelope = dict(envelope)
+        if "id" not in envelope:
+            self._next_id += 1
+            envelope["id"] = self._next_id
+        self._sock.sendall(encode_envelope(envelope))
+        return envelope["id"]
+
+    def recv(self) -> dict[str, Any]:
+        """Read the next reply envelope; raises on a closed connection."""
+        line = self._file.readline()
+        if not line:
+            raise ServeError("daemon closed the connection")
+        return decode_envelope(line)
+
+    def call(self, envelope: Mapping[str, Any]) -> dict[str, Any]:
+        """Send one envelope and wait for its (id-matched) reply."""
+        sent = self.send(envelope)
+        while True:
+            reply = self.recv()
+            if reply.get("id") == sent:
+                return reply
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """The daemon's health report (status, uptime, queue depths)."""
+        return self.call({"verb": "health"})
+
+    def metrics(self) -> dict[str, Any]:
+        """The daemon's full metrics snapshot."""
+        return self.call({"verb": "metrics"})["metrics"]
+
+    def enforce(
+        self,
+        request: EnforceRequest,
+        deadline: float | None = None,
+        wedge: float | None = None,
+    ) -> EnforceResponse:
+        """Answer one request; blocks until the reply arrives.
+
+        ``wedge`` is the test hook documented in the module docstring.
+        """
+        responses = self.enforce_many([request], deadline=deadline, wedge=wedge)
+        return responses[0]
+
+    def enforce_many(
+        self,
+        requests: Sequence[EnforceRequest],
+        deadline: float | None = None,
+        wedge: float | None = None,
+    ) -> list[EnforceResponse]:
+        """Pipeline a request stream; responses in submission order.
+
+        All requests are written before any reply is read, so same-shape
+        requests queue back to back on their worker — the daemon
+        equivalent of one :func:`~repro.serve.serve_batch` shard.
+        """
+        ids = []
+        for request in requests:
+            envelope: dict[str, Any] = {
+                "verb": "enforce",
+                "request": request_to_dict(request),
+            }
+            if deadline is not None:
+                envelope["deadline"] = deadline
+            if wedge is not None:
+                envelope["wedge"] = wedge
+            ids.append(self.send(envelope))
+        pending = {id_: index for index, id_ in enumerate(ids)}
+        responses: list[EnforceResponse | None] = [None] * len(ids)
+        while pending:
+            reply = self.recv()
+            index = pending.pop(reply.get("id"), None)
+            if index is None:
+                continue
+            responses[index] = decode_enforce_reply(reply, requests[index])
+        assert all(response is not None for response in responses)
+        return responses  # type: ignore[return-value]
+
+
+def decode_enforce_reply(
+    reply: Mapping[str, Any], request: EnforceRequest
+) -> EnforceResponse:
+    """An ``enforce-reply`` envelope as an :class:`EnforceResponse`.
+
+    Typed rejections (:data:`OVERLOADED`, :data:`DEADLINE_EXCEEDED`) and
+    protocol errors decode to error-shaped responses carrying the typed
+    outcome, so callers handle every case through one type.
+    """
+    kind = reply.get("kind")
+    if kind == "protocol-error":
+        return EnforceResponse(outcome="error", error=reply.get("error"))
+    if kind != "enforce-reply":
+        raise SerializationError(f"expected an enforce-reply, got {kind!r}")
+    body = reply.get("response")
+    if isinstance(body, Mapping):
+        return response_from_dict(body, request.metamodels)
+    return EnforceResponse(
+        outcome=reply.get("outcome", "error"), error=reply.get("error")
+    )
+
+
+def agrees_with_request(key: tuple, request: EnforceRequest) -> bool:
+    """Whether a wire-derived shape key matches the live request's.
+
+    A protocol invariant check used by the tests: routing from the raw
+    wire dict must agree with routing after full deserialisation.
+    """
+    return key == shape_key(request)

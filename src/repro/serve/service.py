@@ -42,11 +42,13 @@ from __future__ import annotations
 import time
 from collections import Counter
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
 from repro.errors import ServeError
 from repro.serve.requests import (
+    ERROR,
     EnforceRequest,
     EnforceResponse,
     request_to_dict,
@@ -80,6 +82,25 @@ PORTFOLIO_ARMS: tuple[str, ...] = ("luby", "geometric")
 #: Default worker-pool size; also the A9 benchmark's batch arm.
 DEFAULT_WORKERS = 4
 
+#: Default per-shard deadline for pooled batches, in seconds. Generous
+#: on purpose — its job is to bound a *wedged* worker (a pathological
+#: instance, a livelocked solver), not to police slow-but-progressing
+#: shards. ``serve_batch(deadline=...)`` tightens or (``None``) lifts it.
+DEFAULT_SHARD_DEADLINE = 300.0
+
+
+@dataclass(frozen=True)
+class _Unanswered:
+    """A shard the pool never answered (deadline, interrupt, crash).
+
+    ``error`` is the per-request error text (prefixed with the shard
+    digest at merge time); ``elapsed`` is what the shard's stats report
+    (the full deadline for a timeout, ~0 for never-started shards).
+    """
+
+    error: str
+    elapsed: float = 0.0
+
 
 @dataclass(frozen=True)
 class ShardStats:
@@ -102,6 +123,10 @@ class BatchResult:
     workers: int = 0
     portfolio: bool = False
     elapsed: float = 0.0
+    #: True when the batch was cut short (Ctrl-C, worker pool breakage):
+    #: completed shards carry real responses, the rest carry typed
+    #: ``error`` responses saying they were never answered.
+    interrupted: bool = False
     _by_request: tuple = field(default=(), repr=False, compare=False)
 
     def outcomes(self) -> dict[str, int]:
@@ -134,17 +159,28 @@ def serve_batch(
     workers: int = DEFAULT_WORKERS,
     portfolio: bool = False,
     max_inflight: int | None = None,
+    deadline: float | None = DEFAULT_SHARD_DEADLINE,
 ) -> BatchResult:
     """Answer ``requests`` sharded by question shape (module docstring).
 
     ``max_inflight`` bounds how many shards are queued on the pool at
     once (default ``2 * workers``) — the back-pressure that keeps a
     million-request batch from materialising a million futures.
+
+    ``deadline`` bounds each shard's time on the pool, *submission to
+    answer* (default :data:`DEFAULT_SHARD_DEADLINE`; ``None`` lifts it).
+    A shard that blows it has its work abandoned and every one of its
+    requests answered with a typed ``error`` response — the rest of the
+    batch completes instead of hanging behind one wedged worker.
+    Pooled-only: inline mode (``workers=0``) runs in the caller's
+    process, where abandoning a computation isn't possible one-sidedly.
     """
     if workers < 0:
         raise ServeError(f"workers must be >= 0, got {workers}")
     if portfolio and workers == 0:
         raise ServeError("portfolio mode needs a process pool (workers >= 1)")
+    if deadline is not None and deadline <= 0:
+        raise ServeError(f"deadline must be > 0 (or None), got {deadline}")
     started = time.perf_counter()
     shards = shard_requests(requests)
     arms = PORTFOLIO_ARMS if portfolio else (None,)
@@ -159,19 +195,45 @@ def serve_batch(
             {"shard": digest, "restart": arm, "requests": wire} for arm in arms
         ]
 
+    interrupted = False
     if workers == 0:
-        outcomes = [
-            _timed(process_shard, payloads(i)[0]) for i in range(len(shards))
-        ]
+        outcomes: list = []
+        try:
+            for i in range(len(shards)):
+                outcomes.append(_timed(process_shard, payloads(i)[0]))
+        except KeyboardInterrupt:
+            interrupted = True
+            outcomes.extend(
+                [_Unanswered("batch interrupted before an answer arrived")]
+                * (len(shards) - len(outcomes))
+            )
     else:
-        outcomes = _run_pool(
-            payloads, len(shards), workers, max_inflight or 2 * workers
+        outcomes, interrupted = _run_pool(
+            payloads, len(shards), workers, max_inflight or 2 * workers,
+            deadline,
         )
 
     responses: list[EnforceResponse | None] = [None] * len(requests)
     by_request: list[str | None] = [None] * len(requests)
     stats = []
-    for (digest, indices), (result, elapsed) in zip(shards, outcomes):
+    for (digest, indices), outcome in zip(shards, outcomes):
+        if isinstance(outcome, _Unanswered):
+            stats.append(
+                ShardStats(
+                    shard=digest,
+                    requests=len(indices),
+                    worker=-1,
+                    groundings=0,
+                    restart=None,
+                    elapsed=outcome.elapsed,
+                )
+            )
+            error = f"shard {digest}: {outcome.error}"
+            for index in indices:
+                responses[index] = EnforceResponse(outcome=ERROR, error=error)
+                by_request[index] = digest
+            continue
+        result, elapsed = outcome
         stats.append(
             ShardStats(
                 shard=digest,
@@ -196,6 +258,7 @@ def serve_batch(
         workers=workers,
         portfolio=portfolio,
         elapsed=time.perf_counter() - started,
+        interrupted=interrupted,
         _by_request=tuple(by_request),
     )
 
@@ -207,33 +270,88 @@ def _timed(fn, payload):
 
 
 def _run_pool(
-    payloads, shard_count: int, workers: int, max_inflight: int
-) -> list[tuple[dict, float]]:
+    payloads, shard_count: int, workers: int, max_inflight: int,
+    deadline: float | None,
+) -> tuple[list, bool]:
     """Run shard tasks on a bounded process pool, first arm wins.
 
     ``payloads(i)`` builds the alternative payloads (portfolio arms) for
     shard ``i`` — called lazily at submission time. The first completed
     arm's result is kept; at most ``max_inflight`` shards are on the
     pool at any time.
+
+    Every in-flight shard is watched against ``deadline`` (measured
+    from submission, queue wait included). An overdue shard's futures
+    are abandoned and its slot in the result list becomes an
+    :class:`_Unanswered` marker — the wait below *never* blocks without
+    a timeout while a deadline is set, so one wedged worker cannot hang
+    the whole batch. A ``KeyboardInterrupt`` or a broken worker pool
+    likewise stops dispatch and marks every unanswered shard rather
+    than surfacing a raw traceback.
+
+    Returns ``(outcomes, interrupted)`` where ``outcomes[i]`` is either
+    ``(shard result dict, elapsed)`` or an :class:`_Unanswered` marker.
     """
-    results: list[tuple[dict, float] | None] = [None] * shard_count
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_fresh_worker
-    ) as pool:
-        futures: dict = {}
-        next_shard = 0
+    results: list = [None] * shard_count
+    interrupted = False
+    abandon = False
+    futures: dict = {}
+    next_shard = 0
+    pool = ProcessPoolExecutor(max_workers=workers, initializer=_fresh_worker)
 
-        def submit_next() -> None:
-            nonlocal next_shard
-            for payload in payloads(next_shard):
-                future = pool.submit(process_shard, payload)
-                futures[future] = (next_shard, time.perf_counter())
-            next_shard += 1
+    def submit_next() -> None:
+        nonlocal next_shard
+        for payload in payloads(next_shard):
+            future = pool.submit(process_shard, payload)
+            futures[future] = (next_shard, time.perf_counter())
+        next_shard += 1
 
+    def expire_overdue() -> None:
+        # Abandon every future past its deadline; once the last arm of
+        # a shard is abandoned, the shard is marked unanswered and the
+        # freed submission slot is reused.
+        nonlocal abandon
+        now = time.perf_counter()
+        for future, (shard_index, submitted) in list(futures.items()):
+            if now - submitted < deadline:
+                continue
+            if not future.cancel():
+                # Already running: the task cannot be stopped from here
+                # and its worker may be wedged for good, so the whole
+                # pool is torn down (not awaited) once the remaining
+                # shards are answered.
+                abandon = True
+            del futures[future]
+            if results[shard_index] is None and not any(
+                index == shard_index for index, _when in futures.values()
+            ):
+                results[shard_index] = _Unanswered(
+                    f"exceeded its deadline of {deadline:g}s",
+                    elapsed=deadline,
+                )
+                if next_shard < shard_count:
+                    submit_next()
+
+    try:
         while next_shard < shard_count and next_shard < max_inflight:
             submit_next()
         while futures:
-            done, _pending = wait(set(futures), return_when=FIRST_COMPLETED)
+            timeout = None
+            if deadline is not None:
+                now = time.perf_counter()
+                timeout = max(
+                    0.0,
+                    min(
+                        submitted + deadline - now
+                        for _index, submitted in futures.values()
+                    ),
+                )
+            done, _pending = wait(
+                set(futures), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                expire_overdue()
+                continue
             for future in done:
                 shard_index, submitted = futures.pop(future)
                 if future.cancelled() or results[shard_index] is not None:
@@ -241,7 +359,7 @@ def _run_pool(
                     # even a crash — is irrelevant, the shard is
                     # answered.
                     continue
-                outcome = future.result()  # a worker crash fails the batch
+                outcome = future.result()  # a task crash fails the batch
                 results[shard_index] = (
                     outcome,
                     time.perf_counter() - submitted,
@@ -254,6 +372,38 @@ def _run_pool(
                         sibling.cancel()
                 if next_shard < shard_count:
                     submit_next()
-    complete = [r for r in results if r is not None]
-    assert len(complete) == shard_count
-    return complete
+    except KeyboardInterrupt:
+        interrupted = True
+        abandon = True
+        _fill_unanswered(results, "batch interrupted before an answer arrived")
+    except BrokenProcessPool as exc:
+        interrupted = True
+        abandon = True
+        _fill_unanswered(
+            results,
+            "worker pool broke before an answer arrived"
+            + (f": {exc}" if str(exc) else ""),
+        )
+    finally:
+        if abandon or futures:
+            # Never wait on a wedged (or dead) worker: drop queued work
+            # and terminate the processes outright. Outstanding futures
+            # here mean an exception is propagating — a blocking
+            # shutdown could then hang on a sibling shard forever.
+            # Snapshot the workers first: shutdown() drops the pool's
+            # reference to them even with wait=False.
+            processes = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                process.terminate()
+        else:
+            pool.shutdown(wait=True)
+    assert all(outcome is not None for outcome in results)
+    return results, interrupted
+
+
+def _fill_unanswered(results: list, error: str) -> None:
+    marker = _Unanswered(error)
+    for index, outcome in enumerate(results):
+        if outcome is None:
+            results[index] = marker

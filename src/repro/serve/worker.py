@@ -191,6 +191,67 @@ def process_shard(payload: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def worker_counters() -> dict:
+    """This process's warm-state counters, as one JSON-ready dict.
+
+    The daemon's per-request replies carry this snapshot up to the
+    parent so the ``metrics`` verb can aggregate solver work
+    (:func:`~repro.solver.sat.global_stats`), grounding work
+    (``Grounder.bindings_enumerated``) and session reuse across worker
+    processes without a separate control channel.
+    """
+    from dataclasses import asdict
+
+    from repro.enforce.session import shared_session_counters
+    from repro.solver.bounded import Grounder
+    from repro.solver.sat import global_stats
+
+    sessions = shared_session_counters() + [
+        session.counters() for session in _PORTFOLIO_SESSIONS.values()
+    ]
+    return {
+        "sessions": len(sessions),
+        "groundings": sum(s["groundings"] for s in sessions),
+        "reuses": sum(s["reuses"] for s in sessions),
+        "calls": sum(s["calls"] for s in sessions),
+        "bindings_enumerated": Grounder.bindings_enumerated,
+        "solver": asdict(global_stats()),
+    }
+
+
+def serve_wire(data: Any) -> dict[str, Any]:
+    """Answer one wire-form request: the daemon worker's unit of work.
+
+    Like :func:`process_shard` this never raises for per-request
+    problems — malformed wire data, fragment errors and repair failures
+    all come back as typed ``error``/``no-repair`` responses. The reply
+    additionally carries the serving session's counters (``grounded``
+    says whether *this* request paid a grounding — the daemon's
+    per-shape hit/miss metric) and the whole process's
+    :func:`worker_counters` snapshot.
+    """
+
+    def reply(response: EnforceResponse, session=None, grounded=False) -> dict:
+        return {
+            "response": response_to_dict(response),
+            "session": None if session is None else dict(
+                session.counters(), grounded=grounded
+            ),
+            "counters": worker_counters(),
+        }
+
+    try:
+        request = request_from_dict(data)
+        session = _session_for(request, None)
+    except ReproError as exc:
+        return reply(EnforceResponse(ERROR, error=str(exc)))
+    groundings_before = session.groundings
+    response = serve_request(request)
+    return reply(
+        response, session, grounded=session.groundings > groundings_before
+    )
+
+
 def reset_worker_state() -> None:
     """Drop the worker-local caches (test isolation hook)."""
     _PARSE_CACHE.clear()

@@ -1,0 +1,423 @@
+"""Tests for the long-lived enforcement daemon (:mod:`repro.serve.daemon`).
+
+The full lifecycle, against a real daemon on a real UNIX socket (one
+per test, via :func:`repro.serve.daemon.run_in_thread`):
+
+* **health/metrics verbs** — liveness, queue depths, snapshot shape;
+* **warm-shape reuse** — the daemon's whole point: a shape grounds once,
+  *ever*, across batches and connections (the batch service grounds
+  once per batch);
+* **equivalence** — daemon answers bit-identical to
+  :func:`~repro.serve.serve_batch` on the same request stream;
+* **deadlines** — a wedged request gets a typed ``deadline-exceeded``
+  reply within its budget, is dead-lettered, and the daemon keeps
+  serving (worker killed and respawned);
+* **backpressure** — requests over a shape's bounded queue get typed
+  ``overloaded`` rejections instead of queueing without bound;
+* **drain** — in-flight work completes and is delivered, new work is
+  rejected, the final metrics snapshot survives.
+
+The ``wedge`` protocol field (worker sleeps before answering) stands in
+for a pathologically slow instance; it makes the deadline and
+backpressure paths deterministic.
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.enforce.session import clear_shared_sessions
+from repro.errors import SerializationError, ServeError
+from repro.serve import (
+    DEADLINE_EXCEEDED,
+    OVERLOADED,
+    DaemonClient,
+    DaemonConfig,
+    EnforceRequest,
+    request_to_dict,
+    reset_worker_state,
+    serve_batch,
+    shape_key,
+)
+from repro.serve.daemon import run_in_thread
+from repro.serve.protocol import decode_envelope, wire_shape_key
+from repro.featuremodels import (
+    configuration,
+    feature_model,
+    paper_transformation,
+)
+from repro.metamodel.serialize import canonical_text
+
+
+@pytest.fixture(autouse=True)
+def _isolate_session_caches():
+    clear_shared_sessions()
+    reset_worker_state()
+    yield
+    clear_shared_sessions()
+    reset_worker_state()
+
+
+def paper_request(**overrides) -> EnforceRequest:
+    """The paper's flipped-'log' repair question (one fixed shape)."""
+    models = {
+        "fm": feature_model({"core": True, "log": True}),
+        "cf1": configuration(["core", "log"], name="cf1"),
+        "cf2": configuration(["core"], name="cf2"),
+    }
+    settings = dict(targets=["cf1", "cf2"], semantics="extended")
+    settings.update(overrides)
+    return EnforceRequest.build(paper_transformation(2), models, **settings)
+
+
+def response_fingerprint(response):
+    return (
+        response.outcome,
+        response.distance,
+        tuple(sorted(response.changed)),
+        tuple(
+            (param, canonical_text(model))
+            for param, model in sorted(response.models.items())
+        ),
+    )
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    """A running daemon on a UNIX socket; drained at teardown."""
+    handle = run_in_thread(
+        DaemonConfig(
+            socket_path=str(tmp_path / "daemon.sock"),
+            workers=2,
+            queue_limit=8,
+            deadline=60.0,
+        )
+    )
+    yield handle
+    if not handle.daemon._drained.is_set():
+        handle.drain()
+
+
+def connect(handle) -> DaemonClient:
+    return DaemonClient.connect(path=handle.address)
+
+
+class TestVerbs:
+    def test_health(self, daemon):
+        with connect(daemon) as client:
+            report = client.health()
+        assert report["kind"] == "health-reply"
+        assert report["status"] == "ok"
+        assert report["workers"] == 2
+        assert report["queued"] == 0 and report["inflight"] == 0
+        assert report["uptime_s"] >= 0
+
+    def test_metrics_shape(self, daemon):
+        with connect(daemon) as client:
+            snapshot = client.metrics()
+        assert snapshot["workers"] == 2
+        assert snapshot["totals"]["accepted"] == 0
+        assert snapshot["shapes"] == {}
+        assert snapshot["dead_letters"] == []
+        assert snapshot["latency"]["count"] == 0
+
+    def test_unknown_verb_is_protocol_error(self, daemon):
+        with connect(daemon) as client:
+            reply = client.call({"verb": "dance"})
+        assert reply["kind"] == "protocol-error"
+        assert "dance" in reply["error"]
+
+    def test_undecodable_line_is_protocol_error(self, daemon):
+        path = daemon.address
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(30)
+            sock.connect(path)
+            sock.sendall(b"this is not json\n")
+            reply = decode_envelope(sock.makefile("rb").readline())
+        assert reply["kind"] == "protocol-error"
+
+    def test_malformed_enforce_request_is_typed_error(self, daemon):
+        with connect(daemon) as client:
+            reply = client.call({"verb": "enforce", "request": {"nope": 1}})
+        assert reply["kind"] == "enforce-reply"
+        assert reply["outcome"] == "error"
+
+
+class TestEnforce:
+    def test_single_request_repairs(self, daemon):
+        with connect(daemon) as client:
+            response = client.enforce(paper_request())
+        assert response.outcome == "repaired"
+        assert response.distance >= 1
+        assert response.changed
+
+    def test_matches_serve_batch_bit_for_bit(self, daemon):
+        requests = [
+            paper_request(),
+            paper_request(targets=["fm"]),
+            paper_request(weights={"cf1": 2}),
+        ]
+        baseline = serve_batch(requests, workers=2)
+        with connect(daemon) as client:
+            responses = client.enforce_many(requests)
+        assert [response_fingerprint(r) for r in responses] == [
+            response_fingerprint(r) for r in baseline.responses
+        ]
+
+    def test_shape_grounds_once_across_batches(self, daemon):
+        """The tentpole property: cross-batch session reuse.
+
+        Two separate batches (even over two connections) of one shape
+        must pay exactly one grounding — the second batch is all warm
+        hits, where ``serve_batch`` would ground again in its fresh
+        pool.
+        """
+        requests = [paper_request() for _ in range(3)]
+        with connect(daemon) as client:
+            client.enforce_many(requests)
+        with connect(daemon) as client:
+            client.enforce_many(requests)
+            snapshot = client.metrics()
+        (shape,) = snapshot["shapes"].values()
+        assert shape["requests"] == 6
+        assert shape["misses"] == 1
+        assert shape["hits"] == 5
+        assert snapshot["sessions"]["groundings"] == 1
+
+    def test_routing_agrees_with_live_shape_key(self):
+        request = paper_request(weights={"cf1": 2})
+        assert wire_shape_key(request_to_dict(request)) == shape_key(request)
+
+
+class TestDeadlines:
+    def test_wedged_request_gets_typed_reply_within_deadline(self, daemon):
+        import time
+
+        with connect(daemon) as client:
+            started = time.monotonic()
+            response = client.enforce(paper_request(), deadline=0.5, wedge=30.0)
+            elapsed = time.monotonic() - started
+        assert response.outcome == DEADLINE_EXCEEDED
+        assert "deadline" in response.error
+        assert elapsed < 10  # answered near the 0.5s budget, not the wedge
+
+    def test_wedge_is_dead_lettered_and_daemon_recovers(self, daemon):
+        with connect(daemon) as client:
+            client.enforce(paper_request(), deadline=0.5, wedge=30.0)
+            # The wedged worker was killed; the next same-shape request
+            # must still be answered (fresh process, re-grounds).
+            response = client.enforce(paper_request())
+            snapshot = client.metrics()
+        assert response.outcome == "repaired"
+        assert snapshot["totals"]["deadline_exceeded"] == 1
+        assert snapshot["totals"]["worker_restarts"] == 1
+        (record,) = snapshot["dead_letters"]
+        assert record["reason"] == "deadline-worker"
+        assert record["attempts"] == 1
+
+    def test_rest_of_batch_completes_around_a_wedge(self, daemon):
+        """One wedged request must not take the batch down with it."""
+        requests = [paper_request() for _ in range(3)]
+        with connect(daemon) as client:
+            ids = [
+                client.send(
+                    {
+                        "verb": "enforce",
+                        "request": request_to_dict(request),
+                        "deadline": 0.5 if index == 1 else 60.0,
+                        **({"wedge": 30.0} if index == 1 else {}),
+                    }
+                )
+                for index, request in enumerate(requests)
+            ]
+            replies = {}
+            while len(replies) < len(ids):
+                reply = client.recv()
+                replies[reply["id"]] = reply
+        assert replies[ids[0]]["outcome"] == "repaired"
+        assert replies[ids[1]]["outcome"] == DEADLINE_EXCEEDED
+        assert replies[ids[2]]["outcome"] == "repaired"
+
+
+class TestBackpressure:
+    def test_over_limit_requests_are_rejected_typed(self, tmp_path):
+        handle = run_in_thread(
+            DaemonConfig(
+                socket_path=str(tmp_path / "bp.sock"),
+                workers=1,
+                queue_limit=1,
+                deadline=60.0,
+            )
+        )
+        try:
+            with connect(handle) as client:
+                # Occupy the only worker (and the whole shape budget).
+                wedged_id = client.send(
+                    {
+                        "verb": "enforce",
+                        "request": request_to_dict(paper_request()),
+                        "wedge": 3.0,
+                    }
+                )
+                # Immediate typed rejection — no unbounded queueing.
+                rejected = client.call(
+                    {
+                        "verb": "enforce",
+                        "request": request_to_dict(paper_request()),
+                    }
+                )
+                assert rejected["outcome"] == OVERLOADED
+                assert "queue is full" in rejected["error"]
+                # The occupant itself still completes.
+                while True:
+                    reply = client.recv()
+                    if reply["id"] == wedged_id:
+                        break
+                assert reply["outcome"] == "repaired"
+                snapshot = client.metrics()
+            assert snapshot["totals"]["overloaded"] == 1
+            (shape,) = snapshot["shapes"].values()
+            assert shape["overloaded"] == 1
+        finally:
+            handle.drain()
+
+
+class TestDrain:
+    def test_drain_completes_inflight_and_rejects_new(self, tmp_path):
+        import threading
+
+        handle = run_in_thread(
+            DaemonConfig(
+                socket_path=str(tmp_path / "drain.sock"),
+                workers=1,
+                queue_limit=8,
+                deadline=60.0,
+            )
+        )
+        client = connect(handle)
+        inflight_id = client.send(
+            {
+                "verb": "enforce",
+                "request": request_to_dict(paper_request()),
+                "wedge": 1.0,
+            }
+        )
+        drained: dict = {}
+        drainer = threading.Thread(
+            target=lambda: drained.update(handle.drain())
+        )
+        drainer.start()
+        # The in-flight request is delivered despite the drain.
+        reply = client.recv()
+        assert reply["id"] == inflight_id
+        assert reply["outcome"] == "repaired"
+        drainer.join(timeout=60)
+        assert not drainer.is_alive()
+        assert drained["totals"]["completed"] == 1
+        assert drained["draining"] is True
+        # The socket is gone: new connections fail.
+        with pytest.raises((ServeError, OSError)):
+            DaemonClient.connect(path=handle.address).health()
+
+    def test_new_requests_rejected_while_draining(self, tmp_path):
+        """An enforce envelope on a live connection during drain gets a
+        typed ``overloaded`` rejection, not silence."""
+        import threading
+
+        handle = run_in_thread(
+            DaemonConfig(
+                socket_path=str(tmp_path / "drain2.sock"),
+                workers=1,
+                queue_limit=8,
+                deadline=60.0,
+            )
+        )
+        client = connect(handle)
+        inflight_id = client.send(
+            {
+                "verb": "enforce",
+                "request": request_to_dict(paper_request()),
+                "wedge": 2.0,
+            }
+        )
+        drainer = threading.Thread(target=handle.drain)
+        drainer.start()
+        # Wait for the drain to take effect, then submit on the still-
+        # open connection.
+        deadline_id = None
+        import time
+
+        for _ in range(100):
+            time.sleep(0.05)
+            if handle.daemon.metrics.draining:
+                deadline_id = client.send(
+                    {
+                        "verb": "enforce",
+                        "request": request_to_dict(paper_request()),
+                    }
+                )
+                break
+        assert deadline_id is not None
+        replies = {}
+        while len(replies) < 2:
+            reply = client.recv()
+            replies[reply["id"]] = reply
+        assert replies[inflight_id]["outcome"] == "repaired"
+        assert replies[deadline_id]["outcome"] == OVERLOADED
+        assert "draining" in replies[deadline_id]["error"]
+        drainer.join(timeout=60)
+        assert not drainer.is_alive()
+
+
+class TestConfig:
+    def test_needs_exactly_one_endpoint(self):
+        with pytest.raises(ServeError, match="exactly one"):
+            DaemonConfig().validate()
+        with pytest.raises(ServeError, match="exactly one"):
+            DaemonConfig(socket_path="/tmp/x", host="127.0.0.1").validate()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"workers": 0},
+            {"queue_limit": 0},
+            {"deadline": 0},
+            {"deadline": -1.0},
+        ],
+    )
+    def test_rejects_bad_numbers(self, bad):
+        with pytest.raises(ServeError):
+            DaemonConfig(socket_path="/tmp/x", **bad).validate()
+
+    def test_tcp_endpoint(self):
+        handle = run_in_thread(
+            DaemonConfig(host="127.0.0.1", port=0, workers=1)
+        )
+        try:
+            host, port = handle.address
+            with DaemonClient.connect(host=host, port=port) as client:
+                assert client.health()["status"] == "ok"
+        finally:
+            handle.drain()
+
+
+class TestProtocol:
+    def test_envelope_roundtrip(self):
+        envelope = {"verb": "enforce", "id": 7, "deadline": 1.5}
+        line = json.dumps(envelope).encode() + b"\n"
+        assert decode_envelope(line) == envelope
+
+    def test_decode_rejects_non_objects(self):
+        with pytest.raises(SerializationError):
+            decode_envelope(b"[1, 2]\n")
+        with pytest.raises(SerializationError):
+            decode_envelope(b"{bad\n")
+
+    def test_wire_shape_key_rejects_malformed(self):
+        with pytest.raises(SerializationError):
+            wire_shape_key(None)
+        with pytest.raises(SerializationError):
+            wire_shape_key({"transformation": ""})
+        with pytest.raises(SerializationError):
+            wire_shape_key({"transformation": "t X {}", "targets": "cf1"})

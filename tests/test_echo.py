@@ -575,3 +575,119 @@ class TestCliBatch:
         assert "repro-echo batch --workspace ws --requests batch.json" in out
         assert '"transformation": "F"' in out
         assert "sharded by question shape" in out
+
+    def test_batch_interrupted_partial_results(
+        self, workspace_dir, batch_file, capsys, monkeypatch
+    ):
+        """An interrupted batch prints what it has, flags the rest, and
+        exits 1 instead of spraying a traceback."""
+        from repro.serve import BatchResult
+        from repro.serve.requests import ERROR, EnforceResponse
+
+        partial = BatchResult(
+            responses=(
+                EnforceResponse(
+                    outcome=ERROR,
+                    error="shard abc: batch interrupted before an answer arrived",
+                ),
+            ),
+            interrupted=True,
+        )
+        monkeypatch.setattr(Workspace, "serve", lambda self, *a, **kw: partial)
+        path = batch_file([self.ENTRY])
+        rc = main(
+            [
+                "batch",
+                "--workspace", str(workspace_dir),
+                "--requests", str(path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "interrupted" in captured.out  # the per-request error line
+        assert "partial" in captured.err
+
+    def test_batch_keyboard_interrupt_exits_cleanly(
+        self, workspace_dir, batch_file, capsys, monkeypatch
+    ):
+        """A Ctrl-C that escapes the service layer still exits 1."""
+        def boom(self, *a, **kw):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(Workspace, "serve", boom)
+        path = batch_file([self.ENTRY])
+        rc = main(
+            [
+                "batch",
+                "--workspace", str(workspace_dir),
+                "--requests", str(path),
+            ]
+        )
+        assert rc == 1
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_batch_help_documents_interrupts(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["batch", "--help"])
+        out = capsys.readouterr().out
+        assert "deadline" in out
+        assert "Ctrl-C" in out
+
+
+class TestCliDaemon:
+    ENTRY = TestCliBatch.ENTRY
+
+    @pytest.fixture()
+    def daemon_handle(self, tmp_path_factory):
+        from repro.serve.daemon import DaemonConfig, run_in_thread
+
+        socket_path = str(tmp_path_factory.mktemp("sock") / "echo.sock")
+        handle = run_in_thread(
+            DaemonConfig(socket_path=socket_path, workers=1, deadline=60.0)
+        )
+        yield handle
+        handle.drain()
+
+    def test_serve_mode_rejects_client_flags(self):
+        with pytest.raises(SystemExit, match="--client"):
+            main(["daemon", "--socket", "/tmp/nowhere.sock", "--health"])
+
+    def test_client_needs_an_endpoint(self):
+        with pytest.raises(SystemExit, match="--socket or --host"):
+            main(["daemon", "--client", "--health"])
+
+    def test_client_health(self, daemon_handle, capsys):
+        rc = main(
+            [
+                "daemon", "--client",
+                "--socket", daemon_handle.daemon.config.socket_path,
+                "--health",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "ok"
+
+    def test_client_enforces_requests_file(
+        self, daemon_handle, workspace_dir, batch_file, capsys
+    ):
+        path = batch_file([self.ENTRY, dict(self.ENTRY, targets=["fm"])])
+        rc = main(
+            [
+                "daemon", "--client",
+                "--socket", daemon_handle.daemon.config.socket_path,
+                "--workspace", str(workspace_dir),
+                "--requests", str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[0] F: repaired" in out
+        assert "[1] F: repaired" in out
+
+    def test_daemon_help_documents_protocol(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["daemon", "--help"])
+        out = capsys.readouterr().out
+        assert "JSON" in out
+        assert "--client" in out

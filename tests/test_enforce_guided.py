@@ -115,3 +115,83 @@ class TestGuidedOnObjectDb:
             enforce_guided(
                 checker, env, TargetSelection(["db", "idx"]), max_rounds=1
             )
+
+
+class TestErrorDiscipline:
+    """Regression for the bare-``except`` bug: candidate application and
+    where-clause evaluation tolerate *typed* failures (an inapplicable
+    edit, an unevaluable expression) but must let anything else — a
+    seeded ``KeyError`` standing in for a corrupted model or an engine
+    bug — surface instead of silently scoring the candidate away."""
+
+    def _objectdb_case(self):
+        t = schema_transformation()
+        env = consistent_environment({"Person": ["age"]})
+        env["oo"] = oo_model({"Customer": ["age"]})
+        return t, env
+
+    def test_apply_edits_bug_surfaces(self, monkeypatch):
+        import repro.enforce.guided as guided_module
+
+        def corrupt(model, edits):
+            raise KeyError("seeded corruption")
+
+        monkeypatch.setattr(guided_module, "apply_edits", corrupt)
+        t, env = self._objectdb_case()
+        with pytest.raises(KeyError, match="seeded corruption"):
+            enforce(t, env, TargetSelection(["db", "idx"]), engine="guided")
+
+    def test_evaluate_bug_surfaces(self, monkeypatch):
+        import repro.enforce.guided as guided_module
+
+        def corrupt(expr, ctx):
+            raise KeyError("seeded corruption")
+
+        monkeypatch.setattr(guided_module, "evaluate", corrupt)
+        t, env = self._objectdb_case()
+        with pytest.raises(KeyError, match="seeded corruption"):
+            enforce(t, env, TargetSelection(["db", "idx"]), engine="guided")
+
+    def test_typed_edit_errors_still_tolerated(self, monkeypatch):
+        """An EditError marks the candidate inapplicable; repair proceeds."""
+        import repro.enforce.guided as guided_module
+        from repro.errors import EditError
+
+        original = guided_module.apply_edits
+        flaky = {"count": 0}
+
+        def sometimes_inapplicable(model, edits):
+            flaky["count"] += 1
+            if flaky["count"] == 1:
+                raise EditError("synthetic: first candidate inapplicable")
+            return original(model, edits)
+
+        monkeypatch.setattr(
+            guided_module, "apply_edits", sometimes_inapplicable
+        )
+        t, env = self._objectdb_case()
+        repair = enforce(
+            t, env, TargetSelection(["db", "idx"]), engine="guided"
+        )
+        assert flaky["count"] > 1
+        assert Checker(t).is_consistent(repair.models)
+
+    def test_typed_expr_errors_still_tolerated(self, monkeypatch):
+        """An ExprError skips the binding: the engine degrades to a
+        typed :class:`NoRepairFound` (or a blinder repair) — never a
+        raw crash."""
+        import repro.enforce.guided as guided_module
+        from repro.errors import EvalError
+
+        def unevaluable(expr, ctx):
+            raise EvalError("synthetic: not evaluable here")
+
+        monkeypatch.setattr(guided_module, "evaluate", unevaluable)
+        t, env = self._objectdb_case()
+        try:
+            repair = enforce(
+                t, env, TargetSelection(["db", "idx"]), engine="guided"
+            )
+        except NoRepairFound:
+            return  # graceful: every where-binding skipped, no witness fix
+        assert Checker(t).is_consistent(repair.models)

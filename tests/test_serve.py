@@ -46,6 +46,7 @@ from repro.serve import (
     shape_key,
     shard_requests,
 )
+from repro.serve import worker as worker_module
 from repro.solver.bounded import Scope
 
 #: The differential sweep's seed list (>= 25 seeds, fixed like A8's).
@@ -378,3 +379,107 @@ class TestInUniverseStream:
         for a, b in zip(first, second):
             for param in a:
                 assert canonical_text(a[param]) == canonical_text(b[param])
+
+
+# ---------------------------------------------------------------------------
+# Shard deadlines and interrupts (the _run_pool hang/raw-traceback fixes)
+# ---------------------------------------------------------------------------
+# The stand-in workers below are module top-level functions so the pool
+# can pickle them by name; with the fork start method the children
+# inherit the monkeypatched module state that routes to them.
+
+_WEDGE_WEIGHTS = {"cf1": 7}
+
+# Captured at import, before any monkeypatching: looking process_shard up
+# through the module at call time would find the wedging wrapper itself.
+_REAL_PROCESS_SHARD = worker_module.process_shard
+
+
+def _wedging_process_shard(payload):
+    """Wedge (only) the shard marked by the sentinel weights."""
+    import time
+
+    first = payload["requests"][0][1]
+    if first.get("weights") == _WEDGE_WEIGHTS:
+        time.sleep(120)
+    return _REAL_PROCESS_SHARD(payload)
+
+
+def _interrupting_process_shard(payload):
+    raise KeyboardInterrupt
+
+
+def _route_pool_to(monkeypatch, fn):
+    # service.py holds its own reference to process_shard; patch both it
+    # and the defining module (pickle checks name->object identity).
+    monkeypatch.setattr("repro.serve.worker.process_shard", fn)
+    monkeypatch.setattr("repro.serve.service.process_shard", fn)
+
+
+class TestShardDeadline:
+    def test_rejects_non_positive_deadline(self):
+        with pytest.raises(ServeError, match="deadline"):
+            serve_batch([paper_request()], workers=0, deadline=0)
+
+    def test_wedged_shard_times_out_rest_completes(self, monkeypatch):
+        """One wedged shard -> typed error responses for it, real answers
+        for everything else, and the call returns (no indefinite hang)."""
+        import time as _time
+
+        _route_pool_to(monkeypatch, _wedging_process_shard)
+        requests = [
+            paper_request(),
+            paper_request(weights=_WEDGE_WEIGHTS),
+            paper_request(targets=["fm"]),
+        ]
+        started = _time.perf_counter()
+        result = serve_batch(requests, workers=2, deadline=1.0)
+        assert _time.perf_counter() - started < 60
+        assert not result.interrupted
+        assert result.responses[0].outcome == REPAIRED
+        assert result.responses[2].outcome == REPAIRED
+        wedged = result.responses[1]
+        assert wedged.outcome == "error"
+        assert "deadline" in wedged.error
+        (timed_out,) = [s for s in result.shards if s.worker == -1]
+        assert timed_out.shard == result.shard_of(1)
+        assert timed_out.groundings == 0
+
+    def test_interrupt_yields_partial_results(self, monkeypatch):
+        """A KeyboardInterrupt mid-batch surfaces as partial results with
+        ``interrupted=True``, not a raw traceback."""
+        _route_pool_to(monkeypatch, _interrupting_process_shard)
+        requests = [paper_request(), paper_request(targets=["fm"])]
+        result = serve_batch(requests, workers=2, deadline=30.0)
+        assert result.interrupted
+        assert len(result.responses) == len(requests)
+        for response in result.responses:
+            assert response.outcome == "error"
+            assert "interrupted" in response.error
+
+    def test_inline_interrupt_yields_partial_results(self, monkeypatch):
+        answered = {"count": 0}
+        from repro.serve.worker import process_shard as real
+
+        def interrupt_after_first(payload):
+            if answered["count"] >= 1:
+                raise KeyboardInterrupt
+            answered["count"] += 1
+            return real(payload)
+
+        monkeypatch.setattr(
+            "repro.serve.service.process_shard", interrupt_after_first
+        )
+        requests = [paper_request(), paper_request(targets=["fm"])]
+        result = serve_batch(requests, workers=0)
+        assert result.interrupted
+        assert result.responses[0].outcome == REPAIRED
+        assert result.responses[1].outcome == "error"
+        assert "interrupted" in result.responses[1].error
+
+    def test_default_deadline_leaves_results_identical(self):
+        requests = [paper_request(), paper_request(targets=["fm"])]
+        bounded = serve_batch(requests, workers=2, deadline=120.0)
+        unbounded = serve_batch(requests, workers=2, deadline=None)
+        assert fingerprint(bounded) == fingerprint(unbounded)
+        assert not bounded.interrupted and not unbounded.interrupted
