@@ -19,7 +19,13 @@
 # answers bit-for-bit identically to serve_batch, replays same-shape
 # traffic with zero re-grounding (the >= 2x warm-throughput gate runs
 # in the full sweep), and dead-letters a wedged request within its
-# deadline while its batch siblings complete. Docs can't rot silently:
+# deadline while its batch siblings complete, and a11 replays the
+# generated workload under each injected fault class (worker crash,
+# stall, corrupt wire, connection drop, poison) and asserts every
+# request gets exactly one typed reply, successes stay bit-identical
+# to the fault-free run with zero extra groundings, and the daemon
+# ends healthy (under a hard timeout so a wedged daemon can never
+# hang the pipeline). Docs can't rot silently:
 # every example
 # runs as a smoke stage, the code blocks in README.md and docs/ are
 # import-checked, and the audited public modules' doctests execute.
@@ -59,6 +65,14 @@ python benchmarks/bench_a9_batch_service.py --smoke
 # own gates and emits the trajectory JSON.
 echo "== a10 daemon smoke benchmark =="
 python benchmarks/bench_a10_daemon.py --smoke
+
+# The fault-injection and robustness suites (tests/test_faults.py,
+# tests/test_daemon.py) already run inside the tier-1 pytest above;
+# a11 soaks a real socketed daemon under each fault class. The hard
+# `timeout` wrapper is the backstop: chaos that wedges the daemon
+# fails the stage instead of hanging CI.
+echo "== a11 chaos smoke benchmark (hard 300 s timeout) =="
+timeout 300 python benchmarks/bench_a11_chaos.py --smoke
 
 echo "== examples smoke =="
 for example in examples/*.py; do

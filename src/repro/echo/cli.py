@@ -87,13 +87,26 @@ Client mode (--client) talks to a running daemon: --health and
 --workspace WS answers a batch file (same format as `repro-echo batch`,
 see its --help) through the daemon. Requests the daemon rejects come
 back with typed outcomes: "overloaded" (per-shape queue full, or
-draining) and "deadline-exceeded" (the per-request deadline elapsed;
-the request was dead-lettered).
+draining), "deadline-exceeded" (the per-request deadline elapsed; the
+request was dead-lettered), "malformed" (unreadable or oversized
+envelope) and "poisoned" (the request repeatedly killed its worker and
+is quarantined). A dead or absent daemon is one line on stderr and
+exit code 2, never a traceback.
+
+The client is self-healing: every request carries an idempotency key,
+and --retry N reconnects up to N times after a connection loss with
+exponential backoff (--backoff seconds, doubling per attempt) —
+answers that were computed but lost on the wire are replayed by the
+daemon, never solved twice.
+
+Serve mode accepts --faults SPEC (or the REPRO_FAULTS environment
+variable) to enable seeded, deterministic fault injection for chaos
+testing, e.g. "seed=7;crash-before:rate=0.1;conn-drop:rate=0.05".
 
 examples:
     repro-echo daemon --socket /tmp/repro.sock --workers 4
     repro-echo daemon --client --socket /tmp/repro.sock --metrics
-    repro-echo daemon --client --socket /tmp/repro.sock \\
+    repro-echo daemon --client --socket /tmp/repro.sock --retry 3 \\
         --requests batch.json --workspace ws
 """
 
@@ -214,9 +227,31 @@ def build_parser() -> argparse.ArgumentParser:
         "client mode default: the daemon's)",
     )
     daemon.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="serve: seeded fault-injection spec for chaos testing "
+        "(see repro.serve.faults; falls back to $REPRO_FAULTS)",
+    )
+    daemon.add_argument(
         "--client",
         action="store_true",
         help="talk to a running daemon instead of serving",
+    )
+    daemon.add_argument(
+        "--retry",
+        type=int,
+        default=0,
+        metavar="N",
+        help="client: reconnect up to N times after a connection loss "
+        "(idempotency keys make retries safe; default: 0)",
+    )
+    daemon.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="client: initial reconnect backoff, doubling per attempt "
+        "(default: 0.05)",
     )
     daemon.add_argument(
         "--health", action="store_true", help="client: print the health report"
@@ -388,6 +423,7 @@ def _daemon(args: argparse.Namespace) -> int:
         port=args.port,
         workers=args.workers,
         queue_limit=args.queue_limit,
+        faults=args.faults,
         **({} if args.deadline is None else {"deadline": args.deadline}),
     )
     run_daemon(config)
@@ -395,12 +431,13 @@ def _daemon(args: argparse.Namespace) -> int:
 
 
 def _daemon_client(args: argparse.Namespace) -> int:
-    from repro.serve.protocol import DaemonClient
+    from repro.serve.protocol import RetryingClient
 
     if args.socket is None and args.host is None:
         raise SystemExit("daemon --client needs --socket or --host/--port")
-    with DaemonClient.connect(
-        path=args.socket, host=args.host, port=args.port or None
+    with RetryingClient(
+        path=args.socket, host=args.host, port=args.port or None,
+        retries=args.retry, backoff=args.backoff,
     ) as client:
         if args.health:
             print(json.dumps(client.health(), indent=2, sort_keys=True))

@@ -134,3 +134,21 @@ class ServeError(ReproError):
     that produced no response. Per-request failures never raise; they
     come back as ``error`` responses so one bad request cannot kill its
     batch."""
+
+
+class DaemonConnectionError(ServeError):
+    """The connection to the enforcement daemon failed or went bad.
+
+    Raised by :class:`~repro.serve.protocol.DaemonClient` for every
+    connection-level failure — refused/absent socket, mid-pipeline
+    reset, a corrupt reply envelope that desynchronised the stream —
+    instead of letting raw ``ConnectionError``/``JSONDecodeError``
+    escape. ``pending`` carries the ids (or idempotency keys) of the
+    requests still owed an answer when the connection died, which is
+    exactly what :class:`~repro.serve.protocol.RetryingClient` resubmits
+    after reconnecting.
+    """
+
+    def __init__(self, message: str, pending: tuple = ()) -> None:
+        super().__init__(message)
+        self.pending = tuple(pending)

@@ -49,6 +49,7 @@ from repro.serve.requests import (
     request_to_json,
     response_from_dict,
     response_to_dict,
+    request_digest,
     shape_key,
     shard_digest,
 )
@@ -59,11 +60,21 @@ from repro.serve.daemon import (
     run_daemon,
     run_in_thread,
 )
+from repro.serve.faults import (
+    FAULTS_ENV,
+    SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.serve.metrics import DaemonMetrics
 from repro.serve.protocol import (
     DEADLINE_EXCEEDED,
+    MALFORMED,
     OVERLOADED,
+    POISONED,
     DaemonClient,
+    RetryingClient,
     decode_enforce_reply,
     wire_shape_key,
 )
@@ -90,10 +101,14 @@ __all__ = [
     "DEFAULT_SHARD_DEADLINE",
     "DEFAULT_WORKERS",
     "ERROR",
+    "FAULTS_ENV",
+    "MALFORMED",
     "NO_REPAIR",
     "OVERLOADED",
+    "POISONED",
     "PORTFOLIO_ARMS",
     "REPAIRED",
+    "SITES",
     "BatchResult",
     "DaemonClient",
     "DaemonConfig",
@@ -102,9 +117,14 @@ __all__ = [
     "EnforceRequest",
     "EnforceResponse",
     "EnforcementDaemon",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryingClient",
     "ShardStats",
     "decode_enforce_reply",
     "process_shard",
+    "request_digest",
     "request_from_dict",
     "request_to_dict",
     "request_to_json",

@@ -62,20 +62,34 @@ import os
 import signal
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ReproError, ServeError
+from repro.serve.faults import FaultInjector, FaultPlan
 from repro.serve.metrics import DaemonMetrics
 from repro.serve.protocol import (
     DEADLINE_EXCEEDED,
+    MALFORMED,
     OVERLOADED,
+    POISONED,
     decode_envelope,
     encode_envelope,
     wire_shape_key,
 )
-from repro.serve.requests import EnforceResponse, response_to_dict, shard_digest
+from repro.serve.requests import (
+    EnforceResponse,
+    request_digest,
+    response_to_dict,
+    shard_digest,
+)
+
+#: How many crash-counting digests the poison tracker retains (LRU).
+CRASH_TRACK_LIMIT = 1024
+
+#: Socket read chunk for the bounded envelope reader.
+READ_CHUNK = 64 * 1024
 
 
 @dataclass(frozen=True)
@@ -88,6 +102,17 @@ class DaemonConfig:
     per-request end-to-end budget (a request envelope may override it);
     ``retries`` is how often a request is resubmitted after a worker
     crash before it is dead-lettered.
+
+    Robustness knobs: ``max_envelope_bytes`` bounds one incoming wire
+    line (an oversized line is answered with a typed ``malformed``
+    rejection and the connection survives); ``poison_budget`` is the
+    restart-budget circuit breaker — a request whose digest kills that
+    many workers is answered :data:`~repro.serve.protocol.POISONED` and
+    quarantined instead of respawn-looping; ``reply_cache`` bounds the
+    idempotency reply cache (entries are evicted oldest-first);
+    ``faults`` is a :mod:`repro.serve.faults` spec string enabling
+    seeded fault injection (``None`` falls back to the ``REPRO_FAULTS``
+    environment variable; empty disables).
     """
 
     socket_path: str | None = None
@@ -97,6 +122,10 @@ class DaemonConfig:
     queue_limit: int = 64
     deadline: float = 60.0
     retries: int = 1
+    max_envelope_bytes: int = 8 * 2**20
+    poison_budget: int = 2
+    reply_cache: int = 1024
+    faults: str | None = None
 
     def validate(self) -> None:
         if (self.socket_path is None) == (self.host is None):
@@ -111,6 +140,20 @@ class DaemonConfig:
             )
         if self.deadline <= 0:
             raise ServeError(f"deadline must be > 0, got {self.deadline}")
+        if self.max_envelope_bytes < 1024:
+            raise ServeError(
+                "max_envelope_bytes must be >= 1024, got "
+                f"{self.max_envelope_bytes}"
+            )
+        if self.poison_budget < 1:
+            raise ServeError(
+                f"poison_budget must be >= 1, got {self.poison_budget}"
+            )
+        if self.reply_cache < 1:
+            raise ServeError(
+                f"reply_cache must be >= 1, got {self.reply_cache}"
+            )
+        FaultPlan.parse(self.faults)  # typo'd specs fail at config time
 
 
 def _daemon_worker_main(conn) -> None:
@@ -121,6 +164,9 @@ def _daemon_worker_main(conn) -> None:
     as the batch pool's ``_fresh_worker``). ``{"op": "stop"}`` ends the
     loop; a closed pipe does too. The ``wedge`` field is the protocol's
     test hook: sleep before answering, simulating a livelocked request.
+    ``fault``/``stall`` are injected-fault directives drawn by the
+    daemon's seeded injector (workers obey, never draw — see
+    :mod:`repro.serve.faults`).
     """
     from repro.enforce.session import clear_shared_sessions
     from repro.serve.worker import reset_worker_state, serve_wire
@@ -138,7 +184,11 @@ def _daemon_worker_main(conn) -> None:
         if wedge:
             time.sleep(wedge)
         try:
-            reply = serve_wire(message.get("request"))
+            reply = serve_wire(
+                message.get("request"),
+                fault=message.get("fault"),
+                stall=message.get("stall") or 0.0,
+            )
         except Exception as exc:  # the service catch-all: a worker
             # must survive any one request (programming errors included)
             reply = {
@@ -250,6 +300,11 @@ class _Item:
     wedge: float | None
     future: asyncio.Future
     attempts: int = 0
+    #: :func:`~repro.serve.requests.request_digest` — the request's
+    #: cross-connection identity (poison tracking, fault targeting).
+    digest: str = ""
+    #: The client's idempotency key, if the envelope carried one.
+    idem: str | None = None
 
 
 class _ShapeQueue:
@@ -281,6 +336,20 @@ class EnforcementDaemon:
         config.validate()
         self.config = config
         self.metrics = DaemonMetrics(workers=config.workers)
+        # Fault injection: an explicit config spec wins; an unset config
+        # falls back to the REPRO_FAULTS environment variable.
+        plan = (
+            FaultPlan.parse(config.faults)
+            if config.faults is not None
+            else FaultPlan.from_env()
+        )
+        self._injector = FaultInjector(plan) if plan is not None else None
+        #: idempotency key -> final reply envelope (bounded, oldest out).
+        self._replies: "OrderedDict[str, dict]" = OrderedDict()
+        #: idempotency key -> the in-flight item a duplicate attaches to.
+        self._pending_idem: dict[str, _Item] = {}
+        #: request digest -> worker crashes it caused (bounded LRU).
+        self._crashes: "OrderedDict[str, int]" = OrderedDict()
         self.address: str | tuple[str, int] | None = None
         self.final_metrics: dict | None = None
         self._started_at = 0.0
@@ -294,6 +363,7 @@ class EnforcementDaemon:
         self._pending = 0
         self._idle = asyncio.Event()
         self._idle.set()
+        self._last_activity = time.monotonic()
         self._draining = False
         self._drained = asyncio.Event()
         self._drain_task: asyncio.Task | None = None
@@ -348,7 +418,21 @@ class EnforcementDaemon:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        await self._idle.wait()  # queued + in-flight requests flush
+        # Envelopes a client wrote before the drain began may still sit
+        # unread in connection buffers, invisible to the pending count —
+        # hanging up on the bare idle signal would drop them silently
+        # (the request would get neither its answer nor a typed
+        # rejection). Wait for queued + in-flight requests to flush AND
+        # a quiet period with no socket reads; bounded, so a client
+        # streaming envelopes at a draining daemon cannot stall the
+        # shutdown forever.
+        for _ in range(20):
+            await self._idle.wait()
+            await asyncio.sleep(0.05)
+            if self._idle.is_set() and (
+                time.monotonic() - self._last_activity >= 0.05
+            ):
+                break
         # Hang up lingering connections (their enforce work is done;
         # new envelopes would be rejected anyway) and wait for their
         # handlers, so loop teardown never cancels one mid-write.
@@ -389,12 +473,39 @@ class EnforcementDaemon:
         me = asyncio.current_task()
         assert me is not None
         self._connections[me] = writer
+        self._last_activity = time.monotonic()
+        # Explicit line framing (not reader.readline()): an envelope over
+        # max_envelope_bytes must become one typed `malformed` reply on a
+        # *surviving* connection, which asyncio's stream limit cannot do.
+        limit = self.config.max_envelope_bytes
+        buffer = bytearray()
+        skipping = False  # discarding an oversized line's tail
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                chunk = await reader.read(READ_CHUNK)
+                if not chunk:
                     break
-                await self._handle_envelope(line, writer, lock, tasks)
+                self._last_activity = time.monotonic()
+                buffer.extend(chunk)
+                while True:
+                    newline = buffer.find(b"\n")
+                    if newline < 0:
+                        break
+                    line = bytes(buffer[: newline + 1])
+                    del buffer[: newline + 1]
+                    if skipping:  # the oversized line ends here
+                        skipping = False
+                        continue
+                    if len(line) > limit:
+                        await self._reject_oversized(writer, lock, limit)
+                        continue
+                    await self._handle_envelope(line, writer, lock, tasks)
+                if len(buffer) > limit and not skipping:
+                    buffer.clear()
+                    skipping = True
+                    await self._reject_oversized(writer, lock, limit)
+                elif skipping:
+                    buffer.clear()  # still inside the oversized line
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
             pass
         finally:
@@ -407,13 +518,22 @@ class EnforcementDaemon:
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
 
+    async def _reject_oversized(self, writer, lock, limit: int) -> None:
+        self.metrics.malformed += 1
+        await self._write(
+            writer, lock,
+            {"kind": "protocol-error", "id": None, "outcome": MALFORMED,
+             "error": f"envelope exceeds max_envelope_bytes ({limit})"},
+        )
+
     async def _handle_envelope(self, line, writer, lock, tasks) -> None:
         try:
             envelope = decode_envelope(line)
         except ReproError as exc:
+            self.metrics.malformed += 1
             await self._write(
                 writer, lock, {"kind": "protocol-error", "id": None,
-                               "error": str(exc)}
+                               "outcome": MALFORMED, "error": str(exc)}
             )
             return
         verb = envelope.get("verb")
@@ -435,19 +555,51 @@ class EnforcementDaemon:
                  "error": f"unknown verb {verb!r}"},
             )
             return
-        reply = self._accept(envelope)
-        if isinstance(reply, dict):  # typed rejection, answered inline
-            await self._write(writer, lock, reply)
+        accepted = self._accept(envelope)
+        if isinstance(accepted, dict):  # typed rejection or idem replay
+            await self._write(writer, lock, accepted)
             return
+        item, attached = accepted
         task = asyncio.create_task(
-            self._reply_when_done(reply, writer, lock)
+            self._reply_when_done(item, writer, lock, envelope_id, attached)
         )
         tasks.add(task)
         task.add_done_callback(tasks.discard)
 
-    def _accept(self, envelope: dict) -> dict | _Item:
-        """Route one enforce envelope: an :class:`_Item`, or a rejection."""
+    def _accept(self, envelope: dict) -> dict | tuple[_Item, bool]:
+        """Route one enforce envelope.
+
+        Returns a reply dict (typed rejection or idempotent replay,
+        answered inline), or ``(item, attached)`` — ``attached`` marks
+        an idempotent duplicate riding an in-flight original's future,
+        whose eventual reply must be restamped as a replay.
+
+        Order of the gates matters: an idempotent resubmission is
+        answered from the reply cache (or attached to its in-flight
+        original) *before* any rejection gate, so a client retrying
+        after a dropped connection gets the original answer even while
+        the daemon drains or the shape queue is full. Quarantined
+        digests are rejected before queue admission — a poison request
+        never reaches a worker twice past its budget.
+        """
         envelope_id = envelope.get("id")
+        idem = envelope.get("idem")
+        if idem is not None and not isinstance(idem, str):
+            return self._rejection(
+                envelope_id, "error", "idem key must be a string"
+            )
+        if idem is not None:
+            cached = self._replies.get(idem)
+            if cached is not None:
+                self._replies.move_to_end(idem)
+                self.metrics.idempotent_replays += 1
+                return dict(cached, id=envelope_id, replayed=True)
+            original = self._pending_idem.get(idem)
+            if original is not None:
+                self.metrics.idempotent_attached += 1
+                self._pending += 1
+                self._idle.clear()
+                return original, True  # a second waiter on its future
         try:
             key = wire_shape_key(envelope.get("request"))
         except ReproError as exc:
@@ -457,6 +609,17 @@ class EnforcementDaemon:
         if shape is None:
             slot = int(digest, 16) % len(self._slots)
             shape = self._shapes[digest] = _ShapeQueue(digest, slot)
+        rdigest = request_digest(envelope.get("request"))
+        record = self.metrics.quarantined.get(rdigest)
+        if record is not None:
+            record["rejected"] += 1
+            self.metrics.poisoned += 1
+            self.metrics.shape(digest, shape.slot).poisoned += 1
+            return self._rejection(
+                envelope_id, POISONED,
+                f"request {rdigest} is quarantined after "
+                f"{record['crashes']} worker crashes",
+            )
         if self._draining:
             self.metrics.overloaded += 1
             self.metrics.shape(digest, shape.slot).overloaded += 1
@@ -484,18 +647,28 @@ class EnforcementDaemon:
             wedge=envelope.get("wedge"),
             future=asyncio.get_running_loop().create_future(),
             attempts=0,
+            digest=rdigest,
+            idem=idem,
         )
+        if idem is not None:
+            self._pending_idem[idem] = item
         self.metrics.accepted += 1
         self._pending += 1
         self._idle.clear()
         shape.items.append(item)
         self._slot_tokens[shape.slot].put_nowait(digest)
-        return item
+        return item, False
 
-    async def _reply_when_done(self, item: _Item, writer, lock) -> None:
+    async def _reply_when_done(
+        self, item: _Item, writer, lock, envelope_id, attached: bool = False
+    ) -> None:
         reply = await item.future
+        if attached:
+            # An idempotent duplicate attached to an in-flight original:
+            # the shared future carries the original's id; restamp ours.
+            reply = dict(reply, id=envelope_id, replayed=True)
         try:
-            await self._write(writer, lock, reply)
+            await self._write(writer, lock, reply, digest=item.digest)
         finally:
             # A request counts as pending until its reply is *written*
             # (not merely computed) — drain must not hang up a
@@ -504,10 +677,26 @@ class EnforcementDaemon:
             if self._pending == 0:
                 self._idle.set()
 
-    async def _write(self, writer, lock, envelope: dict) -> None:
+    async def _write(
+        self, writer, lock, envelope: dict, digest: str | None = None
+    ) -> None:
+        # Wire-level fault sites fire only for enforce replies (callers
+        # pass the request digest); health/metrics/protocol replies are
+        # never fault-eligible, so a chaos daemon stays observable.
+        injector = self._injector if digest else None
         async with lock:
             try:
-                writer.write(encode_envelope(envelope))
+                if writer.transport.is_closing():
+                    return  # the client went away; the work is already done
+                if injector is not None and injector.fires("conn-drop", digest):
+                    writer.transport.abort()  # reply lost mid-pipeline
+                    return
+                data = encode_envelope(envelope)
+                if injector is not None and injector.fires(
+                    "corrupt-reply", digest
+                ):
+                    data = injector.corrupt(data)
+                writer.write(data)
                 await writer.drain()
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass  # the client went away; the work is already done
@@ -543,6 +732,9 @@ class EnforcementDaemon:
             uptime_s=time.monotonic() - self._started_at,
             queued=queued,
             inflight=inflight,
+            faults=(
+                self._injector.report() if self._injector is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -560,6 +752,10 @@ class EnforcementDaemon:
             item = shape.items.popleft()
             shape.inflight += 1
             try:
+                if self._injector is not None:
+                    delay = self._injector.stall("queue-stall", item.digest)
+                    if delay:
+                        await asyncio.sleep(delay)
                 await self._dispatch(slot, shape, item)
             finally:
                 shape.inflight -= 1
@@ -568,52 +764,101 @@ class EnforcementDaemon:
         self, slot: _WorkerSlot, shape: _ShapeQueue, item: _Item
     ) -> None:
         metrics = self.metrics.shape(shape.digest, shape.slot)
-        now = time.monotonic()
-        if item.deadline_at is not None and now >= item.deadline_at:
-            # Expired while queued: never reaches a worker.
-            self._finish_deadline(item, metrics, reason="queue", now=now)
-            return
-        timeout = (
-            None if item.deadline_at is None else item.deadline_at - now
-        )
-        item.attempts += 1
-        message = {
-            "op": "enforce",
-            "request": item.request,
-            "wedge": item.wedge,
-        }
-        try:
-            reply = await slot.call(message, timeout)
-        except asyncio.TimeoutError:
-            # The worker is wedged (or the instance pathological): kill
-            # it so the slot's next request proceeds on a fresh process.
-            slot.restart()
-            self.metrics.worker_restarts += 1
-            self._finish_deadline(
-                item, metrics, reason="worker", now=time.monotonic()
-            )
-            return
-        except _WorkerCrash as crash:
-            slot.restart()
-            self.metrics.worker_restarts += 1
-            if item.attempts <= self.config.retries:
-                self.metrics.retries += 1
-                shape.items.appendleft(item)  # keep submission order
-                self._slot_tokens[shape.slot].put_nowait(shape.digest)
+        while True:
+            now = time.monotonic()
+            if item.deadline_at is not None and now >= item.deadline_at:
+                # Expired while queued: never reaches a worker.
+                self._finish_deadline(item, metrics, reason="queue", now=now)
                 return
-            elapsed = time.monotonic() - item.accepted_at
-            self.metrics.dead_letter(
-                shape.digest, item.envelope_id, "worker-crashed",
-                str(crash), elapsed, item.attempts,
+            timeout = (
+                None if item.deadline_at is None else item.deadline_at - now
             )
-            self._resolve(
-                item,
-                self._rejection(
-                    item.envelope_id, "error",
-                    f"{crash} ({item.attempts} attempts)",
-                ),
-            )
-            return
+            item.attempts += 1
+            message = {
+                "op": "enforce",
+                "request": item.request,
+                "wedge": item.wedge,
+            }
+            if self._injector is not None:
+                # Draws happen here (the daemon's loop), never in workers —
+                # a retry on a respawned worker must get a fresh roll.
+                if self._injector.fires("crash-before", item.digest):
+                    message["fault"] = "crash-before"
+                elif self._injector.fires("crash-after", item.digest):
+                    message["fault"] = "crash-after"
+                stall = self._injector.stall("slow-solve", item.digest)
+                if stall:
+                    message["stall"] = stall
+            try:
+                reply = await slot.call(message, timeout)
+            except asyncio.TimeoutError:
+                # The worker is wedged (or the instance pathological): kill
+                # it so the slot's next request proceeds on a fresh process.
+                slot.restart()
+                self.metrics.worker_restarts += 1
+                self._finish_deadline(
+                    item, metrics, reason="worker", now=time.monotonic()
+                )
+                return
+            except _WorkerCrash as crash:
+                slot.restart()
+                self.metrics.worker_restarts += 1
+                crashes = self._crashes.get(item.digest, 0) + 1
+                self._crashes[item.digest] = crashes
+                self._crashes.move_to_end(item.digest)
+                while len(self._crashes) > CRASH_TRACK_LIMIT:
+                    self._crashes.popitem(last=False)
+                if crashes >= self.config.poison_budget:
+                    # Restart-budget circuit breaker: this request is what
+                    # kills workers. Quarantine its digest — resubmissions
+                    # are rejected at accept, siblings keep answering.
+                    elapsed = time.monotonic() - item.accepted_at
+                    self.metrics.quarantine(
+                        item.digest, shape.digest, crashes, str(crash)
+                    )
+                    self.metrics.poisoned += 1
+                    metrics.poisoned += 1
+                    self.metrics.dead_letter(
+                        shape.digest, item.envelope_id, "poisoned",
+                        str(crash), elapsed, item.attempts,
+                    )
+                    self._resolve(
+                        item,
+                        self._rejection(
+                            item.envelope_id, POISONED,
+                            f"poisoned: request {item.digest} killed its "
+                            f"worker {crashes} times; quarantined",
+                        ),
+                    )
+                    return
+                if item.attempts <= self.config.retries:
+                    # Retry immediately on the respawned worker, before the
+                    # slot moves on. Re-queueing at the back of the slot's
+                    # token queue would defer this item behind other shapes
+                    # whose dispatch can restart the worker again — leaving
+                    # it to re-ground on a cold session and (legitimately)
+                    # pick a different equal-cost optimum than the warm
+                    # queue prefix would have.
+                    self.metrics.retries += 1
+                    continue
+                elapsed = time.monotonic() - item.accepted_at
+                self.metrics.dead_letter(
+                    shape.digest, item.envelope_id, "worker-crashed",
+                    str(crash), elapsed, item.attempts,
+                )
+                self._resolve(
+                    item,
+                    self._rejection(
+                        item.envelope_id, "error",
+                        f"{crash} ({item.attempts} attempts)",
+                    ),
+                )
+                return
+            break
+        # An answered request clears its crash history: the poison
+        # budget counts *consecutive* worker kills, so a transiently
+        # unlucky digest does not accumulate toward quarantine forever.
+        self._crashes.pop(item.digest, None)
         elapsed = time.monotonic() - item.accepted_at
         session = reply.get("session") or {}
         counters = reply.get("counters")
@@ -657,6 +902,14 @@ class EnforcementDaemon:
         )
 
     def _resolve(self, item: _Item, reply: dict) -> None:
+        if item.idem is not None:
+            # The reply is cached *before* it is written: a client whose
+            # connection drops mid-reply can resubmit the same key and
+            # get this answer back without a second solve.
+            self._pending_idem.pop(item.idem, None)
+            self._replies[item.idem] = reply
+            while len(self._replies) > self.config.reply_cache:
+                self._replies.popitem(last=False)
         if not item.future.done():  # pragma: no branch
             item.future.set_result(reply)
 

@@ -1,0 +1,255 @@
+"""Deterministic fault injection for the enforcement daemon.
+
+The daemon's failure paths — worker crashes, wedged solves, corrupted
+wire envelopes, dropped connections, stalled queues — all exist because
+real deployments hit them; none of them can be *exercised* on demand
+without this module. A :class:`FaultPlan` names a seed and a set of
+**injection sites**; a :class:`FaultInjector` built from it is asked at
+each site whether to fire, and its answers are a pure function of the
+seed and the per-site opportunity sequence — so a chaos run (ablation
+A11, ``benchmarks/bench_a11_chaos.py``) is reproducible from its seed.
+
+Sites, and where the serve stack consults them:
+
+=================  ====================================================
+``crash-before``   the worker process exits before solving (the daemon
+                   sees a mid-request crash and runs its retry/poison
+                   machinery)
+``crash-after``    the worker solves, then exits before replying — the
+                   answer is computed *and lost*, the harshest crash
+``slow-solve``     the worker stalls ``delay`` seconds before solving
+                   (deadline pressure without a pathological instance)
+``corrupt-reply``  the daemon truncates the reply envelope on the wire
+                   (the client must detect garbage and recover)
+``conn-drop``      the daemon aborts the connection instead of writing
+                   the reply (the reply is lost mid-pipeline)
+``queue-stall``    the slot drainer sleeps ``delay`` seconds before
+                   dispatching (queue-side latency, deadline pressure)
+=================  ====================================================
+
+Every *decision* is made on the daemon's event loop (worker processes
+only obey directives attached to their messages). That is deliberate: a
+respawned worker must not replay the dead worker's draw sequence, or a
+crash-fated request would crash forever and every injected crash would
+masquerade as a poison request. Centralised draws give each retry a
+fresh roll.
+
+Spec syntax (``DaemonConfig.faults`` or the ``REPRO_FAULTS`` env var)::
+
+    seed=42;crash-before:rate=0.2,max=4;slow-solve:rate=0.5,delay=0.05
+
+``;``-separated clauses; one optional ``seed=N`` (default 0), the rest
+``site:param=value,...`` with per-site params:
+
+* ``rate``  — firing probability per eligible opportunity (default 1.0);
+* ``max``   — total firing budget for the site (default unlimited);
+* ``delay`` — stall seconds for ``slow-solve``/``queue-stall``
+  (default 0.05);
+* ``match`` — only opportunities whose request digest starts with this
+  prefix are eligible (targets one request deterministically — how the
+  poison-quarantine tests aim a crash at a single digest).
+
+Health/metrics replies are never fault-eligible: an operator can always
+probe a daemon that is busy failing on purpose.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ServeError
+
+#: Environment variable consulted when ``DaemonConfig.faults`` is unset.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Every named injection site (see the module docstring's table).
+SITES = (
+    "crash-before",
+    "crash-after",
+    "slow-solve",
+    "corrupt-reply",
+    "conn-drop",
+    "queue-stall",
+)
+
+#: Sites whose firing attaches a stall rather than a failure.
+_DELAY_SITES = ("slow-solve", "queue-stall")
+
+#: Default stall for delay sites when the spec names none.
+DEFAULT_DELAY = 0.05
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One site's firing policy inside a :class:`FaultPlan`."""
+
+    site: str
+    rate: float = 1.0
+    max_fires: int | None = None
+    delay: float = DEFAULT_DELAY
+    match: str | None = None
+
+    def validate(self) -> None:
+        if self.site not in SITES:
+            raise ServeError(
+                f"unknown fault site {self.site!r}; sites are {', '.join(SITES)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ServeError(
+                f"fault rate must be in [0, 1], got {self.rate} for {self.site}"
+            )
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ServeError(
+                f"fault max must be >= 0, got {self.max_fires} for {self.site}"
+            )
+        if self.delay < 0:
+            raise ServeError(
+                f"fault delay must be >= 0, got {self.delay} for {self.site}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed fault spec: the seed plus one :class:`FaultSpec` per site."""
+
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str | None) -> "FaultPlan | None":
+        """A plan from spec text (module docstring); ``None`` disables.
+
+        Raises :class:`~repro.errors.ServeError` for unknown sites or
+        parameters — a chaos run with a typo'd spec must fail loudly,
+        not silently inject nothing.
+        """
+        if text is None or not text.strip():
+            return None
+        seed = 0
+        specs: dict[str, FaultSpec] = {}
+        for clause in text.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                seed = _parse_int(clause[len("seed="):], "seed")
+                continue
+            site, _, params = clause.partition(":")
+            site = site.strip()
+            fields: dict[str, Any] = {"site": site}
+            for param in filter(None, params.split(",")):
+                name, sep, value = param.partition("=")
+                name, value = name.strip(), value.strip()
+                if not sep:
+                    raise ServeError(
+                        f"fault param needs name=value, got {param!r}"
+                    )
+                if name == "rate":
+                    fields["rate"] = _parse_float(value, "rate")
+                elif name == "max":
+                    fields["max_fires"] = _parse_int(value, "max")
+                elif name == "delay":
+                    fields["delay"] = _parse_float(value, "delay")
+                elif name == "match":
+                    fields["match"] = value
+                else:
+                    raise ServeError(
+                        f"unknown fault param {name!r} for site {site!r} "
+                        "(params: rate, max, delay, match)"
+                    )
+            if site in specs:
+                raise ServeError(f"fault site {site!r} specified twice")
+            spec = FaultSpec(**fields)
+            spec.validate()
+            specs[site] = spec
+        return cls(seed=seed, specs=tuple(specs.values()))
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """The plan named by :data:`FAULTS_ENV`, or ``None``."""
+        return cls.parse(os.environ.get(FAULTS_ENV))
+
+
+class FaultInjector:
+    """Seeded firing decisions for one daemon's lifetime.
+
+    One :class:`random.Random` per site, seeded from ``(plan seed,
+    site)``, so each site's draw sequence is independent of the others
+    and of sites that are not configured. ``fires``/``stall`` count
+    opportunities and firings; :meth:`report` renders them for the
+    ``metrics`` verb — a chaos harness asserts its faults actually
+    happened instead of trusting the spec.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._specs = {spec.site: spec for spec in plan.specs}
+        self._rngs = {
+            site: random.Random(f"{plan.seed}:{site}") for site in self._specs
+        }
+        self._fired = {site: 0 for site in self._specs}
+        self._seen = {site: 0 for site in self._specs}
+
+    def fires(self, site: str, key: str | None = None) -> bool:
+        """Whether ``site`` fires at this opportunity.
+
+        ``key`` is the request digest when the site has one; a spec with
+        ``match=`` is only eligible (and only draws) when the key
+        matches, so targeted faults stay deterministic regardless of
+        surrounding traffic.
+        """
+        spec = self._specs.get(site)
+        if spec is None:
+            return False
+        self._seen[site] += 1
+        if spec.match is not None and (
+            key is None or not key.startswith(spec.match)
+        ):
+            return False
+        if spec.max_fires is not None and self._fired[site] >= spec.max_fires:
+            return False
+        if self._rngs[site].random() >= spec.rate:
+            return False
+        self._fired[site] += 1
+        return True
+
+    def stall(self, site: str, key: str | None = None) -> float:
+        """The stall seconds for a delay site (0.0 when it does not fire)."""
+        if not self.fires(site, key):
+            return 0.0
+        return self._specs[site].delay
+
+    @staticmethod
+    def corrupt(data: bytes) -> bytes:
+        """A truncated-but-line-terminated version of one reply envelope.
+
+        Keeps the trailing newline so the client's line reader
+        terminates and sees garbage (the decode failure path), rather
+        than blocking forever on a line that never ends.
+        """
+        body = data.rstrip(b"\n")
+        return body[: max(1, len(body) // 2)] + b"\n"
+
+    def report(self) -> dict[str, dict[str, int]]:
+        """Per-site opportunity/fire counts (the metrics ``faults`` block)."""
+        return {
+            site: {"opportunities": self._seen[site], "fired": self._fired[site]}
+            for site in sorted(self._specs)
+        }
+
+
+def _parse_int(value: str, name: str) -> int:
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise ServeError(f"fault {name} must be an integer, got {value!r}") from exc
+
+
+def _parse_float(value: str, name: str) -> float:
+    try:
+        return float(value)
+    except ValueError as exc:
+        raise ServeError(f"fault {name} must be a number, got {value!r}") from exc

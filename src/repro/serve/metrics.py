@@ -94,6 +94,7 @@ class ShapeMetrics:
     errors: int = 0
     overloaded: int = 0
     deadline_exceeded: int = 0
+    poisoned: int = 0
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     def to_dict(self) -> dict[str, Any]:
@@ -105,6 +106,7 @@ class ShapeMetrics:
             "errors": self.errors,
             "overloaded": self.overloaded,
             "deadline_exceeded": self.deadline_exceeded,
+            "poisoned": self.poisoned,
             "latency": self.latency.to_dict(),
         }
 
@@ -122,11 +124,23 @@ class DaemonMetrics:
     dead_lettered: int = 0
     retries: int = 0
     worker_restarts: int = 0
+    #: Unreadable envelopes (oversized or undecodable lines) answered
+    #: with a typed ``malformed`` rejection on a surviving connection.
+    malformed: int = 0
+    #: Requests answered (or rejected) as :data:`~repro.serve.protocol.POISONED`.
+    poisoned: int = 0
+    #: Idempotent resubmissions replayed from the bounded reply cache.
+    idempotent_replays: int = 0
+    #: Idempotent resubmissions attached to a still-in-flight original.
+    idempotent_attached: int = 0
     draining: bool = False
     shapes: dict[str, ShapeMetrics] = field(default_factory=dict)
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     #: index -> the worker's last reported counters snapshot.
     worker_counters: dict[int, dict] = field(default_factory=dict)
+    #: request digest -> quarantine record for poison requests (shape,
+    #: crash count, rejected-resubmission count, last crash error).
+    quarantined: dict[str, dict] = field(default_factory=dict)
     dead_letters: deque = field(
         default_factory=lambda: deque(maxlen=DEAD_LETTER_LIMIT)
     )
@@ -176,8 +190,31 @@ class DaemonMetrics:
             }
         )
 
-    def snapshot(self, uptime_s: float, queued: int, inflight: int) -> dict:
-        """The JSON-ready metrics document (the ``metrics`` verb body)."""
+    def quarantine(
+        self, digest: str, shape: str, crashes: int, error: str
+    ) -> dict:
+        """Open (or update) the quarantine record for a poison request."""
+        record = self.quarantined.setdefault(
+            digest,
+            {"shape": shape, "crashes": 0, "rejected": 0, "error": error},
+        )
+        record["crashes"] = crashes
+        record["error"] = error
+        return record
+
+    def snapshot(
+        self,
+        uptime_s: float,
+        queued: int,
+        inflight: int,
+        faults: dict | None = None,
+    ) -> dict:
+        """The JSON-ready metrics document (the ``metrics`` verb body).
+
+        ``faults`` is the fault injector's per-site report when the
+        daemon runs with injection enabled (``{}`` when it does not) —
+        chaos harnesses assert their faults actually fired from here.
+        """
         solver: dict[str, int] = {}
         bindings = 0
         sessions = groundings = reuses = 0
@@ -203,7 +240,16 @@ class DaemonMetrics:
                 "dead_lettered": self.dead_lettered,
                 "retries": self.retries,
                 "worker_restarts": self.worker_restarts,
+                "malformed": self.malformed,
+                "poisoned": self.poisoned,
+                "idempotent_replays": self.idempotent_replays,
+                "idempotent_attached": self.idempotent_attached,
             },
+            "quarantine": {
+                digest: dict(record)
+                for digest, record in sorted(self.quarantined.items())
+            },
+            "faults": faults or {},
             "shapes": {
                 digest: metrics.to_dict()
                 for digest, metrics in sorted(self.shapes.items())

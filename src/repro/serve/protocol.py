@@ -28,19 +28,38 @@ full, or the daemon is draining — resubmit later) and
 :data:`DEADLINE_EXCEEDED` (the request's deadline elapsed before an
 answer; the request is dead-lettered, see the daemon docs).
 
+An ``enforce`` envelope may also carry an ``idem`` string — a
+client-supplied **idempotency key**. The daemon remembers the reply it
+computed for each key (bounded cache): resubmitting a key whose answer
+exists replays the *original* reply (marked ``"replayed": true``)
+without touching a worker, and resubmitting one that is still in flight
+attaches the new connection to the pending answer instead of enqueueing
+the work twice. That is what makes retry-after-connection-loss safe —
+a retried ``enforce`` never double-solves.
+
 :class:`DaemonClient` is the blocking client used by the CLI's client
 mode, the tests and benchmark A10 — deliberately plain ``socket`` code
-so scripting against the daemon needs nothing from asyncio.
+so scripting against the daemon needs nothing from asyncio. Every
+connection-level failure it hits surfaces as a typed
+:class:`~repro.errors.DaemonConnectionError` carrying the ids still
+owed. :class:`RetryingClient` builds self-healing on top: reconnect
+with exponential backoff + jitter, idempotency keys on every request,
+and resubmission of exactly the unanswered remainder — so a client
+survives daemon restarts, dropped connections and corrupted envelopes
+while each request still gets exactly one answer.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import time
+import uuid
 from collections.abc import Mapping, Sequence
+from random import Random
 from typing import Any
 
-from repro.errors import SerializationError, ServeError
+from repro.errors import DaemonConnectionError, SerializationError, ServeError
 from repro.serve.requests import (
     EnforceRequest,
     EnforceResponse,
@@ -51,8 +70,13 @@ from repro.serve.requests import (
 )
 
 #: Typed daemon rejections, extending the batch service's outcomes.
+#: ``MALFORMED`` marks an unreadable/oversized envelope (the connection
+#: survives); ``POISONED`` marks a request quarantined after repeatedly
+#: killing its worker (see :mod:`repro.serve.daemon`).
 OVERLOADED = "overloaded"
 DEADLINE_EXCEEDED = "deadline-exceeded"
+MALFORMED = "malformed"
+POISONED = "poisoned"
 
 #: Envelope verbs a client may send.
 VERBS = ("enforce", "health", "metrics")
@@ -133,15 +157,28 @@ class DaemonClient:
         port: int | None = None,
         timeout: float | None = 60.0,
     ) -> "DaemonClient":
-        """Open a connection to a daemon on a UNIX socket or TCP port."""
-        if path is not None:
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(timeout)
-            sock.connect(str(path))
-        elif host is not None and port is not None:
-            sock = socket.create_connection((host, port), timeout=timeout)
-        else:
-            raise ServeError("DaemonClient.connect needs a path or host+port")
+        """Open a connection to a daemon on a UNIX socket or TCP port.
+
+        A dead, absent or refusing endpoint raises a typed
+        :class:`~repro.errors.DaemonConnectionError` (never a raw
+        ``OSError`` traceback).
+        """
+        try:
+            if path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(timeout)
+                sock.connect(str(path))
+            elif host is not None and port is not None:
+                sock = socket.create_connection((host, port), timeout=timeout)
+            else:
+                raise ServeError(
+                    "DaemonClient.connect needs a path or host+port"
+                )
+        except OSError as exc:
+            where = path if path is not None else f"{host}:{port}"
+            raise DaemonConnectionError(
+                f"cannot connect to daemon at {where}: {exc}"
+            ) from exc
         return cls(sock)
 
     def __enter__(self) -> "DaemonClient":
@@ -165,15 +202,38 @@ class DaemonClient:
         if "id" not in envelope:
             self._next_id += 1
             envelope["id"] = self._next_id
-        self._sock.sendall(encode_envelope(envelope))
+        try:
+            self._sock.sendall(encode_envelope(envelope))
+        except OSError as exc:
+            raise DaemonConnectionError(
+                f"connection to the daemon lost while sending: {exc}"
+            ) from exc
         return envelope["id"]
 
     def recv(self) -> dict[str, Any]:
-        """Read the next reply envelope; raises on a closed connection."""
-        line = self._file.readline()
+        """Read the next reply envelope.
+
+        Every connection-level failure — the daemon hanging up, a
+        socket error/timeout, or a corrupt (undecodable) envelope that
+        desynchronises the line stream — raises a typed
+        :class:`~repro.errors.DaemonConnectionError`.
+        """
+        try:
+            line = self._file.readline()
+        except OSError as exc:
+            raise DaemonConnectionError(
+                f"connection to the daemon lost while reading: {exc}"
+            ) from exc
         if not line:
-            raise ServeError("daemon closed the connection")
-        return decode_envelope(line)
+            raise DaemonConnectionError("daemon closed the connection")
+        try:
+            return decode_envelope(line)
+        except SerializationError as exc:
+            # A corrupt line leaves the stream unsynchronised; the only
+            # safe recovery is reconnect-and-retry (RetryingClient's).
+            raise DaemonConnectionError(
+                f"corrupt reply envelope from the daemon: {exc}"
+            ) from exc
 
     def call(self, envelope: Mapping[str, Any]) -> dict[str, Any]:
         """Send one envelope and wait for its (id-matched) reply."""
@@ -218,27 +278,216 @@ class DaemonClient:
         All requests are written before any reply is read, so same-shape
         requests queue back to back on their worker — the daemon
         equivalent of one :func:`~repro.serve.serve_batch` shard.
+
+        Mid-pipeline connection loss raises a typed
+        :class:`~repro.errors.DaemonConnectionError` whose ``pending``
+        names the ids still owed an answer — never a raw
+        ``ConnectionError`` or ``JSONDecodeError``.
         """
         ids = []
-        for request in requests:
-            envelope: dict[str, Any] = {
-                "verb": "enforce",
-                "request": request_to_dict(request),
-            }
-            if deadline is not None:
-                envelope["deadline"] = deadline
-            if wedge is not None:
-                envelope["wedge"] = wedge
-            ids.append(self.send(envelope))
+        try:
+            for request in requests:
+                envelope: dict[str, Any] = {
+                    "verb": "enforce",
+                    "request": request_to_dict(request),
+                }
+                if deadline is not None:
+                    envelope["deadline"] = deadline
+                if wedge is not None:
+                    envelope["wedge"] = wedge
+                ids.append(self.send(envelope))
+        except DaemonConnectionError as exc:
+            raise DaemonConnectionError(
+                f"{exc} ({len(requests)} of {len(requests)} requests owed)",
+                pending=ids + [None] * (len(requests) - len(ids)),
+            ) from exc
         pending = {id_: index for index, id_ in enumerate(ids)}
         responses: list[EnforceResponse | None] = [None] * len(ids)
         while pending:
-            reply = self.recv()
+            try:
+                reply = self.recv()
+            except DaemonConnectionError as exc:
+                owed = [ids[index] for index in sorted(pending.values())]
+                raise DaemonConnectionError(
+                    f"{exc} ({len(owed)} of {len(requests)} requests owed)",
+                    pending=owed,
+                ) from exc
             index = pending.pop(reply.get("id"), None)
             if index is None:
                 continue
             responses[index] = decode_enforce_reply(reply, requests[index])
         assert all(response is not None for response in responses)
+        return responses  # type: ignore[return-value]
+
+
+class RetryingClient:
+    """A self-healing daemon client: reconnect, back off, never double-solve.
+
+    Construction records the endpoint; the connection is opened lazily
+    and re-opened after any :class:`~repro.errors.DaemonConnectionError`
+    (daemon restart, dropped connection, corrupted envelope), with
+    exponential backoff plus jitter between attempts. Every ``enforce``
+    carries a client-unique **idempotency key** that survives
+    reconnects, so a retried request whose answer was already computed
+    is *replayed* from the daemon's reply cache — the original answer,
+    bit for bit, with zero extra solver or grounding work — and a
+    request that was lost before reaching a worker is simply solved
+    once. ``retries`` bounds reconnect attempts per call; exhausting it
+    raises :class:`~repro.errors.DaemonConnectionError` carrying the
+    idempotency keys still owed.
+
+    Deterministic tests pass ``seed`` to pin the jitter; operators
+    leave it ``None``.
+    """
+
+    def __init__(
+        self,
+        path: str | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        timeout: float | None = 60.0,
+        retries: int = 5,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+        jitter: float = 0.25,
+        seed: int | None = None,
+    ) -> None:
+        if path is None and (host is None or port is None):
+            raise ServeError("RetryingClient needs a path or host+port")
+        if retries < 0:
+            raise ServeError(f"retries must be >= 0, got {retries}")
+        if backoff < 0 or backoff_max < 0 or jitter < 0:
+            raise ServeError("backoff, backoff_max and jitter must be >= 0")
+        self._endpoint = dict(path=path, host=host, port=port, timeout=timeout)
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        self.jitter = jitter
+        self._rng = Random(seed)
+        self._client: DaemonClient | None = None
+        #: Client-unique idempotency-key prefix; keys are `prefix:seq`.
+        self._token = uuid.uuid4().hex[:12]
+        self._seq = 0
+        self.reconnects = 0
+
+    def __enter__(self) -> "RetryingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    def _connected(self) -> DaemonClient:
+        if self._client is None:
+            self._client = DaemonClient.connect(**self._endpoint)
+        return self._client
+
+    def _disconnect(self) -> None:
+        if self._client is not None:
+            try:
+                self._client.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            self._client = None
+
+    def _pause(self, attempt: int) -> None:
+        """Exponential backoff with jitter before reconnect ``attempt``."""
+        delay = min(self.backoff_max, self.backoff * (2 ** (attempt - 1)))
+        delay += delay * self.jitter * self._rng.random()
+        if delay > 0:
+            time.sleep(delay)
+
+    def _with_retry(self, call):
+        attempt = 0
+        while True:
+            try:
+                return call(self._connected())
+            except DaemonConnectionError:
+                self._disconnect()
+                attempt += 1
+                if attempt > self.retries:
+                    raise
+                self.reconnects += 1
+                self._pause(attempt)
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """The daemon's health report, retried across reconnects."""
+        return self._with_retry(lambda client: client.health())
+
+    def metrics(self) -> dict[str, Any]:
+        """The daemon's metrics snapshot, retried across reconnects."""
+        return self._with_retry(lambda client: client.metrics())
+
+    def enforce(
+        self, request: EnforceRequest, deadline: float | None = None
+    ) -> EnforceResponse:
+        """Answer one request; survives connection loss mid-call."""
+        return self.enforce_many([request], deadline=deadline)[0]
+
+    def enforce_many(
+        self,
+        requests: Sequence[EnforceRequest],
+        deadline: float | None = None,
+    ) -> list[EnforceResponse]:
+        """Pipeline a request stream; exactly one answer per request.
+
+        Requests are serialised once and tagged with idempotency keys
+        up front. After a connection failure only the *unanswered*
+        remainder is resubmitted (same keys), so answers that were
+        computed but lost on the wire come back as replays of the
+        original reply and nothing is ever solved twice.
+        """
+        wires = [request_to_dict(request) for request in requests]
+        keys = [f"{self._token}:{self._seq + i}" for i in range(len(requests))]
+        self._seq += len(requests)
+        responses: list[EnforceResponse | None] = [None] * len(requests)
+        attempt = 0
+        while True:
+            remaining = [i for i in range(len(requests)) if responses[i] is None]
+            if not remaining:
+                break
+            try:
+                client = self._connected()
+                pending: dict[Any, int] = {}
+                for index in remaining:
+                    envelope: dict[str, Any] = {
+                        "verb": "enforce",
+                        "request": wires[index],
+                        "idem": keys[index],
+                    }
+                    if deadline is not None:
+                        envelope["deadline"] = deadline
+                    pending[client.send(envelope)] = index
+                while pending:
+                    reply = client.recv()
+                    index = pending.pop(reply.get("id"), None)
+                    if index is None:
+                        continue
+                    responses[index] = decode_enforce_reply(
+                        reply, requests[index]
+                    )
+            except DaemonConnectionError as exc:
+                self._disconnect()
+                attempt += 1
+                if attempt > self.retries:
+                    owed = [
+                        keys[i] for i in range(len(requests))
+                        if responses[i] is None
+                    ]
+                    raise DaemonConnectionError(
+                        f"{exc} — gave up after {attempt} attempts with "
+                        f"{len(owed)} of {len(requests)} requests owed",
+                        pending=owed,
+                    ) from exc
+                self.reconnects += 1
+                self._pause(attempt)
         return responses  # type: ignore[return-value]
 
 

@@ -182,6 +182,21 @@ def shard_digest(key: tuple) -> str:
     return hashlib.sha1(repr(canonical).encode()).hexdigest()[:10]
 
 
+def request_digest(data: Mapping[str, Any]) -> str:
+    """A stable content digest of one *wire-form* request.
+
+    Where :func:`shard_digest` names a question *shape* (many requests),
+    this names one exact request — transformation, models, targets,
+    everything. It is the daemon's identity for poison-request
+    quarantine: a request that keeps killing its worker is recognised
+    on resubmission by this digest, whatever envelope id or connection
+    it arrives on. Computed from the canonical JSON text, so it is
+    stable across processes and daemon restarts.
+    """
+    text = json.dumps(data, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha1(text.encode()).hexdigest()[:16]
+
+
 # ----------------------------------------------------------------------
 # Wire format
 # ----------------------------------------------------------------------

@@ -359,7 +359,25 @@ def _run_pool(
                     # even a crash — is irrelevant, the shard is
                     # answered.
                     continue
-                outcome = future.result()  # a task crash fails the batch
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    raise  # the pool is gone; handled below for all shards
+                except Exception as exc:
+                    # A crashed task fails *its shard*, not the batch:
+                    # a surviving portfolio arm may still answer it, and
+                    # every other shard keeps flowing regardless.
+                    if results[shard_index] is None and not any(
+                        index == shard_index
+                        for index, _when in futures.values()
+                    ):
+                        results[shard_index] = _Unanswered(
+                            f"shard task crashed: {exc!r}",
+                            elapsed=time.perf_counter() - submitted,
+                        )
+                        if next_shard < shard_count:
+                            submit_next()
+                    continue
                 results[shard_index] = (
                     outcome,
                     time.perf_counter() - submitted,

@@ -219,7 +219,9 @@ def worker_counters() -> dict:
     }
 
 
-def serve_wire(data: Any) -> dict[str, Any]:
+def serve_wire(
+    data: Any, fault: str | None = None, stall: float = 0.0
+) -> dict[str, Any]:
     """Answer one wire-form request: the daemon worker's unit of work.
 
     Like :func:`process_shard` this never raises for per-request
@@ -229,7 +231,21 @@ def serve_wire(data: Any) -> dict[str, Any]:
     says whether *this* request paid a grounding — the daemon's
     per-shape hit/miss metric) and the whole process's
     :func:`worker_counters` snapshot.
+
+    ``fault`` and ``stall`` are injected-fault *directives* from the
+    daemon's seeded :class:`~repro.serve.faults.FaultInjector` (workers
+    obey; they never draw — a respawned worker must not replay the dead
+    one's draw sequence). ``stall`` sleeps before solving
+    (``slow-solve``); ``"crash-before"`` exits the process before
+    solving, ``"crash-after"`` computes the full reply and exits before
+    it can be sent — the daemon sees both as a mid-request worker death.
     """
+    import time as _time
+
+    if stall:
+        _time.sleep(stall)
+    if fault == "crash-before":
+        os._exit(86)
 
     def reply(response: EnforceResponse, session=None, grounded=False) -> dict:
         return {
@@ -244,9 +260,13 @@ def serve_wire(data: Any) -> dict[str, Any]:
         request = request_from_dict(data)
         session = _session_for(request, None)
     except ReproError as exc:
+        if fault == "crash-after":
+            os._exit(86)
         return reply(EnforceResponse(ERROR, error=str(exc)))
     groundings_before = session.groundings
     response = serve_request(request)
+    if fault == "crash-after":
+        os._exit(86)
     return reply(
         response, session, grounded=session.groundings > groundings_before
     )

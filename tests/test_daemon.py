@@ -24,17 +24,28 @@ backpressure paths deterministic.
 
 import json
 import socket
+import threading
+import time
 
 import pytest
 
 from repro.enforce.session import clear_shared_sessions
-from repro.errors import SerializationError, ServeError
+from repro.errors import (
+    DaemonConnectionError,
+    SerializationError,
+    ServeError,
+)
 from repro.serve import (
     DEADLINE_EXCEEDED,
+    MALFORMED,
     OVERLOADED,
+    POISONED,
     DaemonClient,
     DaemonConfig,
+    DaemonMetrics,
     EnforceRequest,
+    RetryingClient,
+    request_digest,
     request_to_dict,
     reset_worker_state,
     serve_batch,
@@ -101,6 +112,20 @@ def daemon(tmp_path):
 
 def connect(handle) -> DaemonClient:
     return DaemonClient.connect(path=handle.address)
+
+
+def _wait_accepted(handle, count: int, timeout: float = 10.0) -> None:
+    """Block until the daemon has accepted ``count`` requests."""
+    import time as _time
+
+    deadline = _time.monotonic() + timeout
+    while handle.daemon.metrics.accepted < count:
+        if _time.monotonic() >= deadline:  # pragma: no cover
+            raise AssertionError(
+                f"daemon accepted {handle.daemon.metrics.accepted} "
+                f"requests, wanted {count}"
+            )
+        _time.sleep(0.005)
 
 
 class TestVerbs:
@@ -303,6 +328,11 @@ class TestDrain:
                 "wedge": 1.0,
             }
         )
+        # Wait until the daemon has *accepted* the request before
+        # draining: the guarantee under test is accepted-then-served.
+        # An envelope still unread when the drain begins is typed-
+        # rejected as draining instead — either way, never dropped.
+        _wait_accepted(handle, 1)
         drained: dict = {}
         drainer = threading.Thread(
             target=lambda: drained.update(handle.drain())
@@ -341,6 +371,7 @@ class TestDrain:
                 "wedge": 2.0,
             }
         )
+        _wait_accepted(handle, 1)
         drainer = threading.Thread(target=handle.drain)
         drainer.start()
         # Wait for the drain to take effect, then submit on the still-
@@ -400,6 +431,401 @@ class TestConfig:
                 assert client.health()["status"] == "ok"
         finally:
             handle.drain()
+
+
+def run_config(tmp_path, name="robust.sock", **overrides):
+    """A daemon handle on a fresh socket with config overrides."""
+    settings = dict(
+        socket_path=str(tmp_path / name), workers=2, queue_limit=8,
+        deadline=60.0,
+    )
+    settings.update(overrides)
+    return run_in_thread(DaemonConfig(**settings))
+
+
+class TestEnvelopeBounds:
+    def test_oversized_line_is_typed_malformed_and_connection_survives(
+        self, tmp_path
+    ):
+        handle = run_config(tmp_path, max_envelope_bytes=2048)
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(30)
+                sock.connect(handle.address)
+                reader = sock.makefile("rb")
+                sock.sendall(b"x" * 5000 + b"\n")
+                reply = decode_envelope(reader.readline())
+                assert reply["kind"] == "protocol-error"
+                assert reply["outcome"] == MALFORMED
+                assert "max_envelope_bytes" in reply["error"]
+                # Same connection, next envelope: business as usual.
+                sock.sendall(b'{"verb": "health", "id": 1}\n')
+                health = decode_envelope(reader.readline())
+                assert health["kind"] == "health-reply"
+                assert health["status"] == "ok"
+            metrics = handle.drain()
+            assert metrics["totals"]["malformed"] == 1
+        finally:
+            if not handle.daemon._drained.is_set():
+                handle.drain()
+
+    def test_oversized_line_larger_than_read_chunks(self, tmp_path):
+        """An envelope streamed in over many reads (no newline yet) is
+        rejected as soon as the buffer exceeds the bound, and the tail
+        is discarded without poisoning the next line."""
+        handle = run_config(tmp_path, max_envelope_bytes=4096)
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(30)
+                sock.connect(handle.address)
+                reader = sock.makefile("rb")
+                sock.sendall(b"y" * 300_000)  # an unterminated monster
+                reply = decode_envelope(reader.readline())
+                assert reply["outcome"] == MALFORMED
+                sock.sendall(b"z" * 100 + b"\n")  # the monster's tail ends
+                sock.sendall(b'{"verb": "health", "id": 2}\n')
+                health = decode_envelope(reader.readline())
+                assert health["kind"] == "health-reply"
+        finally:
+            handle.drain()
+
+    def test_undecodable_line_counts_as_malformed(self, daemon):
+        path = daemon.address
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(30)
+            sock.connect(path)
+            sock.sendall(b"not json at all\n")
+            reply = decode_envelope(sock.makefile("rb").readline())
+        assert reply["outcome"] == MALFORMED
+        with connect(daemon) as client:
+            assert client.metrics()["totals"]["malformed"] == 1
+
+    def test_config_rejects_tiny_bound(self):
+        with pytest.raises(ServeError, match="max_envelope_bytes"):
+            DaemonConfig(socket_path="/tmp/x", max_envelope_bytes=10).validate()
+
+
+class TestIdempotency:
+    def test_resubmitted_key_replays_without_resolving(self, daemon):
+        wire = request_to_dict(paper_request())
+        with connect(daemon) as client:
+            first = client.call(
+                {"verb": "enforce", "request": wire, "idem": "k1"}
+            )
+            second = client.call(
+                {"verb": "enforce", "request": wire, "idem": "k1"}
+            )
+            snapshot = client.metrics()
+        assert first["outcome"] == "repaired"
+        assert "replayed" not in first
+        assert second["outcome"] == "repaired"
+        assert second["replayed"] is True
+        assert second["response"] == first["response"]
+        assert snapshot["totals"]["accepted"] == 1
+        assert snapshot["totals"]["completed"] == 1
+        assert snapshot["totals"]["idempotent_replays"] == 1
+        assert snapshot["sessions"]["groundings"] == 1
+
+    def test_replay_survives_a_reconnect(self, daemon):
+        wire = request_to_dict(paper_request())
+        with connect(daemon) as client:
+            first = client.call(
+                {"verb": "enforce", "request": wire, "idem": "k2"}
+            )
+        with connect(daemon) as client:  # a brand-new connection
+            second = client.call(
+                {"verb": "enforce", "request": wire, "idem": "k2"}
+            )
+        assert second["replayed"] is True
+        assert second["response"] == first["response"]
+
+    def test_inflight_duplicate_attaches_instead_of_resolving(self, daemon):
+        wire = request_to_dict(paper_request())
+        first = connect(daemon)
+        second = connect(daemon)
+        try:
+            id_a = first.send(
+                {"verb": "enforce", "request": wire, "idem": "k3",
+                 "wedge": 1.0}
+            )
+            time.sleep(0.2)  # let the daemon accept the original
+            id_b = second.send(
+                {"verb": "enforce", "request": wire, "idem": "k3"}
+            )
+            reply_a = first.recv()
+            reply_b = second.recv()
+            with connect(daemon) as observer:
+                snapshot = observer.metrics()
+        finally:
+            first.close()
+            second.close()
+        assert reply_a["id"] == id_a and reply_a["outcome"] == "repaired"
+        assert reply_b["id"] == id_b and reply_b["outcome"] == "repaired"
+        assert reply_b["replayed"] is True
+        assert reply_b["response"] == reply_a["response"]
+        assert snapshot["totals"]["accepted"] == 1
+        assert snapshot["totals"]["idempotent_attached"] == 1
+
+    def test_non_string_key_is_typed_error(self, daemon):
+        with connect(daemon) as client:
+            reply = client.call(
+                {"verb": "enforce",
+                 "request": request_to_dict(paper_request()), "idem": 7}
+            )
+        assert reply["outcome"] == "error"
+        assert "idem" in reply["error"]
+
+
+class TestInjectedCrashes:
+    def test_crash_before_is_retried_once_and_answered(self, tmp_path):
+        handle = run_config(
+            tmp_path, faults="seed=3;crash-before:rate=1,max=1"
+        )
+        try:
+            with DaemonClient.connect(path=handle.address) as client:
+                response = client.enforce(paper_request())
+                snapshot = client.metrics()
+            assert response.outcome == "repaired"
+            assert snapshot["totals"]["worker_restarts"] == 1
+            assert snapshot["totals"]["retries"] == 1
+            assert snapshot["faults"]["crash-before"]["fired"] == 1
+        finally:
+            handle.drain()
+
+    def test_crash_after_loses_the_computed_answer_then_recovers(
+        self, tmp_path
+    ):
+        handle = run_config(
+            tmp_path, faults="seed=3;crash-after:rate=1,max=1"
+        )
+        try:
+            with DaemonClient.connect(path=handle.address) as client:
+                response = client.enforce(paper_request())
+                snapshot = client.metrics()
+            assert response.outcome == "repaired"
+            assert snapshot["totals"]["worker_restarts"] == 1
+        finally:
+            handle.drain()
+
+    def test_crash_retry_under_concurrent_connections(self, tmp_path):
+        """Two clients race while one injected crash hits; every request
+        still gets exactly one answer and verdicts stay right."""
+        handle = run_config(
+            tmp_path, faults="seed=5;crash-before:rate=1,max=1"
+        )
+        results: dict[int, object] = {}
+
+        def worker(slot: int) -> None:
+            with DaemonClient.connect(path=handle.address) as client:
+                results[slot] = client.enforce(paper_request())
+
+        try:
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not any(thread.is_alive() for thread in threads)
+            assert sorted(results) == [0, 1]
+            assert all(r.outcome == "repaired" for r in results.values())
+            with DaemonClient.connect(path=handle.address) as client:
+                snapshot = client.metrics()
+            assert snapshot["totals"]["worker_restarts"] == 1
+            assert snapshot["totals"]["completed"] == 2
+        finally:
+            handle.drain()
+
+    def test_slow_solve_and_queue_stall_only_delay(self, tmp_path):
+        handle = run_config(
+            tmp_path,
+            faults="slow-solve:rate=1,delay=0.01;queue-stall:rate=1,delay=0.01",
+        )
+        try:
+            with DaemonClient.connect(path=handle.address) as client:
+                response = client.enforce(paper_request())
+                snapshot = client.metrics()
+            assert response.outcome == "repaired"
+            assert snapshot["faults"]["slow-solve"]["fired"] >= 1
+            assert snapshot["faults"]["queue-stall"]["fired"] >= 1
+        finally:
+            handle.drain()
+
+
+class TestPoisonQuarantine:
+    def test_poison_request_is_quarantined_within_budget(self, tmp_path):
+        request = paper_request()
+        sibling = paper_request(targets=["fm"])
+        digest = request_digest(request_to_dict(request))
+        handle = run_config(
+            tmp_path,
+            faults=f"crash-before:rate=1,match={digest}",
+            poison_budget=2,
+            retries=1,
+        )
+        try:
+            with DaemonClient.connect(path=handle.address) as client:
+                poisoned = client.enforce(request)
+                assert poisoned.outcome == POISONED
+                assert digest in poisoned.error
+                # Resubmission: rejected at the door, no worker touched.
+                again = client.enforce(request)
+                assert again.outcome == POISONED
+                assert "quarantined" in again.error
+                # A sibling shape keeps answering; the daemon is healthy.
+                assert client.enforce(sibling).outcome == "repaired"
+                assert client.health()["status"] == "ok"
+                snapshot = client.metrics()
+            record = snapshot["quarantine"][digest]
+            assert record["crashes"] == 2
+            assert record["rejected"] == 1
+            assert snapshot["totals"]["poisoned"] == 2
+            assert snapshot["totals"]["worker_restarts"] == 2
+            reasons = [r["reason"] for r in snapshot["dead_letters"]]
+            assert "poisoned" in reasons
+        finally:
+            handle.drain()
+
+    def test_transient_crashes_do_not_accumulate_to_poison(self, tmp_path):
+        """A digest that crashes, retries and *succeeds* clears its
+        crash history — only consecutive kills trip the breaker."""
+        handle = run_config(
+            tmp_path,
+            faults="seed=2;crash-before:rate=1,max=1",
+            poison_budget=2,
+            retries=1,
+        )
+        try:
+            with DaemonClient.connect(path=handle.address) as client:
+                # Crash #1 -> retry -> answered: history cleared, so a
+                # later single crash of the same digest would start the
+                # count from zero instead of tripping the breaker.
+                assert client.enforce(paper_request()).outcome == "repaired"
+                snapshot = client.metrics()
+            assert dict(handle.daemon._crashes) == {}
+            assert snapshot["quarantine"] == {}
+            assert snapshot["totals"]["poisoned"] == 0
+            assert snapshot["totals"]["worker_restarts"] == 1
+        finally:
+            handle.drain()
+
+    def test_config_rejects_bad_budgets(self):
+        with pytest.raises(ServeError, match="poison_budget"):
+            DaemonConfig(socket_path="/tmp/x", poison_budget=0).validate()
+        with pytest.raises(ServeError, match="reply_cache"):
+            DaemonConfig(socket_path="/tmp/x", reply_cache=0).validate()
+        with pytest.raises(ServeError, match="unknown fault site"):
+            DaemonConfig(socket_path="/tmp/x", faults="warp-core").validate()
+
+
+class TestDeadLetterRing:
+    def test_overflow_evicts_oldest_and_count_stays_accurate(self):
+        metrics = DaemonMetrics(workers=1)
+        for index in range(300):
+            metrics.dead_letter(
+                "shape", index, "deadline-queue", "late", 0.1, 1
+            )
+        assert metrics.dead_lettered == 300
+        assert len(metrics.dead_letters) == 256
+        assert metrics.dead_letters[0]["id"] == 44  # oldest 44 evicted
+        assert metrics.dead_letters[-1]["id"] == 299
+
+
+class TestConnectionLoss:
+    def test_enforce_many_surfaces_owed_ids(self, tmp_path):
+        handle = run_config(tmp_path, faults="conn-drop:rate=1")
+        try:
+            requests = [paper_request() for _ in range(3)]
+            with DaemonClient.connect(path=handle.address) as client:
+                with pytest.raises(DaemonConnectionError) as err:
+                    client.enforce_many(requests)
+            assert len(err.value.pending) == 3
+            assert "owed" in str(err.value)
+        finally:
+            handle.drain()
+
+    def test_connect_to_dead_socket_is_typed(self, tmp_path):
+        with pytest.raises(DaemonConnectionError, match="cannot connect"):
+            DaemonClient.connect(path=str(tmp_path / "nobody-home.sock"))
+
+
+class TestRetryingClient:
+    def test_recovers_from_conn_drop_without_double_solving(self, tmp_path):
+        handle = run_config(tmp_path, faults="conn-drop:rate=1,max=1")
+        try:
+            with RetryingClient(
+                path=handle.address, retries=5, backoff=0.01, seed=0
+            ) as client:
+                response = client.enforce(paper_request())
+                snapshot = client.metrics()
+            assert response.outcome == "repaired"
+            assert client.reconnects == 1
+            # The dropped answer was replayed, not recomputed.
+            assert snapshot["totals"]["idempotent_replays"] == 1
+            assert snapshot["totals"]["completed"] == 1
+            assert snapshot["sessions"]["groundings"] == 1
+        finally:
+            handle.drain()
+
+    def test_recovers_from_corrupt_reply(self, tmp_path):
+        handle = run_config(tmp_path, faults="corrupt-reply:rate=1,max=1")
+        try:
+            with RetryingClient(
+                path=handle.address, retries=5, backoff=0.01, seed=0
+            ) as client:
+                response = client.enforce(paper_request())
+                snapshot = client.metrics()
+            assert response.outcome == "repaired"
+            assert snapshot["totals"]["idempotent_replays"] == 1
+            assert snapshot["faults"]["corrupt-reply"]["fired"] == 1
+        finally:
+            handle.drain()
+
+    def test_replay_is_bit_identical_to_faultless_run(self, tmp_path):
+        """The chaos gate in miniature: a dropped-and-replayed answer
+        matches the answer a fault-free daemon computes."""
+        clean = run_config(tmp_path, name="clean.sock")
+        chaotic = run_config(
+            tmp_path, name="chaos.sock", faults="conn-drop:rate=1,max=1"
+        )
+        try:
+            with DaemonClient.connect(path=clean.address) as client:
+                baseline = client.enforce(paper_request())
+            with RetryingClient(
+                path=chaotic.address, retries=5, backoff=0.01, seed=0
+            ) as client:
+                survived = client.enforce(paper_request())
+            assert response_fingerprint(survived) == response_fingerprint(
+                baseline
+            )
+        finally:
+            clean.drain()
+            chaotic.drain()
+
+    def test_gives_up_with_owed_keys_against_dead_socket(self, tmp_path):
+        client = RetryingClient(
+            path=str(tmp_path / "void.sock"), retries=1, backoff=0.01, seed=0
+        )
+        with pytest.raises(DaemonConnectionError) as err:
+            client.enforce_many([paper_request(), paper_request()])
+        assert len(err.value.pending) == 2
+        assert "gave up" in str(err.value)
+
+    def test_health_retries_then_raises_typed(self, tmp_path):
+        client = RetryingClient(
+            path=str(tmp_path / "void.sock"), retries=2, backoff=0.01, seed=0
+        )
+        with pytest.raises(DaemonConnectionError, match="cannot connect"):
+            client.health()
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ServeError, match="path or host"):
+            RetryingClient()
+        with pytest.raises(ServeError, match="retries"):
+            RetryingClient(path="/tmp/x", retries=-1)
+        with pytest.raises(ServeError, match="backoff"):
+            RetryingClient(path="/tmp/x", backoff=-0.1)
 
 
 class TestProtocol:

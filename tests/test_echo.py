@@ -691,3 +691,50 @@ class TestCliDaemon:
         out = capsys.readouterr().out
         assert "JSON" in out
         assert "--client" in out
+        assert "--retry" in out
+        assert "--faults" in out
+
+    def test_client_against_dead_socket_is_one_line_exit_2(
+        self, tmp_path, capsys
+    ):
+        """No daemon listening: one 'error:' line on stderr, exit code 2,
+        never a traceback."""
+        rc = main(
+            [
+                "daemon", "--client",
+                "--socket", str(tmp_path / "nobody.sock"),
+                "--health",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.out == ""
+        assert captured.err.startswith("error: ")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_client_retry_flags_ride_the_retrying_client(
+        self, daemon_handle, capsys
+    ):
+        rc = main(
+            [
+                "daemon", "--client",
+                "--socket", daemon_handle.daemon.config.socket_path,
+                "--retry", "3", "--backoff", "0.01",
+                "--metrics",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "totals" in payload
+
+    def test_serve_mode_rejects_bad_faults_spec(self, capsys):
+        rc = main(
+            [
+                "daemon",
+                "--socket", "/tmp/never-bound.sock",
+                "--faults", "warp-core-breach",
+            ]
+        )
+        assert rc == 2
+        assert "unknown fault site" in capsys.readouterr().err

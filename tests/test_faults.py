@@ -1,0 +1,177 @@
+"""Tests for the deterministic fault-injection layer (:mod:`repro.serve.faults`).
+
+Pure unit tests — no daemon, no sockets. The injector's contract is
+that every firing decision is a pure function of (seed, site, per-site
+opportunity sequence), which is what makes a chaos run (ablation A11)
+replayable from its spec string alone. The daemon-integration side —
+faults actually crashing workers, dropping connections, corrupting
+envelopes — lives in ``tests/test_daemon.py``.
+"""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.faults import (
+    DEFAULT_DELAY,
+    FAULTS_ENV,
+    SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+class TestSpecParsing:
+    def test_empty_and_none_disable(self):
+        assert FaultPlan.parse(None) is None
+        assert FaultPlan.parse("") is None
+        assert FaultPlan.parse("   ") is None
+
+    def test_full_spec_roundtrip(self):
+        plan = FaultPlan.parse(
+            "seed=42;crash-before:rate=0.2,max=4;slow-solve:rate=0.5,delay=0.1"
+        )
+        assert plan.seed == 42
+        by_site = {spec.site: spec for spec in plan.specs}
+        assert by_site["crash-before"].rate == 0.2
+        assert by_site["crash-before"].max_fires == 4
+        assert by_site["slow-solve"].delay == 0.1
+
+    def test_defaults(self):
+        plan = FaultPlan.parse("conn-drop")
+        (spec,) = plan.specs
+        assert plan.seed == 0
+        assert spec == FaultSpec(site="conn-drop")
+        assert spec.rate == 1.0
+        assert spec.max_fires is None
+        assert spec.delay == DEFAULT_DELAY
+        assert spec.match is None
+
+    def test_match_param(self):
+        plan = FaultPlan.parse("crash-before:match=ab12,rate=1")
+        (spec,) = plan.specs
+        assert spec.match == "ab12"
+
+    @pytest.mark.parametrize(
+        "bad, hint",
+        [
+            ("warp-core-breach", "unknown fault site"),
+            ("crash-before:speed=9", "unknown fault param"),
+            ("crash-before:rate", "name=value"),
+            ("crash-before:rate=fast", "must be a number"),
+            ("seed=two", "must be an integer"),
+            ("crash-before:rate=1.5", "rate must be in"),
+            ("crash-before:max=-1", "max must be >= 0"),
+            ("slow-solve:delay=-0.1", "delay must be >= 0"),
+            ("conn-drop;conn-drop", "specified twice"),
+        ],
+    )
+    def test_bad_specs_fail_loudly(self, bad, hint):
+        with pytest.raises(ServeError, match=hint):
+            FaultPlan.parse(bad)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(FAULTS_ENV, "seed=3;queue-stall:delay=0.01")
+        plan = FaultPlan.from_env()
+        assert plan.seed == 3
+        assert plan.specs[0].site == "queue-stall"
+
+    def test_every_documented_site_parses(self):
+        plan = FaultPlan.parse(";".join(SITES))
+        assert {spec.site for spec in plan.specs} == set(SITES)
+
+
+class TestInjector:
+    def test_same_seed_same_draw_sequence(self):
+        plan = FaultPlan.parse("seed=7;crash-before:rate=0.5")
+        draws = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            draws.append([injector.fires("crash-before") for _ in range(50)])
+        assert draws[0] == draws[1]
+        assert any(draws[0]) and not all(draws[0])  # rate actually applies
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(FaultPlan.parse("seed=1;conn-drop:rate=0.5"))
+        b = FaultInjector(FaultPlan.parse("seed=2;conn-drop:rate=0.5"))
+        assert [a.fires("conn-drop") for _ in range(64)] != [
+            b.fires("conn-drop") for _ in range(64)
+        ]
+
+    def test_sites_draw_independently(self):
+        """Adding a second site must not perturb the first one's draws."""
+        lone = FaultInjector(FaultPlan.parse("seed=5;crash-before:rate=0.5"))
+        paired = FaultInjector(
+            FaultPlan.parse("seed=5;crash-before:rate=0.5;conn-drop:rate=0.5")
+        )
+        lone_draws = []
+        paired_draws = []
+        for _ in range(50):
+            lone_draws.append(lone.fires("crash-before"))
+            paired_draws.append(paired.fires("crash-before"))
+            paired.fires("conn-drop")  # interleaved draws on the other site
+        assert lone_draws == paired_draws
+
+    def test_unconfigured_site_never_fires(self):
+        injector = FaultInjector(FaultPlan.parse("crash-before:rate=1"))
+        assert not injector.fires("conn-drop")
+        assert injector.stall("queue-stall") == 0.0
+
+    def test_max_caps_total_fires(self):
+        injector = FaultInjector(FaultPlan.parse("crash-before:rate=1,max=3"))
+        fired = sum(injector.fires("crash-before") for _ in range(20))
+        assert fired == 3
+
+    def test_match_targets_one_digest(self):
+        injector = FaultInjector(
+            FaultPlan.parse("crash-before:rate=1,match=abcd")
+        )
+        assert not injector.fires("crash-before", "ffff000011112222")
+        assert not injector.fires("crash-before", None)
+        assert injector.fires("crash-before", "abcd000011112222")
+
+    def test_match_misses_do_not_consume_draws(self):
+        """Targeted faults stay deterministic under surrounding traffic."""
+        quiet = FaultInjector(
+            FaultPlan.parse("seed=9;crash-before:rate=0.5,match=aa")
+        )
+        busy = FaultInjector(
+            FaultPlan.parse("seed=9;crash-before:rate=0.5,match=aa")
+        )
+        quiet_draws = []
+        busy_draws = []
+        for _ in range(50):
+            quiet_draws.append(quiet.fires("crash-before", "aa11"))
+            for _ in range(3):  # non-matching traffic between matches
+                busy.fires("crash-before", "bb22")
+            busy_draws.append(busy.fires("crash-before", "aa11"))
+        assert quiet_draws == busy_draws
+
+    def test_stall_returns_configured_delay(self):
+        injector = FaultInjector(FaultPlan.parse("slow-solve:rate=1,delay=0.25"))
+        assert injector.stall("slow-solve") == 0.25
+
+    def test_corrupt_truncates_but_keeps_newline(self):
+        data = b'{"kind":"enforce-reply","id":1,"outcome":"repaired"}\n'
+        corrupted = FaultInjector.corrupt(data)
+        assert corrupted.endswith(b"\n")
+        assert len(corrupted) < len(data)
+        assert corrupted != data
+
+    def test_corrupt_of_tiny_line_still_terminates(self):
+        assert FaultInjector.corrupt(b"x\n") == b"x\n"[:1] + b"\n"
+
+    def test_report_counts_opportunities_and_fires(self):
+        injector = FaultInjector(
+            FaultPlan.parse("crash-before:rate=1,max=2;conn-drop:rate=0")
+        )
+        for _ in range(5):
+            injector.fires("crash-before")
+            injector.fires("conn-drop")
+            injector.fires("slow-solve")  # unconfigured: not reported
+        assert injector.report() == {
+            "conn-drop": {"opportunities": 5, "fired": 0},
+            "crash-before": {"opportunities": 5, "fired": 2},
+        }

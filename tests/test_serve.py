@@ -409,6 +409,17 @@ def _interrupting_process_shard(payload):
     raise KeyboardInterrupt
 
 
+_CRASH_WEIGHTS = {"cf1": 13}
+
+
+def _crashing_process_shard(payload):
+    """Crash (only) the shard task marked by the sentinel weights."""
+    first = payload["requests"][0][1]
+    if first.get("weights") == _CRASH_WEIGHTS:
+        raise RuntimeError("simulated shard-task crash")
+    return _REAL_PROCESS_SHARD(payload)
+
+
 def _route_pool_to(monkeypatch, fn):
     # service.py holds its own reference to process_shard; patch both it
     # and the defining module (pickle checks name->object identity).
@@ -444,6 +455,26 @@ class TestShardDeadline:
         (timed_out,) = [s for s in result.shards if s.worker == -1]
         assert timed_out.shard == result.shard_of(1)
         assert timed_out.groundings == 0
+
+    def test_crashed_shard_task_fails_only_its_shard(self, monkeypatch):
+        """A shard task that raises answers *its* requests with typed
+        errors; every other shard completes normally — one poisonous
+        shard must not fail the whole batch."""
+        _route_pool_to(monkeypatch, _crashing_process_shard)
+        requests = [
+            paper_request(),
+            paper_request(weights=_CRASH_WEIGHTS),
+            paper_request(targets=["fm"]),
+        ]
+        result = serve_batch(requests, workers=2, deadline=30.0)
+        assert not result.interrupted
+        assert result.responses[0].outcome == REPAIRED
+        assert result.responses[2].outcome == REPAIRED
+        crashed = result.responses[1]
+        assert crashed.outcome == "error"
+        assert "crashed" in crashed.error
+        (failed,) = [s for s in result.shards if s.worker == -1]
+        assert failed.shard == result.shard_of(1)
 
     def test_interrupt_yields_partial_results(self, monkeypatch):
         """A KeyboardInterrupt mid-batch surfaces as partial results with
