@@ -74,6 +74,14 @@ python benchmarks/bench_a10_daemon.py --smoke
 echo "== a11 chaos smoke benchmark (hard 300 s timeout) =="
 timeout 300 python benchmarks/bench_a11_chaos.py --smoke
 
+# The delta-protocol suite (tests/test_delta_protocol.py) already runs
+# inside the tier-1 pytest above; a12 gates the wire-level contract —
+# delta sessions bit-identical to full tuples AND >= 10x fewer wire
+# bytes per request on drift streams. Hard timeout: a wedged session
+# daemon fails the stage instead of hanging CI.
+echo "== a12 delta-sessions smoke benchmark (hard 300 s timeout) =="
+timeout 300 python benchmarks/bench_a12_delta_sessions.py --smoke
+
 echo "== examples smoke =="
 for example in examples/*.py; do
   echo "-- $example"

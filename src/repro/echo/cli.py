@@ -99,6 +99,16 @@ exponential backoff (--backoff seconds, doubling per attempt) —
 answers that were computed but lost on the wire are replayed by the
 daemon, never solved twice.
 
+--delta answers the batch over the daemon's delta wire protocol
+instead: requests are grouped by question shape, each group opens one
+session with its first request's full model tuple, and every later
+request ships only the edit script between consecutive tuples —
+O(edit) wire bytes per request, answers bit-identical to the default
+mode. Delta sessions are stateful, so --delta uses a plain (non
+retrying) connection and rejects --retry: a mid-stream connection loss
+or "session-lost" answer surfaces as a typed error and the batch
+should simply be resubmitted.
+
 Serve mode accepts --faults SPEC (or the REPRO_FAULTS environment
 variable) to enable seeded, deterministic fault injection for chaos
 testing, e.g. "seed=7;crash-before:rate=0.1;conn-drop:rate=0.05".
@@ -269,6 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
     daemon.add_argument(
         "--workspace", help="client: workspace resolving the batch file"
     )
+    daemon.add_argument(
+        "--delta",
+        action="store_true",
+        help="client: answer --requests over delta sessions (ship each "
+        "shape's tuple once, then only edit scripts; incompatible with "
+        "--retry)",
+    )
     return parser
 
 
@@ -431,10 +448,36 @@ def _daemon(args: argparse.Namespace) -> int:
 
 
 def _daemon_client(args: argparse.Namespace) -> int:
-    from repro.serve.protocol import RetryingClient
+    from repro.serve.protocol import (
+        DaemonClient,
+        RetryingClient,
+        delta_enforce_many,
+    )
 
     if args.socket is None and args.host is None:
         raise SystemExit("daemon --client needs --socket or --host/--port")
+    if args.delta and args.retry:
+        # Delta sessions are stateful: a reconnect cannot replay them,
+        # so combining the two would promise healing it cannot deliver.
+        raise SystemExit("--delta is incompatible with --retry")
+    if args.delta and not (args.requests and args.workspace):
+        raise SystemExit("--delta needs --requests with --workspace")
+    if args.delta:
+        with DaemonClient.connect(
+            path=args.socket, host=args.host, port=args.port or None
+        ) as client:
+            workspace = Workspace.load(args.workspace)
+            entries = _load_batch_file(args.requests)
+            requests = workspace.resolve_requests(entries)
+            responses = delta_enforce_many(
+                client, requests, deadline=args.deadline
+            )
+            print(
+                f"delta wire: {client.bytes_sent} bytes sent over "
+                f"{len(requests)} requests",
+                file=sys.stderr,
+            )
+            return _print_daemon_responses(entries, responses)
     with RetryingClient(
         path=args.socket, host=args.host, port=args.port or None,
         retries=args.retry, backoff=args.backoff,
@@ -454,12 +497,16 @@ def _daemon_client(args: argparse.Namespace) -> int:
         entries = _load_batch_file(args.requests)
         requests = workspace.resolve_requests(entries)
         responses = client.enforce_many(requests, deadline=args.deadline)
-        ok = True
-        for index, (entry, response) in enumerate(zip(entries, responses)):
-            print(f"[{index}] {entry.get('transformation')}: {response.summary()}")
-            if not response.ok:
-                ok = False
-        return 0 if ok else 1
+        return _print_daemon_responses(entries, responses)
+
+
+def _print_daemon_responses(entries: list, responses: list) -> int:
+    ok = True
+    for index, (entry, response) in enumerate(zip(entries, responses)):
+        print(f"[{index}] {entry.get('transformation')}: {response.summary()}")
+        if not response.ok:
+            ok = False
+    return 0 if ok else 1
 
 
 def _validate(workspace: Workspace) -> int:

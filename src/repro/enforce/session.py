@@ -212,6 +212,7 @@ class EnforcementSession:
         self.calls = 0
         self.groundings = 0
         self.reuses = 0
+        self.closes = 0
 
     #: How many grounding generations a cached session retains.
     GENERATION_LIMIT = 4
@@ -238,7 +239,32 @@ class EnforcementSession:
             "groundings": self.groundings,
             "reuses": self.reuses,
             "generations": len(self._generations),
+            "closes": self.closes,
         }
+
+    def close(self) -> None:
+        """Release every retained grounding, solver and translation table.
+
+        The disposal hook of the :func:`shared_session` LRU (and the
+        worker-side portfolio cache): eviction must actually *free* the
+        evicted shape's memory — generations, MaxSAT sessions, solvers,
+        oracles and the shared :class:`~repro.solver.bounded.GroundingContext`
+        all become garbage here, not when the last external reference
+        happens to die. The session itself stays **usable**: a caller
+        that retained it (the Echo tool does) transparently re-grounds
+        on its next call, onto a fresh context — the documented cost of
+        holding an evicted shape, instead of a silent memory leak.
+        """
+        self._generations.clear()
+        self._active = None
+        self._grounder = None
+        self._grounding = None
+        self._maxsat = None
+        self._oracle = None
+        self._frozen = {}
+        if self._context is not None:
+            self._context = GroundingContext()
+        self.closes += 1
 
     def compatible(
         self,
@@ -770,7 +796,12 @@ def shared_session(
     _shared_sessions[key] = (transformation, session)
     _shared_sessions.move_to_end(key)
     while len(_shared_sessions) > SHARED_SESSION_LIMIT:
-        _shared_sessions.popitem(last=False)
+        # Dispose, don't just drop: an evicted entry's generations,
+        # solvers and translation context must become garbage now, even
+        # if a caller retained the session object itself (it re-grounds
+        # on next use — see :meth:`EnforcementSession.close`).
+        _, (_t, evicted) = _shared_sessions.popitem(last=False)
+        evicted.close()
     return session
 
 

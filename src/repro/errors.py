@@ -152,3 +152,16 @@ class DaemonConnectionError(ServeError):
     def __init__(self, message: str, pending: tuple = ()) -> None:
         super().__init__(message)
         self.pending = tuple(pending)
+
+
+class SessionLostError(ServeError):
+    """A daemon delta session no longer exists.
+
+    Raised by :class:`~repro.serve.protocol.SessionClient` when the
+    daemon answers a session verb with the typed ``session-lost``
+    outcome: the named session was never opened, its worker process
+    was restarted (a worker's version DAGs die with it), or the
+    worker's bounded session cache evicted it. Session state is *not*
+    replayable — the client must reopen with a full tuple and resend
+    its edits.
+    """

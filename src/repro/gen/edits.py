@@ -27,9 +27,10 @@ Three stream shapes matter to the enforcement-session machinery:
 from __future__ import annotations
 
 import random
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
-from repro.errors import GenerationError
+from repro.errors import GenerationError, SerializationError
 from repro.gen.instances import INT_POOL, STRING_POOL, random_value
 from repro.metamodel.edits import (
     AddObject,
@@ -327,6 +328,202 @@ def in_universe_stream(
             break
         stream.append(current)
     return stream
+
+
+# ----------------------------------------------------------------------
+# Wire format: the edit vocabulary as plain JSON, for the daemon's
+# delta sessions (:mod:`repro.serve.daemon` `edit` envelopes).
+# ----------------------------------------------------------------------
+
+#: op tag -> (edit class, required wire fields beyond "op").
+_EDIT_OPS: dict[str, tuple[type, tuple[str, ...]]] = {
+    "add-object": (AddObject, ("oid", "cls", "attrs")),
+    "remove-object": (RemoveObject, ("oid",)),
+    "set-attr": (SetAttr, ("oid", "name", "value")),
+    "unset-attr": (UnsetAttr, ("oid", "name")),
+    "add-ref": (AddRef, ("source", "ref", "target")),
+    "remove-ref": (RemoveRef, ("source", "ref", "target")),
+}
+
+
+def edit_to_dict(edit: Edit) -> dict[str, Any]:
+    """The JSON-ready wire form of one edit.
+
+    Every edit becomes ``{"op": <tag>, ...}`` with the dataclass fields
+    spelled out; ``AddObject`` attrs become a JSON object (pair order
+    preserved, so the round trip is exact). Values are already
+    JSON-native (:data:`repro.metamodel.types.Value` is
+    ``str | bool | int``).
+    """
+    if isinstance(edit, AddObject):
+        return {
+            "op": "add-object",
+            "oid": edit.oid,
+            "cls": edit.cls,
+            "attrs": {name: value for name, value in edit.attrs},
+        }
+    if isinstance(edit, RemoveObject):
+        return {"op": "remove-object", "oid": edit.oid}
+    if isinstance(edit, SetAttr):
+        return {
+            "op": "set-attr",
+            "oid": edit.oid,
+            "name": edit.name,
+            "value": edit.value,
+        }
+    if isinstance(edit, UnsetAttr):
+        return {"op": "unset-attr", "oid": edit.oid, "name": edit.name}
+    if isinstance(edit, AddRef):
+        return {
+            "op": "add-ref",
+            "source": edit.source,
+            "ref": edit.ref,
+            "target": edit.target,
+        }
+    if isinstance(edit, RemoveRef):
+        return {
+            "op": "remove-ref",
+            "source": edit.source,
+            "ref": edit.ref,
+            "target": edit.target,
+        }
+    raise SerializationError(f"unknown edit: {edit!r}")
+
+
+def _edit_string(data: Mapping[str, Any], op: str, field: str) -> str:
+    value = data[field]
+    if not isinstance(value, str) or not value:
+        raise SerializationError(
+            f"edit {op!r} field {field!r} must be a non-empty string, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def _edit_value(op: str, field: str, value: Any) -> Any:
+    if not isinstance(value, (str, bool, int)):
+        raise SerializationError(
+            f"edit {op!r} field {field!r} must be a string, boolean or "
+            f"integer, got {type(value).__name__}"
+        )
+    return value
+
+
+def edit_from_dict(data: Mapping[str, Any]) -> Edit:
+    """Rebuild one edit from :func:`edit_to_dict` output.
+
+    Strict: a missing or mistyped field, an unknown ``op`` and an
+    *unknown* field all raise :class:`~repro.errors.SerializationError`
+    naming the offending field — a typo'd edit is rejected, never
+    silently half-applied.
+    """
+    if not isinstance(data, Mapping):
+        raise SerializationError(
+            f"an edit must be a JSON object, got {type(data).__name__}"
+        )
+    op = data.get("op")
+    entry = _EDIT_OPS.get(op) if isinstance(op, str) else None
+    if entry is None:
+        raise SerializationError(
+            f"unknown edit op {op!r} (expected one of "
+            f"{', '.join(sorted(_EDIT_OPS))})"
+        )
+    _cls, fields = entry
+    for name in fields:
+        if name not in data:
+            raise SerializationError(
+                f"edit {op!r} is missing field {name!r}"
+            )
+    unknown = sorted(set(data) - {"op"} - set(fields))
+    if unknown:
+        raise SerializationError(
+            f"edit {op!r} has unknown field {unknown[0]!r}"
+        )
+    if op == "add-object":
+        attrs = data["attrs"]
+        if not isinstance(attrs, Mapping):
+            raise SerializationError(
+                "edit 'add-object' field 'attrs' must be a JSON object, "
+                f"got {type(attrs).__name__}"
+            )
+        for name in attrs:
+            if not isinstance(name, str):
+                raise SerializationError(
+                    "edit 'add-object' attrs keys must be strings, "
+                    f"got {name!r}"
+                )
+        return AddObject(
+            _edit_string(data, op, "oid"),
+            _edit_string(data, op, "cls"),
+            tuple(
+                (name, _edit_value(op, f"attrs[{name}]", value))
+                for name, value in attrs.items()
+            ),
+        )
+    if op == "remove-object":
+        return RemoveObject(_edit_string(data, op, "oid"))
+    if op == "set-attr":
+        return SetAttr(
+            _edit_string(data, op, "oid"),
+            _edit_string(data, op, "name"),
+            _edit_value(op, "value", data["value"]),
+        )
+    if op == "unset-attr":
+        return UnsetAttr(
+            _edit_string(data, op, "oid"), _edit_string(data, op, "name")
+        )
+    if op == "add-ref":
+        return AddRef(
+            _edit_string(data, op, "source"),
+            _edit_string(data, op, "ref"),
+            _edit_string(data, op, "target"),
+        )
+    return RemoveRef(
+        _edit_string(data, op, "source"),
+        _edit_string(data, op, "ref"),
+        _edit_string(data, op, "target"),
+    )
+
+
+def edits_to_wire(
+    edits: Mapping[str, Sequence[Edit]],
+) -> dict[str, list[dict[str, Any]]]:
+    """A per-parameter edit script map as plain JSON (the daemon's
+    ``edit`` envelope payload)."""
+    return {
+        param: [edit_to_dict(edit) for edit in script]
+        for param, script in edits.items()
+    }
+
+
+def edits_from_wire(data: Any) -> dict[str, tuple[Edit, ...]]:
+    """Rebuild per-parameter edit scripts from :func:`edits_to_wire`.
+
+    Strict like :func:`edit_from_dict`: the payload must be a JSON
+    object mapping parameter names to lists of edit objects, and every
+    malformed corner is a typed :class:`~repro.errors.SerializationError`
+    naming what offended.
+    """
+    if not isinstance(data, Mapping):
+        raise SerializationError(
+            "an edit payload must be a JSON object mapping parameters to "
+            f"edit lists, got {type(data).__name__}"
+        )
+    out: dict[str, tuple[Edit, ...]] = {}
+    for param, script in data.items():
+        if not isinstance(param, str) or not param:
+            raise SerializationError(
+                f"edit payload keys must be parameter names, got {param!r}"
+            )
+        if not isinstance(script, Sequence) or isinstance(
+            script, (str, bytes)
+        ):
+            raise SerializationError(
+                f"edits for parameter {param!r} must be a list, "
+                f"got {type(script).__name__}"
+            )
+        out[param] = tuple(edit_from_dict(edit) for edit in script)
+    return out
 
 
 def oscillating_tuples(

@@ -35,6 +35,15 @@ A10 (``benchmarks/bench_a10_daemon.py``) guards it: daemon verdicts
 bit-identical to :func:`serve_batch`, >= 2x throughput on repeated
 same-shape streams via cross-batch reuse, wedged requests dead-lettered
 on deadline while the rest of the traffic completes.
+
+For clients whose models *evolve* between questions — an editor asking
+after every edit — the daemon also speaks a **delta wire protocol**:
+open a named session with one full tuple, then send only serialised
+edit scripts and ask the consistency/enforcement question at any
+retained version (:class:`SessionClient`, :func:`delta_enforce_many`).
+O(edit) wire bytes per request instead of O(model), answered on the
+same warm sessions, bit-identical to full-tuple traffic. Ablation A12
+(``benchmarks/bench_a12_delta_sessions.py``) guards it.
 """
 
 from repro.serve.requests import (
@@ -73,9 +82,13 @@ from repro.serve.protocol import (
     MALFORMED,
     OVERLOADED,
     POISONED,
+    SESSION_LOST,
+    SESSION_VERBS,
     DaemonClient,
     RetryingClient,
+    SessionClient,
     decode_enforce_reply,
+    delta_enforce_many,
     wire_shape_key,
 )
 from repro.serve.service import (
@@ -91,6 +104,7 @@ from repro.serve.worker import (
     process_shard,
     reset_worker_state,
     serve_request,
+    serve_session,
     serve_wire,
     worker_counters,
 )
@@ -108,6 +122,8 @@ __all__ = [
     "POISONED",
     "PORTFOLIO_ARMS",
     "REPAIRED",
+    "SESSION_LOST",
+    "SESSION_VERBS",
     "SITES",
     "BatchResult",
     "DaemonClient",
@@ -121,8 +137,10 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "RetryingClient",
+    "SessionClient",
     "ShardStats",
     "decode_enforce_reply",
+    "delta_enforce_many",
     "process_shard",
     "request_digest",
     "request_from_dict",
@@ -135,6 +153,7 @@ __all__ = [
     "run_in_thread",
     "serve_batch",
     "serve_request",
+    "serve_session",
     "serve_wire",
     "shape_key",
     "shard_digest",

@@ -40,6 +40,16 @@ Design, front to back:
 * **Crashes**: a worker that dies mid-request is respawned and the
   request retried (``retries`` budget, default 1); exhausted retries
   dead-letter the request and answer a typed ``error``.
+* **Delta sessions**: the ``open``/``edit``/``ask``/``close`` verbs
+  carry multi-version model sessions — a client ships its tuple once,
+  then only edit scripts. ``open`` binds the session to its shape's
+  queue for life (per-session worker affinity: the version DAG lives
+  in that worker process, see :mod:`repro.serve.worker`); the daemon
+  keeps only a routing record (shape, slot, the slot's restart epoch).
+  Session state is stateful and *not* replayable, so session verbs get
+  no idempotency, retries or fault targeting: a worker death or cache
+  eviction answers a typed ``session-lost`` and the client reopens
+  with a full tuple.
 * **Drain** (SIGTERM/SIGINT, or :meth:`EnforcementDaemon.drain`): stop
   accepting — the listener closes, new enforce envelopes on live
   connections get typed ``overloaded`` rejections — flush every queued
@@ -74,6 +84,8 @@ from repro.serve.protocol import (
     MALFORMED,
     OVERLOADED,
     POISONED,
+    SESSION_LOST,
+    SESSION_VERBS,
     decode_envelope,
     encode_envelope,
     wire_shape_key,
@@ -169,7 +181,11 @@ def _daemon_worker_main(conn) -> None:
     :mod:`repro.serve.faults`).
     """
     from repro.enforce.session import clear_shared_sessions
-    from repro.serve.worker import reset_worker_state, serve_wire
+    from repro.serve.worker import (
+        reset_worker_state,
+        serve_session,
+        serve_wire,
+    )
 
     clear_shared_sessions()
     reset_worker_state()
@@ -184,11 +200,14 @@ def _daemon_worker_main(conn) -> None:
         if wedge:
             time.sleep(wedge)
         try:
-            reply = serve_wire(
-                message.get("request"),
-                fault=message.get("fault"),
-                stall=message.get("stall") or 0.0,
-            )
+            if message.get("op") == "enforce":
+                reply = serve_wire(
+                    message.get("request"),
+                    fault=message.get("fault"),
+                    stall=message.get("stall") or 0.0,
+                )
+            else:
+                reply = serve_session(message)
         except Exception as exc:  # the service catch-all: a worker
             # must survive any one request (programming errors included)
             reply = {
@@ -290,21 +309,47 @@ class _WorkerSlot:
 
 @dataclass
 class _Item:
-    """One accepted enforce request, queued for its shape's slot."""
+    """One accepted envelope (enforce or session verb), queued for its
+    shape's slot."""
 
     envelope_id: Any
-    request: dict
+    #: The worker message body: ``{"op": "enforce", "request": ...}`` or
+    #: a session-op payload (``open``/``edit``/``ask``/``close``).
+    payload: dict
     shape: str
     deadline_at: float | None
     accepted_at: float
     wedge: float | None
     future: asyncio.Future
     attempts: int = 0
+    #: The envelope's verb (= the payload's ``op``).
+    op: str = "enforce"
+    #: The delta-session name, for session verbs.
+    session: str | None = None
     #: :func:`~repro.serve.requests.request_digest` — the request's
     #: cross-connection identity (poison tracking, fault targeting).
+    #: Empty for session verbs (never poison-tracked, never faulted).
     digest: str = ""
     #: The client's idempotency key, if the envelope carried one.
     idem: str | None = None
+
+
+@dataclass
+class _SessionRecord:
+    """The daemon-side routing record of one delta session.
+
+    The models (and the version DAG) live in the worker process; the
+    daemon keeps only what routing needs: which shape queue (and so
+    which worker slot) owns the session, and the slot's restart epoch at
+    open time — a restarted worker loses every session it held, so a
+    stale epoch means ``session-lost``.
+    """
+
+    name: str
+    shape: str
+    slot: int
+    epoch: int
+    latest: int = 0
 
 
 class _ShapeQueue:
@@ -359,6 +404,8 @@ class EnforcementDaemon:
         self._drainers: list[asyncio.Task] = []
         self._slot_tokens: list[asyncio.Queue] = []
         self._shapes: dict[str, _ShapeQueue] = {}
+        #: delta-session name -> routing record (models live in workers).
+        self._sessions: dict[str, _SessionRecord] = {}
         self._connections: dict[asyncio.Task, Any] = {}
         self._pending = 0
         self._idle = asyncio.Event()
@@ -548,14 +595,17 @@ class EnforcementDaemon:
                  "metrics": self._snapshot()},
             )
             return
-        if verb != "enforce":
+        if verb == "enforce":
+            accepted = self._accept(envelope)
+        elif verb in SESSION_VERBS:
+            accepted = self._accept_session(envelope, verb)
+        else:
             await self._write(
                 writer, lock,
                 {"kind": "protocol-error", "id": envelope_id,
                  "error": f"unknown verb {verb!r}"},
             )
             return
-        accepted = self._accept(envelope)
         if isinstance(accepted, dict):  # typed rejection or idem replay
             await self._write(writer, lock, accepted)
             return
@@ -640,7 +690,7 @@ class EnforcementDaemon:
         now = time.monotonic()
         item = _Item(
             envelope_id=envelope_id,
-            request=envelope.get("request"),
+            payload={"op": "enforce", "request": envelope.get("request")},
             shape=digest,
             deadline_at=None if deadline is None else now + float(deadline),
             accepted_at=now,
@@ -652,12 +702,125 @@ class EnforcementDaemon:
         )
         if idem is not None:
             self._pending_idem[idem] = item
+        self._enqueue(item, shape)
+        return item, False
+
+    def _accept_session(
+        self, envelope: dict, verb: str
+    ) -> dict | tuple[_Item, bool]:
+        """Route one delta-session envelope (``open``/``edit``/``ask``/
+        ``close``).
+
+        ``open`` computes the shape of the carried request and binds the
+        session to that shape's queue (and so its worker slot) for life;
+        every later verb rides the *same* queue — per-session worker
+        affinity, because the version DAG lives in that worker process.
+        Session verbs are stateful, so they get none of the enforce
+        path's idempotency/retry machinery: a lost session is a typed
+        :data:`~repro.serve.protocol.SESSION_LOST` answer, never a
+        silent replay.
+        """
+        envelope_id = envelope.get("id")
+        name = envelope.get("session")
+        if not isinstance(name, str) or not name:
+            return self._session_rejection(
+                envelope_id, verb, name, "error",
+                "session verbs need a non-empty 'session' name",
+            )
+        if verb == "open":
+            record = self._sessions.get(name)
+            if record is not None:
+                if self._slots[record.slot].restarts == record.epoch:
+                    return self._session_rejection(
+                        envelope_id, verb, name, "error",
+                        f"session {name!r} is already open; close it first",
+                    )
+                del self._sessions[name]  # stale: its worker restarted
+                self.metrics.sessions_lost += 1
+            try:
+                key = wire_shape_key(envelope.get("request"))
+            except ReproError as exc:
+                return self._session_rejection(
+                    envelope_id, verb, name, "error", str(exc)
+                )
+            digest = shard_digest(key)
+            shape = self._shapes.get(digest)
+            if shape is None:
+                slot = int(digest, 16) % len(self._slots)
+                shape = self._shapes[digest] = _ShapeQueue(digest, slot)
+            payload = {
+                "op": "open",
+                "session": name,
+                "request": envelope.get("request"),
+            }
+        else:
+            record = self._sessions.get(name)
+            if record is not None and (
+                self._slots[record.slot].restarts != record.epoch
+            ):
+                del self._sessions[name]
+                self.metrics.sessions_lost += 1
+                record = None
+            if record is None:
+                return self._session_rejection(
+                    envelope_id, verb, name, SESSION_LOST,
+                    f"no open session {name!r} (its worker may have "
+                    "restarted; reopen with a full tuple)",
+                )
+            shape = self._shapes[record.shape]
+            payload = {"op": verb, "session": name}
+            if verb == "edit":
+                payload["parent"] = envelope.get("parent")
+                payload["edits"] = envelope.get("edits")
+            elif verb == "ask":
+                payload["version"] = envelope.get("version")
+                if "max_distance" in envelope:
+                    payload["max_distance"] = envelope.get("max_distance")
+        if self._draining:
+            self.metrics.overloaded += 1
+            self.metrics.shape(shape.digest, shape.slot).overloaded += 1
+            return self._session_rejection(
+                envelope_id, verb, name, OVERLOADED, "daemon is draining"
+            )
+        if shape.load >= self.config.queue_limit:
+            self.metrics.overloaded += 1
+            self.metrics.shape(shape.digest, shape.slot).overloaded += 1
+            return self._session_rejection(
+                envelope_id, verb, name, OVERLOADED,
+                f"shape {shape.digest} queue is full "
+                f"({self.config.queue_limit} queued or in flight)",
+            )
+        if verb == "open":
+            self._sessions[name] = _SessionRecord(
+                name=name,
+                shape=shape.digest,
+                slot=shape.slot,
+                epoch=self._slots[shape.slot].restarts,
+            )
+        deadline = envelope.get("deadline")
+        if deadline is None:
+            deadline = self.config.deadline
+        now = time.monotonic()
+        item = _Item(
+            envelope_id=envelope_id,
+            payload=payload,
+            shape=shape.digest,
+            deadline_at=None if deadline is None else now + float(deadline),
+            accepted_at=now,
+            wedge=envelope.get("wedge"),
+            future=asyncio.get_running_loop().create_future(),
+            op=verb,
+            session=name,
+        )
+        self._enqueue(item, shape)
+        return item, False
+
+    def _enqueue(self, item: _Item, shape: _ShapeQueue) -> None:
         self.metrics.accepted += 1
         self._pending += 1
         self._idle.clear()
         shape.items.append(item)
-        self._slot_tokens[shape.slot].put_nowait(digest)
-        return item, False
+        self._slot_tokens[shape.slot].put_nowait(shape.digest)
 
     async def _reply_when_done(
         self, item: _Item, writer, lock, envelope_id, attached: bool = False
@@ -709,6 +872,46 @@ class EnforcementDaemon:
             "error": error,
         }
 
+    def _session_rejection(
+        self, envelope_id, op: str, session, outcome: str, error: str
+    ) -> dict:
+        return {
+            "kind": "session-reply",
+            "id": envelope_id,
+            "op": op,
+            "session": session,
+            "outcome": outcome,
+            "error": error,
+        }
+
+    def _rejection_for_item(
+        self, item: _Item, outcome: str, error: str
+    ) -> dict:
+        if item.op == "enforce":
+            return self._rejection(item.envelope_id, outcome, error)
+        return self._session_rejection(
+            item.envelope_id, item.op, item.session, outcome, error
+        )
+
+    def _restart_slot(self, slot: _WorkerSlot) -> None:
+        """Kill + respawn one worker, invalidating its delta sessions.
+
+        A worker's version DAGs die with the process: every session
+        routed to this slot is dropped from the registry, so later verbs
+        answer :data:`~repro.serve.protocol.SESSION_LOST` instead of
+        landing on a fresh worker that has never heard of them.
+        """
+        slot.restart()
+        self.metrics.worker_restarts += 1
+        lost = [
+            name
+            for name, record in self._sessions.items()
+            if record.slot == slot.index
+        ]
+        for name in lost:
+            del self._sessions[name]
+        self.metrics.sessions_lost += len(lost)
+
     def _health_reply(self, envelope_id) -> dict:
         queued, inflight = self._depths()
         return {
@@ -719,6 +922,7 @@ class EnforcementDaemon:
             "workers": len(self._slots),
             "queued": queued,
             "inflight": inflight,
+            "sessions": len(self._sessions),
         }
 
     def _depths(self) -> tuple[int, int]:
@@ -735,6 +939,7 @@ class EnforcementDaemon:
             faults=(
                 self._injector.report() if self._injector is not None else None
             ),
+            open_sessions=len(self._sessions),
         )
 
     # ------------------------------------------------------------------
@@ -774,14 +979,13 @@ class EnforcementDaemon:
                 None if item.deadline_at is None else item.deadline_at - now
             )
             item.attempts += 1
-            message = {
-                "op": "enforce",
-                "request": item.request,
-                "wedge": item.wedge,
-            }
-            if self._injector is not None:
+            message = dict(item.payload)
+            message["wedge"] = item.wedge
+            if self._injector is not None and item.op == "enforce":
                 # Draws happen here (the daemon's loop), never in workers —
                 # a retry on a respawned worker must get a fresh roll.
+                # Session verbs are never fault-targeted: they carry no
+                # request digest and their state is not replayable.
                 if self._injector.fires("crash-before", item.digest):
                     message["fault"] = "crash-before"
                 elif self._injector.fires("crash-after", item.digest):
@@ -794,15 +998,32 @@ class EnforcementDaemon:
             except asyncio.TimeoutError:
                 # The worker is wedged (or the instance pathological): kill
                 # it so the slot's next request proceeds on a fresh process.
-                slot.restart()
-                self.metrics.worker_restarts += 1
+                self._restart_slot(slot)
                 self._finish_deadline(
                     item, metrics, reason="worker", now=time.monotonic()
                 )
                 return
             except _WorkerCrash as crash:
-                slot.restart()
-                self.metrics.worker_restarts += 1
+                self._restart_slot(slot)
+                if item.op != "enforce":
+                    # A session verb died with its worker — and so did the
+                    # session's version DAG. No retry (the op may have half
+                    # happened; session state is not idempotent): answer
+                    # the typed loss and let the client reopen.
+                    elapsed = time.monotonic() - item.accepted_at
+                    self.metrics.dead_letter(
+                        shape.digest, item.envelope_id, SESSION_LOST,
+                        str(crash), elapsed, item.attempts,
+                    )
+                    self._resolve(
+                        item,
+                        self._rejection_for_item(
+                            item, SESSION_LOST,
+                            f"{crash}; session {item.session!r} lost "
+                            "(reopen with a full tuple)",
+                        ),
+                    )
+                    return
                 crashes = self._crashes.get(item.digest, 0) + 1
                 self._crashes[item.digest] = crashes
                 self._crashes.move_to_end(item.digest)
@@ -858,12 +1079,17 @@ class EnforcementDaemon:
         # An answered request clears its crash history: the poison
         # budget counts *consecutive* worker kills, so a transiently
         # unlucky digest does not accumulate toward quarantine forever.
-        self._crashes.pop(item.digest, None)
+        if item.digest:
+            self._crashes.pop(item.digest, None)
         elapsed = time.monotonic() - item.accepted_at
-        session = reply.get("session") or {}
         counters = reply.get("counters")
         if counters is not None:
             self.metrics.worker_counters[slot.index] = counters
+        control = reply.get("control")
+        if control is not None:
+            self._finish_control(item, metrics, control, elapsed)
+            return
+        session = reply.get("session") or {}
         response = reply.get("response") or {}
         outcome = response.get("outcome", "error")
         self.metrics.observe_reply(
@@ -872,6 +1098,8 @@ class EnforcementDaemon:
             grounded=bool(session.get("grounded")),
             ok=outcome in ("consistent", "repaired", "no-repair"),
         )
+        if item.op == "ask":
+            self.metrics.delta_asks += 1
         self._resolve(
             item,
             {
@@ -882,6 +1110,62 @@ class EnforcementDaemon:
                 "response": response,
             },
         )
+
+    def _finish_control(
+        self, item: _Item, metrics, control: dict, elapsed: float
+    ) -> None:
+        """Turn a worker session-op control reply into a session-reply.
+
+        Registry bookkeeping happens here, on the *confirmed* worker
+        answer: a failed ``open`` rolls its record back, a successful
+        ``edit`` advances the record's latest version, ``close`` and a
+        worker-side ``session-lost`` drop the record.
+        """
+        error = control.get("error")
+        if error is None:
+            outcome = "ok"
+        elif control.get("code") == SESSION_LOST:
+            outcome = SESSION_LOST
+        else:
+            outcome = "error"
+        record = self._sessions.get(item.session or "")
+        if item.op == "open":
+            if outcome == "ok":
+                self.metrics.sessions_opened += 1
+            elif record is not None:
+                del self._sessions[item.session]
+        elif item.op == "edit" and outcome == "ok":
+            self.metrics.delta_edits += 1
+            if record is not None and isinstance(
+                control.get("version"), int
+            ):
+                record.latest = control["version"]
+        elif item.op == "close" and outcome == "ok":
+            self.metrics.sessions_closed += 1
+            if record is not None:
+                del self._sessions[item.session]
+        if outcome == SESSION_LOST and record is not None:
+            # The worker's bounded cache evicted it (the registry thought
+            # it was alive): drop the record so the client's reopen works.
+            del self._sessions[item.session]
+            self.metrics.sessions_lost += 1
+        self.metrics.observe_reply(
+            metrics, elapsed, grounded=False, ok=outcome == "ok"
+        )
+        envelope = {
+            "kind": "session-reply",
+            "id": item.envelope_id,
+            "op": item.op,
+            "session": item.session,
+            "outcome": outcome,
+            "elapsed_ms": round(elapsed * 1e3, 3),
+        }
+        for field in ("version", "parent", "versions"):
+            if field in control:
+                envelope[field] = control[field]
+        if error is not None:
+            envelope["error"] = error
+        self._resolve(item, envelope)
 
     def _finish_deadline(
         self, item: _Item, metrics, reason: str, now: float
@@ -898,7 +1182,7 @@ class EnforcementDaemon:
             elapsed, item.attempts,
         )
         self._resolve(
-            item, self._rejection(item.envelope_id, DEADLINE_EXCEEDED, error)
+            item, self._rejection_for_item(item, DEADLINE_EXCEEDED, error)
         )
 
     def _resolve(self, item: _Item, reply: dict) -> None:

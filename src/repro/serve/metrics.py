@@ -133,6 +133,17 @@ class DaemonMetrics:
     idempotent_replays: int = 0
     #: Idempotent resubmissions attached to a still-in-flight original.
     idempotent_attached: int = 0
+    #: Delta sessions opened (``open`` verb answered ok).
+    sessions_opened: int = 0
+    #: Delta sessions closed by their client (``close`` verb).
+    sessions_closed: int = 0
+    #: Delta sessions invalidated — worker restart, worker-side LRU
+    #: eviction, or a verb naming a session nobody opened.
+    sessions_lost: int = 0
+    #: ``edit`` envelopes that materialised a new version.
+    delta_edits: int = 0
+    #: ``ask`` envelopes answered (any outcome).
+    delta_asks: int = 0
     draining: bool = False
     shapes: dict[str, ShapeMetrics] = field(default_factory=dict)
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
@@ -208,6 +219,7 @@ class DaemonMetrics:
         queued: int,
         inflight: int,
         faults: dict | None = None,
+        open_sessions: int = 0,
     ) -> dict:
         """The JSON-ready metrics document (the ``metrics`` verb body).
 
@@ -218,6 +230,7 @@ class DaemonMetrics:
         solver: dict[str, int] = {}
         bindings = 0
         sessions = groundings = reuses = 0
+        delta_versions = 0
         for counters in self.worker_counters.values():
             for name, value in (counters.get("solver") or {}).items():
                 solver[name] = solver.get(name, 0) + value
@@ -225,6 +238,7 @@ class DaemonMetrics:
             sessions += counters.get("sessions", 0)
             groundings += counters.get("groundings", 0)
             reuses += counters.get("reuses", 0)
+            delta_versions += counters.get("delta_versions", 0)
         return {
             "uptime_s": round(uptime_s, 3),
             "draining": self.draining,
@@ -259,6 +273,15 @@ class DaemonMetrics:
                 "alive": sessions,
                 "groundings": groundings,
                 "reuses": reuses,
+            },
+            "delta": {
+                "open": open_sessions,
+                "opened": self.sessions_opened,
+                "closed": self.sessions_closed,
+                "lost": self.sessions_lost,
+                "edits": self.delta_edits,
+                "asks": self.delta_asks,
+                "versions": delta_versions,
             },
             "solver": solver,
             "bindings_enumerated": bindings,

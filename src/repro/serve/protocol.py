@@ -28,6 +28,23 @@ full, or the daemon is draining — resubmit later) and
 :data:`DEADLINE_EXCEEDED` (the request's deadline elapsed before an
 answer; the request is dead-lettered, see the daemon docs).
 
+Four **delta-session verbs** carry multi-version model sessions (see
+:class:`SessionClient`): ``{"verb": "open", "session": name,
+"request": ...}`` binds a named session to the request's shape (and so
+its worker) and stores the full tuple as version 0; ``{"verb": "edit",
+"session": name, "parent": version-or-null, "edits": {param: [edit
+dicts]}}`` applies a serialised edit script to a retained version and
+materialises a new one (``parent`` null means the latest); ``{"verb":
+"ask", "session": name, "version": version-or-null, "max_distance":
+optional}`` answers the consistency/enforcement question at any
+retained version (the reply is a plain ``enforce-reply``); ``{"verb":
+"close", "session": name}`` drops the session. Session verbs answer
+``session-reply`` envelopes (``outcome`` of ``ok``, ``error``, a typed
+rejection, or :data:`SESSION_LOST` — the session's worker restarted or
+its bounded cache evicted it; reopen with a full tuple). Session state
+is *not* replayable, so these verbs get none of the idempotency/retry
+machinery below.
+
 An ``enforce`` envelope may also carry an ``idem`` string — a
 client-supplied **idempotency key**. The daemon remembers the reply it
 computed for each key (bounded cache): resubmitting a key whose answer
@@ -59,7 +76,13 @@ from collections.abc import Mapping, Sequence
 from random import Random
 from typing import Any
 
-from repro.errors import DaemonConnectionError, SerializationError, ServeError
+from repro.errors import (
+    DaemonConnectionError,
+    SerializationError,
+    ServeError,
+    SessionLostError,
+)
+from repro.gen.edits import edits_to_wire
 from repro.serve.requests import (
     EnforceRequest,
     EnforceResponse,
@@ -77,9 +100,16 @@ OVERLOADED = "overloaded"
 DEADLINE_EXCEEDED = "deadline-exceeded"
 MALFORMED = "malformed"
 POISONED = "poisoned"
+#: A delta-session verb named a session the daemon no longer has — never
+#: opened, worker restarted (version DAGs die with their worker), or
+#: evicted by the worker's bounded session cache. Reopen and resend.
+SESSION_LOST = "session-lost"
 
 #: Envelope verbs a client may send.
-VERBS = ("enforce", "health", "metrics")
+VERBS = ("enforce", "health", "metrics", "open", "edit", "ask", "close")
+
+#: The delta-session subset of :data:`VERBS` (stateful; never retried).
+SESSION_VERBS = ("open", "edit", "ask", "close")
 
 
 def encode_envelope(envelope: Mapping[str, Any]) -> bytes:
@@ -148,6 +178,10 @@ class DaemonClient:
         self._sock = sock
         self._file = sock.makefile("rb")
         self._next_id = 0
+        #: Wire bytes written/read by this client (envelope framing
+        #: included) — what ablation A12's bytes-per-request gate reads.
+        self.bytes_sent = 0
+        self.bytes_received = 0
 
     @classmethod
     def connect(
@@ -202,8 +236,10 @@ class DaemonClient:
         if "id" not in envelope:
             self._next_id += 1
             envelope["id"] = self._next_id
+        data = encode_envelope(envelope)
         try:
-            self._sock.sendall(encode_envelope(envelope))
+            self._sock.sendall(data)
+            self.bytes_sent += len(data)
         except OSError as exc:
             raise DaemonConnectionError(
                 f"connection to the daemon lost while sending: {exc}"
@@ -226,6 +262,7 @@ class DaemonClient:
             ) from exc
         if not line:
             raise DaemonConnectionError("daemon closed the connection")
+        self.bytes_received += len(line)
         try:
             return decode_envelope(line)
         except SerializationError as exc:
@@ -394,10 +431,17 @@ class RetryingClient:
                 pass
             self._client = None
 
-    def _pause(self, attempt: int) -> None:
-        """Exponential backoff with jitter before reconnect ``attempt``."""
+    def _pause(self, attempt: int, budget: float | None = None) -> None:
+        """Exponential backoff with jitter before reconnect ``attempt``.
+
+        ``budget`` is the seconds left of the caller's deadline: the
+        pause never sleeps past it, so total retry time honours the
+        end-to-end deadline instead of only the per-attempt cap.
+        """
         delay = min(self.backoff_max, self.backoff * (2 ** (attempt - 1)))
         delay += delay * self.jitter * self._rng.random()
+        if budget is not None:
+            delay = min(delay, max(0.0, budget))
         if delay > 0:
             time.sleep(delay)
 
@@ -449,6 +493,11 @@ class RetryingClient:
         self._seq += len(requests)
         responses: list[EnforceResponse | None] = [None] * len(requests)
         attempt = 0
+        # The caller's deadline bounds *total* retry time, not just each
+        # attempt: a 2 s deadline must not spend 10 s reconnecting.
+        give_up_at = (
+            None if deadline is None else time.monotonic() + float(deadline)
+        )
         while True:
             remaining = [i for i in range(len(requests)) if responses[i] is None]
             if not remaining:
@@ -476,18 +525,29 @@ class RetryingClient:
             except DaemonConnectionError as exc:
                 self._disconnect()
                 attempt += 1
-                if attempt > self.retries:
+                now = time.monotonic()
+                out_of_time = give_up_at is not None and now >= give_up_at
+                if attempt > self.retries or out_of_time:
                     owed = [
                         keys[i] for i in range(len(requests))
                         if responses[i] is None
                     ]
+                    reason = (
+                        f"deadline ({deadline:g}s) spent after "
+                        f"{attempt} attempts"
+                        if out_of_time
+                        else f"gave up after {attempt} attempts"
+                    )
                     raise DaemonConnectionError(
-                        f"{exc} — gave up after {attempt} attempts with "
+                        f"{exc} — {reason} with "
                         f"{len(owed)} of {len(requests)} requests owed",
                         pending=owed,
                     ) from exc
                 self.reconnects += 1
-                self._pause(attempt)
+                self._pause(
+                    attempt,
+                    None if give_up_at is None else give_up_at - now,
+                )
         return responses  # type: ignore[return-value]
 
 
@@ -511,6 +571,220 @@ def decode_enforce_reply(
     return EnforceResponse(
         outcome=reply.get("outcome", "error"), error=reply.get("error")
     )
+
+
+#: Sentinel for "the ask carries no max_distance of its own" — the
+#: worker then answers with the opened request's cap, which is distinct
+#: from explicitly sending ``None`` (= uncapped).
+_UNSET: Any = object()
+
+
+class SessionClient:
+    """One delta session on a :class:`DaemonClient` connection.
+
+    The wire-traffic inversion of :meth:`DaemonClient.enforce_many`:
+    instead of shipping the full model tuple with every question, the
+    client ships it **once** (:meth:`open`), then sends only
+    :mod:`repro.metamodel.edits` scripts (:meth:`edit`, serialised by
+    :func:`repro.gen.edits.edits_to_wire`) — O(edit) bytes per request
+    instead of O(model). The daemon keeps a bounded per-session version
+    DAG in the session's worker process; :meth:`ask` answers the
+    enforcement question at any retained version, on the same warm
+    shared session that full-tuple traffic of the shape uses — so the
+    answers are bit-identical to :func:`~repro.serve.serve_batch`.
+
+    Session state lives in one worker process and is *not* replayable:
+    if that worker is restarted (crash, deadline kill) or its bounded
+    session cache evicts the session, every verb raises a typed
+    :class:`~repro.errors.SessionLostError` and the client must
+    :meth:`open` again with a full tuple. Other per-op failures —
+    editing an evicted version, an edit that does not apply, asking an
+    unknown version — raise :class:`~repro.errors.ServeError` with the
+    daemon's typed message.
+    """
+
+    def __init__(self, client: DaemonClient, name: str) -> None:
+        self._client = client
+        self.name = name
+        self._request: EnforceRequest | None = None
+        #: The newest version this client created (0 after ``open``).
+        self.version = 0
+
+    def _call(self, envelope: dict[str, Any], op: str) -> dict[str, Any]:
+        reply = self._client.call(envelope)
+        kind = reply.get("kind")
+        if kind == "protocol-error":
+            raise ServeError(
+                f"session {op} on {self.name!r} failed: {reply.get('error')}"
+            )
+        if kind != "session-reply":
+            raise SerializationError(f"expected a session-reply, got {kind!r}")
+        outcome = reply.get("outcome")
+        if outcome == SESSION_LOST:
+            raise SessionLostError(
+                f"session {self.name!r} lost on {op}: {reply.get('error')}"
+            )
+        if outcome != "ok":
+            raise ServeError(
+                f"session {op} on {self.name!r} answered "
+                f"{outcome!r}: {reply.get('error')}"
+            )
+        return reply
+
+    def open(
+        self, request: EnforceRequest, deadline: float | None = None
+    ) -> int:
+        """Open the session with a full model tuple; returns version 0."""
+        envelope: dict[str, Any] = {
+            "verb": "open",
+            "session": self.name,
+            "request": request_to_dict(request),
+        }
+        if deadline is not None:
+            envelope["deadline"] = deadline
+        reply = self._call(envelope, "open")
+        self._request = request
+        self.version = int(reply.get("version", 0))
+        return self.version
+
+    def edit(
+        self,
+        edits: Mapping[str, Sequence],
+        parent: int | None = None,
+        deadline: float | None = None,
+    ) -> int:
+        """Materialise a new version by editing a retained one.
+
+        ``edits`` maps parameter names to :mod:`repro.metamodel.edits`
+        scripts; ``parent`` picks the base version (``None`` = the
+        session's latest). Returns the new version id — branching is
+        just editing a non-latest parent.
+        """
+        envelope: dict[str, Any] = {
+            "verb": "edit",
+            "session": self.name,
+            "parent": parent,
+            "edits": edits_to_wire(edits),
+        }
+        if deadline is not None:
+            envelope["deadline"] = deadline
+        reply = self._call(envelope, "edit")
+        self.version = int(reply["version"])
+        return self.version
+
+    def ask(
+        self,
+        version: int | None = None,
+        max_distance: int | None = _UNSET,
+        deadline: float | None = None,
+    ) -> EnforceResponse:
+        """The enforcement answer at a retained version (``None`` = latest).
+
+        ``max_distance`` overrides the opened request's cap for this ask
+        (explicitly passing ``None`` means *uncapped*; omitting the
+        argument keeps the opened request's). The reply is decoded
+        exactly like a full-tuple enforce reply.
+        """
+        if self._request is None:
+            raise ServeError(
+                f"session {self.name!r} was never opened by this client"
+            )
+        envelope: dict[str, Any] = {
+            "verb": "ask",
+            "session": self.name,
+            "version": version,
+        }
+        if max_distance is not _UNSET:
+            envelope["max_distance"] = max_distance
+        if deadline is not None:
+            envelope["deadline"] = deadline
+        reply = self._client.call(envelope)
+        if reply.get("kind") == "session-reply":
+            outcome = reply.get("outcome")
+            if outcome == SESSION_LOST:
+                raise SessionLostError(
+                    f"session {self.name!r} lost on ask: {reply.get('error')}"
+                )
+            raise ServeError(
+                f"session ask on {self.name!r} answered "
+                f"{outcome!r}: {reply.get('error')}"
+            )
+        return decode_enforce_reply(reply, self._request)
+
+    def close(self, deadline: float | None = None) -> None:
+        """Drop the session (its versions die in the worker)."""
+        envelope: dict[str, Any] = {"verb": "close", "session": self.name}
+        if deadline is not None:
+            envelope["deadline"] = deadline
+        self._call(envelope, "close")
+
+
+def delta_enforce_many(
+    client: DaemonClient,
+    requests: Sequence[EnforceRequest],
+    deadline: float | None = None,
+    prefix: str = "delta",
+) -> list[EnforceResponse]:
+    """Answer a request stream over delta sessions; responses in order.
+
+    The drop-in delta counterpart of :meth:`DaemonClient.enforce_many`:
+    requests are grouped by question shape (first-appearance order); each
+    group opens one session (``{prefix}:{group index}``) with its first
+    request's full tuple, then ships only the per-parameter
+    :func:`repro.metamodel.diff.diff` between consecutive requests —
+    O(edit) wire bytes per request on drift-style streams. Every request
+    is asked at the version holding exactly its tuple (a request
+    identical to its predecessor re-asks the same version), and each
+    request's own ``max_distance`` rides its ask, so the answers are
+    bit-identical to :meth:`~DaemonClient.enforce_many` and
+    :func:`~repro.serve.serve_batch` on the same stream. Sessions are
+    closed before returning.
+
+    Grouping by shape assumes a shape's requests share a parameter set
+    (the transformation fixes it); a stream violating that raises
+    :class:`~repro.errors.ServeError` rather than shipping a wrong diff.
+    """
+    from repro.metamodel.diff import diff
+
+    groups: dict[tuple, list[int]] = {}
+    for index, request in enumerate(requests):
+        groups.setdefault(shape_key(request), []).append(index)
+    responses: list[EnforceResponse | None] = [None] * len(requests)
+    for group_index, indices in enumerate(groups.values()):
+        session = SessionClient(client, f"{prefix}:{group_index}")
+        previous = requests[indices[0]]
+        session.open(previous, deadline=deadline)
+        version = 0
+        responses[indices[0]] = session.ask(
+            version=version,
+            max_distance=previous.max_distance,
+            deadline=deadline,
+        )
+        for index in indices[1:]:
+            request = requests[index]
+            if set(request.models) != set(previous.models):
+                raise ServeError(
+                    f"delta grouping needs a stable parameter set per "
+                    f"shape; request {index} changed it"
+                )
+            edits = {}
+            for param in sorted(request.models):
+                script = diff(previous.models[param], request.models[param])
+                if script:
+                    edits[param] = script
+            if edits:
+                version = session.edit(
+                    edits, parent=version, deadline=deadline
+                )
+            responses[index] = session.ask(
+                version=version,
+                max_distance=request.max_distance,
+                deadline=deadline,
+            )
+            previous = request
+        session.close(deadline=deadline)
+    assert all(response is not None for response in responses)
+    return responses  # type: ignore[return-value]
 
 
 def agrees_with_request(key: tuple, request: EnforceRequest) -> bool:

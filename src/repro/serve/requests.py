@@ -220,14 +220,43 @@ def request_to_dict(request: EnforceRequest) -> dict[str, Any]:
     }
 
 
+#: The exact top-level fields of one wire-form request/response. Strict
+#: parsing rejects anything else by name: a typo'd field ("wieghts")
+#: must fail loudly, not silently fall back to a default.
+_REQUEST_FIELDS = frozenset(
+    (
+        "format", "kind", "transformation", "metamodels", "models",
+        "targets", "semantics", "weights", "scope", "mode", "max_distance",
+    )
+)
+_RESPONSE_FIELDS = frozenset(
+    ("format", "kind", "outcome", "distance", "models", "changed",
+     "engine", "error")
+)
+_SCOPE_FIELDS = frozenset(("extra_objects", "extra_strings", "extra_ints"))
+
+
+def _reject_unknown(
+    data: Mapping[str, Any], allowed: frozenset, what: str
+) -> None:
+    unknown = sorted(str(name) for name in set(data) - allowed)
+    if unknown:
+        raise SerializationError(
+            f"{what} has unknown field {unknown[0]!r} "
+            f"(allowed: {', '.join(sorted(allowed))})"
+        )
+
+
 def request_from_dict(data: Mapping[str, Any]) -> EnforceRequest:
     """Rebuild a request from :func:`request_to_dict` output.
 
     Raises :class:`~repro.errors.SerializationError` on malformed input
     — the error path the batch CLI surfaces per request instead of
-    aborting the whole batch file.
+    aborting the whole batch file. Strict: an unknown top-level field is
+    rejected by name (missing optional fields still default).
     """
     _expect(data, "enforce-request")
+    _reject_unknown(data, _REQUEST_FIELDS, "enforce-request")
     metamodels = tuple(
         metamodel_from_dict(mm) for mm in data.get("metamodels", [])
     )
@@ -287,11 +316,35 @@ def response_to_dict(response: EnforceResponse) -> dict[str, Any]:
 def response_from_dict(
     data: Mapping[str, Any], metamodels: Iterable[Metamodel]
 ) -> EnforceResponse:
-    """Rebuild a response; ``metamodels`` come from the paired request."""
+    """Rebuild a response; ``metamodels`` come from the paired request.
+
+    Strict like :func:`request_from_dict`: a missing ``outcome`` or an
+    unknown top-level field raises a typed
+    :class:`~repro.errors.SerializationError` naming the field — never a
+    bare ``KeyError``.
+    """
     _expect(data, "enforce-response")
+    _reject_unknown(data, _RESPONSE_FIELDS, "enforce-response")
+    outcome = data.get("outcome")
+    if not isinstance(outcome, str) or not outcome:
+        raise SerializationError(
+            "enforce-response is missing field 'outcome'"
+            if "outcome" not in data
+            else f"enforce-response field 'outcome' must be a non-empty "
+            f"string, got {outcome!r}"
+        )
     by_name = {mm.name: mm for mm in metamodels}
     models: dict[str, Model] = {}
-    for param, payload in data.get("models", {}).items():
+    payloads = data.get("models", {})
+    if not isinstance(payloads, Mapping):
+        raise SerializationError(
+            "enforce-response field 'models' must be a JSON object"
+        )
+    for param, payload in payloads.items():
+        if not isinstance(payload, Mapping):
+            raise SerializationError(
+                f"response model {param!r} must be a JSON object"
+            )
         metamodel = by_name.get(payload.get("metamodel", ""))
         if metamodel is None:
             raise SerializationError(
@@ -299,7 +352,7 @@ def response_from_dict(
             )
         models[param] = model_from_dict(dict(payload), metamodel)
     return EnforceResponse(
-        outcome=data["outcome"],
+        outcome=outcome,
         distance=data.get("distance"),
         models=models,
         changed=frozenset(data.get("changed", [])),
@@ -326,10 +379,18 @@ def scope_to_dict(scope: Scope | None) -> dict[str, Any] | None:
 
 
 def scope_from_dict(data: Mapping[str, Any] | None) -> Scope | None:
+    """Rebuild a scope; missing fields default, unknown fields reject.
+
+    The asymmetry is deliberate: hand-written batch entries may give a
+    partial scope (``{"extra_objects": 2}``), but a *typo'd* field
+    (``"extra_object"``) must fail by name instead of silently running
+    with defaults.
+    """
     if data is None:
         return None
     if not isinstance(data, Mapping):
         raise SerializationError("scope must be a JSON object or null")
+    _reject_unknown(data, _SCOPE_FIELDS, "scope")
     return Scope(
         extra_objects=data.get("extra_objects", 1),
         extra_strings=data.get("extra_strings", 1),

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
+from collections.abc import Mapping
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.enforce.session import (
@@ -36,7 +38,10 @@ from repro.enforce.session import (
     shared_session,
 )
 from repro.enforce.targets import TargetSelection
-from repro.errors import NoRepairFound, ReproError
+from repro.errors import EditError, NoRepairFound, ReproError
+from repro.gen.edits import edits_from_wire
+from repro.metamodel.edits import apply_edits
+from repro.metamodel.model import Model
 from repro.qvtr.ast import Transformation
 from repro.qvtr.syntax.parser import parse_transformation
 from repro.serve.requests import (
@@ -58,6 +63,38 @@ _PARSE_CACHE: "OrderedDict[str, Transformation]" = OrderedDict()
 
 #: Portfolio-arm sessions, keyed by (shape key, restart schedule).
 _PORTFOLIO_SESSIONS: "OrderedDict[tuple, EnforcementSession]" = OrderedDict()
+
+#: How many model-tuple versions one delta session retains. Asking an
+#: evicted version is a typed error naming the bound; the *DAG* (parent
+#: links) is kept whole, only the materialised tuples are bounded.
+VERSION_LIMIT = 32
+
+#: How many delta sessions one worker process retains (LRU). The daemon
+#: routes a session's verbs to one slot for its whole life, so this
+#: bounds per-process memory, not correctness; an evicted session
+#: answers ``session-lost`` and the client reopens.
+DELTA_SESSION_LIMIT = 64
+
+
+@dataclass
+class _DeltaStore:
+    """One delta session's worker-side state: base request + version DAG.
+
+    ``versions`` materialises the model tuple of each retained version
+    (bounded FIFO, oldest evicted); ``parents`` keeps the full DAG shape
+    (ints only, unbounded is fine). ``latest`` is the default parent for
+    the next ``edit`` and the default version for ``ask``.
+    """
+
+    request: EnforceRequest
+    versions: "OrderedDict[int, dict[str, Model]]"
+    parents: dict[int, int | None] = field(default_factory=dict)
+    latest: int = 0
+    next_id: int = 1
+
+
+#: session name -> its store, least-recently-used last.
+_DELTA_SESSIONS: "OrderedDict[str, _DeltaStore]" = OrderedDict()
 
 
 def _transformation_for(text: str) -> Transformation:
@@ -101,7 +138,9 @@ def _session_for(
         )
         _PORTFOLIO_SESSIONS[key] = session
         while len(_PORTFOLIO_SESSIONS) > SHARED_SESSION_LIMIT:
-            _PORTFOLIO_SESSIONS.popitem(last=False)
+            # Same disposal rule as the shared-session LRU: eviction
+            # releases the arm's groundings and solver, not just the ref.
+            _PORTFOLIO_SESSIONS.popitem(last=False)[1].close()
     else:
         _PORTFOLIO_SESSIONS.move_to_end(key)
     return session
@@ -214,6 +253,10 @@ def worker_counters() -> dict:
         "groundings": sum(s["groundings"] for s in sessions),
         "reuses": sum(s["reuses"] for s in sessions),
         "calls": sum(s["calls"] for s in sessions),
+        "delta_sessions": len(_DELTA_SESSIONS),
+        "delta_versions": sum(
+            len(store.versions) for store in _DELTA_SESSIONS.values()
+        ),
         "bindings_enumerated": Grounder.bindings_enumerated,
         "solver": asdict(global_stats()),
     }
@@ -272,7 +315,170 @@ def serve_wire(
     )
 
 
+def _control_reply(
+    op: Any,
+    session: Any,
+    *,
+    error: str | None = None,
+    code: str = "error",
+    **fields: Any,
+) -> dict[str, Any]:
+    """A session-op worker reply (the daemon wraps it as a session-reply)."""
+    body: dict[str, Any] = {"op": op, "session": session, **fields}
+    if error is not None:
+        body["error"] = error
+        body["code"] = code
+    return {"control": body, "counters": worker_counters()}
+
+
+def serve_session(message: Mapping[str, Any]) -> dict[str, Any]:
+    """One delta-session op (``open``/``edit``/``ask``/``close``) in this
+    worker process.
+
+    The daemon never deserialises models, so the version DAG lives here:
+    ``open`` parses a full request wire dict and stores its tuple as
+    version 0; ``edit`` applies a strict-parsed
+    :func:`~repro.gen.edits.edits_from_wire` payload to a retained
+    parent version, materialising a new version; ``ask`` rebuilds the
+    request at any retained version and answers it on the shape's warm
+    :func:`~repro.enforce.session.shared_session` — generation retention
+    is what makes asking *historic* versions cheap. Per-op problems
+    (unknown version, inapplicable edit, malformed payload) come back as
+    typed control errors, never exceptions; an unknown session name is
+    ``code="session-lost"`` so the client knows to reopen.
+
+    ``ask`` replies look exactly like :func:`serve_wire` replies (an
+    enforce response + session counters), so the daemon's reply path and
+    metrics treat delta asks and full-tuple enforces identically.
+    """
+    op = message.get("op")
+    name = message.get("session")
+    if not isinstance(name, str) or not name:
+        return _control_reply(
+            op, name, error=f"session name must be a non-empty string, got {name!r}"
+        )
+    if op == "open":
+        try:
+            request = request_from_dict(message.get("request"))
+        except ReproError as exc:
+            return _control_reply(op, name, error=str(exc))
+        store = _DeltaStore(
+            request=request,
+            versions=OrderedDict({0: dict(request.models)}),
+            parents={0: None},
+        )
+        _DELTA_SESSIONS[name] = store
+        _DELTA_SESSIONS.move_to_end(name)
+        while len(_DELTA_SESSIONS) > DELTA_SESSION_LIMIT:
+            _DELTA_SESSIONS.popitem(last=False)
+        return _control_reply(op, name, version=0, versions=1)
+    store = _DELTA_SESSIONS.get(name)
+    if store is None:
+        return _control_reply(
+            op, name,
+            error=f"no delta session {name!r} in this worker (reopen it)",
+            code="session-lost",
+        )
+    _DELTA_SESSIONS.move_to_end(name)
+    if op == "close":
+        del _DELTA_SESSIONS[name]
+        return _control_reply(op, name, versions=0)
+    if op == "edit":
+        parent = message.get("parent")
+        if parent is None:
+            parent = store.latest
+        if not isinstance(parent, int) or parent not in store.parents:
+            return _control_reply(
+                op, name,
+                error=f"session {name!r} has no version {parent!r} to edit",
+            )
+        base = store.versions.get(parent)
+        if base is None:
+            return _control_reply(
+                op, name,
+                error=(
+                    f"version {parent} of session {name!r} is no longer "
+                    f"retained (the session keeps {VERSION_LIMIT} versions)"
+                ),
+            )
+        try:
+            edits = edits_from_wire(message.get("edits"))
+        except ReproError as exc:
+            return _control_reply(op, name, error=str(exc))
+        unknown = sorted(set(edits) - set(base))
+        if unknown:
+            return _control_reply(
+                op, name,
+                error=(
+                    f"edit names parameter {unknown[0]!r}, which the "
+                    f"session's tuple does not have"
+                ),
+            )
+        tuple_ = dict(base)
+        try:
+            for param, script in edits.items():
+                tuple_[param] = apply_edits(tuple_[param], script)
+        except EditError as exc:
+            return _control_reply(
+                op, name, error=f"edit does not apply: {exc}"
+            )
+        version = store.next_id
+        store.next_id += 1
+        store.versions[version] = tuple_
+        store.parents[version] = parent
+        store.latest = version
+        while len(store.versions) > VERSION_LIMIT:
+            store.versions.popitem(last=False)
+        return _control_reply(
+            op, name,
+            version=version, parent=parent, versions=len(store.versions),
+        )
+    if op == "ask":
+        version = message.get("version")
+        if version is None:
+            version = store.latest
+        if not isinstance(version, int) or version not in store.parents:
+            return _control_reply(
+                op, name,
+                error=f"session {name!r} has no version {version!r}",
+            )
+        tuple_ = store.versions.get(version)
+        if tuple_ is None:
+            return _control_reply(
+                op, name,
+                error=(
+                    f"version {version} of session {name!r} is no longer "
+                    f"retained (the session keeps {VERSION_LIMIT} versions)"
+                ),
+            )
+        request = replace(store.request, models=tuple_)
+        if "max_distance" in message:
+            request = replace(request, max_distance=message["max_distance"])
+        try:
+            session = _session_for(request, None)
+        except ReproError as exc:
+            return {
+                "response": response_to_dict(
+                    EnforceResponse(ERROR, error=str(exc))
+                ),
+                "session": None,
+                "counters": worker_counters(),
+            }
+        groundings_before = session.groundings
+        response = serve_request(request)
+        return {
+            "response": response_to_dict(response),
+            "session": dict(
+                session.counters(),
+                grounded=session.groundings > groundings_before,
+            ),
+            "counters": worker_counters(),
+        }
+    return _control_reply(op, name, error=f"unknown session op {op!r}")
+
+
 def reset_worker_state() -> None:
     """Drop the worker-local caches (test isolation hook)."""
     _PARSE_CACHE.clear()
     _PORTFOLIO_SESSIONS.clear()
+    _DELTA_SESSIONS.clear()

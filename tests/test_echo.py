@@ -685,6 +685,43 @@ class TestCliDaemon:
         assert "[0] F: repaired" in out
         assert "[1] F: repaired" in out
 
+    def test_client_delta_requests_file(
+        self, daemon_handle, workspace_dir, batch_file, capsys
+    ):
+        path = batch_file([self.ENTRY, dict(self.ENTRY, targets=["fm"])])
+        rc = main(
+            [
+                "daemon", "--client", "--delta",
+                "--socket", daemon_handle.daemon.config.socket_path,
+                "--workspace", str(workspace_dir),
+                "--requests", str(path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "[0] F: repaired" in captured.out
+        assert "[1] F: repaired" in captured.out
+        assert "delta wire:" in captured.err
+
+    def test_delta_refuses_retry(self):
+        with pytest.raises(SystemExit, match="--delta is incompatible"):
+            main(
+                [
+                    "daemon", "--client", "--delta", "--retry", "2",
+                    "--socket", "/tmp/nowhere.sock",
+                    "--workspace", "ws", "--requests", "batch.json",
+                ]
+            )
+
+    def test_delta_needs_requests(self):
+        with pytest.raises(SystemExit, match="--delta"):
+            main(
+                [
+                    "daemon", "--client", "--delta",
+                    "--socket", "/tmp/nowhere.sock", "--health",
+                ]
+            )
+
     def test_daemon_help_documents_protocol(self, capsys):
         with pytest.raises(SystemExit):
             main(["daemon", "--help"])

@@ -264,7 +264,7 @@ class TestSharedSessionEviction:
         targets = TargetSelection(["cf1", "cf2"])
         models = _tuple({"core": True}, ["core"], [])
         first = shared_session(transformation, targets, scope=SCOPE)
-        first.enforce(models)
+        baseline = first.enforce(models)
         assert first.groundings == 1
         fillers = [
             paper_transformation(k=2) for _ in range(SHARED_SESSION_LIMIT)
@@ -276,12 +276,48 @@ class TestSharedSessionEviction:
         again = shared_session(transformation, targets, scope=SCOPE)
         assert again is not first
         repair = again.enforce(models)
-        assert repair.distance == first.enforce(models).distance
+        assert repair.distance == baseline.distance
         # … which grounds exactly once and then reuses, like any session:
         # the follow-up edit stays inside the re-grounded universe.
         again.enforce(_tuple({"core": True}, [], []))
         assert again.groundings == 1
         assert Grounder.translations - before == 1
+
+    def test_eviction_closes_a_still_referenced_session(self):
+        """Eviction must release groundings even while a caller retains
+        the session object — ``close()``, not mere cache removal.
+
+        Before the disposal hook, a long-lived holder of an evicted
+        shape (the Echo tool keeps sessions across edits) silently
+        pinned the full grounding + solver; now eviction empties the
+        session, which transparently re-grounds on its next call.
+        """
+        transformation = paper_transformation(k=2)
+        targets = TargetSelection(["cf1", "cf2"])
+        models = _tuple({"core": True}, ["core"], [])
+        first = shared_session(transformation, targets, scope=SCOPE)
+        first.enforce(models)
+        assert first.counters()["generations"] == 1
+        graveyard = (
+            weakref.ref(first._maxsat),
+            weakref.ref(first._maxsat.solver),
+            weakref.ref(first._grounding),
+        )
+        for _ in range(SHARED_SESSION_LIMIT):
+            shared_session(
+                paper_transformation(k=2), targets, scope=SCOPE
+            )
+        # Still referenced, yet everything heavy is gone: the close()
+        # emptied the generation list and dropped grounding + solver.
+        assert first.counters()["closes"] == 1
+        assert first.counters()["generations"] == 0
+        gc.collect()
+        leaked = [ref() for ref in graveyard if ref() is not None]
+        assert not leaked, f"close() left grounding state alive: {leaked}"
+        # The retained handle stays usable — next call re-grounds.
+        repair = first.enforce(models)
+        assert repair is not None
+        assert first.groundings == 2
 
     def test_same_shape_stays_cached_until_evicted(self):
         transformation = paper_transformation(k=2)
