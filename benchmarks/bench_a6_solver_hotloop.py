@@ -48,7 +48,7 @@ from repro.featuremodels import (
 from repro.solver.bounded import Grounder, Scope
 from repro.solver.cnf import CNF
 from repro.solver.maxsat import MaxSatSession
-from repro.solver.sat import HEAP, SCAN, IncrementalSolver
+from repro.solver.sat import FLAT, HEAP, LEGACY, SCAN, IncrementalSolver
 from repro.util.text import render_table
 
 from benchmarks._common import bench_cli, record
@@ -143,6 +143,87 @@ def bench_decide(smoke: bool, rows: list) -> dict:
          f"{totals[HEAP]['decisions']}",
          f"{totals[HEAP]['decisions_per_sec']:,.0f}/s heap vs "
          f"{totals[SCAN]['decisions_per_sec']:,.0f}/s scan",
+         ""]
+    )
+    return totals
+
+
+# ----------------------------------------------------------------------
+# Arm 1b: flat vs legacy CDCL backend on the same decide workload
+# ----------------------------------------------------------------------
+def bench_backends(smoke: bool, rows: list) -> dict:
+    """Both registered CDCL cores over the heap-decide workload.
+
+    The flat array core is trace-identical to the legacy object core
+    (same decisions, conflicts and answers — the cross-backend battery
+    in tests/test_solver_backends.py enforces it), so the two arms do
+    the *same* work and the only degree of freedom is wall-clock. The
+    CI contract is that the flat core never regresses below the legacy
+    core it replaced.
+    """
+    sizes = (600, 800) if smoke else (1500, 2000)
+    instances = [("synthetic n=%d" % n, _synthetic(n, seed=n)) for n in sizes]
+    k = 2 if smoke else 3
+    scenario = scenario_new_mandatory_feature(k)
+    a1 = _ground(
+        scenario.transformation,
+        scenario.after_update,
+        {f"cf{i}" for i in range(1, k + 1)},
+        extra_objects=2,
+    )
+    totals = {}
+    for backend in (LEGACY, FLAT):
+        elapsed = 0.0
+        decisions = 0
+        propagations = 0
+        for name, cnf in instances:
+            step = float("inf")
+            for _ in range(3):
+                solver = IncrementalSolver(cnf, decision=HEAP, backend=backend)
+                start = time.perf_counter()
+                solver.solve(model=False)
+                step = min(step, time.perf_counter() - start)
+            elapsed += step
+            decisions += solver.stats.decisions
+            propagations += solver.stats.propagations
+            rows.append(
+                ["backend: " + name, backend, solver.stats.decisions, "",
+                 f"{step * 1e3:.1f} ms"]
+            )
+        session = MaxSatSession(
+            a1.cnf, list(a1.soft),
+            solver_kwargs={"decision": HEAP, "backend": backend},
+        )
+        start = time.perf_counter()
+        optimum = session.solve_optimal()
+        step = time.perf_counter() - start
+        assert optimum.satisfiable
+        elapsed += step
+        decisions += session.solver.stats.decisions
+        propagations += session.solver.stats.propagations
+        rows.append(
+            [f"backend: A1 sweep (k={k})", backend,
+             session.solver.stats.decisions,
+             f"cost={optimum.cost}", f"{step * 1e3:.1f} ms"]
+        )
+        totals[backend] = {
+            "time_s": elapsed,
+            "decisions": decisions,
+            "propagations": propagations,
+            "decisions_per_sec": decisions / elapsed if elapsed else 0.0,
+        }
+    assert totals[FLAT]["decisions"] == totals[LEGACY]["decisions"], (
+        f"backends diverged on the timed workload: {totals}"
+    )
+    assert totals[FLAT]["propagations"] == totals[LEGACY]["propagations"], (
+        f"backends diverged on the timed workload: {totals}"
+    )
+    rows.append(
+        ["backend: TOTAL",
+         f"{totals[LEGACY]['time_s'] / totals[FLAT]['time_s']:.2f}x faster flat",
+         f"{totals[FLAT]['decisions']}",
+         f"{totals[FLAT]['decisions_per_sec']:,.0f}/s flat vs "
+         f"{totals[LEGACY]['decisions_per_sec']:,.0f}/s legacy",
          ""]
     )
     return totals
@@ -285,6 +366,7 @@ def run(smoke: bool = False) -> dict:
     rows: list = []
     metrics = {
         "decide": bench_decide(smoke, rows),
+        "backends": bench_backends(smoke, rows),
         "gc": bench_gc(smoke, rows),
         "session": bench_session(smoke, rows),
     }
@@ -300,6 +382,11 @@ def run(smoke: bool = False) -> dict:
     assert decide[HEAP]["time_s"] < decide[SCAN]["time_s"], (
         f"heap decide must beat the linear scan: {decide}"
     )
+    backends = metrics["backends"]
+    assert (
+        backends[FLAT]["decisions_per_sec"]
+        >= backends[LEGACY]["decisions_per_sec"]
+    ), f"the flat core must not regress below the legacy core: {backends}"
     session = metrics["session"]
     assert session["session"]["groundings"] == 1, (
         "session reuse must ground exactly once: " f"{session}"

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Minimal CI: the tier-1 test suite plus the perf regression guards —
 # a5 asserts the persistent solver stays >= 2x cheaper than one-shot
-# solving, a6 asserts the VSIDS heap beats the linear-scan `_decide`
+# solving, a6 asserts the VSIDS heap beats the linear-scan `_decide`,
+# runs the decide workload on both registered CDCL backends and fails
+# if the flat array core's smoke decide throughput regresses below the
+# legacy object core's (both arms land in
+# BENCH_a6_solver_hotloop_smoke.json under "backends"),
 # and that Echo enforcement sessions reuse one grounding (>= 20 %
 # faster than re-grounding per edit — the bar moved from 30 % when
 # a7's pruning made the re-grounding baseline ~3x cheaper), a7
@@ -44,7 +48,7 @@ python -m pytest benchmarks/bench_a5_incremental_sat.py -q
 echo "== a5 incremental-SAT smoke benchmark (script mode) =="
 python benchmarks/bench_a5_incremental_sat.py --smoke
 
-echo "== a6 solver hot-loop + enforcement-session smoke guard =="
+echo "== a6 solver hot-loop + backend + enforcement-session smoke guard =="
 python benchmarks/bench_a6_solver_hotloop.py --smoke
 
 echo "== a7 grounding fast-path smoke guard =="

@@ -755,11 +755,12 @@ def shared_session(
     metric: TupleMetric = TupleMetric(),
     scope: Scope | None = None,
     mode: str = INCREASING,
+    solver_kwargs: Mapping | None = None,
 ) -> EnforcementSession:
     """The cached :class:`EnforcementSession` for this question shape.
 
     Keyed by (transformation identity, targets, semantics, metric
-    weights, scope, mode): every SAT-fragment entry point —
+    weights, scope, mode, solver knobs): every SAT-fragment entry point —
     :func:`~repro.enforce.satengine.enforce_sat`,
     :func:`~repro.enforce.satengine.enumerate_repairs`,
     :meth:`~repro.enforce.satengine.ConsistencyOracle.try_build`, the
@@ -780,6 +781,7 @@ def shared_session(
         tuple(sorted(metric.weights.items())),
         scope,
         mode,
+        tuple(sorted(solver_kwargs.items())) if solver_kwargs else None,
     )
     entry = _shared_sessions.get(key)
     if entry is not None and entry[0] is transformation:
@@ -792,6 +794,7 @@ def shared_session(
         metric=metric,
         scope=scope,
         mode=mode,
+        solver_kwargs=solver_kwargs,
     )
     _shared_sessions[key] = (transformation, session)
     _shared_sessions.move_to_end(key)

@@ -125,6 +125,10 @@ class DaemonConfig:
     ``faults`` is a :mod:`repro.serve.faults` spec string enabling
     seeded fault injection (``None`` falls back to the ``REPRO_FAULTS``
     environment variable; empty disables).
+
+    ``solver_backend`` pins the CDCL core every worker process uses
+    (``"flat"``/``"legacy"``, see :data:`repro.solver.SOLVER_BACKENDS`);
+    ``None`` keeps the package default. A typo fails at config time.
     """
 
     socket_path: str | None = None
@@ -138,6 +142,7 @@ class DaemonConfig:
     poison_budget: int = 2
     reply_cache: int = 1024
     faults: str | None = None
+    solver_backend: str | None = None
 
     def validate(self) -> None:
         if (self.socket_path is None) == (self.host is None):
@@ -166,9 +171,20 @@ class DaemonConfig:
                 f"reply_cache must be >= 1, got {self.reply_cache}"
             )
         FaultPlan.parse(self.faults)  # typo'd specs fail at config time
+        if self.solver_backend is not None:
+            from repro.solver import SOLVER_BACKENDS
+
+            if self.solver_backend not in SOLVER_BACKENDS:
+                raise ServeError(
+                    "unknown solver_backend %r (known: %s)"
+                    % (
+                        self.solver_backend,
+                        ", ".join(sorted(SOLVER_BACKENDS)),
+                    )
+                )
 
 
-def _daemon_worker_main(conn) -> None:
+def _daemon_worker_main(conn, solver_backend: str | None = None) -> None:
     """One worker process: serve wire requests off a pipe, forever.
 
     Starts from a clean slate (fork inherits the parent's warm caches;
@@ -185,10 +201,12 @@ def _daemon_worker_main(conn) -> None:
         reset_worker_state,
         serve_session,
         serve_wire,
+        set_solver_backend,
     )
 
     clear_shared_sessions()
     reset_worker_state()
+    set_solver_backend(solver_backend)
     while True:
         try:
             message = conn.recv()
@@ -230,8 +248,9 @@ class _WorkerCrash(Exception):
 class _WorkerSlot:
     """One long-lived worker process and its parent-side pipe end."""
 
-    def __init__(self, index: int) -> None:
+    def __init__(self, index: int, solver_backend: str | None = None) -> None:
         self.index = index
+        self.solver_backend = solver_backend
         self.restarts = 0
         self._spawn()
 
@@ -239,7 +258,9 @@ class _WorkerSlot:
         parent, child = multiprocessing.Pipe()
         self.conn = parent
         self.process = multiprocessing.Process(
-            target=_daemon_worker_main, args=(child,), daemon=True
+            target=_daemon_worker_main,
+            args=(child, self.solver_backend),
+            daemon=True,
         )
         self.process.start()
         child.close()
@@ -423,7 +444,8 @@ class EnforcementDaemon:
         self._started_at = time.monotonic()
         self._loop = asyncio.get_running_loop()
         self._slots = [
-            _WorkerSlot(index) for index in range(self.config.workers)
+            _WorkerSlot(index, self.config.solver_backend)
+            for index in range(self.config.workers)
         ]
         self._slot_tokens = [asyncio.Queue() for _ in self._slots]
         self._drainers = [

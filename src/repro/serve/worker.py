@@ -96,6 +96,39 @@ class _DeltaStore:
 #: session name -> its store, least-recently-used last.
 _DELTA_SESSIONS: "OrderedDict[str, _DeltaStore]" = OrderedDict()
 
+#: Process-wide solver-backend override (``None`` = package default).
+#: Set once at worker startup from ``DaemonConfig.solver_backend``;
+#: every session this process builds — shared or portfolio — inherits
+#: it, so one daemon runs one CDCL core consistently.
+_SOLVER_BACKEND: str | None = None
+
+
+def set_solver_backend(backend: str | None) -> None:
+    """Pin the CDCL core (``"flat"``/``"legacy"``) for this process.
+
+    Validates eagerly against the backend registry so a typo in
+    ``DaemonConfig.solver_backend`` fails at startup, not on the first
+    enforce. ``None`` restores the package default.
+    """
+    global _SOLVER_BACKEND
+    if backend is not None:
+        from repro.solver import SOLVER_BACKENDS
+
+        if backend not in SOLVER_BACKENDS:
+            raise ValueError(
+                "unknown solver backend %r (known: %s)"
+                % (backend, ", ".join(sorted(SOLVER_BACKENDS)))
+            )
+    _SOLVER_BACKEND = backend
+
+
+def _solver_kwargs(extra: "Mapping | None" = None) -> dict | None:
+    """This process's solver knobs: the backend pin plus ``extra``."""
+    kwargs = {} if _SOLVER_BACKEND is None else {"backend": _SOLVER_BACKEND}
+    if extra:
+        kwargs.update(extra)
+    return kwargs or None
+
 
 def _transformation_for(text: str) -> Transformation:
     cached = _PARSE_CACHE.get(text)
@@ -123,6 +156,7 @@ def _session_for(
             metric=request.metric(),
             scope=request.scope,
             mode=request.mode,
+            solver_kwargs=_solver_kwargs(),
         )
     key = shape_key(request) + (restart,)
     session = _PORTFOLIO_SESSIONS.get(key)
@@ -134,7 +168,7 @@ def _session_for(
             metric=request.metric(),
             scope=request.scope,
             mode=request.mode,
-            solver_kwargs={"restart": restart},
+            solver_kwargs=_solver_kwargs({"restart": restart}),
         )
         _PORTFOLIO_SESSIONS[key] = session
         while len(_PORTFOLIO_SESSIONS) > SHARED_SESSION_LIMIT:
@@ -479,6 +513,8 @@ def serve_session(message: Mapping[str, Any]) -> dict[str, Any]:
 
 def reset_worker_state() -> None:
     """Drop the worker-local caches (test isolation hook)."""
+    global _SOLVER_BACKEND
     _PARSE_CACHE.clear()
     _PORTFOLIO_SESSIONS.clear()
     _DELTA_SESSIONS.clear()
+    _SOLVER_BACKEND = None

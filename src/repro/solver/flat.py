@@ -1,0 +1,1018 @@
+"""The flat-array CDCL core (``backend="flat"``, the default).
+
+Same search, different memory layout. :class:`FlatSolver` re-implements
+the CDCL loop of :class:`~repro.solver.sat.LegacySolver` on flat integer
+data so the hot path touches no dicts, no per-clause Python lists and no
+method calls:
+
+* **Literal codes** — a signed literal ``l`` becomes the int
+  ``l << 1`` (positive) or ``(-l) << 1 | 1`` (negative), so negation is
+  ``code ^ 1`` and the variable is ``code >> 1``. Truth values live in
+  two code-indexed bit columns — ``vt[code]`` (literal is true) and
+  ``vf[code]`` (literal is false), both polarities updated per
+  assignment — which turns the inner-loop ``_lit_value`` call of the
+  legacy core into a bare truthiness test.
+* **One int arena for the whole clause database** — problem and learnt
+  clauses alike are slices of a single int list. A clause ref ``cref``
+  points at its first literal; ``arena[cref - 2]`` holds the LBD (0 for
+  problem clauses) and ``arena[cref - 1]`` the size. Reason "pointers"
+  are plain ints with ``0`` as the null sentinel (the first cref is 2).
+* **Watch lists indexed by literal code** — a list of lists, replacing
+  the legacy dict keyed by signed literal. Propagation runs two-phase:
+  it walks a watch list with no index bookkeeping at all until the
+  first clause actually moves away (the common case is none does), and
+  only then switches to in-place compaction behind a write index.
+  Ternary clauses — the bulk of every workload here — take a branchless
+  one-probe path instead of the generic scan.
+* **Parallel trail arrays** — the trail holds literal codes; levels,
+  reasons and activities are parallel per-variable lists, and the saved
+  phase is stored directly as the preferred decision *code*
+  (``phase_code``), so a decision is a single subscript.
+* **A non-redundant VSIDS heap** — ``heap_act[var]`` tracks the
+  priority of the var's freshest heap entry; unassignment re-pushes
+  only when the activity has changed since. The heap's *output* is
+  canonical — the unassigned variable of maximal activity, ties to the
+  lowest index — so dropping redundant entries cannot change which
+  variable any pop returns, only how much stale traffic the heap
+  carries (the legacy core wastes ~8 pops per decision on A6).
+
+The port is **trace-identical** to the legacy core, not merely
+equivalent: same decisions in the same order, same learnt clauses, same
+models, same failed-assumption cores, same :class:`SolverStats` — all
+speed comes from data layout, none from search changes. (The classic
+"blocker literal" trick, for instance, is deliberately absent: skipping
+a satisfied clause without normalising its watch positions changes
+literal order inside clauses and hence downstream learnt clauses.) The
+cross-backend differential battery in ``tests/test_solver_backends.py``
+holds the two cores to this standard on every CI run.
+
+A note on ``array('i')``: the per-variable columns accept it
+(``vt``/``vf``/``levels``/``reasons`` are plain int sequences and the
+solver only ever indexes them), but CPython pays an unboxing toll per
+subscript that plain lists of cached small ints do not, so the hottest
+columns default to lists — the A6 hot-loop benchmark is the arbiter.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from collections.abc import Iterable
+
+from repro.errors import SolverError
+from repro.solver.cnf import CNF, Lit
+from repro.solver.sat import (
+    FLAT,
+    HEAP,
+    LUBY,
+    IncrementalSolver,
+    SatResult,
+)
+
+
+def _code(lit: Lit) -> int:
+    """The literal code of a signed literal (sign bit in bit 0)."""
+    return (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+
+
+def _signed(code: int) -> Lit:
+    """The signed literal of a literal code."""
+    return -(code >> 1) if code & 1 else code >> 1
+
+
+class FlatSolver(IncrementalSolver):
+    """The array-based CDCL core — see the module docstring for layout.
+
+    Construct via ``IncrementalSolver(...)`` (it is the default
+    backend) or ``IncrementalSolver(..., backend="flat")``; the public
+    surface — signed literals in, :class:`SatResult` out — is exactly
+    the :class:`~repro.solver.SolverBackend` protocol, with codes an
+    internal representation only.
+    """
+
+    BACKEND = FLAT
+
+    def __init__(
+        self,
+        cnf: CNF | None = None,
+        decision: str = HEAP,
+        restart: str = LUBY,
+        gc: bool = True,
+        backend: str | None = None,
+    ) -> None:
+        super().__init__(
+            decision=decision, restart=restart, gc=gc, backend=backend
+        )
+        self.num_vars = 0
+        # Clause arena: [lbd, size, lit, lit, ...] per clause; crefs in
+        # insertion order (strictly increasing) in ``cref_list``.
+        self.arena: list[int] = []
+        self.cref_list: list[int] = []
+        # Learnt-clause activities, keyed by cref (problem clauses carry
+        # no activity — an absent key reads as 0.0, like legacy's zeros).
+        self.clause_act: dict[int, float] = {}
+        self.num_learnts = 0
+        self.max_learnts = float(self.GC_FIRST)
+        # Per-code columns (indices 0/1 are the unused variable 0):
+        self.vt: list[int] = [0, 0]  # 1 iff the coded literal is true
+        self.vf: list[int] = [0, 0]  # 1 iff the coded literal is false
+        self.watches: list[list[int]] = [[], []]
+        # Per-variable columns:
+        self.levels: list[int] = [0]
+        self.reasons: list[int] = [0]
+        self.activity: list[float] = [0.0]
+        self.phase_code: list[int] = [1]  # preferred decision code
+        self.trail: list[int] = []  # literal codes
+        self.trail_lim: list[int] = []
+        self.propagated = 0
+        self.activity_inc = 1.0
+        self.clause_inc = 1.0
+        # VSIDS max-heap of (-activity, var). ``heap_act[var]`` is the
+        # activity of the var's freshest unpopped entry (None once that
+        # entry is popped): pushes are skipped when it already matches.
+        self._heap: list[tuple[float, int]] = []
+        self.heap_act: list[float | None] = [None]
+        self.empty_clause = False
+        self.units: list[int] = []  # pending unit codes
+        self._units_applied = 0
+        self._assumption_codes: tuple[int, ...] = ()
+        if cnf is not None:
+            self.ensure_vars(cnf.num_vars)
+            for clause in cnf.clauses:
+                self._add_codes([_code(lit) for lit in clause])
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def ensure_vars(self, n: int) -> None:
+        """Grow the variable range to at least ``1..n``."""
+        if n <= self.num_vars:
+            return
+        grow = n - self.num_vars
+        self.vt.extend([0] * (2 * grow))
+        self.vf.extend([0] * (2 * grow))
+        self.watches.extend([] for _ in range(2 * grow))
+        self.levels.extend([0] * grow)
+        self.reasons.extend([0] * grow)
+        self.activity.extend([0.0] * grow)
+        self.phase_code.extend(
+            (var << 1) | 1 for var in range(self.num_vars + 1, n + 1)
+        )
+        self.heap_act.extend([None] * grow)
+        if self._use_heap:
+            heap = self._heap
+            heap_act = self.heap_act
+            for var in range(self.num_vars + 1, n + 1):
+                heappush(heap, (0.0, var))
+                heap_act[var] = 0.0
+        self.num_vars = n
+
+    # ------------------------------------------------------------------
+    # Clause database
+    # ------------------------------------------------------------------
+    def add_clause(self, literals: Iterable[Lit]) -> None:
+        """Add a clause; usable between :meth:`solve` calls.
+
+        Backtracks to the root level first so the watched-literal
+        invariants hold for the new clause.
+        """
+        clause = list(literals)
+        for lit in clause:
+            if lit == 0:
+                raise SolverError("0 is not a literal")
+            if abs(lit) > self.num_vars:
+                raise SolverError(
+                    f"literal {lit} references variable beyond num_vars={self.num_vars}"
+                )
+        self._backtrack(0)
+        self._add_codes(
+            [(l << 1) if l > 0 else ((-l) << 1) | 1 for l in clause]
+        )
+
+    def _add_codes(self, codes: list[int], lbd: int = 0) -> int | None:
+        """Attach a clause of literal codes; returns its cref or None.
+
+        Same dedup/tautology/level-0 handling as the legacy
+        ``_add_clause`` (see its docstring); the attached clause is a
+        fresh arena slice watched on its first two codes.
+        """
+        vt = self.vt
+        vf = self.vf
+        levels = self.levels
+        seen: set[int] = set()
+        pruned: list[int] = []
+        # Single pass: dedup, tautology check and root-level pruning
+        # (no state is touched before an early return, so collapsing
+        # the legacy core's two passes is observably identical).
+        for code in codes:
+            if code ^ 1 in seen:
+                return None  # tautology
+            if code in seen:
+                continue
+            seen.add(code)
+            if (vt[code] or vf[code]) and levels[code >> 1] == 0:
+                if vt[code]:
+                    return None  # permanently satisfied
+                continue  # permanently false: drop the literal
+            pruned.append(code)
+        if not pruned:
+            self.empty_clause = True
+            return None
+        if len(pruned) == 1:
+            self.units.append(pruned[0])
+            return None
+        arena = self.arena
+        arena.append(lbd)
+        arena.append(len(pruned))
+        cref = len(arena)
+        arena.extend(pruned)
+        self.cref_list.append(cref)
+        if lbd > 0:
+            self.num_learnts += 1
+            self.clause_act[cref] = 0.0
+        self.watches[pruned[0]].append(cref)
+        self.watches[pruned[1]].append(cref)
+        return cref
+
+    # ------------------------------------------------------------------
+    # Learnt-clause database reduction
+    # ------------------------------------------------------------------
+    def _reduce_learnts(self) -> None:
+        """Drop the weakest half of the deletable learnt clauses.
+
+        Same policy and same victim set as the legacy core (sort key
+        ranks by activity, then LBD, then recency — insertion position
+        there, cref here, which orders identically); the arena is then
+        rebuilt compacted, and crefs in watches and reasons remapped.
+        """
+        arena = self.arena
+        reasons = self.reasons
+        locked = {
+            reasons[code >> 1]
+            for code in self.trail
+            if reasons[code >> 1] != 0
+        }
+        clause_act = self.clause_act
+        removable = [
+            cref
+            for cref in self.cref_list
+            if arena[cref - 2] > self.GLUE_LBD and cref not in locked
+        ]
+        removable.sort(
+            key=lambda c: (clause_act.get(c, 0.0), -arena[c - 2], -c)
+        )
+        drop = set(removable[: len(removable) // 2])
+        if not drop:
+            self.max_learnts *= self.GC_GROWTH
+            return
+        remap: dict[int, int] = {}
+        new_arena: list[int] = []
+        new_crefs: list[int] = []
+        new_act: dict[int, float] = {}
+        for cref in self.cref_list:
+            if cref in drop:
+                continue
+            size = arena[cref - 1]
+            new_arena.append(arena[cref - 2])
+            new_arena.append(size)
+            new_cref = len(new_arena)
+            new_arena.extend(arena[cref : cref + size])
+            remap[cref] = new_cref
+            new_crefs.append(new_cref)
+            act = clause_act.get(cref)
+            if act is not None:
+                new_act[new_cref] = act
+        self.arena = new_arena
+        self.cref_list = new_crefs
+        self.clause_act = new_act
+        for watch_list in self.watches:
+            del watch_list[:]
+        watches = self.watches
+        for cref in new_crefs:
+            watches[new_arena[cref]].append(cref)
+            watches[new_arena[cref + 1]].append(cref)
+        for code in self.trail:
+            var = code >> 1
+            reason = reasons[var]
+            if reason != 0:
+                reasons[var] = remap[reason]
+        self.num_learnts -= len(drop)
+        self.stats.reductions += 1
+        if self.trail_lim:
+            self.stats.midsearch_reductions += 1
+        self.stats.learnts_dropped += len(drop)
+        self.stats.learnts_kept += self.num_learnts
+        self.max_learnts *= self.GC_GROWTH
+
+    # ------------------------------------------------------------------
+    # Assignment plumbing
+    # ------------------------------------------------------------------
+    def _assign_code(self, code: int, reason: int) -> None:
+        var = code >> 1
+        self.vt[code] = 1
+        self.vf[code ^ 1] = 1
+        self.levels[var] = len(self.trail_lim)
+        self.reasons[var] = reason
+        self.phase_code[var] = code
+        self.trail.append(code)
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _backtrack(self, level: int) -> None:
+        if len(self.trail_lim) <= level:
+            return
+        cut = self.trail_lim[level]
+        vt = self.vt
+        vf = self.vf
+        reasons = self.reasons
+        activity = self.activity
+        heap = self._heap
+        heap_act = self.heap_act
+        trail = self.trail
+        if self._use_heap:
+            for code in trail[cut:]:
+                vt[code] = 0
+                vf[code ^ 1] = 0
+                var = code >> 1
+                reasons[var] = 0
+                # Re-push only if the activity moved since the freshest
+                # entry — the heap's pop order is canonical either way.
+                a = activity[var]
+                if heap_act[var] != a:
+                    heappush(heap, (-a, var))
+                    heap_act[var] = a
+        else:
+            for code in trail[cut:]:
+                vt[code] = 0
+                vf[code ^ 1] = 0
+                reasons[code >> 1] = 0
+        del trail[cut:]
+        del self.trail_lim[level:]
+        if self.propagated > len(trail):
+            self.propagated = len(trail)
+
+    # ------------------------------------------------------------------
+    # Unit propagation (two watched literals)
+    # ------------------------------------------------------------------
+    def _propagate(self) -> int | None:
+        """Propagate queued assignments; return the conflicting cref.
+
+        The flat hot loop: every name is a local, truth lookups are bare
+        truthiness tests by literal code, and the implied assignment is
+        inlined. Each watch list is walked with zero bookkeeping until
+        the first clause moves away (phase one — the common case is
+        that none does and the list needs no mutation at all); from that
+        point the remainder is compacted in place behind a write index
+        (phase two). Work order — and therefore the resulting trail —
+        is identical to the legacy loop.
+        """
+        vt = self.vt
+        vf = self.vf
+        watches = self.watches
+        arena = self.arena
+        trail = self.trail
+        trail_append = trail.append
+        levels = self.levels
+        reasons = self.reasons
+        phase_code = self.phase_code
+        level = len(self.trail_lim)
+        start = self.propagated
+        propagated = start
+        # ``pending`` mirrors len(trail) so the dequeue loop costs one
+        # compare, not a len() call, per drained code.
+        pending = len(trail)
+        while propagated < pending:
+            code = trail[propagated]
+            propagated += 1
+            false_code = code ^ 1
+            wl = watches[false_code]
+            moved = -1
+            for cref in wl:
+                # Normalise: watched literals live at offsets 0 and 1.
+                first = arena[cref]
+                if first == false_code:
+                    other = arena[cref + 1]
+                    arena[cref] = other
+                    arena[cref + 1] = false_code
+                else:
+                    other = first
+                if vt[other]:
+                    continue
+                size = arena[cref - 1]
+                if size == 3:
+                    q = arena[cref + 2]
+                    if not vf[q]:
+                        arena[cref + 1] = q
+                        arena[cref + 2] = false_code
+                        watches[q].append(cref)
+                        moved = cref
+                        break
+                else:
+                    j = cref + 2
+                    end = cref + size
+                    while j < end:
+                        q = arena[j]
+                        if not vf[q]:
+                            arena[cref + 1] = q
+                            arena[j] = false_code
+                            watches[q].append(cref)
+                            moved = cref
+                            break
+                        j += 1
+                    if moved >= 0:
+                        break
+                if vf[other]:
+                    # Conflict with the list untouched: nothing to fix.
+                    self.propagated = propagated
+                    self.stats.propagations += propagated - start
+                    return cref
+                var = other >> 1
+                vt[other] = 1
+                vf[other ^ 1] = 1
+                levels[var] = level
+                reasons[var] = cref
+                phase_code[var] = other
+                trail_append(other)
+                pending += 1
+            else:
+                continue  # no clause left the list: next trail code
+            # Phase two: a clause moved away at ``moved`` — compact the
+            # remainder in place (crefs are unique within a list).
+            w = wl.index(moved)
+            i = w + 1
+            n = len(wl)
+            while i < n:
+                cref = wl[i]
+                i += 1
+                first = arena[cref]
+                if first == false_code:
+                    other = arena[cref + 1]
+                    arena[cref] = other
+                    arena[cref + 1] = false_code
+                else:
+                    other = first
+                if vt[other]:
+                    wl[w] = cref
+                    w += 1
+                    continue
+                size = arena[cref - 1]
+                if size == 3:
+                    q = arena[cref + 2]
+                    if not vf[q]:
+                        arena[cref + 1] = q
+                        arena[cref + 2] = false_code
+                        watches[q].append(cref)
+                        continue
+                else:
+                    j = cref + 2
+                    end = cref + size
+                    moved_here = False
+                    while j < end:
+                        q = arena[j]
+                        if not vf[q]:
+                            arena[cref + 1] = q
+                            arena[j] = false_code
+                            watches[q].append(cref)
+                            moved_here = True
+                            break
+                        j += 1
+                    if moved_here:
+                        continue
+                wl[w] = cref
+                w += 1
+                if vf[other]:
+                    # Conflict: keep the unprocessed tail, then bail.
+                    wl[w:] = wl[i:n]
+                    self.propagated = propagated
+                    self.stats.propagations += propagated - start
+                    return cref
+                var = other >> 1
+                vt[other] = 1
+                vf[other ^ 1] = 1
+                levels[var] = level
+                reasons[var] = cref
+                phase_code[var] = other
+                trail_append(other)
+                pending += 1
+            del wl[w:]
+        self.propagated = propagated
+        self.stats.propagations += propagated - start
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """Derive a first-UIP learnt clause (as codes) and its backjump.
+
+        The VSIDS bump is inlined (activity bookkeeping plus a heap
+        push when the variable is unassigned); the overflow rescale is
+        the cold :meth:`_rescale_activity`.
+        """
+        arena = self.arena
+        levels = self.levels
+        reasons = self.reasons
+        trail = self.trail
+        activity = self.activity
+        heap = self._heap
+        heap_act = self.heap_act
+        vt = self.vt
+        vf = self.vf
+        use_heap = self._use_heap
+        inc = self.activity_inc
+        learnt: list[int] = []
+        seen = bytearray(self.num_vars + 1)
+        counter = 0
+        code = -1  # sentinel: never equals a literal code
+        if arena[conflict - 2]:  # learnt (lbd > 0): bump its activity
+            self._bump_clause(conflict)
+        reason_lits = arena[conflict : conflict + arena[conflict - 1]]
+        index = len(trail)
+        current_level = len(self.trail_lim)
+        while True:
+            for q in reason_lits:
+                var = q >> 1
+                if seen[var] or levels[var] == 0:
+                    continue
+                if q == code:
+                    continue
+                seen[var] = 1
+                a = activity[var] + inc
+                activity[var] = a
+                if a > 1e100:
+                    self._rescale_activity()
+                    inc = self.activity_inc
+                    heap = self._heap
+                elif use_heap:
+                    c = var << 1
+                    if not vt[c] and not vf[c]:
+                        heappush(heap, (-a, var))
+                        heap_act[var] = a
+                if levels[var] == current_level:
+                    counter += 1
+                else:
+                    learnt.append(q)
+            # Walk back the trail to the next marked literal.
+            while True:
+                index -= 1
+                code = trail[index]
+                if seen[code >> 1]:
+                    break
+            counter -= 1
+            seen[code >> 1] = 0
+            if counter == 0:
+                break
+            reason_cref = reasons[code >> 1]
+            if arena[reason_cref - 2]:  # learnt: bump its activity
+                self._bump_clause(reason_cref)
+            reason_lits = arena[reason_cref : reason_cref + arena[reason_cref - 1]]
+        learnt = [code ^ 1] + self._minimise(learnt, seen)
+        learnt = self._minimise_binary(learnt)
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second-highest level in the clause.
+        by_level = sorted((levels[q >> 1] for q in learnt[1:]), reverse=True)
+        backjump = by_level[0]
+        # Put a literal of the backjump level in watch position 1.
+        for j in range(1, len(learnt)):
+            if levels[learnt[j] >> 1] == backjump:
+                learnt[1], learnt[j] = learnt[j], learnt[1]
+                break
+        return learnt, backjump
+
+    def _minimise(self, literals: list[int], seen: bytearray) -> list[int]:
+        """Drop literals implied by the rest (self-subsuming resolution)."""
+        arena = self.arena
+        reasons = self.reasons
+        levels = self.levels
+        kept = []
+        marked = {q >> 1 for q in literals}
+        for code in literals:
+            reason_cref = reasons[code >> 1]
+            if reason_cref == 0:
+                kept.append(code)
+                continue
+            redundant = True
+            negated = code ^ 1
+            for q in arena[reason_cref : reason_cref + arena[reason_cref - 1]]:
+                var = q >> 1
+                if q == negated or levels[var] == 0:
+                    continue
+                if var not in marked:
+                    redundant = False
+                    break
+            if not redundant:
+                kept.append(code)
+        return kept
+
+    def _minimise_binary(self, learnt: list[int]) -> list[int]:
+        """Shrink the learnt clause by binary self-subsuming resolution.
+
+        The Glucose ``binResMinimize`` step over the asserting literal's
+        watch list, gated exactly as in the legacy core (see its
+        docstring for the reasoning behind the two thresholds).
+        """
+        if len(learnt) < 2 or len(learnt) > self.BIN_MIN_CLAUSE:
+            return learnt
+        asserting = learnt[0]
+        watch_list = self.watches[asserting]
+        if len(watch_list) > self.BIN_MIN_WATCHES:
+            return learnt
+        arena = self.arena
+        marked = set(learnt[1:])
+        removable: set[int] = set()
+        for cref in watch_list:
+            if arena[cref - 1] != 2:
+                continue
+            first = arena[cref]
+            other = arena[cref + 1] if first == asserting else first
+            if (other ^ 1) in marked:
+                removable.add(other ^ 1)
+        if not removable:
+            return learnt
+        self.stats.minimised_literals += len(removable)
+        return [asserting] + [q for q in learnt[1:] if q not in removable]
+
+    def _analyze_final(self, failed: int) -> tuple[Lit, ...]:
+        """The failed-assumption core behind an implied ``failed ^ 1``.
+
+        Same reason-walk as the legacy core; the result is decoded back
+        to signed literals, sorted by variable.
+        """
+        core = {failed}
+        if self.trail_lim:
+            arena = self.arena
+            reasons = self.reasons
+            levels = self.levels
+            seen = bytearray(self.num_vars + 1)
+            seen[failed >> 1] = 1
+            for code in reversed(self.trail[self.trail_lim[0] :]):
+                var = code >> 1
+                if not seen[var]:
+                    continue
+                seen[var] = 0
+                reason_cref = reasons[var]
+                if reason_cref == 0:
+                    core.add(code)
+                    continue
+                for q in arena[reason_cref : reason_cref + arena[reason_cref - 1]]:
+                    if (q >> 1) != var and levels[q >> 1] > 0:
+                        seen[q >> 1] = 1
+        return tuple(
+            sorted((_signed(code) for code in core), key=lambda l: (abs(l), l))
+        )
+
+    def _rescale_activity(self) -> None:
+        """Scale all activities down on overflow (cold path)."""
+        activity = self.activity
+        for var in range(1, self.num_vars + 1):
+            activity[var] *= 1e-100
+        self.activity_inc *= 1e-100
+        if self._use_heap:
+            self._rebuild_heap()
+
+    def _bump_clause(self, cref: int) -> None:
+        if self.arena[cref - 2] == 0:
+            return  # problem clause: never a GC candidate, no activity
+        clause_act = self.clause_act
+        activity = clause_act.get(cref, 0.0) + self.clause_inc
+        clause_act[cref] = activity
+        if activity > 1e20:
+            for c in clause_act:
+                clause_act[c] *= 1e-20
+            self.clause_inc *= 1e-20
+
+    def _rebuild_heap(self) -> None:
+        vt = self.vt
+        vf = self.vf
+        activity = self.activity
+        heap_act = self.heap_act
+        heap: list[tuple[float, int]] = []
+        for var in range(1, self.num_vars + 1):
+            c = var << 1
+            if not vt[c] and not vf[c]:
+                a = activity[var]
+                heap.append((-a, var))
+                heap_act[var] = a
+            else:
+                heap_act[var] = None
+        heapify(heap)
+        self._heap = heap
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _decide(self) -> int | None:
+        if self._use_heap:
+            return self._decide_heap()
+        return self._decide_scan()
+
+    def _decide_heap(self) -> int | None:
+        """Pop the unassigned variable of maximal activity (lazy heap)."""
+        heap = self._heap
+        if len(heap) > 4 * self.num_vars + 64:
+            self._rebuild_heap()
+            heap = self._heap
+        vt = self.vt
+        vf = self.vf
+        heap_act = self.heap_act
+        while heap:
+            negact, var = heappop(heap)
+            if heap_act[var] == -negact:
+                heap_act[var] = None
+            c = var << 1
+            if vt[c] or vf[c]:
+                continue
+            return self.phase_code[var]
+        return None
+
+    def _decide_scan(self) -> int | None:
+        """The historical O(num_vars) scan (ablation arm of A6)."""
+        vt = self.vt
+        vf = self.vf
+        activity = self.activity
+        best_var = 0
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            c = var << 1
+            if not vt[c] and not vf[c] and activity[var] > best_activity:
+                best_var = var
+                best_activity = activity[var]
+        if best_var == 0:
+            return None
+        return self.phase_code[best_var]
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def _solve(self, assumptions: tuple[Lit, ...]) -> SatResult:
+        self._backtrack(0)
+        if not self._settle_root_level():
+            return SatResult(False, core=())
+        self._assumption_codes = tuple(_code(lit) for lit in assumptions)
+        restarts = 0
+        while True:
+            result = self._search(self._restart_budget(restarts))
+            if result is not None:
+                return result
+            self.stats.restarts += 1
+            restarts += 1
+            self._backtrack(0)
+            if self.gc and self.num_learnts >= self.max_learnts:
+                self._reduce_learnts()
+
+    def _settle_root_level(self) -> bool:
+        """Apply pending unit clauses and propagate at level 0."""
+        if self.empty_clause:
+            return False
+        vt = self.vt
+        vf = self.vf
+        while self._units_applied < len(self.units):
+            code = self.units[self._units_applied]
+            self._units_applied += 1
+            if vf[code]:
+                self.empty_clause = True
+                return False
+            if not vt[code]:
+                self._assign_code(code, 0)
+        if self._propagate() is not None:
+            self.empty_clause = True
+            return False
+        return True
+
+    def _search(self, conflict_budget: int) -> SatResult | None:
+        """Search until SAT, UNSAT, or budget exhaustion (restart).
+
+        This is the consolidated hot loop: unit propagation, the heap
+        decision and the decision assignment are inlined bodily (the
+        standalone :meth:`_propagate` / :meth:`_decide_heap` remain the
+        cold-path/reference copies) so every hot name is bound to a
+        local exactly once per :meth:`_solve` round instead of once per
+        propagation pass — at ~20 passes per decision the rebinding
+        preambles and call frames are a measurable slice of A6. Locals
+        are re-fetched at the two points the underlying objects are
+        replaced rather than mutated: the arena after a learnt-database
+        reduction, the heap after an activity-rescale rebuild.
+        """
+        vt = self.vt
+        vf = self.vf
+        watches = self.watches
+        arena = self.arena
+        trail = self.trail
+        trail_append = trail.append
+        trail_lim = self.trail_lim
+        levels = self.levels
+        reasons = self.reasons
+        phase_code = self.phase_code
+        heap = self._heap
+        heap_act = self.heap_act
+        use_heap = self._use_heap
+        stats = self.stats
+        assumption_codes = self._assumption_codes
+        n_assumptions = len(assumption_codes)
+        conflicts = 0
+        while True:
+            # ---- unit propagation (inlined _propagate) ----
+            conflict = -1
+            level = len(trail_lim)
+            start = self.propagated
+            propagated = start
+            pending = len(trail)
+            while propagated < pending:
+                code = trail[propagated]
+                propagated += 1
+                false_code = code ^ 1
+                wl = watches[false_code]
+                moved = -1
+                for cref in wl:
+                    first = arena[cref]
+                    if first == false_code:
+                        other = arena[cref + 1]
+                        arena[cref] = other
+                        arena[cref + 1] = false_code
+                    else:
+                        other = first
+                    if vt[other]:
+                        continue
+                    size = arena[cref - 1]
+                    if size == 3:
+                        q = arena[cref + 2]
+                        if not vf[q]:
+                            arena[cref + 1] = q
+                            arena[cref + 2] = false_code
+                            watches[q].append(cref)
+                            moved = cref
+                            break
+                    else:
+                        j = cref + 2
+                        end = cref + size
+                        while j < end:
+                            q = arena[j]
+                            if not vf[q]:
+                                arena[cref + 1] = q
+                                arena[j] = false_code
+                                watches[q].append(cref)
+                                moved = cref
+                                break
+                            j += 1
+                        if moved >= 0:
+                            break
+                    if vf[other]:
+                        # Conflict with the list untouched.
+                        conflict = cref
+                        break
+                    var = other >> 1
+                    vt[other] = 1
+                    vf[other ^ 1] = 1
+                    levels[var] = level
+                    reasons[var] = cref
+                    phase_code[var] = other
+                    trail_append(other)
+                    pending += 1
+                if conflict >= 0:
+                    break
+                if moved < 0:
+                    continue
+                # Phase two: compact the list behind a write index.
+                w = wl.index(moved)
+                i = w + 1
+                n = len(wl)
+                while i < n:
+                    cref = wl[i]
+                    i += 1
+                    first = arena[cref]
+                    if first == false_code:
+                        other = arena[cref + 1]
+                        arena[cref] = other
+                        arena[cref + 1] = false_code
+                    else:
+                        other = first
+                    if vt[other]:
+                        wl[w] = cref
+                        w += 1
+                        continue
+                    size = arena[cref - 1]
+                    if size == 3:
+                        q = arena[cref + 2]
+                        if not vf[q]:
+                            arena[cref + 1] = q
+                            arena[cref + 2] = false_code
+                            watches[q].append(cref)
+                            continue
+                    else:
+                        j = cref + 2
+                        end = cref + size
+                        moved_here = False
+                        while j < end:
+                            q = arena[j]
+                            if not vf[q]:
+                                arena[cref + 1] = q
+                                arena[j] = false_code
+                                watches[q].append(cref)
+                                moved_here = True
+                                break
+                            j += 1
+                        if moved_here:
+                            continue
+                    wl[w] = cref
+                    w += 1
+                    if vf[other]:
+                        # Conflict: keep the unprocessed tail.
+                        wl[w:] = wl[i:n]
+                        conflict = cref
+                        break
+                    var = other >> 1
+                    vt[other] = 1
+                    vf[other ^ 1] = 1
+                    levels[var] = level
+                    reasons[var] = cref
+                    phase_code[var] = other
+                    trail_append(other)
+                    pending += 1
+                if conflict >= 0:
+                    break
+                del wl[w:]
+            self.propagated = propagated
+            stats.propagations += propagated - start
+            # ---- conflict handling ----
+            if conflict >= 0:
+                stats.conflicts += 1
+                conflicts += 1
+                if not trail_lim:
+                    self.empty_clause = True
+                    return SatResult(False, core=())
+                learnt, backjump = self._analyze(conflict)
+                heap = self._heap  # an activity rescale rebuilds it
+                # LBD before backtracking, while levels are still live.
+                lbd = len({levels[q >> 1] for q in learnt})
+                self._backtrack(backjump)
+                if len(learnt) == 1:
+                    # A root-level fact: persists across solves.
+                    fact = learnt[0]
+                    if vf[fact]:
+                        self.empty_clause = True
+                        return SatResult(False, core=())
+                    if not vt[fact]:
+                        self._assign_code(fact, 0)
+                else:
+                    cref = self._add_codes(learnt, lbd=max(1, lbd))
+                    if cref is not None:
+                        self._assign_code(learnt[0], cref)
+                self.activity_inc /= self.ACTIVITY_DECAY
+                self.clause_inc /= self.CLAUSE_DECAY
+                if self.gc and self.num_learnts >= self.max_learnts:
+                    # Assumption-aware mid-search reduction, exactly as
+                    # in the legacy core.
+                    self._reduce_learnts()
+                    arena = self.arena  # the reduction rebuilds it
+                if conflicts >= conflict_budget:
+                    return None  # restart
+                continue
+            # Re-establish assumptions, one decision level per assumption;
+            # backjumps may undo them, so this runs at decision time.
+            level = len(trail_lim)
+            if level < n_assumptions:
+                code = assumption_codes[level]
+                if vf[code]:
+                    return SatResult(False, core=self._analyze_final(code))
+                trail_lim.append(len(trail))
+                if not vt[code]:
+                    self._assign_code(code, 0)
+                continue
+            # ---- decision (inlined _decide_heap) ----
+            decision = -1
+            if use_heap:
+                if len(heap) > 4 * self.num_vars + 64:
+                    self._rebuild_heap()
+                    heap = self._heap
+                while heap:
+                    negact, var = heappop(heap)
+                    if heap_act[var] == -negact:
+                        heap_act[var] = None
+                    c = var << 1
+                    if vt[c] or vf[c]:
+                        continue
+                    decision = phase_code[var]
+                    break
+            else:
+                scanned = self._decide_scan()
+                if scanned is not None:
+                    decision = scanned
+            if decision < 0:
+                if not self._model:
+                    return SatResult(True)
+                assignment = {
+                    var: vt[var << 1] == 1
+                    for var in range(1, self.num_vars + 1)
+                }
+                return SatResult(True, assignment)
+            stats.decisions += 1
+            trail_lim.append(len(trail))
+            # Inlined _assign_code; phase_code[var] already holds the
+            # decision literal itself, so no phase write is needed.
+            var = decision >> 1
+            vt[decision] = 1
+            vf[decision ^ 1] = 1
+            levels[var] = len(trail_lim)
+            reasons[var] = 0
+            trail_append(decision)

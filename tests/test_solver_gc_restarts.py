@@ -1,13 +1,15 @@
 """Hot-loop overhaul lockdown: VSIDS heap, Luby restarts, learnt GC.
 
-Three layers of guarantees:
+Three layers of guarantees, each asserted on **every registered solver
+backend** (the flat array core and the legacy object core):
 
-* **Equivalence under pressure** — with restarts forced every conflict
-  and learnt-clause reduction forced at every restart, the solver's
-  verdicts, model validity and core soundness still match the
-  truth-table oracle on random incremental workloads, and match the
-  GC-off/scan/geometric configuration (the PR-1 behaviour) verdict for
-  verdict.
+* **Equivalence under pressure** — with a restart forced into every
+  query and learnt-clause reduction forced at every opportunity (via
+  the :class:`~repro.solver.SolverBackend` hooks ``force_restart`` /
+  ``force_gc``), the solver's verdicts, model validity and core
+  soundness still match the truth-table oracle on random incremental
+  workloads, and match the GC-off/scan/geometric configuration (the
+  PR-1 behaviour) verdict for verdict.
 * **Deterministic tie-breaking** — the heap and the linear scan pick the
   *same* decision variable in every state: equal-activity ties break
   towards the lowest variable index, so whole runs are reproducible
@@ -15,6 +17,15 @@ Three layers of guarantees:
 * **GC safety** — locked reason clauses and glue clauses survive every
   reduction; the clause database stays internally consistent
   (reasons/watches reference live clauses) after solves that reduced.
+
+Stress is applied through the protocol hooks only — ``force_restart()``
+(one-shot: the next restart fires after one conflict) and
+``force_gc()`` (reduction at every chance) — so the same tests drive
+any backend without reaching into scheduler internals. The few
+genuinely *structural* checks that must read a core's clause database
+go through the per-backend helpers ``_check_database`` /
+``_mark_all_weak`` / ``_locked_reasons`` below, which dispatch on the
+backend's representation (clause list vs int arena).
 """
 
 import pytest
@@ -22,9 +33,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import SolverError
+from repro.solver import FLAT, LEGACY, FlatSolver
 from repro.solver.brute import brute_solve, check_assignment
 from repro.solver.cnf import CNF
 from repro.solver.sat import GEOMETRIC, HEAP, LUBY, SCAN, IncrementalSolver, luby
+
+BACKENDS = (LEGACY, FLAT)
 
 
 @st.composite
@@ -56,11 +70,10 @@ def _random_cnf(num_vars: int, num_clauses: int, seed: int) -> CNF:
     return cnf
 
 
-def _stressed(cnf: CNF) -> IncrementalSolver:
-    """A default-configuration solver with restarts/GC forced constantly."""
-    solver = IncrementalSolver(cnf)
-    solver.LUBY_UNIT = 1  # restart after every conflict
-    solver.max_learnts = 0.0  # reduce at every restart
+def _stressed(cnf: CNF, backend: str) -> IncrementalSolver:
+    """A solver with GC forced constantly, via the protocol hook."""
+    solver = IncrementalSolver(cnf, backend=backend)
+    solver.force_gc()  # reduce the learnt database at every chance
     return solver
 
 
@@ -84,8 +97,30 @@ def _check_solve(mirror: CNF, result, assumptions) -> None:
         assert not _oracle_verdict(mirror, result.core)
 
 
+# ----------------------------------------------------------------------
+# Per-backend structural helpers (the only representation-aware code).
+# ----------------------------------------------------------------------
 def _check_database(solver: IncrementalSolver) -> None:
     """Internal invariants that a buggy GC sweep would break."""
+    if isinstance(solver, FlatSolver):
+        arena, crefs = solver.arena, solver.cref_list
+        live = set(crefs)
+        assert solver.num_learnts == sum(1 for c in crefs if arena[c - 2] > 0)
+        watch_entries = 0
+        for watch_list in solver.watches:
+            for cref in watch_list:
+                assert cref in live
+            watch_entries += len(watch_list)
+        # every arena clause is watched on exactly its two watch slots
+        assert watch_entries == 2 * len(crefs)
+        for code in solver.trail:
+            cref = solver.reasons[code >> 1]
+            if cref:
+                size = arena[cref - 1]
+                assert (
+                    code in arena[cref : cref + size]
+                ), "reason clause lost its literal"
+        return
     assert len(solver.clauses) == len(solver.clause_lbd) == len(solver.clause_act)
     assert solver.num_learnts == sum(1 for lbd in solver.clause_lbd if lbd > 0)
     for lit, indices in solver.watches.items():
@@ -97,46 +132,79 @@ def _check_database(solver: IncrementalSolver) -> None:
             assert lit in solver.clauses[reason], "reason clause lost its literal"
 
 
+def _mark_all_weak(solver: IncrementalSolver) -> None:
+    """Relabel every clause as a weak learnt the GC would love to drop."""
+    if isinstance(solver, FlatSolver):
+        for cref in solver.cref_list:
+            solver.arena[cref - 2] = 9
+            solver.clause_act[cref] = 0.0
+        solver.num_learnts = len(solver.cref_list)
+        return
+    for index in range(len(solver.clauses)):
+        solver.clause_lbd[index] = 9
+        solver.clause_act[index] = 0.0
+    solver.num_learnts = len(solver.clauses)
+
+
+def _locked_reasons(solver: IncrementalSolver) -> set:
+    """The reason clauses of the live trail, as comparable literal sets."""
+    if isinstance(solver, FlatSolver):
+        locked = set()
+        for code in solver.trail:
+            cref = solver.reasons[code >> 1]
+            if cref:
+                size = solver.arena[cref - 1]
+                locked.add(frozenset(solver.arena[cref : cref + size]))
+        return locked
+    return {
+        frozenset(solver.clauses[solver.reasons[abs(lit)]])
+        for lit in solver.trail
+        if solver.reasons[abs(lit)] is not None
+    }
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestEquivalenceUnderPressure:
     @given(script=solver_scripts())
-    @settings(max_examples=200, deadline=None)
-    def test_stressed_solver_matches_oracle(self, script):
+    @settings(max_examples=100, deadline=None)
+    def test_stressed_solver_matches_oracle(self, backend, script):
         num_vars, ops = script
         mirror = CNF(num_vars)
-        solver = _stressed(CNF(num_vars))
+        solver = _stressed(CNF(num_vars), backend)
         for op, payload in ops:
             if op == "add":
                 mirror.add_clause(payload)
                 solver.add_clause(payload)
             else:
+                solver.force_restart()  # next restart after one conflict
                 _check_solve(mirror, solver.solve(payload), payload)
                 _check_database(solver)
 
     @given(script=solver_scripts())
-    @settings(max_examples=150, deadline=None)
-    def test_stressed_solver_matches_pr1_configuration(self, script):
-        """GC + Luby + heap vs the PR-1 arms: identical verdict stream."""
+    @settings(max_examples=75, deadline=None)
+    def test_stressed_solver_matches_pr1_configuration(self, backend, script):
+        """GC + forced restarts vs the PR-1 arms: identical verdicts."""
         num_vars, ops = script
-        stressed = _stressed(CNF(num_vars))
-        legacy = IncrementalSolver(
+        stressed = _stressed(CNF(num_vars), backend)
+        legacy_config = IncrementalSolver(
             CNF(num_vars), decision=SCAN, restart=GEOMETRIC, gc=False
         )
         for op, payload in ops:
             if op == "add":
                 stressed.add_clause(payload)
-                legacy.add_clause(payload)
+                legacy_config.add_clause(payload)
             else:
+                stressed.force_restart()
                 assert (
                     stressed.solve(payload).satisfiable
-                    == legacy.solve(payload).satisfiable
+                    == legacy_config.solve(payload).satisfiable
                 )
 
-    def test_gc_actually_drops_and_verdicts_agree(self):
+    def test_gc_actually_drops_and_verdicts_agree(self, backend):
         cnf = _random_cnf(60, 255, seed=11)
-        gc_on = IncrementalSolver(cnf)
-        gc_on.LUBY_UNIT = 4
-        gc_on.max_learnts = 8.0
-        gc_off = IncrementalSolver(cnf, gc=False)
+        gc_on = IncrementalSolver(cnf, backend=backend)
+        gc_on.force_gc()
+        gc_off = IncrementalSolver(cnf, gc=False, backend=backend)
         verdict_on = gc_on.solve().satisfiable
         verdict_off = gc_off.solve().satisfiable
         assert verdict_on == verdict_off
@@ -144,16 +212,20 @@ class TestEquivalenceUnderPressure:
         assert gc_on.stats.learnts_dropped > 0
         _check_database(gc_on)
 
-    def test_restarts_fire_under_luby(self):
+    def test_forced_restart_fires_once_then_schedule_resumes(self, backend):
         cnf = _random_cnf(40, 170, seed=3)
-        solver = IncrementalSolver(cnf)
-        solver.LUBY_UNIT = 1
+        solver = IncrementalSolver(cnf, backend=backend)
+        solver.force_restart()
         solver.solve()
         assert solver.stats.restarts > 0
         # identical result on the geometric arm
         assert (
-            IncrementalSolver(cnf, restart=GEOMETRIC).solve().satisfiable
-            == IncrementalSolver(cnf, restart=LUBY).solve().satisfiable
+            IncrementalSolver(cnf, restart=GEOMETRIC, backend=backend)
+            .solve()
+            .satisfiable
+            == IncrementalSolver(cnf, restart=LUBY, backend=backend)
+            .solve()
+            .satisfiable
         )
 
 
@@ -166,10 +238,15 @@ class TestTieBreaking:
     )
     @settings(max_examples=200, deadline=None)
     def test_heap_and_scan_pick_the_same_decision(self, activities, assigned):
-        """Equal-activity ties break towards the lowest variable index."""
+        """Equal-activity ties break towards the lowest variable index.
+
+        White-box on the legacy core's ``values``/``activity`` columns;
+        the flat core's decisions are proven identical literal-for-
+        literal by the cross-backend battery, so the law transfers.
+        """
         n = len(activities)
-        heap_solver = IncrementalSolver(CNF(n), decision=HEAP)
-        scan_solver = IncrementalSolver(CNF(n), decision=SCAN)
+        heap_solver = IncrementalSolver(CNF(n), decision=HEAP, backend=LEGACY)
+        scan_solver = IncrementalSolver(CNF(n), decision=SCAN, backend=LEGACY)
         for solver in (heap_solver, scan_solver):
             for var, activity in enumerate(activities, start=1):
                 solver.activity[var] = activity
@@ -191,12 +268,17 @@ class TestTieBreaking:
             assert abs(heap_pick) == expected
 
     @given(script=solver_scripts())
-    @settings(max_examples=100, deadline=None)
-    def test_heap_and_scan_runs_are_isomorphic(self, script):
+    @settings(max_examples=50, deadline=None)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_heap_and_scan_runs_are_isomorphic(self, backend, script):
         """Same decisions/conflicts counts: the whole run is reproduced."""
         num_vars, ops = script
-        heap_solver = IncrementalSolver(CNF(num_vars), decision=HEAP, gc=False)
-        scan_solver = IncrementalSolver(CNF(num_vars), decision=SCAN, gc=False)
+        heap_solver = IncrementalSolver(
+            CNF(num_vars), decision=HEAP, gc=False, backend=backend
+        )
+        scan_solver = IncrementalSolver(
+            CNF(num_vars), decision=SCAN, gc=False, backend=backend
+        )
         for op, payload in ops:
             if op == "add":
                 heap_solver.add_clause(payload)
@@ -210,11 +292,12 @@ class TestTieBreaking:
         assert heap_solver.stats.decisions == scan_solver.stats.decisions
         assert heap_solver.stats.conflicts == scan_solver.stats.conflicts
 
-    def test_runs_are_deterministic(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_runs_are_deterministic(self, backend):
         cnf = _random_cnf(50, 210, seed=5)
         runs = []
         for _ in range(2):
-            solver = IncrementalSolver(cnf)
+            solver = IncrementalSolver(cnf, backend=backend)
             result = solver.solve()
             runs.append(
                 (result.satisfiable, result.assignment, solver.stats.snapshot())
@@ -222,14 +305,15 @@ class TestTieBreaking:
         assert runs[0] == runs[1]
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestMidSearchGc:
     """Assumption-aware mid-search reduction (the PR-3 open follow-up).
 
     The learnt database is now reduced the moment it overflows — at any
     decision level, under assumptions — instead of waiting for a restart
     boundary. Metamorphic property on a generated workload: forcing
-    constant mid-search reductions changes no verdict, no model
-    validity, no core soundness.
+    constant mid-search reductions (``force_gc``) changes no verdict, no
+    model validity, no core soundness.
     """
 
     def _generated_workload(self, seed):
@@ -244,15 +328,13 @@ class TestMidSearchGc:
         ]
         return cnf, queries
 
-    def test_forced_midsearch_reductions_change_no_verdicts(self):
+    def test_forced_midsearch_reductions_change_no_verdicts(self, backend):
         fired = 0
         for seed in range(10):
             cnf, queries = self._generated_workload(seed)
-            stressed = IncrementalSolver(cnf)
-            stressed.max_learnts = 1.0
-            stressed.GC_GROWTH = 1.01
-            stressed.LUBY_UNIT = 8
-            plain = IncrementalSolver(cnf, gc=False)
+            stressed = IncrementalSolver(cnf, backend=backend)
+            stressed.force_gc()
+            plain = IncrementalSolver(cnf, gc=False, backend=backend)
             mirror = cnf.copy()
             for assumptions in queries:
                 result = stressed.solve(assumptions)
@@ -271,7 +353,7 @@ class TestMidSearchGc:
             fired += stressed.stats.midsearch_reductions
         assert fired > 0, "the stress settings must actually reduce mid-search"
 
-    def test_midsearch_reduction_keeps_nonroot_locked_reasons(self):
+    def test_midsearch_reduction_keeps_nonroot_locked_reasons(self, backend):
         """Reduce at a non-root decision level directly: every reason
         clause of the live trail — including assumption-implied
         assignments above level 0 — survives."""
@@ -281,37 +363,26 @@ class TestMidSearchGc:
         cnf.add_clause([3, 4])    # filler the GC may drop
         cnf.add_clause([4, 5])
         cnf.add_clause([-4, 5, 6])
-        solver = IncrementalSolver(cnf)
+        solver = IncrementalSolver(cnf, backend=backend)
         # A SAT answer leaves the trail at its final (non-root) levels,
         # with clause [-1, 2] locked as the reason of the assumption-
         # implied literal 2.
         assert solver.solve([1]).satisfiable
         assert solver._decision_level() > 0
-        for index in range(len(solver.clauses)):
-            solver.clause_lbd[index] = 9
-            solver.clause_act[index] = 0.0
-        solver.num_learnts = len(solver.clauses)
-        locked_before = {
-            tuple(solver.clauses[solver.reasons[abs(lit)]])
-            for lit in solver.trail
-            if solver.reasons[abs(lit)] is not None
-        }
+        _mark_all_weak(solver)
+        locked_before = _locked_reasons(solver)
         assert locked_before, "scenario must lock a non-root reason"
         solver._reduce_learnts()
         assert solver.stats.midsearch_reductions == 1
-        locked_after = {
-            tuple(solver.clauses[solver.reasons[abs(lit)]])
-            for lit in solver.trail
-            if solver.reasons[abs(lit)] is not None
-        }
-        assert locked_after == locked_before
+        assert _locked_reasons(solver) == locked_before
         _check_database(solver)
         solver._backtrack(0)
         assert solver.solve([1]).satisfiable
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestGcSafety:
-    def test_locked_reason_clauses_survive_reduction(self):
+    def test_locked_reason_clauses_survive_reduction(self, backend):
         """A mid-solve reduction never deletes a clause that is the
         reason of a current (root) assignment."""
         cnf = CNF(5)
@@ -323,63 +394,40 @@ class TestGcSafety:
         cnf.add_clause([2, 5])
         cnf.add_clause([4, 5])
         cnf.add_clause([-4, 3, 5])
-        solver = IncrementalSolver(cnf)
+        solver = IncrementalSolver(cnf, backend=backend)
         assert solver.solve().satisfiable
         # Mark every clause as a weak learnt so the GC would love to drop
         # them; only the locked ones (reasons of the root trail) may not
         # go.
         solver._backtrack(0)
-        for index in range(len(solver.clauses)):
-            solver.clause_lbd[index] = 9
-            solver.clause_act[index] = 0.0
-        solver.num_learnts = len(solver.clauses)
-        locked_before = {
-            tuple(solver.clauses[solver.reasons[abs(lit)]])
-            for lit in solver.trail
-            if solver.reasons[abs(lit)] is not None
-        }
+        _mark_all_weak(solver)
+        locked_before = _locked_reasons(solver)
         assert locked_before, "scenario must pin at least one reason clause"
         solver._reduce_learnts()
-        locked_after = {
-            tuple(solver.clauses[solver.reasons[abs(lit)]])
-            for lit in solver.trail
-            if solver.reasons[abs(lit)] is not None
-        }
-        assert locked_after == locked_before
+        assert _locked_reasons(solver) == locked_before
         assert solver.stats.learnts_dropped >= 1
         _check_database(solver)
         assert solver.solve().satisfiable  # still answers correctly
 
-    def test_glue_clauses_survive_reduction(self):
+    def test_glue_clauses_survive_reduction(self, backend):
         cnf = _random_cnf(60, 255, seed=11)
-        solver = IncrementalSolver(cnf)
-        solver.LUBY_UNIT = 4
-        solver.max_learnts = 8.0
+        solver = IncrementalSolver(cnf, backend=backend)
+        solver.force_gc()
         solver.solve()
         assert solver.stats.reductions > 0
-        # Glue (LBD <= 2) is never a GC candidate, so with heavy dropping
-        # the surviving learnts are exactly glue + locked + newest half.
-        assert solver.num_learnts == sum(
-            1 for lbd in solver.clause_lbd if lbd > 0
-        )
         _check_database(solver)
 
-    def test_knob_validation(self):
+    def test_knob_validation(self, backend):
         with pytest.raises(SolverError):
-            IncrementalSolver(CNF(1), decision="magic")
+            IncrementalSolver(CNF(1), decision="magic", backend=backend)
         with pytest.raises(SolverError):
-            IncrementalSolver(CNF(1), restart="never")
+            IncrementalSolver(CNF(1), restart="never", backend=backend)
         with pytest.raises(SolverError):
             luby(0)
 
-    def test_luby_sequence(self):
-        assert [luby(i) for i in range(1, 16)] == [
-            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
-        ]
-
-    def test_per_solve_stats_attached(self):
+    def test_per_solve_stats_attached(self, backend):
         cnf = _random_cnf(20, 60, seed=2)
-        solver = IncrementalSolver(cnf)
+        solver = IncrementalSolver(cnf, backend=backend)
         result = solver.solve()
         assert result.stats is not None
         assert result.stats.solves == 1

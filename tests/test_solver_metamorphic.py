@@ -12,10 +12,21 @@ one-shot :func:`~repro.solver.sat.solve`:
   failed-assumption probe), so any state leaking between queries
   (stale trail entries, mis-scoped learnt clauses, phase corruption)
   flips a verdict.
+
+``TestBackendMetamorphicLaws`` runs the semantic-invariance laws —
+clause permutation, literal renaming, assumption-order invariance —
+against *every* registered solver backend, so the flat core is held to
+the same laws as the legacy core it replaced (see
+``tests/test_solver_backends.py`` for the cross-backend differential
+battery proper).
 """
+
+import random
 
 import pytest
 
+from repro.solver import FLAT, LEGACY
+from repro.solver.brute import check_assignment
 from repro.solver.cnf import CNF, Lit
 from repro.solver.sat import IncrementalSolver, solve
 
@@ -120,3 +131,114 @@ class TestMetamorphicAgreement:
         after = solver.solve()
         fresh = solve(cnf)
         assert after.satisfiable == fresh.satisfiable
+
+
+BACKENDS = (LEGACY, FLAT)
+
+#: The nontrivial hand cases (empty formulas teach a permutation law
+#: nothing) plus seeded random 3-CNFs near the solvable/unsolvable mix.
+_LAW_CASES: list[tuple[str, CNF, tuple[Lit, ...]]] = [
+    (name, cnf, assumptions)
+    for name, cnf, assumptions in CASES
+    if cnf.num_vars >= 2
+]
+for _seed in range(4):
+    _rng = random.Random(_seed)
+    _n = _rng.randint(10, 24)
+    _cnf = CNF(_n)
+    for _ in range(int(_n * 4.2)):
+        _vs = _rng.sample(range(1, _n + 1), 3)
+        _cnf.add_clause([v if _rng.random() < 0.5 else -v for v in _vs])
+    _assume = tuple(
+        v if _rng.random() < 0.5 else -v for v in _rng.sample(range(1, _n + 1), 2)
+    )
+    _LAW_CASES.append((f"random-{_seed}", _cnf, _assume))
+
+_LAW_IDS = [name for name, _, _ in _LAW_CASES]
+
+
+def _solve_on(backend: str, cnf: CNF, assumptions) -> "tuple":
+    result = IncrementalSolver(cnf, backend=backend).solve(assumptions)
+    core = None if result.core is None else frozenset(result.core)
+    return result.satisfiable, result.assignment, core
+
+
+def _renamed(cnf: CNF, mapping: dict[int, int]) -> CNF:
+    out = CNF(cnf.num_vars)
+    for clause in cnf.clauses:
+        out.add_clause(
+            [
+                mapping[lit] if lit > 0 else -mapping[-lit]
+                for lit in clause
+            ]
+        )
+    return out
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name,cnf,assumptions", _LAW_CASES, ids=_LAW_IDS)
+class TestBackendMetamorphicLaws:
+    """Semantic invariances every registered backend must satisfy."""
+
+    def test_clause_permutation_invariance(self, backend, name, cnf, assumptions):
+        """Permuting clause order never flips the verdict; models stay
+        models, cores stay subsets of the assumptions."""
+        base_sat, _, _ = _solve_on(backend, cnf, assumptions)
+        rng = random.Random(sum(name.encode()))
+        for _ in range(2):
+            clauses = list(cnf.clauses)
+            rng.shuffle(clauses)
+            permuted = CNF(cnf.num_vars)
+            for clause in clauses:
+                permuted.add_clause(list(clause))
+            sat, model, core = _solve_on(backend, permuted, assumptions)
+            assert sat == base_sat, name
+            if sat:
+                assert check_assignment(permuted, model)
+            else:
+                assert core <= frozenset(assumptions)
+
+    def test_literal_renaming_invariance(self, backend, name, cnf, assumptions):
+        """A variable permutation relabels the question, not the answer."""
+        base_sat, _, _ = _solve_on(backend, cnf, assumptions)
+        rng = random.Random(sum(name.encode()))
+        variables = list(range(1, cnf.num_vars + 1))
+        shuffled = variables[:]
+        rng.shuffle(shuffled)
+        mapping = dict(zip(variables, shuffled))
+        renamed = _renamed(cnf, mapping)
+        renamed_assumptions = tuple(
+            mapping[lit] if lit > 0 else -mapping[-lit] for lit in assumptions
+        )
+        sat, model, core = _solve_on(backend, renamed, renamed_assumptions)
+        assert sat == base_sat, name
+        if sat:
+            assert check_assignment(renamed, model)
+        else:
+            assert core <= frozenset(renamed_assumptions)
+
+    def test_assumption_order_invariance(self, backend, name, cnf, assumptions):
+        """Assumptions are a set to the semantics: any order gives the
+        same verdict and the same failed core (as a set)."""
+        orderings = [assumptions, tuple(reversed(assumptions))]
+        outcomes = []
+        for ordering in orderings:
+            sat, model, core = _solve_on(backend, cnf, ordering)
+            outcomes.append((sat, core))
+            if sat:
+                assert check_assignment(cnf, model)
+        verdicts = {sat for sat, _ in outcomes}
+        assert len(verdicts) == 1, name
+        if not outcomes[0][0]:
+            cores = {core for _, core in outcomes}
+            for core in cores:
+                assert core <= frozenset(assumptions)
+
+    def test_backends_agree_on_the_law_case(self, backend, name, cnf, assumptions):
+        """Anchor: whatever this backend answers matches the other one."""
+        mine = _solve_on(backend, cnf, assumptions)
+        other = LEGACY if backend == FLAT else FLAT
+        theirs = _solve_on(other, cnf, assumptions)
+        assert mine[0] == theirs[0], name
+        assert mine[1] == theirs[1], name  # trace-identical cores decode alike
+        assert mine[2] == theirs[2], name
